@@ -1,0 +1,95 @@
+// B2 — Section 8 (compactness): TDQM preserves query structure, so its
+// output parse tree can be up to 2^n times smaller than Algorithm DNF's.
+//
+// Series regenerated: for a conjunction of n independent 2-way disjunctions
+// (the worst case for DNF), report output tree sizes of both algorithms and
+// their ratio.  Expected shape: tdqm_nodes grows linearly in n; dnf_nodes
+// and the ratio grow as ~2^n.
+
+#include <benchmark/benchmark.h>
+
+#include "qmap/contexts/synthetic.h"
+#include "qmap/core/dnf_mapper.h"
+#include "qmap/core/tdqm.h"
+
+namespace {
+
+void CompactnessTdqm(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  qmap::SyntheticOptions options;
+  options.num_attrs = 2 * n;
+  qmap::Result<qmap::MappingSpec> spec = MakeSyntheticSpec(options);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  qmap::Query q = qmap::GridQuery(n, 2, 2 * n);
+  int nodes = 0;
+  for (auto _ : state) {
+    qmap::Result<qmap::Query> mapped = Tdqm(q, *spec);
+    benchmark::DoNotOptimize(mapped);
+    nodes = mapped.ok() ? mapped->NodeCount() : -1;
+  }
+  state.counters["n"] = n;
+  state.counters["out_nodes"] = nodes;
+  state.counters["in_nodes"] = q.NodeCount();
+}
+BENCHMARK(CompactnessTdqm)->DenseRange(2, 14, 2);
+
+void CompactnessDnf(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  qmap::SyntheticOptions options;
+  options.num_attrs = 2 * n;
+  qmap::Result<qmap::MappingSpec> spec = MakeSyntheticSpec(options);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  qmap::Query q = qmap::GridQuery(n, 2, 2 * n);
+  int nodes = 0;
+  uint64_t disjuncts = 0;
+  for (auto _ : state) {
+    qmap::TranslationStats stats;
+    qmap::Result<qmap::Query> mapped = DnfMap(q, *spec, &stats);
+    benchmark::DoNotOptimize(mapped);
+    nodes = mapped.ok() ? mapped->NodeCount() : -1;
+    disjuncts = stats.dnf_disjuncts;
+  }
+  state.counters["n"] = n;
+  state.counters["out_nodes"] = nodes;
+  state.counters["dnf_disjuncts"] = static_cast<double>(disjuncts);
+}
+BENCHMARK(CompactnessDnf)->DenseRange(2, 14, 2);
+
+// The headline ratio in one series (run once per n; time is irrelevant).
+void CompactnessRatio(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  qmap::SyntheticOptions options;
+  options.num_attrs = 2 * n;
+  qmap::Result<qmap::MappingSpec> spec = MakeSyntheticSpec(options);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  qmap::Query q = qmap::GridQuery(n, 2, 2 * n);
+  double ratio = 0;
+  int tdqm_nodes = 0;
+  int dnf_nodes = 0;
+  for (auto _ : state) {
+    qmap::Result<qmap::Query> a = Tdqm(q, *spec);
+    qmap::Result<qmap::Query> b = DnfMap(q, *spec);
+    if (a.ok() && b.ok()) {
+      tdqm_nodes = a->NodeCount();
+      dnf_nodes = b->NodeCount();
+      ratio = static_cast<double>(dnf_nodes) / tdqm_nodes;
+    }
+    benchmark::DoNotOptimize(ratio);
+  }
+  state.counters["n"] = n;
+  state.counters["tdqm_nodes"] = tdqm_nodes;
+  state.counters["dnf_nodes"] = dnf_nodes;
+  state.counters["dnf/tdqm"] = ratio;
+}
+BENCHMARK(CompactnessRatio)->DenseRange(2, 12, 2);
+
+}  // namespace

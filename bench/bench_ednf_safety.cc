@@ -1,0 +1,135 @@
+// B3 — Section 8 (safety-check cost): testing conjunct safety via EDNF
+// examines ~2^{ne} terms, where e is the number of *essential* constraints
+// per conjunct (those involved in potential cross-matchings), while the
+// brute-force full-DNF check examines 2^{nk} terms regardless of
+// dependencies (k = constraints per conjunct).
+//
+// Series regenerated: fix n conjuncts of k disjuncts each; sweep the
+// dependency degree e (number of conjuncts' attributes entangled in
+// dependent pairs). Expected shape: EDNF cost flat at e = 0 and growing
+// with e; full-DNF cost high and flat across e.  Crossover: EDNF ≤ always.
+
+#include <benchmark/benchmark.h>
+
+#include "qmap/contexts/synthetic.h"
+#include "qmap/core/ednf.h"
+#include "qmap/core/psafe.h"
+#include "qmap/expr/dnf.h"
+
+namespace {
+
+constexpr int kConjuncts = 6;   // n
+constexpr int kDisjuncts = 3;   // k (DNF cost: k^n = 729 terms)
+
+// Builds a query of n conjuncts, each a k-way disjunction over distinct
+// attributes, where the first `entangled` conjuncts contribute one member
+// of a dependent pair each (pair (2i, 2i+1) spans conjuncts i and i+1).
+struct Workload {
+  qmap::Query query;
+  qmap::MappingSpec spec;
+};
+
+qmap::Result<Workload> MakeWorkload(int entangled) {
+  qmap::SyntheticOptions options;
+  options.num_attrs = kConjuncts * kDisjuncts;
+  // Pair attribute (i*k) of conjunct i with attribute ((i+1)*k) of conjunct
+  // i+1: a genuine cross-conjunct dependency.
+  for (int i = 0; i + 1 < kConjuncts && i < entangled; ++i) {
+    options.dependent_pairs.push_back({i * kDisjuncts, (i + 1) * kDisjuncts});
+  }
+  qmap::Result<qmap::MappingSpec> spec = MakeSyntheticSpec(options);
+  if (!spec.ok()) return spec.status();
+
+  std::vector<qmap::Query> conjuncts;
+  for (int i = 0; i < kConjuncts; ++i) {
+    std::vector<qmap::Query> leaves;
+    for (int j = 0; j < kDisjuncts; ++j) {
+      leaves.push_back(qmap::Query::Leaf(
+          MakeSel(qmap::Attr::Simple("a" + std::to_string(i * kDisjuncts + j)),
+                  qmap::Op::kEq, qmap::Value::Int(j))));
+    }
+    conjuncts.push_back(qmap::Query::Or(std::move(leaves)));
+  }
+  return Workload{qmap::Query::And(std::move(conjuncts)), *std::move(spec)};
+}
+
+void EdnfSafetyCheck(benchmark::State& state) {
+  int entangled = static_cast<int>(state.range(0));
+  qmap::Result<Workload> w = MakeWorkload(entangled);
+  if (!w.ok()) {
+    state.SkipWithError(w.status().ToString().c_str());
+    return;
+  }
+  uint64_t checked = 0;
+  for (auto _ : state) {
+    qmap::TranslationStats stats;
+    qmap::EdnfComputer ednf(w->spec, w->query, &stats);
+    qmap::PSafePartition partition = PSafe(w->query.children(), ednf, &stats);
+    benchmark::DoNotOptimize(partition);
+    checked = stats.ednf_disjuncts_checked;
+  }
+  state.counters["entangled"] = entangled;
+  state.counters["terms_checked"] = static_cast<double>(checked);
+}
+BENCHMARK(EdnfSafetyCheck)->DenseRange(0, 5, 1);
+
+// The brute-force alternative: enumerate the full DNF of the conjunction and
+// look for cross-matchings in every disjunct (the "blind cost" of §8).
+void FullDnfSafetyCheck(benchmark::State& state) {
+  int entangled = static_cast<int>(state.range(0));
+  qmap::Result<Workload> w = MakeWorkload(entangled);
+  if (!w.ok()) {
+    state.SkipWithError(w.status().ToString().c_str());
+    return;
+  }
+  uint64_t checked = 0;
+  for (auto _ : state) {
+    qmap::EdnfComputer ednf(w->spec, w->query);  // reuse M_p machinery
+    // Full DNF of each conjunct is just its disjunct list (children are
+    // flat); the brute-force check crosses them all.
+    std::vector<std::vector<qmap::ConstraintSet>> parts;
+    for (const qmap::Query& conjunct : w->query.children()) {
+      std::vector<qmap::ConstraintSet> sets;
+      for (const std::vector<qmap::Constraint>& d : DnfDisjuncts(conjunct)) {
+        qmap::ConstraintSet set;
+        for (const qmap::Constraint& c : d) set.push_back(ednf.table().IdOf(c));
+        std::sort(set.begin(), set.end());
+        sets.push_back(std::move(set));
+      }
+      parts.push_back(std::move(sets));
+    }
+    uint64_t terms = 0;
+    int cross = 0;
+    std::vector<size_t> idx(parts.size(), 0);
+    while (true) {
+      ++terms;
+      qmap::ConstraintSet all;
+      for (size_t i = 0; i < parts.size(); ++i) all = qmap::SetUnion(all, parts[i][idx[i]]);
+      for (const qmap::ConstraintSet& m : ednf.potential_matchings()) {
+        if (m.size() < 2 || !qmap::SetContains(all, m)) continue;
+        bool within_one = false;
+        for (size_t i = 0; i < parts.size(); ++i) {
+          if (qmap::SetContains(parts[i][idx[i]], m)) {
+            within_one = true;
+            break;
+          }
+        }
+        if (!within_one) ++cross;
+      }
+      size_t i = 0;
+      while (i < idx.size()) {
+        if (++idx[i] < parts[i].size()) break;
+        idx[i] = 0;
+        ++i;
+      }
+      if (i == idx.size()) break;
+    }
+    benchmark::DoNotOptimize(cross);
+    checked = terms;
+  }
+  state.counters["entangled"] = entangled;
+  state.counters["terms_checked"] = static_cast<double>(checked);
+}
+BENCHMARK(FullDnfSafetyCheck)->DenseRange(0, 5, 1);
+
+}  // namespace

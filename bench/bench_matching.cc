@@ -1,0 +1,111 @@
+// B1b — the P term of Section 4.4: rule-head size.  The paper models the
+// matching cost as N·P·R with independent patterns; the matcher enumerates
+// candidate constraints per pattern position, pruning on mismatch, so the
+// realized cost depends on how many constraints can satisfy each position.
+//
+// Series regenerated:
+//   MatchVsP_Distinct — P patterns over *distinct* attributes: pruning keeps
+//     the cost near N·P (linear in P).
+//   MatchVsP_Ambiguous — P patterns that all match every constraint (the
+//     adversarial case): cost grows as N^P, bounded by tiny P in practice
+//     (the paper's rules use P <= 2-3).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "qmap/expr/constraint.h"
+#include "qmap/rules/matcher.h"
+#include "qmap/rules/spec_parser.h"
+
+namespace {
+
+using qmap::Attr;
+using qmap::Constraint;
+using qmap::MakeSel;
+using qmap::Op;
+using qmap::Value;
+
+std::shared_ptr<const qmap::FunctionRegistry> Registry() {
+  static const auto& registry =
+      *new std::shared_ptr<const qmap::FunctionRegistry>(
+          std::make_shared<qmap::FunctionRegistry>(
+              qmap::FunctionRegistry::WithBuiltins()));
+  return registry;
+}
+
+// One rule with P patterns over attributes x0..x{P-1}.
+qmap::Result<qmap::MappingSpec> DistinctSpec(int p) {
+  std::string dsl = "rule R:";
+  for (int i = 0; i < p; ++i) {
+    dsl += std::string(i == 0 ? " " : "; ") + "[x" + std::to_string(i) + " = V" +
+           std::to_string(i) + "]";
+  }
+  dsl += " => emit true;";
+  return ParseMappingSpec(dsl, "bench", Registry());
+}
+
+// One rule with P wholly ambiguous patterns [Ai = Ni].
+qmap::Result<qmap::MappingSpec> AmbiguousSpec(int p) {
+  std::string dsl = "rule R:";
+  for (int i = 0; i < p; ++i) {
+    dsl += std::string(i == 0 ? " " : "; ") + "[A" + std::to_string(i) + " = N" +
+           std::to_string(i) + "]";
+  }
+  dsl += " => emit true;";
+  return ParseMappingSpec(dsl, "bench", Registry());
+}
+
+std::vector<Constraint> Conjunction(int n) {
+  std::vector<Constraint> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(
+        MakeSel(Attr::Simple("x" + std::to_string(i)), Op::kEq, Value::Int(1)));
+  }
+  return out;
+}
+
+void MatchVsP_Distinct(benchmark::State& state) {
+  int p = static_cast<int>(state.range(0));
+  qmap::Result<qmap::MappingSpec> spec = DistinctSpec(p);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  std::vector<Constraint> conjunction = Conjunction(16);
+  qmap::MatchCounters counters;
+  for (auto _ : state) {
+    std::vector<qmap::Matching> matchings =
+        MatchSpec(*spec, conjunction, &counters);
+    benchmark::DoNotOptimize(matchings);
+  }
+  state.counters["P"] = p;
+  state.counters["attempts/iter"] = benchmark::Counter(
+      static_cast<double>(counters.pattern_attempts),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(MatchVsP_Distinct)->DenseRange(1, 6, 1);
+
+void MatchVsP_Ambiguous(benchmark::State& state) {
+  int p = static_cast<int>(state.range(0));
+  qmap::Result<qmap::MappingSpec> spec = AmbiguousSpec(p);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  std::vector<Constraint> conjunction = Conjunction(10);
+  qmap::MatchCounters counters;
+  for (auto _ : state) {
+    std::vector<qmap::Matching> matchings =
+        MatchSpec(*spec, conjunction, &counters);
+    benchmark::DoNotOptimize(matchings);
+  }
+  state.counters["P"] = p;
+  state.counters["attempts/iter"] = benchmark::Counter(
+      static_cast<double>(counters.pattern_attempts),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(MatchVsP_Ambiguous)->DenseRange(1, 4, 1);
+
+}  // namespace

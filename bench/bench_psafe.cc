@@ -1,0 +1,71 @@
+// B5 — Algorithm PSafe (§7.2) cost: partitioning a conjunction into safe,
+// minimal blocks, as a function of the number of conjuncts and the density
+// of cross-conjunct dependencies.
+//
+// Expected shape: with no dependencies the cost is flat and tiny (all EDNF
+// annotations collapse to ε); cost grows with the number of dependent pairs
+// as more candidate blocks and cover instances appear.
+
+#include <benchmark/benchmark.h>
+
+#include "qmap/contexts/synthetic.h"
+#include "qmap/core/psafe.h"
+
+namespace {
+
+void PSafeVsConjuncts(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  qmap::SyntheticOptions options;
+  options.num_attrs = 2 * n;
+  // One dependency spanning conjuncts 0 and 1.
+  if (n >= 2) options.dependent_pairs.push_back({0, 2});
+  qmap::Result<qmap::MappingSpec> spec = MakeSyntheticSpec(options);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  qmap::Query q = qmap::GridQuery(n, 2, 2 * n);
+  for (auto _ : state) {
+    qmap::EdnfComputer ednf(*spec, q);
+    qmap::PSafePartition partition = PSafe(q.children(), ednf);
+    benchmark::DoNotOptimize(partition);
+  }
+  state.counters["conjuncts"] = n;
+}
+BENCHMARK(PSafeVsConjuncts)->DenseRange(2, 16, 2);
+
+void PSafeVsDependencyDensity(benchmark::State& state) {
+  constexpr int kConjuncts = 8;
+  int pairs = static_cast<int>(state.range(0));
+  qmap::SyntheticOptions options;
+  options.num_attrs = 2 * kConjuncts;
+  // Pair attribute 2i (in conjunct i) with attribute 2i+2 (in conjunct i+1).
+  for (int i = 0; i < pairs && i + 1 < kConjuncts; ++i) {
+    options.dependent_pairs.push_back({2 * i, 2 * i + 2});
+  }
+  qmap::Result<qmap::MappingSpec> spec = MakeSyntheticSpec(options);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  qmap::Query q = qmap::GridQuery(kConjuncts, 2, 2 * kConjuncts);
+  uint64_t cross = 0;
+  uint64_t candidates = 0;
+  int blocks = 0;
+  for (auto _ : state) {
+    qmap::TranslationStats stats;
+    qmap::EdnfComputer ednf(*spec, q, &stats);
+    qmap::PSafePartition partition = PSafe(q.children(), ednf, &stats);
+    benchmark::DoNotOptimize(partition);
+    cross = stats.cross_matchings;
+    candidates = stats.candidate_blocks;
+    blocks = static_cast<int>(partition.blocks.size());
+  }
+  state.counters["pairs"] = pairs;
+  state.counters["cross_matchings"] = static_cast<double>(cross);
+  state.counters["candidate_blocks"] = static_cast<double>(candidates);
+  state.counters["blocks"] = blocks;
+}
+BENCHMARK(PSafeVsDependencyDensity)->DenseRange(0, 7, 1);
+
+}  // namespace

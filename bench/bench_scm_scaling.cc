@@ -1,0 +1,104 @@
+// B1 — Section 4.4: Algorithm SCM's running time is linear in the input
+// size (N constraints, R rules, P patterns per rule), with a quadratic M²
+// sub-matching-suppression term that only matters under intense
+// dependencies.
+//
+// Series regenerated:
+//   SCM_vs_N — fix the rule set, sweep the conjunction size N.
+//   SCM_vs_R — fix N, sweep the number of rules R.
+//   SCM_vs_Dependencies — fix N, sweep the number of dependent pairs
+//     (drives M and the suppression term).
+// Expected shape: the first two are straight lines; the third grows mildly
+// (quadratic in M, but M ≈ N + pairs in practice).
+
+#include <benchmark/benchmark.h>
+
+#include "qmap/contexts/synthetic.h"
+#include "qmap/core/scm.h"
+
+namespace {
+
+using qmap::Attr;
+using qmap::Constraint;
+using qmap::MakeSel;
+using qmap::Op;
+using qmap::Value;
+
+std::vector<Constraint> Conjunction(int n) {
+  std::vector<Constraint> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(MakeSel(Attr::Simple("a" + std::to_string(i)), Op::kEq,
+                          Value::Int(i % 4)));
+  }
+  return out;
+}
+
+void ScmVsN(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  // Fixed rule set (R = 128 rules) so only N varies.
+  qmap::SyntheticOptions options;
+  options.num_attrs = 128;
+  qmap::Result<qmap::MappingSpec> spec = MakeSyntheticSpec(options);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  std::vector<Constraint> conjunction = Conjunction(n);
+  qmap::TranslationStats stats;
+  for (auto _ : state) {
+    qmap::Result<qmap::Query> mapped = ScmMap(conjunction, *spec, &stats);
+    benchmark::DoNotOptimize(mapped);
+  }
+  state.counters["N"] = n;
+  state.counters["pattern_attempts/iter"] = benchmark::Counter(
+      static_cast<double>(stats.match.pattern_attempts), benchmark::Counter::kAvgIterations);
+  state.SetComplexityN(n);
+}
+BENCHMARK(ScmVsN)->RangeMultiplier(2)->Range(2, 128)->Complexity(benchmark::oN);
+
+void ScmVsR(benchmark::State& state) {
+  int r = static_cast<int>(state.range(0));
+  // r independent attribute rules; the query touches a fixed 8 attributes.
+  qmap::SyntheticOptions options;
+  options.num_attrs = r;
+  qmap::Result<qmap::MappingSpec> spec = MakeSyntheticSpec(options);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  std::vector<Constraint> conjunction = Conjunction(8);
+  for (auto _ : state) {
+    qmap::Result<qmap::Query> mapped = ScmMap(conjunction, *spec);
+    benchmark::DoNotOptimize(mapped);
+  }
+  state.counters["R"] = r;
+  state.SetComplexityN(r);
+}
+BENCHMARK(ScmVsR)->RangeMultiplier(2)->Range(8, 256)->Complexity(benchmark::oN);
+
+void ScmVsDependencies(benchmark::State& state) {
+  int pairs = static_cast<int>(state.range(0));
+  constexpr int kAttrs = 32;
+  qmap::SyntheticOptions options;
+  options.num_attrs = kAttrs;
+  for (int i = 0; i < pairs; ++i) options.dependent_pairs.push_back({2 * i, 2 * i + 1});
+  qmap::Result<qmap::MappingSpec> spec = MakeSyntheticSpec(options);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  std::vector<Constraint> conjunction = Conjunction(kAttrs);
+  qmap::TranslationStats stats;
+  for (auto _ : state) {
+    qmap::Result<qmap::Query> mapped = ScmMap(conjunction, *spec, &stats);
+    benchmark::DoNotOptimize(mapped);
+  }
+  state.counters["pairs"] = pairs;
+  state.counters["suppressed/iter"] = benchmark::Counter(
+      static_cast<double>(stats.submatchings_removed),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(ScmVsDependencies)->DenseRange(0, 16, 2);
+
+}  // namespace

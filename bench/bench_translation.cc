@@ -1,0 +1,161 @@
+// B4 — end-to-end translation latency: TDQM vs the DNF baseline on the
+// paper's running-example queries (Figure 2's Q̂1/Q̂2, Example 2's query,
+// Figure 7's Q_book) and on synthetic grid queries of growing size.
+//
+// Expected shape: near-identical on simple conjunctions; TDQM wins
+// increasingly on complex queries with low dependency (DNF pays the blind
+// exponential conversion), and stays comparable when everything is
+// dependent (both must expand).
+
+#include <benchmark/benchmark.h>
+
+#include "qmap/contexts/amazon.h"
+#include "qmap/contexts/synthetic.h"
+#include "qmap/core/translator.h"
+#include "qmap/expr/parser.h"
+
+namespace {
+
+const char* PaperQuery(int index) {
+  switch (index) {
+    case 0:  // Q̂1 (Figure 2)
+      return "[ln = \"Smith\"] and [ti contains \"java(near)jdk\"] and "
+             "[pyear = 1997] and [pmonth = 5] and [kwd contains \"www\"]";
+    case 1:  // Q̂2 (Figure 2)
+      return "[publisher = \"oreilly\"] and [ti = \"jdkforjava\"] and "
+             "[category = \"D.3\"] and [id-no = \"081815181Y\"]";
+    case 2:  // Example 2
+      return "([ln = \"Clancy\"] or [ln = \"Klancy\"]) and [fn = \"Tom\"]";
+    default:  // Q_book (Figure 7)
+      return "(([ln = \"Smith\"] and [fn = \"J\"]) or [kwd contains \"www\"] or "
+             "[kwd contains \"java\"]) and [pyear = 1997] and "
+             "([pmonth = 5] or [pmonth = 6])";
+  }
+}
+
+void PaperQueriesTdqm(benchmark::State& state) {
+  qmap::Translator translator(qmap::AmazonSpec());
+  qmap::Query q = *qmap::ParseQuery(PaperQuery(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    qmap::Result<qmap::Translation> t = translator.Translate(q);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(PaperQueriesTdqm)->DenseRange(0, 3, 1);
+
+void PaperQueriesDnf(benchmark::State& state) {
+  qmap::Translator translator(qmap::AmazonSpec(),
+                              {.algorithm = qmap::MappingAlgorithm::kDnf});
+  qmap::Query q = *qmap::ParseQuery(PaperQuery(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    qmap::Result<qmap::Translation> t = translator.Translate(q);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(PaperQueriesDnf)->DenseRange(0, 3, 1);
+
+void GridTdqm(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  qmap::SyntheticOptions options;
+  options.num_attrs = 2 * n;
+  qmap::Result<qmap::MappingSpec> spec = MakeSyntheticSpec(options);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  qmap::Translator translator(*spec);
+  qmap::Query q = qmap::GridQuery(n, 2, 2 * n);
+  for (auto _ : state) {
+    qmap::Result<qmap::Translation> t = translator.Translate(q);
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(GridTdqm)->DenseRange(2, 12, 2);
+
+void GridDnf(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  qmap::SyntheticOptions options;
+  options.num_attrs = 2 * n;
+  qmap::Result<qmap::MappingSpec> spec = MakeSyntheticSpec(options);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  qmap::Translator translator(*spec, {.algorithm = qmap::MappingAlgorithm::kDnf});
+  qmap::Query q = qmap::GridQuery(n, 2, 2 * n);
+  for (auto _ : state) {
+    qmap::Result<qmap::Translation> t = translator.Translate(q);
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(GridDnf)->DenseRange(2, 12, 2);
+
+// Fully dependent grid: every conjunct pairs with the next; TDQM must also
+// rewrite, so the gap narrows (who wins where — the crossover of B4).
+// Ablation — §7.1.3's M_p reuse: TDQM with the per-node re-matching turned
+// back on.  Expected shape: reuse wins by a growing margin as queries grow
+// (each ∧ node otherwise rebuilds the potential matchings).
+void GridTdqmNoReuse(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  qmap::SyntheticOptions options;
+  options.num_attrs = 2 * n;
+  qmap::Result<qmap::MappingSpec> spec = MakeSyntheticSpec(options);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  qmap::TranslatorOptions translator_options;
+  translator_options.reuse_potential_matchings = false;
+  qmap::Translator translator(*spec, translator_options);
+  qmap::Query q = qmap::GridQuery(n, 2, 2 * n);
+  for (auto _ : state) {
+    qmap::Result<qmap::Translation> t = translator.Translate(q);
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(GridTdqmNoReuse)->DenseRange(2, 12, 2);
+
+void DependentGridTdqm(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  qmap::SyntheticOptions options;
+  options.num_attrs = 2 * n;
+  for (int i = 0; i + 1 < 2 * n; i += 2) options.dependent_pairs.push_back({i, i + 1});
+  qmap::Result<qmap::MappingSpec> spec = MakeSyntheticSpec(options);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  qmap::Translator translator(*spec);
+  qmap::Query q = qmap::GridQuery(n, 2, 2 * n);
+  for (auto _ : state) {
+    qmap::Result<qmap::Translation> t = translator.Translate(q);
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(DependentGridTdqm)->DenseRange(2, 8, 2);
+
+void DependentGridDnf(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  qmap::SyntheticOptions options;
+  options.num_attrs = 2 * n;
+  for (int i = 0; i + 1 < 2 * n; i += 2) options.dependent_pairs.push_back({i, i + 1});
+  qmap::Result<qmap::MappingSpec> spec = MakeSyntheticSpec(options);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  qmap::Translator translator(*spec, {.algorithm = qmap::MappingAlgorithm::kDnf});
+  qmap::Query q = qmap::GridQuery(n, 2, 2 * n);
+  for (auto _ : state) {
+    qmap::Result<qmap::Translation> t = translator.Translate(q);
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(DependentGridDnf)->DenseRange(2, 8, 2);
+
+}  // namespace

@@ -1,0 +1,119 @@
+// translate_cli: interactive/one-shot query translation from the command
+// line — the wrapper-developer's workbench.
+//
+//   translate_cli --context=amazon "[ln = \"Clancy\"] and [fn = \"Tom\"]"
+//   translate_cli --context=geo --explain "[x_min = 10] and [x_max = 30]"
+//   translate_cli --context=clbooks --algorithm=dnf "<query>"
+//
+// Contexts: amazon, clbooks, t1, t2, geo.  With --explain, prints the TDQM
+// trace (partitions, rewrites, matchings) instead of just the result.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "qmap/contexts/amazon.h"
+#include "qmap/contexts/clbooks.h"
+#include "qmap/contexts/faculty.h"
+#include "qmap/contexts/diglib.h"
+#include "qmap/contexts/geo.h"
+#include "qmap/contexts/shop.h"
+#include "qmap/core/explain.h"
+#include "qmap/core/translator.h"
+#include "qmap/expr/parser.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: translate_cli [--context=amazon|clbooks|t1|t2|geo|shop|\n"
+               "                                prox10|boolean|anyword]\n"
+               "                     [--algorithm=tdqm|dnf] [--explain] <query>\n"
+               "example query syntax:\n"
+               "  ([ln = \"Clancy\"] or [ln = \"Klancy\"]) and [fn = \"Tom\"]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string context = "amazon";
+  std::string algorithm = "tdqm";
+  bool explain = false;
+  std::string query_text;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--context=", 0) == 0) {
+      context = arg.substr(10);
+    } else if (arg.rfind("--algorithm=", 0) == 0) {
+      algorithm = arg.substr(12);
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage();
+    } else {
+      if (!query_text.empty()) query_text += " ";
+      query_text += arg;
+    }
+  }
+  if (query_text.empty()) return Usage();
+
+  qmap::MappingSpec spec;
+  if (context == "amazon") {
+    spec = qmap::AmazonSpec();
+  } else if (context == "clbooks") {
+    spec = qmap::ClbooksSpec();
+  } else if (context == "t1") {
+    spec = qmap::FacultyK1();
+  } else if (context == "t2") {
+    spec = qmap::FacultyK2();
+  } else if (context == "geo") {
+    spec = qmap::GeoSpec();
+  } else if (context == "shop") {
+    spec = qmap::ShopSpec();
+  } else if (context == "prox10") {
+    spec = qmap::Prox10Spec();
+  } else if (context == "boolean") {
+    spec = qmap::BooleanSpec();
+  } else if (context == "anyword") {
+    spec = qmap::AnywordSpec();
+  } else {
+    std::fprintf(stderr, "unknown context '%s'\n", context.c_str());
+    return Usage();
+  }
+
+  qmap::Result<qmap::Query> query = qmap::ParseQuery(query_text);
+  if (!query.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+
+  if (explain) {
+    qmap::Result<std::string> trace = ExplainTdqm(*query, spec);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "error: %s\n", trace.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(trace->c_str(), stdout);
+    return 0;
+  }
+
+  qmap::TranslatorOptions options;
+  if (algorithm == "dnf") {
+    options.algorithm = qmap::MappingAlgorithm::kDnf;
+  } else if (algorithm != "tdqm") {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
+    return Usage();
+  }
+  qmap::Translator translator(std::move(spec), options);
+  qmap::Result<qmap::Translation> t = translator.Translate(*query);
+  if (!t.ok()) {
+    std::fprintf(stderr, "error: %s\n", t.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("S(Q)   = %s\n", t->mapped.ToString().c_str());
+  std::printf("filter = %s\n", t->filter.ToString().c_str());
+  std::printf("stats  : %s\n", t->stats.ToString().c_str());
+  return 0;
+}

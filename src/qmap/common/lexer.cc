@@ -1,0 +1,164 @@
+#include "qmap/common/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace qmap {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lexer::Tokenize(std::string_view input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: '#' or '//' to end of line.
+    if (c == '#' || (c == '/' && i + 1 < input.size() && input[i + 1] == '/')) {
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < input.size() && IsIdentChar(input[i])) ++i;
+      token.kind = TokenKind::kIdent;
+      token.text = std::string(input.substr(start, i - start));
+      out.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < input.size() &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      bool fractional = false;
+      while (i < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[i])) || input[i] == '.')) {
+        if (input[i] == '.') {
+          // ".." or ".x" where x isn't a digit terminates the number.
+          if (i + 1 >= input.size() ||
+              !std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+            break;
+          }
+          fractional = true;
+        }
+        ++i;
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = std::string(input.substr(start, i - start));
+      token.number = std::strtod(token.text.c_str(), nullptr);
+      token.is_integer = !fractional;
+      out.push_back(std::move(token));
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string literal;
+      while (i < input.size() && input[i] != '"') {
+        if (input[i] == '\\' && i + 1 < input.size()) ++i;
+        literal.push_back(input[i]);
+        ++i;
+      }
+      if (i >= input.size()) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(token.offset));
+      }
+      ++i;  // closing quote
+      token.kind = TokenKind::kString;
+      token.text = std::move(literal);
+      out.push_back(std::move(token));
+      continue;
+    }
+    // Punctuation; check two-character puncts first.
+    static constexpr std::string_view kTwoCharPuncts[] = {"<=", ">=", "=>",
+                                                          "!=", "::"};
+    std::string_view rest = input.substr(i);
+    bool matched = false;
+    for (std::string_view p : kTwoCharPuncts) {
+      if (rest.substr(0, p.size()) == p) {
+        token.kind = TokenKind::kPunct;
+        token.text = std::string(p);
+        i += p.size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      static constexpr std::string_view kOneCharPuncts = "[](){}.,;:=<>|&@*";
+      if (kOneCharPuncts.find(c) == std::string_view::npos) {
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(i));
+      }
+      token.kind = TokenKind::kPunct;
+      token.text = std::string(1, c);
+      ++i;
+    }
+    out.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = input.size();
+  out.push_back(std::move(end));
+  return out;
+}
+
+const Token& TokenCursor::Peek(int lookahead) const {
+  size_t idx = pos_ + static_cast<size_t>(lookahead);
+  if (idx >= tokens_.size()) return end_token_;
+  return tokens_[idx];
+}
+
+Token TokenCursor::Next() {
+  Token t = Peek();
+  if (pos_ < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool TokenCursor::TryConsumePunct(std::string_view text) {
+  if (Peek().kind == TokenKind::kPunct && Peek().text == text) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+bool TokenCursor::TryConsumeIdent(std::string_view name) {
+  if (Peek().kind == TokenKind::kIdent && Peek().text == name) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+Status TokenCursor::ExpectPunct(std::string_view text) {
+  if (!TryConsumePunct(text)) {
+    return Status::ParseError("expected '" + std::string(text) + "' but found '" +
+                              Peek().text + "' at offset " +
+                              std::to_string(Peek().offset));
+  }
+  return Status::Ok();
+}
+
+Result<std::string> TokenCursor::ExpectIdent() {
+  if (Peek().kind != TokenKind::kIdent) {
+    return Status::ParseError("expected identifier but found '" + Peek().text +
+                              "' at offset " + std::to_string(Peek().offset));
+  }
+  return Next().text;
+}
+
+}  // namespace qmap

@@ -1,0 +1,63 @@
+#ifndef QMAP_COMMON_LEXER_H_
+#define QMAP_COMMON_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qmap/common/status.h"
+
+namespace qmap {
+
+enum class TokenKind { kIdent, kNumber, kString, kPunct, kEnd };
+
+/// A lexical token. For kNumber, `number` holds the parsed value and
+/// `is_integer` tells whether the literal had no fractional part.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // identifier name, punct spelling, or raw literal
+  double number = 0;
+  bool is_integer = false;
+  size_t offset = 0;  // byte offset in the input, for error messages
+};
+
+/// Shared hand-written lexer for the query language and the rule DSL.
+///
+/// Identifiers are [A-Za-z_][A-Za-z0-9_-]* (hyphens allowed because the
+/// paper's attribute names include `ti-word` and `id-no`). Strings are
+/// double-quoted with backslash escapes. Multi-character puncts recognized:
+/// `<=`, `>=`, `=>`, `!=`, `::`.
+class Lexer {
+ public:
+  /// Tokenizes all of `input`. Fails on unterminated strings or bytes that
+  /// are not part of any token.
+  static Result<std::vector<Token>> Tokenize(std::string_view input);
+};
+
+/// Cursor over a token stream with the usual Peek/Consume helpers.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(int lookahead = 0) const;
+  Token Next();
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  /// Consumes the next token if it is the punct `text`.
+  bool TryConsumePunct(std::string_view text);
+  /// Consumes the next token if it is the identifier `name` (case-sensitive).
+  bool TryConsumeIdent(std::string_view name);
+  /// Fails unless the next token is the punct `text`.
+  Status ExpectPunct(std::string_view text);
+  /// Fails unless the next token is an identifier; returns its name.
+  Result<std::string> ExpectIdent();
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Token end_token_;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_COMMON_LEXER_H_

@@ -1,0 +1,30 @@
+#ifndef QMAP_COMMON_STRINGS_H_
+#define QMAP_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qmap {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on the single character `sep`; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// ASCII lower-casing (the library deals only with ASCII vocabularies).
+std::string ToLower(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` starts with `prefix` (ASCII case-insensitive).
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
+
+/// Tokenizes `s` into lower-cased alphanumeric words (IR-style tokens).
+std::vector<std::string> TokenizeWords(std::string_view s);
+
+}  // namespace qmap
+
+#endif  // QMAP_COMMON_STRINGS_H_

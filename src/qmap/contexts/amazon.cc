@@ -1,0 +1,188 @@
+#include "qmap/contexts/amazon.h"
+
+#include "qmap/common/strings.h"
+#include "qmap/rules/spec_parser.h"
+#include "qmap/text/dates.h"
+#include "qmap/text/names.h"
+#include "qmap/text/text_pattern.h"
+
+namespace qmap {
+namespace {
+
+constexpr char kAmazonRules[] = R"(
+  # K_Amazon (Figure 3). R1 maps "simple" attributes that need only a name
+  # change; R2/R3 compose the author format; R4/R5 handle titles; R6/R7
+  # compose publication dates (pyear+pmonth are inter-dependent: Amazon
+  # requires the year in any pdate constraint); R8/R9 relax unsupported
+  # vocabulary (keywords, classification categories).
+
+  rule R1: [A1 = N] where SimpleMapping(A1), Value(N)
+    => let A2 = AttrNameMapping(A1); emit [A2 = N];
+
+  rule R2: [ln = L]; [fn = F] where Value(L), Value(F)
+    => let A = LnFnToName(L, F); emit [author = A];
+
+  rule R3: [ln = L] where Value(L)
+    => emit [author = L];
+
+  rule R4 inexact: [ti contains P1]
+    => let P2 = RewriteTextPat(P1); emit [ti-word contains P2];
+
+  rule R5 inexact: [ti = T] where Value(T)
+    => emit [title starts T];
+
+  rule R6: [pyear = Y]; [pmonth = M] where Value(Y), Value(M)
+    => let D = MakeDate(Y, M); emit [pdate during D];
+
+  rule R7: [pyear = Y] where Value(Y)
+    => let D = MakeYearDate(Y); emit [pdate during D];
+
+  rule R8 inexact: [kwd contains P]
+    => emit [ti-word contains P] | [subject-word contains P];
+
+  rule R9 inexact: [category = C] where Value(C)
+    => let S = CategoryToSubject(C); emit [subject = S];
+)";
+
+std::string MapCategory(const std::string& category) {
+  // ACM CCS-style category codes to Amazon subjects.
+  if (StartsWithIgnoreCase(category, "D.")) return "programming";
+  if (StartsWithIgnoreCase(category, "H.2")) return "databases";
+  if (StartsWithIgnoreCase(category, "H.")) return "information-systems";
+  if (StartsWithIgnoreCase(category, "F.")) return "theory";
+  return "general";
+}
+
+}  // namespace
+
+std::shared_ptr<const FunctionRegistry> AmazonRegistry() {
+  auto registry = std::make_shared<FunctionRegistry>(FunctionRegistry::WithBuiltins());
+
+  registry->RegisterCondition("SimpleMapping", [](const std::vector<Term>& args) {
+    if (args.size() != 1 || !TermIsAttr(args[0])) return false;
+    const std::string& name = TermAttr(args[0]).name;
+    return name == "publisher" || name == "id-no";
+  });
+  registry->RegisterTransform(
+      "AttrNameMapping", [](const std::vector<Term>& args) -> Result<Term> {
+        if (args.size() != 1 || !TermIsAttr(args[0])) {
+          return Status::InvalidArgument("AttrNameMapping expects one attribute");
+        }
+        const std::string& name = TermAttr(args[0]).name;
+        if (name == "publisher") return Term(Attr::Simple("publisher"));
+        if (name == "id-no") return Term(Attr::Simple("isbn"));
+        return Status::InvalidArgument("AttrNameMapping: no mapping for " + name);
+      });
+  registry->RegisterTransform(
+      "CategoryToSubject", [](const std::vector<Term>& args) -> Result<Term> {
+        if (args.size() != 1 || !TermIsValue(args[0]) ||
+            TermValue(args[0]).kind() != ValueKind::kString) {
+          return Status::InvalidArgument("CategoryToSubject expects one string");
+        }
+        return Term(Value::Str(MapCategory(TermValue(args[0]).AsString())));
+      });
+  return registry;
+}
+
+MappingSpec AmazonSpec() {
+  Result<MappingSpec> spec = ParseMappingSpec(kAmazonRules, "Amazon", AmazonRegistry());
+  // The embedded rules are a compile-time constant; failure is a programming
+  // error surfaced loudly in any test that builds the spec.
+  if (!spec.ok()) {
+    return MappingSpec("Amazon<parse-error: " + spec.status().ToString() + ">",
+                       AmazonRegistry());
+  }
+  return *std::move(spec);
+}
+
+SourceCapabilities AmazonCapabilities() {
+  SourceCapabilities caps;
+  caps.Allow("author", Op::kEq);
+  caps.Allow("ti-word", Op::kContains);
+  caps.Allow("title", Op::kStartsWith);
+  caps.Allow("pdate", Op::kDuring);
+  caps.Allow("subject", Op::kEq);
+  caps.Allow("subject-word", Op::kContains);
+  caps.Allow("isbn", Op::kEq);
+  caps.Allow("publisher", Op::kEq);
+  return caps;
+}
+
+std::optional<bool> AmazonSemantics::Eval(const Constraint& constraint,
+                                          const Tuple& tuple) const {
+  const std::string& name = constraint.lhs.name;
+  if (constraint.is_join()) return std::nullopt;
+  const Value& rhs = constraint.rhs_value();
+
+  if (name == "author" && constraint.op == Op::kEq) {
+    std::optional<Value> author = tuple.Get(Attr::Simple("author"));
+    if (!author.has_value() || author->kind() != ValueKind::kString ||
+        rhs.kind() != ValueKind::kString) {
+      return false;
+    }
+    // Last-name match, plus first-name match when the query gives one.
+    auto [data_ln, data_fn] = NameLnFn(author->AsString());
+    auto [query_ln, query_fn] = NameLnFn(rhs.AsString());
+    if (ToLower(data_ln) != ToLower(query_ln)) return false;
+    if (!query_fn.empty() && ToLower(data_fn) != ToLower(query_fn)) return false;
+    return true;
+  }
+  if (name == "ti-word" && constraint.op == Op::kContains) {
+    std::optional<Value> title = tuple.Get(Attr::Simple("title"));
+    if (!title.has_value() || title->kind() != ValueKind::kString ||
+        rhs.kind() != ValueKind::kString) {
+      return false;
+    }
+    Result<TextPattern> pattern = TextPattern::Parse(rhs.AsString());
+    if (!pattern.ok()) return false;
+    return pattern->Matches(title->AsString());
+  }
+  if (name == "subject-word" && constraint.op == Op::kContains) {
+    std::optional<Value> subject = tuple.Get(Attr::Simple("subject"));
+    if (!subject.has_value() || subject->kind() != ValueKind::kString ||
+        rhs.kind() != ValueKind::kString) {
+      return false;
+    }
+    Result<TextPattern> pattern = TextPattern::Parse(rhs.AsString());
+    if (!pattern.ok()) return false;
+    return pattern->Matches(subject->AsString());
+  }
+  return std::nullopt;  // default semantics for title/pdate/subject/isbn/...
+}
+
+Tuple AmazonTupleFromBook(const Tuple& book) {
+  Tuple out;
+  auto get = [&book](const char* attr) { return book.Get(Attr::Simple(attr)); };
+
+  std::optional<Value> ln = get("ln");
+  std::optional<Value> fn = get("fn");
+  if (ln.has_value() && ln->kind() == ValueKind::kString) {
+    std::string fn_str = fn.has_value() && fn->kind() == ValueKind::kString
+                             ? fn->AsString()
+                             : "";
+    out.Set("author", Value::Str(LnFnToName(ln->AsString(), fn_str)));
+  }
+  std::optional<Value> ti = get("ti");
+  if (ti.has_value()) out.Set("title", *ti);
+  std::optional<Value> pyear = get("pyear");
+  std::optional<Value> pmonth = get("pmonth");
+  if (pyear.has_value() && pyear->is_numeric()) {
+    Date d;
+    d.year = static_cast<int>(pyear->AsDouble());
+    if (pmonth.has_value() && pmonth->is_numeric()) {
+      d.month = static_cast<int>(pmonth->AsDouble());
+    }
+    out.Set("pdate", Value::OfDate(d));
+  }
+  std::optional<Value> category = get("category");
+  if (category.has_value() && category->kind() == ValueKind::kString) {
+    out.Set("subject", Value::Str(MapCategory(category->AsString())));
+  }
+  std::optional<Value> id_no = get("id-no");
+  if (id_no.has_value()) out.Set("isbn", *id_no);
+  std::optional<Value> publisher = get("publisher");
+  if (publisher.has_value()) out.Set("publisher", *publisher);
+  return out;
+}
+
+}  // namespace qmap

@@ -1,0 +1,54 @@
+#ifndef QMAP_CONTEXTS_AMAZON_H_
+#define QMAP_CONTEXTS_AMAZON_H_
+
+#include <memory>
+
+#include "qmap/expr/eval.h"
+#include "qmap/mediator/capabilities.h"
+#include "qmap/rules/spec.h"
+
+namespace qmap {
+
+/// The Amazon target context of the paper's running example (Figures 2-3,
+/// Examples 1-2, 4-6).
+///
+/// Mediator (original) vocabulary — the integrated book view:
+///   book(ln, fn, ti, pyear, pmonth, kwd, publisher, id-no, category)
+/// Amazon (target) vocabulary:
+///   author =, ti-word contains, title starts, pdate during, subject =,
+///   subject-word contains, isbn =, publisher =
+///
+/// Amazon-specific semantics of `[author = N]`: the power-search author
+/// field matches by last name, and by first name too when one is given —
+/// "a name can be 'Clancy, Tom', or simply 'Clancy' if the first name is
+/// not known" (Example 2).  AmazonSemantics implements this (plus the
+/// derived ti-word/subject-word attributes) for the execution substrate.
+
+/// The function registry for K_Amazon: built-ins plus SimpleMapping,
+/// AttrNameMapping (id-no -> isbn, publisher -> publisher) and
+/// CategoryToSubject (e.g. "D.3" -> "programming").
+std::shared_ptr<const FunctionRegistry> AmazonRegistry();
+
+/// K_Amazon — the nine rules of Figure 3, written in the rule DSL.
+MappingSpec AmazonSpec();
+
+/// The declared capabilities of the Amazon power-search interface.
+SourceCapabilities AmazonCapabilities();
+
+/// Constraint semantics for executing Amazon queries over Amazon tuples
+/// (attributes: author, title, pdate, subject, isbn, publisher).
+class AmazonSemantics : public ConstraintSemantics {
+ public:
+  std::optional<bool> Eval(const Constraint& constraint,
+                           const Tuple& tuple) const override;
+};
+
+/// Converts a mediator `book` tuple into the Amazon representation — the
+/// data-conversion direction of the vocabulary gap, used by the empirical
+/// subsumption tests: if tuple t satisfies Q, AmazonTuple(t) must satisfy
+/// S(Q).
+Tuple AmazonTupleFromBook(const Tuple& book);
+
+}  // namespace qmap
+
+#endif  // QMAP_CONTEXTS_AMAZON_H_

@@ -1,0 +1,67 @@
+#include "qmap/contexts/clbooks.h"
+
+#include "qmap/rules/spec_parser.h"
+#include "qmap/text/names.h"
+
+namespace qmap {
+namespace {
+
+constexpr char kClbooksRules[] = R"(
+  # Clbooks supports only word search on author names (Example 1), word
+  # search on titles, and exact ISBN lookup.
+
+  rule C1 inexact: [ln = L] where Value(L)
+    => emit [author contains L];
+
+  rule C2 inexact: [fn = F] where Value(F)
+    => emit [author contains F];
+
+  rule C3 inexact: [ti contains P1]
+    => let P2 = RewriteTextPat(P1); emit [title-word contains P2];
+
+  rule C4: [id-no = I] where Value(I)
+    => emit [isbn = I];
+)";
+
+}  // namespace
+
+std::shared_ptr<const FunctionRegistry> ClbooksRegistry() {
+  return std::make_shared<FunctionRegistry>(FunctionRegistry::WithBuiltins());
+}
+
+MappingSpec ClbooksSpec() {
+  Result<MappingSpec> spec =
+      ParseMappingSpec(kClbooksRules, "Clbooks", ClbooksRegistry());
+  if (!spec.ok()) {
+    return MappingSpec("Clbooks<parse-error: " + spec.status().ToString() + ">",
+                       ClbooksRegistry());
+  }
+  return *std::move(spec);
+}
+
+SourceCapabilities ClbooksCapabilities() {
+  SourceCapabilities caps;
+  caps.Allow("author", Op::kContains);
+  caps.Allow("title-word", Op::kContains);
+  caps.Allow("isbn", Op::kEq);
+  return caps;
+}
+
+Tuple ClbooksTupleFromBook(const Tuple& book) {
+  Tuple out;
+  std::optional<Value> ln = book.Get(Attr::Simple("ln"));
+  std::optional<Value> fn = book.Get(Attr::Simple("fn"));
+  if (ln.has_value() && ln->kind() == ValueKind::kString) {
+    std::string fn_str = fn.has_value() && fn->kind() == ValueKind::kString
+                             ? fn->AsString()
+                             : "";
+    out.Set("author", Value::Str(LnFnToName(ln->AsString(), fn_str)));
+  }
+  std::optional<Value> ti = book.Get(Attr::Simple("ti"));
+  if (ti.has_value()) out.Set("title-word", *ti);
+  std::optional<Value> id_no = book.Get(Attr::Simple("id-no"));
+  if (id_no.has_value()) out.Set("isbn", *id_no);
+  return out;
+}
+
+}  // namespace qmap

@@ -1,0 +1,30 @@
+#ifndef QMAP_CONTEXTS_CLBOOKS_H_
+#define QMAP_CONTEXTS_CLBOOKS_H_
+
+#include <memory>
+
+#include "qmap/expr/eval.h"
+#include "qmap/mediator/capabilities.h"
+#include "qmap/rules/spec.h"
+
+namespace qmap {
+
+/// The Clbooks (Computer Literacy) target context of Example 1: the source
+/// supports an `author` attribute but only with the `contains` operator,
+/// which searches individual words in names.  Name constraints therefore
+/// translate as relaxations — [fn = "Tom"] ∧ [ln = "Clancy"] becomes
+/// [author contains Tom] ∧ [author contains Clancy], which strictly
+/// subsumes the original ("Tom, Clancy" and "Clancy, Joe Tom" are false
+/// positives) — so the mediator must re-apply the original query as a
+/// filter.
+std::shared_ptr<const FunctionRegistry> ClbooksRegistry();
+MappingSpec ClbooksSpec();
+SourceCapabilities ClbooksCapabilities();
+
+/// Converts a mediator `book` tuple into the Clbooks representation
+/// (attributes: author, title, isbn).
+Tuple ClbooksTupleFromBook(const Tuple& book);
+
+}  // namespace qmap
+
+#endif  // QMAP_CONTEXTS_CLBOOKS_H_

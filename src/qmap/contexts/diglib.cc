@@ -1,0 +1,57 @@
+#include "qmap/contexts/diglib.h"
+
+#include "qmap/rules/spec_parser.h"
+
+namespace qmap {
+namespace {
+
+constexpr char kRules[] = R"(
+  rule TITLE: [ti = T] where Value(T)
+    => emit [title = T];
+
+  rule AUTHOR inexact: [au contains N]
+    => let N2 = RewriteForEngine(N); emit [creator contains N2];
+
+  rule ABSTRACT inexact: [abstract contains P]
+    => let P2 = RewriteForEngine(P); emit [fulltext contains P2];
+)";
+
+MappingSpec MakeEngineSpec(const std::string& name, const TextCapabilities& caps) {
+  auto registry = std::make_shared<FunctionRegistry>(FunctionRegistry::WithBuiltins());
+  registry->RegisterTransform("RewriteForEngine", MakeTextRewriteTransform(caps));
+  Result<MappingSpec> spec = ParseMappingSpec(kRules, name, registry);
+  if (!spec.ok()) {
+    return MappingSpec(name + "<parse-error: " + spec.status().ToString() + ">",
+                       registry);
+  }
+  return *std::move(spec);
+}
+
+}  // namespace
+
+TextCapabilities Prox10Capabilities() {
+  TextCapabilities caps;
+  caps.max_near_window = 10;
+  return caps;
+}
+
+TextCapabilities BooleanCapabilities() {
+  TextCapabilities caps;
+  caps.supports_near = false;
+  return caps;
+}
+
+TextCapabilities AnywordCapabilities() {
+  TextCapabilities caps;
+  caps.supports_near = false;
+  caps.supports_and = false;
+  return caps;
+}
+
+MappingSpec Prox10Spec() { return MakeEngineSpec("prox10", Prox10Capabilities()); }
+
+MappingSpec BooleanSpec() { return MakeEngineSpec("boolean", BooleanCapabilities()); }
+
+MappingSpec AnywordSpec() { return MakeEngineSpec("anyword", AnywordCapabilities()); }
+
+}  // namespace qmap

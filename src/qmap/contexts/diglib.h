@@ -1,0 +1,37 @@
+#ifndef QMAP_CONTEXTS_DIGLIB_H_
+#define QMAP_CONTEXTS_DIGLIB_H_
+
+#include <memory>
+
+#include "qmap/rules/spec.h"
+#include "qmap/text/rewrite.h"
+
+namespace qmap {
+
+/// A digital-library federation in the spirit of the Stanford Digital
+/// Libraries prototype the paper grew out of: one mediator `article(ti,
+/// abstract, au)` view over search engines with *different text-operator
+/// capabilities*, driving the general predicate-rewriting machinery
+/// (reference [20], `qmap/text/rewrite.h`) through the rule framework.
+///
+///   prox10  — proximity search, windows up to 10; full Boolean.
+///   boolean — keyword AND/OR only (no proximity).
+///   anyword — OR only (matches documents containing any of the words).
+///
+/// Each engine has a one-rule spec relaxing [abstract contains P] into its
+/// own vocabulary; the rules are marked `inexact` (the relaxation is
+/// data-dependent), so the mediator's filter restores exactness.
+
+/// The capabilities of each engine.
+TextCapabilities Prox10Capabilities();
+TextCapabilities BooleanCapabilities();
+TextCapabilities AnywordCapabilities();
+
+/// Mapping specs (target names "prox10", "boolean", "anyword").
+MappingSpec Prox10Spec();
+MappingSpec BooleanSpec();
+MappingSpec AnywordSpec();
+
+}  // namespace qmap
+
+#endif  // QMAP_CONTEXTS_DIGLIB_H_

@@ -1,0 +1,266 @@
+#include "qmap/contexts/faculty.h"
+
+#include "qmap/rules/spec_parser.h"
+#include "qmap/text/names.h"
+
+namespace qmap {
+namespace {
+
+constexpr char kK1Rules[] = R"(
+  # K1: mapping rules for source T1 (Figure 5).
+
+  rule R1 inexact: [fac.bib contains P1]
+    => let P2 = RewriteTextPat(P1); emit [fac.aubib.bib contains P2];
+
+  rule R2: [pub.ti = T] where Value(T)
+    => emit [pub.paper.ti = T];
+
+  # A last or first name alone can only be searched as a word of the
+  # author-name string: a relaxation.
+  rule R3 inexact: [A1 = N] where LnOrFn(A1), Value(N)
+    => let A2 = T1AuthorAttr(A1); emit [A2 contains N];
+
+  # Last and first name together compose the exact author-name string; the
+  # pair is indecomposable (separating them loses the name format).
+  rule R4: [AL = L]; [AF = F] where LnFnAttrs(AL, AF), Value(L), Value(F)
+    => let A = T1AuthorAttr(AL); let N = LnFnToName(L, F); emit [A = N];
+
+  # The join-constraint pair over ln and fn maps to a join on the author
+  # strings (Section 4.2).
+  rule R5: [V1.ln = V2.ln]; [V1.fn = V2.fn]
+    => let A1 = AuthorAttrOfView(V1); let A2 = AuthorAttrOfView(V2);
+       emit [A1 = A2];
+)";
+
+constexpr char kK2Rules[] = R"(
+  # K2: mapping rules for source T2 (Figure 5).
+
+  rule R6: [fac.A1 = N] where LnOrFnName(A1), Value(N)
+    => let A2 = ProfAttr(fac.A1); emit [A2 = N];
+
+  rule R7: [fac.dept = D] where Value(D)
+    => let C = DeptCode(D); emit [fac.prof.dept = C];
+
+  rule R8: [fac[I].A = fac[J].A] where LnOrFnName(A)
+    => let A1 = ProfAttrIdx(I, A); let A2 = ProfAttrIdx(J, A); emit [A1 = A2];
+)";
+
+// Maps a fac/pub ln-or-fn attribute to the source attribute holding the
+// full author name for that view instance.
+Result<Attr> AuthorAttrForView(const std::string& view, int instance) {
+  if (view == "fac") return Attr::OfInstance("fac", instance, "aubib.name");
+  if (view == "pub") return Attr::OfInstance("pub", instance, "paper.au");
+  return Status::InvalidArgument("no author attribute for view " + view);
+}
+
+Result<int64_t> DeptCodeOf(const std::string& dept) {
+  if (dept == "cs") return int64_t{230};
+  if (dept == "ee") return int64_t{220};
+  if (dept == "math") return int64_t{110};
+  if (dept == "physics") return int64_t{120};
+  return Status::InvalidArgument("unknown department: " + dept);
+}
+
+const char* DeptNameOf(int64_t code) {
+  switch (code) {
+    case 230:
+      return "cs";
+    case 220:
+      return "ee";
+    case 110:
+      return "math";
+    case 120:
+      return "physics";
+    default:
+      return "unknown";
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const FunctionRegistry> FacultyRegistry() {
+  auto registry = std::make_shared<FunctionRegistry>(FunctionRegistry::WithBuiltins());
+
+  registry->RegisterCondition("LnOrFn", [](const std::vector<Term>& args) {
+    if (args.size() != 1 || !TermIsAttr(args[0])) return false;
+    const Attr& attr = TermAttr(args[0]);
+    return (attr.name == "ln" || attr.name == "fn") &&
+           (attr.view == "fac" || attr.view == "pub");
+  });
+  registry->RegisterCondition("LnOrFnName", [](const std::vector<Term>& args) {
+    if (args.size() != 1 || !TermIsValue(args[0]) ||
+        TermValue(args[0]).kind() != ValueKind::kString) {
+      return false;
+    }
+    const std::string& name = TermValue(args[0]).AsString();
+    return name == "ln" || name == "fn";
+  });
+  registry->RegisterCondition("LnFnAttrs", [](const std::vector<Term>& args) {
+    if (args.size() != 2 || !TermIsAttr(args[0]) || !TermIsAttr(args[1])) return false;
+    const Attr& al = TermAttr(args[0]);
+    const Attr& af = TermAttr(args[1]);
+    return al.name == "ln" && af.name == "fn" && al.view == af.view &&
+           al.instance == af.instance && (al.view == "fac" || al.view == "pub");
+  });
+  registry->RegisterTransform(
+      "T1AuthorAttr", [](const std::vector<Term>& args) -> Result<Term> {
+        if (args.size() != 1 || !TermIsAttr(args[0])) {
+          return Status::InvalidArgument("T1AuthorAttr expects one attribute");
+        }
+        const Attr& attr = TermAttr(args[0]);
+        Result<Attr> mapped = AuthorAttrForView(attr.view, attr.instance);
+        if (!mapped.ok()) return mapped.status();
+        return Term(*std::move(mapped));
+      });
+  registry->RegisterTransform(
+      "AuthorAttrOfView", [](const std::vector<Term>& args) -> Result<Term> {
+        if (args.size() != 1 || !TermIsValue(args[0]) ||
+            TermValue(args[0]).kind() != ValueKind::kString) {
+          return Status::InvalidArgument("AuthorAttrOfView expects a view reference");
+        }
+        // The view variable binds "view" or "view[i]".
+        std::string ref = TermValue(args[0]).AsString();
+        std::string view = ref;
+        int instance = 0;
+        size_t bracket = ref.find('[');
+        if (bracket != std::string::npos) {
+          view = ref.substr(0, bracket);
+          instance = std::atoi(ref.substr(bracket + 1).c_str());
+        }
+        Result<Attr> mapped = AuthorAttrForView(view, instance);
+        if (!mapped.ok()) return mapped.status();
+        return Term(*std::move(mapped));
+      });
+  registry->RegisterTransform(
+      "ProfAttr", [](const std::vector<Term>& args) -> Result<Term> {
+        if (args.size() != 1 || !TermIsAttr(args[0])) {
+          return Status::InvalidArgument("ProfAttr expects one attribute");
+        }
+        const Attr& attr = TermAttr(args[0]);
+        return Term(Attr::OfInstance(attr.view, attr.instance, "prof." + attr.name));
+      });
+  registry->RegisterTransform(
+      "ProfAttrIdx", [](const std::vector<Term>& args) -> Result<Term> {
+        if (args.size() != 2 || !TermIsValue(args[0]) ||
+            TermValue(args[0]).kind() != ValueKind::kInt || !TermIsValue(args[1]) ||
+            TermValue(args[1]).kind() != ValueKind::kString) {
+          return Status::InvalidArgument("ProfAttrIdx expects (index, name)");
+        }
+        int instance = static_cast<int>(TermValue(args[0]).AsInt());
+        return Term(Attr::OfInstance(
+            "fac", instance, "prof." + TermValue(args[1]).AsString()));
+      });
+  registry->RegisterTransform(
+      "DeptCode", [](const std::vector<Term>& args) -> Result<Term> {
+        if (args.size() != 1 || !TermIsValue(args[0]) ||
+            TermValue(args[0]).kind() != ValueKind::kString) {
+          return Status::InvalidArgument("DeptCode expects one string");
+        }
+        Result<int64_t> code = DeptCodeOf(TermValue(args[0]).AsString());
+        if (!code.ok()) return code.status();
+        return Term(Value::Int(*code));
+      });
+  return registry;
+}
+
+MappingSpec FacultyK1() {
+  Result<MappingSpec> spec = ParseMappingSpec(kK1Rules, "T1", FacultyRegistry());
+  if (!spec.ok()) {
+    return MappingSpec("T1<parse-error: " + spec.status().ToString() + ">",
+                       FacultyRegistry());
+  }
+  return *std::move(spec);
+}
+
+MappingSpec FacultyK2() {
+  Result<MappingSpec> spec = ParseMappingSpec(kK2Rules, "T2", FacultyRegistry());
+  if (!spec.ok()) {
+    return MappingSpec("T2<parse-error: " + spec.status().ToString() + ">",
+                       FacultyRegistry());
+  }
+  return *std::move(spec);
+}
+
+Mediator MakeFacultyMediator() {
+  Mediator mediator;
+
+  // --- Source T1: paper(ti, au) and aubib(name, bib). ---
+  SourceContext t1("T1", FacultyK1());
+  Relation paper("paper", {"ti", "au"});
+  (void)paper.AddRow({Value::Str("mining frequent patterns"),
+                      Value::Str("Ullman, Jeff")});
+  (void)paper.AddRow({Value::Str("data mining over web logs"),
+                      Value::Str("Garcia, Hector")});
+  (void)paper.AddRow({Value::Str("query translation for mediators"),
+                      Value::Str("Chang, Kevin")});
+  (void)paper.AddRow({Value::Str("transaction recovery methods"),
+                      Value::Str("Gray, Jim")});
+  t1.AddRelation(paper);
+
+  Relation aubib("aubib", {"name", "bib"});
+  (void)aubib.AddRow({Value::Str("Ullman, Jeff"),
+                      Value::Str("works on data mining and database theory")});
+  (void)aubib.AddRow({Value::Str("Garcia, Hector"),
+                      Value::Str("data integration and mining of web sources")});
+  (void)aubib.AddRow({Value::Str("Chang, Kevin"),
+                      Value::Str("query mediation across heterogeneous data sources; "
+                                 "text mining")});
+  (void)aubib.AddRow({Value::Str("Gray, Jim"),
+                      Value::Str("transaction processing and recovery")});
+  t1.AddRelation(aubib);
+  (void)t1.Bind("fac.aubib", "aubib");
+  (void)t1.Bind("pub.paper", "paper");
+  t1.capabilities().Allow("aubib.bib", Op::kContains);
+  t1.capabilities().Allow("aubib.name", Op::kEq);
+  t1.capabilities().Allow("aubib.name", Op::kContains);
+  t1.capabilities().Allow("paper.ti", Op::kEq);
+  t1.capabilities().Allow("paper.au", Op::kEq);
+  t1.capabilities().Allow("paper.au", Op::kContains);
+  mediator.AddSource(std::move(t1));
+
+  // --- Source T2: prof(ln, fn, dept). ---
+  SourceContext t2("T2", FacultyK2());
+  Relation prof("prof", {"ln", "fn", "dept"});
+  (void)prof.AddRow({Value::Str("Ullman"), Value::Str("Jeff"), Value::Int(230)});
+  (void)prof.AddRow({Value::Str("Garcia"), Value::Str("Hector"), Value::Int(230)});
+  (void)prof.AddRow({Value::Str("Chang"), Value::Str("Kevin"), Value::Int(220)});
+  (void)prof.AddRow({Value::Str("Gray"), Value::Str("Jim"), Value::Int(230)});
+  t2.AddRelation(prof);
+  (void)t2.Bind("fac.prof", "prof");
+  t2.capabilities().Allow("prof.ln", Op::kEq);
+  t2.capabilities().Allow("prof.fn", Op::kEq);
+  t2.capabilities().Allow("prof.dept", Op::kEq);
+  mediator.AddSource(std::move(t2));
+
+  // --- Conversions (the conceptual relations X of Eq. 1). ---
+  mediator.AddConversion(NameSplitConversion("fac.aubib.name", "fac.ln", "fac.fn"));
+  mediator.AddConversion(RenameConversion("fac.aubib.bib", "fac.bib"));
+  mediator.AddConversion(NameSplitConversion("pub.paper.au", "pub.ln", "pub.fn"));
+  mediator.AddConversion(RenameConversion("pub.paper.ti", "pub.ti"));
+  {
+    ConversionFn dept;
+    dept.name = "DeptName(fac.prof.dept)";
+    dept.inputs = {"fac.prof.dept"};
+    dept.outputs = {"fac.dept"};
+    dept.fn = [](const std::vector<Value>& args) -> Result<std::vector<Value>> {
+      if (!args[0].is_numeric()) {
+        return Status::InvalidArgument("dept code must be numeric");
+      }
+      return std::vector<Value>{
+          Value::Str(DeptNameOf(static_cast<int64_t>(args[0].AsDouble())))};
+    };
+    mediator.AddConversion(std::move(dept));
+  }
+
+  // --- View constraints: the fac view's cross-source join. ---
+  Query join = Query::And({
+      Query::Leaf(MakeJoin(Attr::Of("fac", "ln"), Op::kEq,
+                           Attr::Of("fac", "prof.ln"))),
+      Query::Leaf(MakeJoin(Attr::Of("fac", "fn"), Op::kEq,
+                           Attr::Of("fac", "prof.fn"))),
+  });
+  mediator.SetViewConstraints(join);
+  return mediator;
+}
+
+}  // namespace qmap

@@ -1,0 +1,39 @@
+#ifndef QMAP_CONTEXTS_FACULTY_H_
+#define QMAP_CONTEXTS_FACULTY_H_
+
+#include <memory>
+
+#include "qmap/mediator/mediator.h"
+#include "qmap/rules/spec.h"
+
+namespace qmap {
+
+/// The two-source faculty/publication integration system of Example 3 and
+/// Figure 5.
+///
+/// Source T1: paper(ti, au), aubib(name, bib) — authors in "Ln, Fn" format,
+///            IR search on bibliographies (keyword conjunctions only; no
+///            proximity operator).
+/// Source T2: prof(ln, fn, dept) — departments as numeric codes (cs = 230).
+///
+/// Mediator views: fac(ln, fn, bib, dept) integrating aubib (T1) with prof
+/// (T2), and pub(ti, ln, fn) from paper (T1) via the NameLnFn conversion.
+/// The fac view's cross-source join (aubib author name ↔ prof ln/fn) cannot
+/// be pushed to either source: it is declared as a view constraint and
+/// evaluates through the mediator's filter.
+
+std::shared_ptr<const FunctionRegistry> FacultyRegistry();
+
+/// K1 — the T1 rules of Figure 5 (R1-R5), in the rule DSL.
+MappingSpec FacultyK1();
+/// K2 — the T2 rules of Figure 5 (R6-R8).
+MappingSpec FacultyK2();
+
+/// A fully wired mediator: both sources with sample data, the conversion
+/// pipeline (name splits, renames, dept decoding), and the fac-view
+/// cross-source join constraints.  Ready for Translate()/Execute().
+Mediator MakeFacultyMediator();
+
+}  // namespace qmap
+
+#endif  // QMAP_CONTEXTS_FACULTY_H_

@@ -1,0 +1,87 @@
+#include "qmap/contexts/geo.h"
+
+#include "qmap/rules/spec_parser.h"
+
+namespace qmap {
+namespace {
+
+constexpr char kGeoRules[] = R"(
+  # K_G (Example 8): bound pairs map to G's range / corner vocabulary.
+  # All four rules are exact: each pair is equivalent to its emission.
+
+  rule GX: [x_min = A]; [x_max = B] where Value(A), Value(B)
+    => let R = MakeRange(A, B); emit [xrange = R];
+
+  rule GY: [y_min = C]; [y_max = D] where Value(C), Value(D)
+    => let R = MakeRange(C, D); emit [yrange = R];
+
+  rule GLL: [x_min = A]; [y_min = C] where Value(A), Value(C)
+    => let P = MakePoint(A, C); emit [cll = P];
+
+  rule GUR: [x_max = B]; [y_max = D] where Value(B), Value(D)
+    => let P = MakePoint(B, D); emit [cur = P];
+)";
+
+}  // namespace
+
+std::shared_ptr<const FunctionRegistry> GeoRegistry() {
+  return std::make_shared<FunctionRegistry>(FunctionRegistry::WithBuiltins());
+}
+
+MappingSpec GeoSpec() {
+  Result<MappingSpec> spec = ParseMappingSpec(kGeoRules, "G", GeoRegistry());
+  if (!spec.ok()) {
+    return MappingSpec("G<parse-error: " + spec.status().ToString() + ">",
+                       GeoRegistry());
+  }
+  return *std::move(spec);
+}
+
+std::optional<bool> GeoSemantics::Eval(const Constraint& constraint,
+                                       const Tuple& tuple) const {
+  if (constraint.is_join() || constraint.op != Op::kEq) return std::nullopt;
+  std::optional<Value> xv = tuple.Get(Attr::Simple("x"));
+  std::optional<Value> yv = tuple.Get(Attr::Simple("y"));
+  if (!xv.has_value() || !yv.has_value()) return std::nullopt;
+  double x = xv->AsDouble();
+  double y = yv->AsDouble();
+  const std::string& name = constraint.lhs.name;
+  const Value& rhs = constraint.rhs_value();
+
+  if (name == "x_min" || name == "x_max" || name == "y_min" || name == "y_max") {
+    if (!rhs.is_numeric()) return false;
+    if (name == "x_min") return x >= rhs.AsDouble();
+    if (name == "x_max") return x <= rhs.AsDouble();
+    if (name == "y_min") return y >= rhs.AsDouble();
+    return y <= rhs.AsDouble();
+  }
+  if (name == "xrange" || name == "yrange") {
+    if (rhs.kind() != ValueKind::kRange) return false;
+    const Range& r = rhs.AsRange();
+    double v = name == "xrange" ? x : y;
+    return v >= r.lo && v <= r.hi;
+  }
+  if (name == "cll" || name == "cur") {
+    if (rhs.kind() != ValueKind::kPoint) return false;
+    const Point& p = rhs.AsPoint();
+    if (name == "cll") return x >= p.x && y >= p.y;
+    return x <= p.x && y <= p.y;
+  }
+  return std::nullopt;
+}
+
+std::vector<Tuple> GeoGridUniverse(int x0, int x1, int y0, int y1) {
+  std::vector<Tuple> out;
+  out.reserve(static_cast<size_t>((x1 - x0 + 1) * (y1 - y0 + 1)));
+  for (int x = x0; x <= x1; ++x) {
+    for (int y = y0; y <= y1; ++y) {
+      Tuple t;
+      t.Set("x", Value::Int(x));
+      t.Set("y", Value::Int(y));
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+}  // namespace qmap

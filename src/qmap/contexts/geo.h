@@ -1,0 +1,46 @@
+#ifndef QMAP_CONTEXTS_GEO_H_
+#define QMAP_CONTEXTS_GEO_H_
+
+#include <memory>
+
+#include "qmap/expr/eval.h"
+#include "qmap/rules/spec.h"
+
+namespace qmap {
+
+/// The map-query contexts of Example 8 (Figure 9).
+///
+/// Mediator F expresses rectangle selections with four bound attributes:
+///   [x_min = a] ∧ [x_max = b] ∧ [y_min = c] ∧ [y_max = d]
+/// Target G expresses the same regions with *inter-dependent* attribute
+/// pairs: [xrange = (a:b)] ∧ [yrange = (c:d)], or equivalently
+/// [cll = (a,c)] ∧ [cur = (b,d)] (lower-left / upper-right corners).
+///
+/// Because G's vocabulary is redundant, translations of F queries produce
+/// *redundant cross-matchings*: the safety test (Definition 5) flags
+/// (x_min x_max)(y_min y_max) as unsafe, yet Theorem 3 proves it separable —
+/// the corner constraints are subsumed by the range constraints.  This is
+/// the paper's example of safety being sufficient but not necessary.
+
+std::shared_ptr<const FunctionRegistry> GeoRegistry();
+
+/// K_G: the four rules mapping bound pairs to ranges and corners.
+MappingSpec GeoSpec();
+
+/// Semantics of both vocabularies over point tuples (attributes x, y):
+///   x_min/x_max/y_min/y_max — half-plane bounds;
+///   xrange/yrange           — interval membership;
+///   cll/cur                 — corner half-planes (an open region; Figure 9).
+class GeoSemantics : public ConstraintSemantics {
+ public:
+  std::optional<bool> Eval(const Constraint& constraint,
+                           const Tuple& tuple) const override;
+};
+
+/// An exhaustive grid of point tuples over [x0,x1]×[y0,y1] with unit step —
+/// the tuple universe for the empirical Theorem 3/4 separability checks.
+std::vector<Tuple> GeoGridUniverse(int x0, int x1, int y0, int y1);
+
+}  // namespace qmap
+
+#endif  // QMAP_CONTEXTS_GEO_H_

@@ -1,0 +1,85 @@
+#include "qmap/contexts/shop.h"
+
+#include <cmath>
+
+#include "qmap/rules/spec_parser.h"
+#include "qmap/text/units.h"
+
+namespace qmap {
+namespace {
+
+constexpr char kShopRules[] = R"(
+  # Price: dollars -> integer cents, one rule per comparison operator.  The
+  # transform is strictly increasing, so each operator maps to itself.
+  rule PEQ: [price = P]  where Value(P) => let C = ToCents(P); emit [price_cents = C];
+  rule PLT: [price < P]  where Value(P) => let C = ToCents(P); emit [price_cents < C];
+  rule PLE: [price <= P] where Value(P) => let C = ToCents(P); emit [price_cents <= C];
+  rule PGT: [price > P]  where Value(P) => let C = ToCents(P); emit [price_cents > C];
+  rule PGE: [price >= P] where Value(P) => let C = ToCents(P); emit [price_cents >= C];
+
+  # Length: inches -> centimeters.
+  rule LEQ: [length = L]  where Value(L) => let C = ToCm(L); emit [length_cm = C];
+  rule LLT: [length < L]  where Value(L) => let C = ToCm(L); emit [length_cm < C];
+  rule LLE: [length <= L] where Value(L) => let C = ToCm(L); emit [length_cm <= C];
+  rule LGT: [length > L]  where Value(L) => let C = ToCm(L); emit [length_cm > C];
+  rule LGE: [length >= L] where Value(L) => let C = ToCm(L); emit [length_cm >= C];
+
+  # Product names: exact match unsupported, word search only (a relaxation).
+  rule NAME inexact: [name contains P]
+    => let P2 = RewriteTextPat(P); emit [name-word contains P2];
+  rule NAMEEQ inexact: [name = N] where Value(N)
+    => emit [name-word contains N];
+)";
+
+Result<double> NumericArg(const char* fn, const std::vector<Term>& args) {
+  if (args.size() != 1 || !TermIsValue(args[0]) || !TermValue(args[0]).is_numeric()) {
+    return Status::InvalidArgument(std::string(fn) + " expects one numeric value");
+  }
+  return TermValue(args[0]).AsDouble();
+}
+
+}  // namespace
+
+std::shared_ptr<const FunctionRegistry> ShopRegistry() {
+  auto registry = std::make_shared<FunctionRegistry>(FunctionRegistry::WithBuiltins());
+  registry->RegisterTransform(
+      "ToCents", [](const std::vector<Term>& args) -> Result<Term> {
+        Result<double> dollars = NumericArg("ToCents", args);
+        if (!dollars.ok()) return dollars.status();
+        return Term(Value::Int(static_cast<int64_t>(std::llround(DollarsToCents(*dollars)))));
+      });
+  registry->RegisterTransform(
+      "ToCm", [](const std::vector<Term>& args) -> Result<Term> {
+        Result<double> inches = NumericArg("ToCm", args);
+        if (!inches.ok()) return inches.status();
+        return Term(Value::Real(InchesToCentimeters(*inches)));
+      });
+  return registry;
+}
+
+MappingSpec ShopSpec() {
+  Result<MappingSpec> spec = ParseMappingSpec(kShopRules, "MetricShop", ShopRegistry());
+  if (!spec.ok()) {
+    return MappingSpec("MetricShop<parse-error: " + spec.status().ToString() + ">",
+                       ShopRegistry());
+  }
+  return *std::move(spec);
+}
+
+Tuple MetricTupleFromProduct(const Tuple& product) {
+  Tuple out;
+  std::optional<Value> name = product.Get(Attr::Simple("name"));
+  if (name.has_value()) out.Set("name-word", *name);
+  std::optional<Value> price = product.Get(Attr::Simple("price"));
+  if (price.has_value() && price->is_numeric()) {
+    out.Set("price_cents",
+            Value::Int(static_cast<int64_t>(std::llround(DollarsToCents(price->AsDouble())))));
+  }
+  std::optional<Value> length = product.Get(Attr::Simple("length"));
+  if (length.has_value() && length->is_numeric()) {
+    out.Set("length_cm", Value::Real(InchesToCentimeters(length->AsDouble())));
+  }
+  return out;
+}
+
+}  // namespace qmap

@@ -1,0 +1,31 @@
+#ifndef QMAP_CONTEXTS_SHOP_H_
+#define QMAP_CONTEXTS_SHOP_H_
+
+#include <memory>
+
+#include "qmap/expr/eval.h"
+#include "qmap/rules/spec.h"
+
+namespace qmap {
+
+/// A product-catalog context exercising *comparison-operator* rules and
+/// unit/format value transforms (the "3 inches to 7.62 centimeters" kind of
+/// heterogeneity from Section 1).
+///
+/// Mediator vocabulary:  product(name, price /*dollars*/, length /*inches*/)
+///   operators: =, <, <=, >, >= on price/length; contains on name.
+/// Target "MetricShop" vocabulary:
+///   price_cents (integer cents), length_cm (centimeters), name-word.
+///
+/// Because the transforms are strictly monotonic, each comparison operator
+/// maps to itself with a converted bound — an *exact* translation; the rules
+/// enumerate the operators explicitly, as the paper's rule style does.
+std::shared_ptr<const FunctionRegistry> ShopRegistry();
+MappingSpec ShopSpec();
+
+/// Converts a mediator product tuple to the MetricShop representation.
+Tuple MetricTupleFromProduct(const Tuple& product);
+
+}  // namespace qmap
+
+#endif  // QMAP_CONTEXTS_SHOP_H_

@@ -1,0 +1,128 @@
+#include "qmap/contexts/synthetic.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "qmap/rules/spec_parser.h"
+
+namespace qmap {
+namespace {
+
+std::string AttrA(int i) { return "a" + std::to_string(i); }
+
+}  // namespace
+
+std::shared_ptr<const FunctionRegistry> SyntheticRegistry() {
+  auto registry = std::make_shared<FunctionRegistry>(FunctionRegistry::WithBuiltins());
+  registry->RegisterTransform(
+      "Concat", [](const std::vector<Term>& args) -> Result<Term> {
+        if (args.size() != 2 || !TermIsValue(args[0]) || !TermIsValue(args[1])) {
+          return Status::InvalidArgument("Concat expects two values");
+        }
+        return Term(Value::Str(TermValue(args[0]).ToString() + "|" +
+                               TermValue(args[1]).ToString()));
+      });
+  return registry;
+}
+
+Result<MappingSpec> MakeSyntheticSpec(const SyntheticOptions& options) {
+  std::set<int> in_pair;
+  for (const auto& [i, j] : options.dependent_pairs) {
+    in_pair.insert(i);
+    in_pair.insert(j);
+  }
+  std::string dsl;
+  for (int i = 0; i < options.num_attrs; ++i) {
+    if (in_pair.count(i) != 0) continue;
+    // Independent attribute: exact one-to-one rule.
+    dsl += "rule S" + std::to_string(i) + ": [a" + std::to_string(i) +
+           " = V] where Value(V) => emit [b" + std::to_string(i) + " = V];\n";
+  }
+  for (const auto& [i, j] : options.dependent_pairs) {
+    dsl += "rule P" + std::to_string(i) + "_" + std::to_string(j) + ": [a" +
+           std::to_string(i) + " = V]; [a" + std::to_string(j) +
+           " = W] where Value(V), Value(W) => let C = Concat(V, W); emit [c" +
+           std::to_string(i) + "_" + std::to_string(j) + " = C];\n";
+    if (options.partial_single_for_pair_first) {
+      dsl += "rule D" + std::to_string(i) + ": [a" + std::to_string(i) +
+             " = V] where Value(V) => emit [d" + std::to_string(i) + " = V];\n";
+    }
+  }
+  return ParseMappingSpec(dsl, "synthetic", SyntheticRegistry());
+}
+
+Query RandomQuery(std::mt19937& rng, const RandomQueryOptions& options) {
+  std::uniform_int_distribution<int> attr_dist(0, options.num_attrs - 1);
+  std::uniform_int_distribution<int> value_dist(0, options.num_values - 1);
+  std::uniform_int_distribution<int> fanout_dist(2, std::max(2, options.max_children));
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  // depth > 0 builds an interior node whose children are one level shallower;
+  // leaves are random equality constraints.
+  std::function<Query(int, bool)> build = [&](int depth, bool conjunctive) -> Query {
+    if (depth <= 0 || coin(rng) == 0) {
+      return Query::Leaf(MakeSel(Attr::Simple(AttrA(attr_dist(rng))), Op::kEq,
+                                 Value::Int(value_dist(rng))));
+    }
+    int fanout = fanout_dist(rng);
+    std::vector<Query> children;
+    children.reserve(static_cast<size_t>(fanout));
+    for (int i = 0; i < fanout; ++i) children.push_back(build(depth - 1, !conjunctive));
+    return conjunctive ? Query::And(std::move(children))
+                       : Query::Or(std::move(children));
+  };
+  return build(options.max_depth, true);
+}
+
+Tuple RandomSourceTuple(std::mt19937& rng, int num_attrs, int num_values) {
+  std::uniform_int_distribution<int> value_dist(0, num_values - 1);
+  Tuple t;
+  for (int i = 0; i < num_attrs; ++i) t.Set(AttrA(i), Value::Int(value_dist(rng)));
+  return t;
+}
+
+Tuple ConvertSyntheticTuple(const Tuple& source, const SyntheticOptions& options) {
+  std::set<int> in_pair;
+  for (const auto& [i, j] : options.dependent_pairs) {
+    in_pair.insert(i);
+    in_pair.insert(j);
+  }
+  Tuple out = source;
+  for (int i = 0; i < options.num_attrs; ++i) {
+    std::optional<Value> v = source.Get(Attr::Simple(AttrA(i)));
+    if (!v.has_value()) continue;
+    if (in_pair.count(i) == 0) out.Set("b" + std::to_string(i), *v);
+  }
+  for (const auto& [i, j] : options.dependent_pairs) {
+    std::optional<Value> vi = source.Get(Attr::Simple(AttrA(i)));
+    std::optional<Value> vj = source.Get(Attr::Simple(AttrA(j)));
+    if (vi.has_value() && vj.has_value()) {
+      out.Set("c" + std::to_string(i) + "_" + std::to_string(j),
+              Value::Str(vi->ToString() + "|" + vj->ToString()));
+    }
+    if (options.partial_single_for_pair_first && vi.has_value()) {
+      out.Set("d" + std::to_string(i), *vi);
+    }
+  }
+  return out;
+}
+
+Query GridQuery(int conjuncts, int disjuncts, int num_attrs, int num_values) {
+  std::vector<Query> conjunct_list;
+  conjunct_list.reserve(static_cast<size_t>(conjuncts));
+  for (int i = 0; i < conjuncts; ++i) {
+    std::vector<Query> disjunct_list;
+    disjunct_list.reserve(static_cast<size_t>(disjuncts));
+    for (int k = 0; k < disjuncts; ++k) {
+      int attr = (i * disjuncts + k) % num_attrs;
+      int value = (i + k) % num_values;
+      disjunct_list.push_back(Query::Leaf(
+          MakeSel(Attr::Simple(AttrA(attr)), Op::kEq, Value::Int(value))));
+    }
+    conjunct_list.push_back(Query::Or(std::move(disjunct_list)));
+  }
+  return Query::And(std::move(conjunct_list));
+}
+
+}  // namespace qmap

@@ -1,0 +1,65 @@
+#ifndef QMAP_CONTEXTS_SYNTHETIC_H_
+#define QMAP_CONTEXTS_SYNTHETIC_H_
+
+#include <memory>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "qmap/expr/eval.h"
+#include "qmap/rules/spec.h"
+
+namespace qmap {
+
+/// Synthetic mapping contexts for benchmarks and property tests, modeled on
+/// the structure of K_Amazon: independent attributes translate one-to-one;
+/// dependent pairs must be mapped together (like pyear+pmonth -> pdate),
+/// with an optional partial single-attribute rule for the pair's first
+/// member (like R7's year-only date).
+///
+/// Original vocabulary:  a0, a1, ..., a{n-1}        (all selection, `=`)
+/// Target vocabulary:    bI = aI                    (independent attrs)
+///                       cI_J = Concat(aI, aJ)      (dependent pairs)
+///                       dI = aI                    (partial singles)
+struct SyntheticOptions {
+  int num_attrs = 8;
+  /// Pairs (i, j), i < j, of inter-dependent attributes. Members of a pair
+  /// get no independent b-rule.
+  std::vector<std::pair<int, int>> dependent_pairs;
+  /// Emit a partial rule [aI = V] => [dI = V] for each pair's first member
+  /// (creates the sub-matching-suppression pattern of R6/R7).
+  bool partial_single_for_pair_first = true;
+};
+
+std::shared_ptr<const FunctionRegistry> SyntheticRegistry();
+
+/// Builds the DSL rules for `options` and parses them into a spec.
+Result<MappingSpec> MakeSyntheticSpec(const SyntheticOptions& options);
+
+/// Parameters for random query generation.
+struct RandomQueryOptions {
+  int num_attrs = 8;
+  int num_values = 4;   // values drawn from 0..num_values-1
+  int max_depth = 3;    // alternation depth of the ∧/∨ tree
+  int max_children = 3; // fanout of interior nodes
+};
+
+/// A random normalized ∧/∨ query over constraints [aK = v].
+Query RandomQuery(std::mt19937& rng, const RandomQueryOptions& options);
+
+/// A random source tuple assigning each aI a value in 0..num_values-1.
+Tuple RandomSourceTuple(std::mt19937& rng, int num_attrs, int num_values);
+
+/// The data-conversion direction: extends a source tuple with the target
+/// attributes (bI, dI, cI_J) consistent with the mapping rules.
+Tuple ConvertSyntheticTuple(const Tuple& source, const SyntheticOptions& options);
+
+/// Deterministic benchmark query: a conjunction of `conjuncts` disjunctions,
+/// each with `disjuncts` leaf constraints — the worst-case shape for DNF
+/// conversion (2^{nk} disjuncts; Section 8). Attribute k of conjunct i is
+/// a{(i * disjuncts + k) % num_attrs}.
+Query GridQuery(int conjuncts, int disjuncts, int num_attrs, int num_values = 4);
+
+}  // namespace qmap
+
+#endif  // QMAP_CONTEXTS_SYNTHETIC_H_

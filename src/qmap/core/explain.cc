@@ -1,0 +1,99 @@
+#include "qmap/core/explain.h"
+
+#include "qmap/core/psafe.h"
+#include "qmap/core/scm.h"
+#include "qmap/expr/dnf.h"
+
+namespace qmap {
+namespace {
+
+std::string Indent(int depth) { return std::string(static_cast<size_t>(depth) * 2, ' '); }
+
+// Mirrors the traversal of Algorithm TDQM (Figure 8), appending a narrative
+// to `out` and returning the mapping of the subquery.
+Result<Query> Walk(const Query& query, const MappingSpec& spec, int depth,
+                   std::string* out) {
+  if (query.IsSimpleConjunction()) {
+    if (query.is_true()) {
+      *out += Indent(depth) + "true -> true\n";
+      return Query::True();
+    }
+    *out += Indent(depth) + "SCM: " + query.ToString() + "\n";
+    Result<ScmResult> result = Scm(query.AsSimpleConjunction(), spec);
+    if (!result.ok()) return result.status();
+    for (const Matching& m : result->applied) {
+      Result<Query> emission = m.rule->Fire(m.bindings, spec.registry());
+      if (!emission.ok()) return emission.status();
+      *out += Indent(depth + 1) + m.rule_name + (m.rule_exact ? "" : " (inexact)") +
+              " matched {";
+      std::vector<Constraint> conjunction = query.AsSimpleConjunction();
+      for (size_t i = 0; i < m.constraint_indices.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += conjunction[static_cast<size_t>(m.constraint_indices[i])].ToString();
+      }
+      *out += "} -> " + emission->ToString() + "\n";
+    }
+    if (result->applied.empty()) {
+      *out += Indent(depth + 1) + "(no rule matches: maps to true)\n";
+    }
+    return result->mapped;
+  }
+
+  if (query.kind() == NodeKind::kOr) {
+    *out += Indent(depth) + "∨-node (" + std::to_string(query.children().size()) +
+            " disjuncts; disjuncts are always separable)\n";
+    std::vector<Query> mapped;
+    for (const Query& disjunct : query.children()) {
+      Result<Query> part = Walk(disjunct, spec, depth + 1, out);
+      if (!part.ok()) return part;
+      mapped.push_back(*std::move(part));
+    }
+    return Query::Or(std::move(mapped));
+  }
+
+  // ∧-node with non-leaf children.
+  *out += Indent(depth) + "∧-node: " + query.ToString() + "\n";
+  EdnfComputer ednf(spec, query);
+  PSafePartition partition = PSafe(query.children(), ednf);
+  *out += Indent(depth + 1) + "PSafe partition: " + partition.ToString() + " (" +
+          std::to_string(partition.cross_matching_instances) +
+          " cross-matching instance(s))\n";
+  std::vector<Query> mapped_blocks;
+  for (const std::vector<int>& block : partition.blocks) {
+    std::vector<Query> members;
+    for (int index : block) {
+      members.push_back(query.children()[static_cast<size_t>(index)]);
+    }
+    Query rewritten = Disjunctivize(members);
+    if (members.size() > 1) {
+      std::string label = "{";
+      for (size_t i = 0; i < block.size(); ++i) {
+        if (i > 0) label += ",";
+        label += "C" + std::to_string(block[i] + 1);
+      }
+      label += "}";
+      size_t disjuncts = rewritten.kind() == NodeKind::kOr
+                             ? rewritten.children().size()
+                             : 1;
+      *out += Indent(depth + 1) + "block " + label + ": Disjunctivize -> " +
+              std::to_string(disjuncts) + " disjunct(s)\n";
+    }
+    Result<Query> part = Walk(rewritten, spec, depth + 2, out);
+    if (!part.ok()) return part;
+    mapped_blocks.push_back(*std::move(part));
+  }
+  return Query::And(std::move(mapped_blocks));
+}
+
+}  // namespace
+
+Result<std::string> ExplainTdqm(const Query& query, const MappingSpec& spec) {
+  std::string out;
+  out += "Q = " + query.ToString() + "\n";
+  Result<Query> mapped = Walk(query, spec, 0, &out);
+  if (!mapped.ok()) return mapped.status();
+  out += "=> S(Q) = " + mapped->ToString() + "\n";
+  return out;
+}
+
+}  // namespace qmap

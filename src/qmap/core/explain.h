@@ -1,0 +1,30 @@
+#ifndef QMAP_CORE_EXPLAIN_H_
+#define QMAP_CORE_EXPLAIN_H_
+
+#include <string>
+
+#include "qmap/rules/spec.h"
+
+namespace qmap {
+
+/// Produces a human-readable trace of how Algorithm TDQM maps `query` under
+/// `spec`: the traversal cases taken, the PSafe partitions with their
+/// cross-matchings, the local Disjunctivize rewrites, and each SCM call's
+/// applied matchings and emissions.  Intended for rule authors debugging a
+/// mapping specification.
+///
+/// Example output for Example 2's query:
+///
+///   ∧-node: ([ln = "Clancy"] ∨ [ln = "Klancy"]) ∧ [fn = "Tom"]
+///     PSafe partition: {{C1,C2}} (2 cross-matching instance(s))
+///     block {C1,C2}: Disjunctivize -> 2 disjunct(s)
+///       ∨-node: ...
+///         SCM: [ln = "Clancy"] ∧ [fn = "Tom"]
+///           R2{...} -> [author = "Clancy, Tom"]
+///         ...
+///   => [author = "Clancy, Tom"] ∨ [author = "Klancy, Tom"]
+Result<std::string> ExplainTdqm(const Query& query, const MappingSpec& spec);
+
+}  // namespace qmap
+
+#endif  // QMAP_CORE_EXPLAIN_H_

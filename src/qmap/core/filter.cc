@@ -1,0 +1,71 @@
+#include "qmap/core/filter.h"
+
+namespace qmap {
+namespace {
+
+bool AllLeavesExact(const Query& q, const ExactCoverage& coverage) {
+  switch (q.kind()) {
+    case NodeKind::kTrue:
+      return true;
+    case NodeKind::kLeaf:
+      return coverage.IsExact(q.constraint());
+    case NodeKind::kAnd:
+    case NodeKind::kOr: {
+      for (const Query& child : q.children()) {
+        if (!AllLeavesExact(child, coverage)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void ExactCoverage::Record(const Constraint& c, bool exact) {
+  std::string key = c.ToString();
+  auto it = by_constraint_.find(key);
+  if (it == by_constraint_.end()) {
+    by_constraint_.emplace(std::move(key), exact);
+  } else {
+    it->second = it->second && exact;
+  }
+}
+
+bool ExactCoverage::IsExact(const Constraint& c) const {
+  auto it = by_constraint_.find(c.ToString());
+  return it != by_constraint_.end() && it->second;
+}
+
+void ExactCoverage::MergeAnySource(const ExactCoverage& other) {
+  for (const auto& [key, exact] : other.by_constraint_) {
+    auto it = by_constraint_.find(key);
+    if (it == by_constraint_.end()) {
+      by_constraint_.emplace(key, exact);
+    } else {
+      it->second = it->second || exact;
+    }
+  }
+}
+
+Query ResidueFilter(const Query& original, const ExactCoverage& coverage) {
+  switch (original.kind()) {
+    case NodeKind::kTrue:
+      return Query::True();
+    case NodeKind::kLeaf:
+      return coverage.IsExact(original.constraint()) ? Query::True() : original;
+    case NodeKind::kAnd: {
+      std::vector<Query> parts;
+      parts.reserve(original.children().size());
+      for (const Query& child : original.children()) {
+        parts.push_back(ResidueFilter(child, coverage));
+      }
+      return Query::And(std::move(parts));
+    }
+    case NodeKind::kOr:
+      return AllLeavesExact(original, coverage) ? Query::True() : original;
+  }
+  return original;
+}
+
+}  // namespace qmap

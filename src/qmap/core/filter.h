@@ -1,0 +1,56 @@
+#ifndef QMAP_CORE_FILTER_H_
+#define QMAP_CORE_FILTER_H_
+
+#include <map>
+#include <string>
+
+#include "qmap/expr/query.h"
+
+namespace qmap {
+
+/// Tracks which original constraints were translated *exactly* (by a rule
+/// not marked `inexact`), across every mapping context (SCM invocation) in
+/// which they appeared.  A constraint is exactly covered only if every
+/// context covered it exactly; a constraint that ever mapped to True or was
+/// only covered by a relaxation rule stays in the residue filter.
+///
+/// When merging coverage across *sources* (Eq. 3: Q = F ∧ S_1(Q) ∧ ... ∧
+/// S_n(Q)), use MergeAnySource: a constraint fully realized at any one
+/// source need not be re-checked by the mediator (Example 3: [dept = cs] is
+/// handled entirely by source T2).
+class ExactCoverage {
+ public:
+  /// AND-accumulates coverage of `c` within one translation.
+  void Record(const Constraint& c, bool exact);
+
+  /// True if `c` was recorded at least once and always exactly.
+  bool IsExact(const Constraint& c) const;
+
+  /// OR-merge across sources: `c` becomes exact if exact in either input.
+  void MergeAnySource(const ExactCoverage& other);
+
+ private:
+  // value: true = exact so far; false = inexact somewhere.
+  std::map<std::string, bool> by_constraint_;
+};
+
+/// Computes the residue filter F for `original` (Eq. 2-3), given per-
+/// constraint exact coverage of the translation(s).
+///
+/// Construction (sound given sound rules; see DESIGN.md §6):
+///   f(True)         = True
+///   f(leaf)         = True if the leaf is exactly covered, else the leaf
+///   f(∧ children)   = ∧ f(child)                 — justified by Lemma 1:
+///                     S(Q) ⊆ S(C_i) for every conjunct, so per-conjunct
+///                     residues compose
+///   f(∨ node)       = True if *all* leaves below are exactly covered,
+///                     else the ∨ node unchanged     — disjunctions cannot
+///                     be filtered piecemeal
+///
+/// The paper's Example 3 is reproduced: F = c (the `near` constraint), all
+/// other constraints being exactly realized at some source.
+Query ResidueFilter(const Query& original, const ExactCoverage& coverage);
+
+}  // namespace qmap
+
+#endif  // QMAP_CORE_FILTER_H_

@@ -1,0 +1,32 @@
+#include "qmap/core/naive_mapper.h"
+
+namespace qmap {
+
+Result<Query> NaiveMap(const Query& query, const MappingSpec& spec,
+                       TranslationStats* stats, ExactCoverage* coverage) {
+  switch (query.kind()) {
+    case NodeKind::kTrue:
+      return Query::True();
+    case NodeKind::kLeaf: {
+      Result<ScmResult> result =
+          Scm({query.constraint()}, spec, stats, coverage);
+      if (!result.ok()) return result.status();
+      return result->mapped;
+    }
+    case NodeKind::kAnd:
+    case NodeKind::kOr: {
+      std::vector<Query> mapped;
+      mapped.reserve(query.children().size());
+      for (const Query& child : query.children()) {
+        Result<Query> part = NaiveMap(child, spec, stats, coverage);
+        if (!part.ok()) return part;
+        mapped.push_back(*std::move(part));
+      }
+      return query.kind() == NodeKind::kAnd ? Query::And(std::move(mapped))
+                                            : Query::Or(std::move(mapped));
+    }
+  }
+  return Status::Internal("unreachable node kind");
+}
+
+}  // namespace qmap

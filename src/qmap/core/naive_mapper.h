@@ -1,0 +1,24 @@
+#ifndef QMAP_CORE_NAIVE_MAPPER_H_
+#define QMAP_CORE_NAIVE_MAPPER_H_
+
+#include "qmap/core/scm.h"
+
+namespace qmap {
+
+/// The dependency-ignorant baseline the paper argues against (Sections 1
+/// and 3: "other systems implicitly assume one-to-one mapping of
+/// constraints, which leads to suboptimal solutions"): distribute S(·) over
+/// both ∧ and ∨ all the way to the leaves, translating every constraint
+/// independently with Algorithm SCM.
+///
+/// The output still *subsumes* the original query (each leaf mapping does,
+/// and ∧/∨ preserve subsumption), so it is a correct but generally
+/// *non-minimal* translation: Example 2's Q_a instead of Q_b.  Exposed as a
+/// baseline for the selectivity-quality benchmarks and tests.
+Result<Query> NaiveMap(const Query& query, const MappingSpec& spec,
+                       TranslationStats* stats = nullptr,
+                       ExactCoverage* coverage = nullptr);
+
+}  // namespace qmap
+
+#endif  // QMAP_CORE_NAIVE_MAPPER_H_

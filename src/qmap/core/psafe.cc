@@ -1,0 +1,227 @@
+#include "qmap/core/psafe.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace qmap {
+namespace {
+
+// Enumerates all minimal covers of `target` using the sets in `parts`
+// restricted to indices in `relevant`; each cover is a sorted index vector.
+// A cover is minimal if no proper subset of it still covers `target`.
+void MinimalCovers(const ConstraintSet& target,
+                   const std::vector<ConstraintSet>& parts,
+                   const std::vector<int>& relevant,
+                   std::vector<std::vector<int>>* out) {
+  size_t n = relevant.size();
+  // Relevant sets are those intersecting the target, so n is small (≤ |m|
+  // in practice); enumerate subsets by increasing popcount.
+  std::vector<uint32_t> candidates;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    ConstraintSet covered;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        covered = SetUnion(covered, parts[static_cast<size_t>(relevant[i])]);
+      }
+    }
+    if (SetContains(covered, target)) candidates.push_back(mask);
+  }
+  for (uint32_t mask : candidates) {
+    bool minimal = true;
+    for (uint32_t other : candidates) {
+      if (other != mask && (other & mask) == other) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) {
+      std::vector<int> cover;
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) cover.push_back(relevant[i]);
+      }
+      out->push_back(std::move(cover));
+    }
+  }
+}
+
+}  // namespace
+
+std::string PSafePartition::ToString() const {
+  std::string out = "{";
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    if (b > 0) out += ", ";
+    out += "{";
+    for (size_t i = 0; i < blocks[b].size(); ++i) {
+      if (i > 0) out += ",";
+      out += "C" + std::to_string(blocks[b][i] + 1);
+    }
+    out += "}";
+  }
+  return out + "}";
+}
+
+PSafePartition PSafe(const std::vector<Query>& conjuncts, const EdnfComputer& ednf,
+                     TranslationStats* stats) {
+  if (stats != nullptr) ++stats->psafe_calls;
+  const size_t n = conjuncts.size();
+
+  // EDNF of each conjunct: De(Či) = Î_i1 ∨ ... ∨ Î_im_i.
+  std::vector<std::vector<ConstraintSet>> de;
+  de.reserve(n);
+  for (const Query& conjunct : conjuncts) de.push_back(ednf.Ednf(conjunct));
+
+  // Step (1): walk the disjuncts of D(Q̂) = cross product of the De's; find
+  // cross-matchings and candidate blocks.
+  struct MatchingInstance {
+    int id;
+    std::vector<std::vector<int>> candidate_blocks;  // conjunct-index sets
+  };
+  std::vector<MatchingInstance> instances;
+  // Candidate block -> ids of the matching instances it (minimally) covers.
+  std::map<std::vector<int>, std::set<int>> block_covers;
+
+  std::vector<size_t> idx(n, 0);
+  int next_instance_id = 0;
+  while (true) {
+    if (stats != nullptr) ++stats->ednf_disjuncts_checked;
+    // Ingredient sets of this disjunct.
+    std::vector<ConstraintSet> parts(n);
+    ConstraintSet all;
+    for (size_t i = 0; i < n; ++i) {
+      parts[i] = de[i][idx[i]];
+      all = SetUnion(all, parts[i]);
+    }
+    // Cross-matchings: potential matchings within the disjunct that are not
+    // contained in any single ingredient.
+    for (const ConstraintSet& m : ednf.potential_matchings()) {
+      if (m.size() < 2) continue;
+      if (!SetContains(all, m)) continue;
+      bool within_one = false;
+      for (size_t i = 0; i < n; ++i) {
+        if (SetContains(parts[i], m)) {
+          within_one = true;
+          break;
+        }
+      }
+      if (within_one) continue;
+      if (stats != nullptr) ++stats->cross_matchings;
+      MatchingInstance instance;
+      instance.id = next_instance_id++;
+      std::vector<int> relevant;
+      for (size_t i = 0; i < n; ++i) {
+        if (SetsIntersect(parts[i], m)) relevant.push_back(static_cast<int>(i));
+      }
+      MinimalCovers(m, parts, relevant, &instance.candidate_blocks);
+      for (const std::vector<int>& block : instance.candidate_blocks) {
+        block_covers[block].insert(instance.id);
+      }
+      instances.push_back(std::move(instance));
+    }
+    size_t i = 0;
+    while (i < n) {
+      if (++idx[i] < de[i].size()) break;
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == n) break;
+  }
+  if (stats != nullptr) stats->candidate_blocks += block_covers.size();
+
+  PSafePartition result;
+  result.cross_matching_instances = next_instance_id;
+
+  // Step (2): choose an irredundant subset of candidate blocks covering all
+  // matching instances (greedy set cover followed by redundancy pruning —
+  // the pruning guarantees every chosen block exclusively covers some
+  // matching, which is what the minimality proof of Lemma 2 requires).
+  std::vector<std::pair<std::vector<int>, std::set<int>>> candidates(
+      block_covers.begin(), block_covers.end());
+  std::set<int> uncovered;
+  for (const MatchingInstance& instance : instances) uncovered.insert(instance.id);
+  std::vector<size_t> chosen;
+  while (!uncovered.empty()) {
+    size_t best = candidates.size();
+    size_t best_gain = 0;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      size_t gain = 0;
+      for (int id : candidates[c].second) gain += uncovered.count(id);
+      if (gain > best_gain ||
+          (gain == best_gain && gain > 0 && best < candidates.size() &&
+           candidates[c].first.size() < candidates[best].first.size())) {
+        best_gain = gain;
+        best = c;
+      }
+    }
+    if (best == candidates.size() || best_gain == 0) break;  // defensive
+    chosen.push_back(best);
+    for (int id : candidates[best].second) uncovered.erase(id);
+  }
+  // Redundancy pruning: drop any chosen block whose matchings are all
+  // covered by the other chosen blocks.
+  bool pruned = true;
+  while (pruned) {
+    pruned = false;
+    for (size_t k = 0; k < chosen.size(); ++k) {
+      std::set<int> others;
+      for (size_t j = 0; j < chosen.size(); ++j) {
+        if (j == k) continue;
+        others.insert(candidates[chosen[j]].second.begin(),
+                      candidates[chosen[j]].second.end());
+      }
+      bool redundant = true;
+      for (int id : candidates[chosen[k]].second) {
+        if (others.find(id) == others.end()) {
+          redundant = false;
+          break;
+        }
+      }
+      if (redundant) {
+        chosen.erase(chosen.begin() + static_cast<long>(k));
+        pruned = true;
+        break;
+      }
+    }
+  }
+
+  // Merge overlapping chosen blocks via union-find over conjunct indices.
+  std::vector<int> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = static_cast<int>(i);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (size_t k : chosen) {
+    const std::vector<int>& block = candidates[k].first;
+    for (size_t i = 1; i < block.size(); ++i) {
+      parent[static_cast<size_t>(find(block[i]))] = find(block[0]);
+    }
+  }
+  std::map<int, std::vector<int>> groups;
+  std::set<int> in_some_block;
+  for (size_t k : chosen) {
+    for (int i : candidates[k].first) in_some_block.insert(i);
+  }
+  for (int i : in_some_block) groups[find(i)].push_back(i);
+  for (auto& [root, members] : groups) {
+    std::sort(members.begin(), members.end());
+    result.blocks.push_back(members);
+  }
+  // Singleton blocks for conjuncts not in any chosen block.
+  for (size_t i = 0; i < n; ++i) {
+    if (in_some_block.find(static_cast<int>(i)) == in_some_block.end()) {
+      result.blocks.push_back({static_cast<int>(i)});
+    }
+  }
+  // Deterministic order: by smallest conjunct index.
+  std::sort(result.blocks.begin(), result.blocks.end());
+  return result;
+}
+
+}  // namespace qmap

@@ -1,0 +1,42 @@
+#ifndef QMAP_CORE_PSAFE_H_
+#define QMAP_CORE_PSAFE_H_
+
+#include <vector>
+
+#include "qmap/core/ednf.h"
+
+namespace qmap {
+
+/// Result of Algorithm PSafe: a partition of the conjuncts into blocks.
+struct PSafePartition {
+  /// Disjoint blocks of conjunct indices (into the input conjunct list),
+  /// covering every conjunct. Singleton blocks are separable; multi-conjunct
+  /// blocks must be rewritten (Disjunctivized) before further mapping.
+  std::vector<std::vector<int>> blocks;
+
+  /// Number of cross-matching instances found (0 ⇒ the conjunction is safe
+  /// and fully separable).
+  int cross_matching_instances = 0;
+
+  std::string ToString() const;
+};
+
+/// Algorithm PSafe (Figure 11): partitions the conjunction ∧(conjuncts)
+/// into *safe* blocks — S(Q̂) = S(∧B₁)···S(∧Bₘ) (Theorem 6) — that are also
+/// minimal before the final merge of overlapping blocks.
+///
+///   (1) For each disjunct of D(Q̂) (built from the conjuncts' EDNF), find
+///       the cross-matchings and, for each, the candidate blocks that
+///       minimally cover it.
+///   (2) Choose an irredundant set of candidate blocks covering all the
+///       cross-matchings; merge overlapping chosen blocks; give every
+///       remaining conjunct its own singleton block.
+///
+/// `ednf` must have been built for (a query containing) the conjunction, so
+/// that every conjunct's constraints are in its table.
+PSafePartition PSafe(const std::vector<Query>& conjuncts, const EdnfComputer& ednf,
+                     TranslationStats* stats = nullptr);
+
+}  // namespace qmap
+
+#endif  // QMAP_CORE_PSAFE_H_

@@ -1,0 +1,194 @@
+#include "qmap/core/separability.h"
+
+#include <algorithm>
+
+#include "qmap/core/dnf_mapper.h"
+#include "qmap/core/scm.h"
+#include "qmap/expr/dnf.h"
+
+namespace qmap {
+namespace {
+
+// Cross-matchings of one base-case disjunct: potential matchings contained
+// in the union but in no single part.
+void CollectCrossMatchings(const std::vector<ConstraintSet>& parts,
+                           const EdnfComputer& ednf,
+                           std::vector<ConstraintSet>* out) {
+  ConstraintSet all;
+  for (const ConstraintSet& part : parts) all = SetUnion(all, part);
+  for (const ConstraintSet& m : ednf.potential_matchings()) {
+    if (m.size() < 2) continue;
+    if (!SetContains(all, m)) continue;
+    bool within_one = false;
+    for (const ConstraintSet& part : parts) {
+      if (SetContains(part, m)) {
+        within_one = true;
+        break;
+      }
+    }
+    if (!within_one && std::find(out->begin(), out->end(), m) == out->end()) {
+      out->push_back(m);
+    }
+  }
+}
+
+}  // namespace
+
+SafetyResult CheckBaseCaseSafety(const std::vector<ConstraintSet>& conjuncts,
+                                 const EdnfComputer& ednf) {
+  SafetyResult result;
+  CollectCrossMatchings(conjuncts, ednf, &result.cross_matchings);
+  result.safe = result.cross_matchings.empty();
+  return result;
+}
+
+SafetyResult CheckGeneralSafety(const std::vector<Query>& conjuncts,
+                                const EdnfComputer& ednf) {
+  SafetyResult result;
+  std::vector<std::vector<ConstraintSet>> de;
+  de.reserve(conjuncts.size());
+  for (const Query& conjunct : conjuncts) de.push_back(ednf.Ednf(conjunct));
+
+  const size_t n = conjuncts.size();
+  std::vector<size_t> idx(n, 0);
+  while (true) {
+    std::vector<ConstraintSet> parts(n);
+    for (size_t i = 0; i < n; ++i) parts[i] = de[i][idx[i]];
+    CollectCrossMatchings(parts, ednf, &result.cross_matchings);
+    size_t i = 0;
+    while (i < n) {
+      if (++idx[i] < de[i].size()) break;
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == n) break;
+  }
+  result.safe = result.cross_matchings.empty();
+  return result;
+}
+
+bool SubsumesOnUniverse(const Query& broader, const Query& narrower,
+                        const std::vector<Tuple>& universe,
+                        const ConstraintSemantics* semantics) {
+  for (const Tuple& tuple : universe) {
+    if (EvalQuery(narrower, tuple, semantics) &&
+        !EvalQuery(broader, tuple, semantics)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> IsSeparableBaseCase(const std::vector<std::vector<Constraint>>& conjuncts,
+                                 const MappingSpec& spec,
+                                 const std::vector<Tuple>& universe,
+                                 const ConstraintSemantics* semantics,
+                                 TranslationStats* stats) {
+  // Build Q̂ = Ĉ₁···Ĉₙ as a query to obtain the constraint table and M_p.
+  std::vector<Query> parts;
+  for (const std::vector<Constraint>& conjunct : conjuncts) {
+    std::vector<Query> leaves;
+    for (const Constraint& c : conjunct) leaves.push_back(Query::Leaf(c));
+    parts.push_back(Query::And(std::move(leaves)));
+  }
+  Query whole = Query::And(parts);
+  EdnfComputer ednf(spec, whole, stats);
+
+  std::vector<ConstraintSet> sets;
+  for (const std::vector<Constraint>& conjunct : conjuncts) {
+    ConstraintSet set;
+    for (const Constraint& c : conjunct) set.push_back(ednf.table().IdOf(c));
+    std::sort(set.begin(), set.end());
+    sets.push_back(std::move(set));
+  }
+  SafetyResult safety = CheckBaseCaseSafety(sets, ednf);
+  if (safety.safe) return true;  // safety is sufficient (Corollary 1)
+
+  // Theorem 3: every cross-matching must be redundant, i.e.
+  // S(Ĉ₁)···S(Ĉₙ) ⊆ S(∧m).
+  std::vector<Query> mapped_conjuncts;
+  for (const std::vector<Constraint>& conjunct : conjuncts) {
+    Result<Query> mapped = ScmMap(conjunct, spec, stats);
+    if (!mapped.ok()) return mapped.status();
+    mapped_conjuncts.push_back(*std::move(mapped));
+  }
+  Query product = Query::And(mapped_conjuncts);
+  for (const ConstraintSet& m : safety.cross_matchings) {
+    Result<Query> mapped_m = ScmMap(ednf.table().Materialize(m), spec, stats);
+    if (!mapped_m.ok()) return mapped_m.status();
+    if (!SubsumesOnUniverse(*mapped_m, product, universe, semantics)) {
+      return false;  // essential cross-matching: inseparable
+    }
+  }
+  return true;
+}
+
+Result<bool> IsSeparableGeneralCase(const std::vector<Query>& conjuncts,
+                                    const MappingSpec& spec,
+                                    const std::vector<Tuple>& universe,
+                                    const ConstraintSemantics* semantics,
+                                    TranslationStats* stats) {
+  // Disjunctivize Q̂ one level: disjuncts D̂ⱼ = I₁k₁ ∧ ... ∧ Iₙkₙ.
+  std::vector<std::vector<Query>> ingredient_lists;
+  for (const Query& conjunct : conjuncts) {
+    if (conjunct.kind() == NodeKind::kOr) {
+      ingredient_lists.push_back(conjunct.children());
+    } else {
+      ingredient_lists.push_back({conjunct});
+    }
+  }
+  struct Disjunct {
+    std::vector<Query> ingredients;
+    Query query;        // D̂ⱼ
+    Query mapped;       // S(D̂ⱼ)
+    Query z;            // Zⱼ = S(I₁k₁)···S(Iₙkₙ)
+  };
+  std::vector<Disjunct> disjuncts;
+  std::vector<size_t> idx(ingredient_lists.size(), 0);
+  while (true) {
+    Disjunct d;
+    for (size_t i = 0; i < ingredient_lists.size(); ++i) {
+      d.ingredients.push_back(ingredient_lists[i][idx[i]]);
+    }
+    d.query = Query::And(d.ingredients);
+    Result<Query> mapped = DnfMap(d.query, spec, stats);
+    if (!mapped.ok()) return mapped.status();
+    d.mapped = *std::move(mapped);
+    std::vector<Query> z_parts;
+    for (const Query& ingredient : d.ingredients) {
+      Result<Query> mapped_ingredient = DnfMap(ingredient, spec, stats);
+      if (!mapped_ingredient.ok()) return mapped_ingredient.status();
+      z_parts.push_back(*std::move(mapped_ingredient));
+    }
+    d.z = Query::And(std::move(z_parts));
+    disjuncts.push_back(std::move(d));
+    size_t i = 0;
+    while (i < idx.size()) {
+      if (++idx[i] < ingredient_lists[i].size()) break;
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == idx.size()) break;
+  }
+
+  // Eq. 8 for each disjunct, evaluated tuple-wise:
+  //   Zⱼ(t) ∧ ¬S(D̂ⱼ)(t)  ⇒  ∃j'≠j: S(D̂ⱼ')(t).
+  for (size_t j = 0; j < disjuncts.size(); ++j) {
+    for (const Tuple& tuple : universe) {
+      if (!EvalQuery(disjuncts[j].z, tuple, semantics)) continue;
+      if (EvalQuery(disjuncts[j].mapped, tuple, semantics)) continue;
+      bool absorbed = false;
+      for (size_t k = 0; k < disjuncts.size(); ++k) {
+        if (k == j) continue;
+        if (EvalQuery(disjuncts[k].mapped, tuple, semantics)) {
+          absorbed = true;
+          break;
+        }
+      }
+      if (!absorbed) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qmap

@@ -1,0 +1,66 @@
+#ifndef QMAP_CORE_SEPARABILITY_H_
+#define QMAP_CORE_SEPARABILITY_H_
+
+#include <vector>
+
+#include "qmap/core/ednf.h"
+#include "qmap/expr/eval.h"
+
+namespace qmap {
+
+/// Outcome of the cheap (sufficient) safety test.
+struct SafetyResult {
+  bool safe = false;
+  /// The cross-matchings δ that make the conjunction unsafe (empty iff safe).
+  std::vector<ConstraintSet> cross_matchings;
+};
+
+/// Definition 5: a base-case conjunction Q̂ = Ĉ₁···Ĉₙ of simple conjunctions
+/// (given as constraint sets over `ednf`'s table) is *safe* iff
+/// M(Q̂,K) − ∪ᵢM(Ĉᵢ,K) = ∅.  Safety implies separability (Corollary 1); the
+/// converse can fail when a cross-matching is redundant (Example 8).
+SafetyResult CheckBaseCaseSafety(const std::vector<ConstraintSet>& conjuncts,
+                                 const EdnfComputer& ednf);
+
+/// Definition 6: a general conjunction Q̂ = Č₁···Čₙ of arbitrary queries is
+/// safe iff every disjunct of Disjunctivize(Q̂) is safe.  Tested via the
+/// conjuncts' EDNF (equivalent to full DNF for this purpose, Lemma 3).
+SafetyResult CheckGeneralSafety(const std::vector<Query>& conjuncts,
+                                const EdnfComputer& ednf);
+
+/// Theorem 3 — the *precise* separability condition for base-case
+/// conjunctions, decided empirically over a tuple universe: Q̂ is separable
+/// iff every cross-matching m ∈ δ satisfies S(Ĉ₁)···S(Ĉₙ) ⊆ S(∧m).
+///
+/// The subsumption tests are evaluated over `universe` (with optional
+/// context `semantics`); they are exact when the universe is exhaustive for
+/// the data domain (e.g. the coordinate grid of Example 8) and a sound
+/// approximation otherwise.  The mappings S(·) are computed with Algorithm
+/// SCM under `spec`.
+Result<bool> IsSeparableBaseCase(const std::vector<std::vector<Constraint>>& conjuncts,
+                                 const MappingSpec& spec,
+                                 const std::vector<Tuple>& universe,
+                                 const ConstraintSemantics* semantics = nullptr,
+                                 TranslationStats* stats = nullptr);
+
+/// Theorem 4 — the precise separability condition for general conjunctions:
+/// Q̂ = Č₁···Čₙ is separable iff for every disjunct D̂ⱼ of Disjunctivize(Q̂),
+///   [S(I₁k₁)···S(Iₙkₙ)] ∖ S(D̂ⱼ)  ⊆  ∨_{j'≠j} S(D̂ⱼ').
+/// Decided empirically over `universe`; mappings computed with Algorithm
+/// DNF (correct for arbitrary queries).
+Result<bool> IsSeparableGeneralCase(const std::vector<Query>& conjuncts,
+                                    const MappingSpec& spec,
+                                    const std::vector<Tuple>& universe,
+                                    const ConstraintSemantics* semantics = nullptr,
+                                    TranslationStats* stats = nullptr);
+
+/// Empirical subsumption check: true iff every tuple of `universe` that
+/// satisfies `narrower` also satisfies `broader` (Figure 1's relationship,
+/// with `broader` playing S(Q)).
+bool SubsumesOnUniverse(const Query& broader, const Query& narrower,
+                        const std::vector<Tuple>& universe,
+                        const ConstraintSemantics* semantics = nullptr);
+
+}  // namespace qmap
+
+#endif  // QMAP_CORE_SEPARABILITY_H_

@@ -1,0 +1,35 @@
+#include "qmap/core/stats.h"
+
+namespace qmap {
+
+void TranslationStats::MergeFrom(const TranslationStats& other) {
+  match.pattern_attempts += other.match.pattern_attempts;
+  match.matchings_found += other.match.matchings_found;
+  scm_calls += other.scm_calls;
+  submatchings_removed += other.submatchings_removed;
+  matchings_applied += other.matchings_applied;
+  dnf_disjuncts += other.dnf_disjuncts;
+  disjunctivize_calls += other.disjunctivize_calls;
+  psafe_calls += other.psafe_calls;
+  ednf_disjuncts_checked += other.ednf_disjuncts_checked;
+  cross_matchings += other.cross_matchings;
+  candidate_blocks += other.candidate_blocks;
+}
+
+std::string TranslationStats::ToString() const {
+  std::string out;
+  out += "pattern_attempts=" + std::to_string(match.pattern_attempts);
+  out += " matchings_found=" + std::to_string(match.matchings_found);
+  out += " scm_calls=" + std::to_string(scm_calls);
+  out += " submatchings_removed=" + std::to_string(submatchings_removed);
+  out += " matchings_applied=" + std::to_string(matchings_applied);
+  out += " dnf_disjuncts=" + std::to_string(dnf_disjuncts);
+  out += " disjunctivize_calls=" + std::to_string(disjunctivize_calls);
+  out += " psafe_calls=" + std::to_string(psafe_calls);
+  out += " ednf_disjuncts_checked=" + std::to_string(ednf_disjuncts_checked);
+  out += " cross_matchings=" + std::to_string(cross_matchings);
+  out += " candidate_blocks=" + std::to_string(candidate_blocks);
+  return out;
+}
+
+}  // namespace qmap

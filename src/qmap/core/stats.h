@@ -1,0 +1,35 @@
+#ifndef QMAP_CORE_STATS_H_
+#define QMAP_CORE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "qmap/rules/matcher.h"
+
+namespace qmap {
+
+/// Counters accumulated during one translation. These expose the cost terms
+/// the paper analyzes: the N·P·R rule-matching work and M² sub-matching
+/// suppression of Section 4.4, and the number of disjuncts examined by the
+/// safety machinery (the 2^{ne} vs 2^{nk} comparison of Section 8).
+struct TranslationStats {
+  MatchCounters match;
+
+  uint64_t scm_calls = 0;
+  uint64_t submatchings_removed = 0;
+  uint64_t matchings_applied = 0;
+
+  uint64_t dnf_disjuncts = 0;           // Algorithm DNF: disjuncts mapped
+  uint64_t disjunctivize_calls = 0;     // local structure rewrites performed
+  uint64_t psafe_calls = 0;
+  uint64_t ednf_disjuncts_checked = 0;  // safety-check terms examined
+  uint64_t cross_matchings = 0;
+  uint64_t candidate_blocks = 0;
+
+  void MergeFrom(const TranslationStats& other);
+  std::string ToString() const;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_CORE_STATS_H_

@@ -1,0 +1,93 @@
+#include "qmap/core/tdqm.h"
+
+#include <memory>
+
+#include "qmap/core/psafe.h"
+#include "qmap/expr/dnf.h"
+
+namespace qmap {
+namespace {
+
+struct TdqmContext {
+  const MappingSpec& spec;
+  TranslationStats* stats;
+  ExactCoverage* coverage;
+  /// Root-level EDNF machinery, shared across the traversal when the reuse
+  /// optimization is on; nullptr otherwise.
+  const EdnfComputer* shared_ednf;
+};
+
+Result<Query> Walk(const Query& query, TdqmContext& ctx) {
+  // Case 3: simple conjunctions (including leaves and True) go to SCM.
+  if (query.IsSimpleConjunction()) {
+    if (query.is_true()) return Query::True();
+    std::vector<Constraint> conjunction = query.AsSimpleConjunction();
+    if (ctx.shared_ednf != nullptr) {
+      std::optional<std::vector<Matching>> matchings =
+          ctx.shared_ednf->MatchingsFor(conjunction);
+      if (matchings.has_value()) {
+        Result<ScmResult> result = ScmFromMatchings(
+            conjunction, *std::move(matchings), ctx.spec, ctx.stats, ctx.coverage);
+        if (!result.ok()) return result.status();
+        return result->mapped;
+      }
+      // Constraint outside the root table (cannot happen for rewrites of the
+      // original query); fall through to fresh matching.
+    }
+    Result<ScmResult> result = Scm(conjunction, ctx.spec, ctx.stats, ctx.coverage);
+    if (!result.ok()) return result.status();
+    return result->mapped;
+  }
+
+  // Case 1: ∨ node — disjuncts are always separable.
+  if (query.kind() == NodeKind::kOr) {
+    std::vector<Query> mapped;
+    mapped.reserve(query.children().size());
+    for (const Query& disjunct : query.children()) {
+      Result<Query> part = Walk(disjunct, ctx);
+      if (!part.ok()) return part;
+      mapped.push_back(*std::move(part));
+    }
+    return Query::Or(std::move(mapped));
+  }
+
+  // Case 2: ∧ node with at least one non-leaf child.
+  std::unique_ptr<EdnfComputer> local;
+  const EdnfComputer* ednf = ctx.shared_ednf;
+  if (ednf == nullptr) {
+    local = std::make_unique<EdnfComputer>(ctx.spec, query, ctx.stats);
+    ednf = local.get();
+  }
+  PSafePartition partition = PSafe(query.children(), *ednf, ctx.stats);
+  std::vector<Query> mapped_blocks;
+  mapped_blocks.reserve(partition.blocks.size());
+  for (const std::vector<int>& block : partition.blocks) {
+    std::vector<Query> members;
+    members.reserve(block.size());
+    for (int index : block) {
+      members.push_back(query.children()[static_cast<size_t>(index)]);
+    }
+    Query rewritten = Disjunctivize(members);
+    if (ctx.stats != nullptr && members.size() > 1) ++ctx.stats->disjunctivize_calls;
+    Result<Query> part = Walk(rewritten, ctx);
+    if (!part.ok()) return part;
+    mapped_blocks.push_back(*std::move(part));
+  }
+  return Query::And(std::move(mapped_blocks));
+}
+
+}  // namespace
+
+Result<Query> Tdqm(const Query& query, const MappingSpec& spec,
+                   TranslationStats* stats, ExactCoverage* coverage,
+                   const TdqmOptions& options) {
+  TdqmContext ctx{spec, stats, coverage, nullptr};
+  std::unique_ptr<EdnfComputer> shared;
+  if (options.reuse_potential_matchings) {
+    shared = std::make_unique<EdnfComputer>(spec, query, stats);
+    ctx.shared_ednf = shared.get();
+  }
+  return Walk(query, ctx);
+}
+
+}  // namespace qmap

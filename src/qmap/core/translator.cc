@@ -1,0 +1,41 @@
+#include "qmap/core/translator.h"
+
+#include "qmap/expr/parser.h"
+#include "qmap/expr/simplify.h"
+
+namespace qmap {
+
+Result<Translation> Translator::Translate(const Query& query) const {
+  Translation out;
+  Result<Query> mapped = Query::True();
+  switch (options_.algorithm) {
+    case MappingAlgorithm::kTdqm: {
+      TdqmOptions tdqm_options;
+      tdqm_options.reuse_potential_matchings = options_.reuse_potential_matchings;
+      mapped = Tdqm(query, spec_, &out.stats, &out.coverage, tdqm_options);
+      break;
+    }
+    case MappingAlgorithm::kDnf:
+      mapped = DnfMap(query, spec_, &out.stats, &out.coverage);
+      break;
+    case MappingAlgorithm::kNaive:
+      mapped = NaiveMap(query, spec_, &out.stats, &out.coverage);
+      break;
+  }
+  if (!mapped.ok()) return mapped.status();
+  out.mapped = *std::move(mapped);
+  out.filter = ResidueFilter(query, out.coverage);
+  if (options_.simplify_output) {
+    out.mapped = SimplifyQuery(out.mapped);
+    out.filter = SimplifyQuery(out.filter);
+  }
+  return out;
+}
+
+Result<Translation> Translator::TranslateText(const std::string& query_text) const {
+  Result<Query> query = ParseQuery(query_text);
+  if (!query.ok()) return query.status();
+  return Translate(*query);
+}
+
+}  // namespace qmap

@@ -1,0 +1,104 @@
+#include "qmap/expr/constraint.h"
+
+namespace qmap {
+
+std::string_view OpName(Op op) {
+  switch (op) {
+    case Op::kEq:
+      return "=";
+    case Op::kLt:
+      return "<";
+    case Op::kLe:
+      return "<=";
+    case Op::kGt:
+      return ">";
+    case Op::kGe:
+      return ">=";
+    case Op::kContains:
+      return "contains";
+    case Op::kStartsWith:
+      return "starts";
+    case Op::kDuring:
+      return "during";
+  }
+  return "?";
+}
+
+Result<Op> ParseOp(std::string_view text) {
+  if (text == "=") return Op::kEq;
+  if (text == "<") return Op::kLt;
+  if (text == "<=") return Op::kLe;
+  if (text == ">") return Op::kGt;
+  if (text == ">=") return Op::kGe;
+  if (text == "contains") return Op::kContains;
+  if (text == "starts" || text == "starts-with") return Op::kStartsWith;
+  if (text == "during") return Op::kDuring;
+  return Status::ParseError("unknown operator: '" + std::string(text) + "'");
+}
+
+Op SwappedOp(Op op) {
+  switch (op) {
+    case Op::kLt:
+      return Op::kGt;
+    case Op::kLe:
+      return Op::kGe;
+    case Op::kGt:
+      return Op::kLt;
+    case Op::kGe:
+      return Op::kLe;
+    default:
+      return op;
+  }
+}
+
+bool IsNormalizationSwapped(Op op) { return op == Op::kLt || op == Op::kLe; }
+
+std::string OperandToString(const Operand& operand) {
+  if (std::holds_alternative<Value>(operand)) {
+    return std::get<Value>(operand).ToString();
+  }
+  return std::get<Attr>(operand).ToString();
+}
+
+std::string Constraint::ToString() const {
+  return "[" + lhs.ToString() + " " + std::string(OpName(op)) + " " +
+         OperandToString(rhs) + "]";
+}
+
+Constraint Constraint::Normalized() const {
+  if (!is_join()) return *this;
+  const Attr& other = rhs_attr();
+  if (IsNormalizationSwapped(op)) {
+    Constraint swapped;
+    swapped.lhs = other;
+    swapped.op = SwappedOp(op);
+    swapped.rhs = lhs;
+    return swapped;
+  }
+  if (op == Op::kEq && other < lhs) {
+    Constraint swapped;
+    swapped.lhs = other;
+    swapped.op = Op::kEq;
+    swapped.rhs = lhs;
+    return swapped;
+  }
+  return *this;
+}
+
+Constraint MakeSel(Attr attr, Op op, Value value) {
+  Constraint c;
+  c.lhs = std::move(attr);
+  c.op = op;
+  c.rhs = std::move(value);
+  return c;
+}
+
+Constraint MakeJoin(Attr lhs, Op op, Attr rhs) {
+  Constraint c;
+  c.lhs = std::move(lhs);
+  c.op = op;
+  c.rhs = std::move(rhs);
+  return c;
+}
+
+}  // namespace qmap

@@ -1,0 +1,77 @@
+#ifndef QMAP_EXPR_CONSTRAINT_H_
+#define QMAP_EXPR_CONSTRAINT_H_
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "qmap/common/status.h"
+#include "qmap/expr/attr.h"
+#include "qmap/value/value.h"
+
+namespace qmap {
+
+/// Constraint operators supported by the query vocabulary (Section 1-2).
+enum class Op {
+  kEq,          // =
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kContains,    // IR keyword / text-pattern containment
+  kStartsWith,  // string prefix ("title starts", Figure 2)
+  kDuring,      // partial-date containment ("pdate during May/97")
+};
+
+/// Canonical spelling of an operator, e.g. "=", "contains".
+std::string_view OpName(Op op);
+
+/// Parses the spelling produced by OpName; also accepts "starts-with".
+Result<Op> ParseOp(std::string_view text);
+
+/// For asymmetric comparison ops, the operator obtained by swapping operands
+/// ([a < b] == [b > a]); identity for symmetric/one-way ops.
+Op SwappedOp(Op op);
+
+/// True for <, <=, which normalization rewrites to >, >= (Section 4.2).
+bool IsNormalizationSwapped(Op op);
+
+/// Right-hand side of a constraint: either a constant (selection constraint)
+/// or another attribute (join constraint).
+using Operand = std::variant<Value, Attr>;
+
+/// Renders an operand: value syntax or attribute path.
+std::string OperandToString(const Operand& operand);
+
+/// A single constraint `[attr op operand]` — the atomic vocabulary unit that
+/// mapping rules translate (Section 2).
+struct Constraint {
+  Attr lhs;
+  Op op = Op::kEq;
+  Operand rhs = Value::Null();
+
+  bool is_join() const { return std::holds_alternative<Attr>(rhs); }
+  const Value& rhs_value() const { return std::get<Value>(rhs); }
+  const Attr& rhs_attr() const { return std::get<Attr>(rhs); }
+
+  /// Canonical rendering `[ln = "Clancy"]`; used as identity for matching
+  /// bookkeeping (two constraints are the same iff they print the same).
+  std::string ToString() const;
+
+  /// Applies the operand-order normalization of Section 4.2: `<`/`<=` join
+  /// constraints become `>`/`>=` with sides swapped, and symmetric-operator
+  /// join constraints order their attributes lexicographically.
+  Constraint Normalized() const;
+
+  friend bool operator==(const Constraint& a, const Constraint& b) {
+    return a.ToString() == b.ToString();
+  }
+};
+
+/// Convenience factories.
+Constraint MakeSel(Attr attr, Op op, Value value);
+Constraint MakeJoin(Attr lhs, Op op, Attr rhs);
+
+}  // namespace qmap
+
+#endif  // QMAP_EXPR_CONSTRAINT_H_

@@ -1,0 +1,126 @@
+#include "qmap/expr/dnf.h"
+
+namespace qmap {
+namespace {
+
+// Returns the disjunct list of `q` viewed as a disjunction: the children of
+// an ∨ node, or the query itself otherwise.
+std::vector<Query> DisjunctsOf(const Query& q) {
+  if (q.kind() == NodeKind::kOr) return q.children();
+  return {q};
+}
+
+void CrossDisjuncts(const std::vector<std::vector<std::vector<Constraint>>>& parts,
+                    std::vector<std::vector<Constraint>>* out) {
+  std::vector<size_t> idx(parts.size(), 0);
+  while (true) {
+    std::vector<Constraint> combined;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      const std::vector<Constraint>& part = parts[i][idx[i]];
+      for (const Constraint& c : part) {
+        bool duplicate = false;
+        for (const Constraint& existing : combined) {
+          if (existing == c) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) combined.push_back(c);
+      }
+    }
+    out->push_back(std::move(combined));
+    size_t i = 0;
+    while (i < idx.size()) {
+      if (++idx[i] < parts[i].size()) break;
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == idx.size()) return;
+  }
+}
+
+}  // namespace
+
+Query Disjunctivize(const std::vector<Query>& block) {
+  if (block.empty()) return Query::True();
+  if (block.size() == 1) return block[0];
+  std::vector<std::vector<Query>> parts;
+  parts.reserve(block.size());
+  for (const Query& conjunct : block) parts.push_back(DisjunctsOf(conjunct));
+  std::vector<Query> result_disjuncts;
+  std::vector<size_t> idx(parts.size(), 0);
+  while (true) {
+    std::vector<Query> tuple;
+    tuple.reserve(parts.size());
+    for (size_t i = 0; i < parts.size(); ++i) tuple.push_back(parts[i][idx[i]]);
+    result_disjuncts.push_back(Query::And(std::move(tuple)));
+    size_t i = 0;
+    while (i < idx.size()) {
+      if (++idx[i] < parts[i].size()) break;
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == idx.size()) break;
+  }
+  return Query::Or(std::move(result_disjuncts));
+}
+
+std::vector<std::vector<Constraint>> DnfDisjuncts(const Query& q) {
+  switch (q.kind()) {
+    case NodeKind::kTrue:
+      return {{}};
+    case NodeKind::kLeaf:
+      return {{q.constraint()}};
+    case NodeKind::kOr: {
+      std::vector<std::vector<Constraint>> out;
+      for (const Query& child : q.children()) {
+        std::vector<std::vector<Constraint>> sub = DnfDisjuncts(child);
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      return out;
+    }
+    case NodeKind::kAnd: {
+      std::vector<std::vector<std::vector<Constraint>>> parts;
+      parts.reserve(q.children().size());
+      for (const Query& child : q.children()) parts.push_back(DnfDisjuncts(child));
+      std::vector<std::vector<Constraint>> out;
+      CrossDisjuncts(parts, &out);
+      return out;
+    }
+  }
+  return {{}};
+}
+
+Query FullDnf(const Query& q) {
+  std::vector<std::vector<Constraint>> disjuncts = DnfDisjuncts(q);
+  std::vector<Query> parts;
+  parts.reserve(disjuncts.size());
+  for (const std::vector<Constraint>& d : disjuncts) {
+    std::vector<Query> leaves;
+    leaves.reserve(d.size());
+    for (const Constraint& c : d) leaves.push_back(Query::Leaf(c));
+    parts.push_back(Query::And(std::move(leaves)));
+  }
+  return Query::Or(std::move(parts));
+}
+
+uint64_t CountDnfDisjuncts(const Query& q) {
+  switch (q.kind()) {
+    case NodeKind::kTrue:
+    case NodeKind::kLeaf:
+      return 1;
+    case NodeKind::kOr: {
+      uint64_t total = 0;
+      for (const Query& child : q.children()) total += CountDnfDisjuncts(child);
+      return total;
+    }
+    case NodeKind::kAnd: {
+      uint64_t product = 1;
+      for (const Query& child : q.children()) product *= CountDnfDisjuncts(child);
+      return product;
+    }
+  }
+  return 1;
+}
+
+}  // namespace qmap

@@ -1,0 +1,32 @@
+#ifndef QMAP_EXPR_DNF_H_
+#define QMAP_EXPR_DNF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qmap/expr/query.h"
+
+namespace qmap {
+
+/// Function Disjunctivize of Figure 8: rewrites the conjunction of `block`
+/// into a disjunctive form by distributing the root ∧ over the children's ∨
+/// *one level* — ∧{(D11 ∨ D12), (D21 ∨ D22)} becomes
+/// ∨{D11∧D21, D11∧D22, D12∧D21, D12∧D22}.  A single-conjunct block is
+/// returned unchanged.  The result is logically equivalent to ∧(block).
+Query Disjunctivize(const std::vector<Query>& block);
+
+/// Full DNF conversion (step 1 of Algorithm DNF, Figure 6): the result is a
+/// disjunction of simple conjunctions, logically equivalent to `q`.
+Query FullDnf(const Query& q);
+
+/// The disjuncts of FullDnf(q), each as a simple conjunction of constraints,
+/// without materializing the tree. A True query yields one empty disjunct.
+std::vector<std::vector<Constraint>> DnfDisjuncts(const Query& q);
+
+/// Number of disjuncts FullDnf(q) would have, computed without expansion
+/// (used by benchmarks to report the blow-up the paper's §8 analyzes).
+uint64_t CountDnfDisjuncts(const Query& q);
+
+}  // namespace qmap
+
+#endif  // QMAP_EXPR_DNF_H_

@@ -1,0 +1,120 @@
+#include "qmap/expr/eval.h"
+
+#include "qmap/common/strings.h"
+#include "qmap/text/dates.h"
+#include "qmap/text/text_pattern.h"
+
+namespace qmap {
+
+std::optional<Value> Tuple::Get(const Attr& attr) const {
+  auto it = values_.find(attr.ToString());
+  if (it != values_.end()) return it->second;
+  if (!attr.view.empty()) {
+    // Fall back to an unindexed spelling, then to the bare attribute name.
+    if (attr.instance != 0) {
+      Attr unindexed = attr;
+      unindexed.instance = 0;
+      it = values_.find(unindexed.ToString());
+      if (it != values_.end()) return it->second;
+    }
+    it = values_.find(attr.name);
+    if (it != values_.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : values_) {
+    if (!first) out += ", ";
+    first = false;
+    out += key + ": " + value.ToString();
+  }
+  return out + "}";
+}
+
+bool EvalConstraint(const Constraint& constraint, const Tuple& tuple) {
+  std::optional<Value> lhs = tuple.Get(constraint.lhs);
+  if (!lhs.has_value()) return false;
+  Value rhs;
+  if (constraint.is_join()) {
+    std::optional<Value> partner = tuple.Get(constraint.rhs_attr());
+    if (!partner.has_value()) return false;
+    rhs = *partner;
+  } else {
+    rhs = constraint.rhs_value();
+  }
+  switch (constraint.op) {
+    case Op::kEq:
+      return lhs->Equals(rhs);
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe: {
+      std::optional<int> cmp = lhs->Compare(rhs);
+      if (!cmp.has_value()) return false;
+      switch (constraint.op) {
+        case Op::kLt:
+          return *cmp < 0;
+        case Op::kLe:
+          return *cmp <= 0;
+        case Op::kGt:
+          return *cmp > 0;
+        default:
+          return *cmp >= 0;
+      }
+    }
+    case Op::kContains: {
+      if (lhs->kind() != ValueKind::kString || rhs.kind() != ValueKind::kString) {
+        return false;
+      }
+      Result<TextPattern> pattern = TextPattern::Parse(rhs.AsString());
+      if (!pattern.ok()) return false;
+      return pattern->Matches(lhs->AsString());
+    }
+    case Op::kStartsWith: {
+      if (lhs->kind() != ValueKind::kString || rhs.kind() != ValueKind::kString) {
+        return false;
+      }
+      return StartsWithIgnoreCase(lhs->AsString(), rhs.AsString());
+    }
+    case Op::kDuring: {
+      if (lhs->kind() != ValueKind::kDate || rhs.kind() != ValueKind::kDate) {
+        return false;
+      }
+      return DateDuring(lhs->AsDate(), rhs.AsDate());
+    }
+  }
+  return false;
+}
+
+bool EvalQuery(const Query& query, const Tuple& tuple,
+               const ConstraintSemantics* semantics) {
+  switch (query.kind()) {
+    case NodeKind::kTrue:
+      return true;
+    case NodeKind::kLeaf: {
+      if (semantics != nullptr) {
+        std::optional<bool> custom = semantics->Eval(query.constraint(), tuple);
+        if (custom.has_value()) return *custom;
+      }
+      return EvalConstraint(query.constraint(), tuple);
+    }
+    case NodeKind::kAnd: {
+      for (const Query& child : query.children()) {
+        if (!EvalQuery(child, tuple, semantics)) return false;
+      }
+      return true;
+    }
+    case NodeKind::kOr: {
+      for (const Query& child : query.children()) {
+        if (EvalQuery(child, tuple, semantics)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace qmap

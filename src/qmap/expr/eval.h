@@ -1,0 +1,62 @@
+#ifndef QMAP_EXPR_EVAL_H_
+#define QMAP_EXPR_EVAL_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "qmap/expr/query.h"
+#include "qmap/value/value.h"
+
+namespace qmap {
+
+/// A tuple binding attribute paths (canonical Attr::ToString form) to values.
+/// Used by the relational engine and by the empirical subsumption oracles.
+class Tuple {
+ public:
+  Tuple() = default;
+
+  void Set(const Attr& attr, Value value) { values_[attr.ToString()] = std::move(value); }
+  void Set(const std::string& attr_path, Value value) { values_[attr_path] = std::move(value); }
+
+  /// Looks the attribute up; falls back to the bare name if the qualified
+  /// path is absent (convenient for single-view contexts).
+  std::optional<Value> Get(const Attr& attr) const;
+
+  const std::map<std::string, Value>& values() const { return values_; }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Value> values_;
+};
+
+/// Extension point for context-specific constraint semantics.  The geo
+/// context of Example 8, for instance, interprets `[X-range = (10:30)]` as a
+/// predicate over point tuples.  Return nullopt to defer to the default
+/// semantics.
+class ConstraintSemantics {
+ public:
+  virtual ~ConstraintSemantics() = default;
+  virtual std::optional<bool> Eval(const Constraint& constraint,
+                                   const Tuple& tuple) const = 0;
+};
+
+/// Default semantics for a single constraint:
+///  * comparison ops use Value ordering;
+///  * `contains` parses the RHS string as a TextPattern and matches the LHS
+///    string's word tokens (proximity window 3 for `near`);
+///  * `starts` is a case-insensitive prefix test;
+///  * `during` uses partial-date containment;
+///  * a missing LHS attribute (or a join partner) makes the constraint false;
+///  * incomparable kinds make the constraint false.
+bool EvalConstraint(const Constraint& constraint, const Tuple& tuple);
+
+/// Evaluates a full query tree over `tuple`. If `semantics` is non-null it is
+/// consulted first for each leaf.
+bool EvalQuery(const Query& query, const Tuple& tuple,
+               const ConstraintSemantics* semantics = nullptr);
+
+}  // namespace qmap
+
+#endif  // QMAP_EXPR_EVAL_H_

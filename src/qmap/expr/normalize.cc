@@ -1,0 +1,25 @@
+#include "qmap/expr/normalize.h"
+
+namespace qmap {
+
+Query NormalizeQuery(const Query& query) {
+  switch (query.kind()) {
+    case NodeKind::kTrue:
+      return query;
+    case NodeKind::kLeaf:
+      return Query::Leaf(query.constraint().Normalized());
+    case NodeKind::kAnd:
+    case NodeKind::kOr: {
+      std::vector<Query> children;
+      children.reserve(query.children().size());
+      for (const Query& child : query.children()) {
+        children.push_back(NormalizeQuery(child));
+      }
+      return query.kind() == NodeKind::kAnd ? Query::And(std::move(children))
+                                            : Query::Or(std::move(children));
+    }
+  }
+  return query;
+}
+
+}  // namespace qmap

@@ -1,0 +1,23 @@
+#ifndef QMAP_EXPR_NORMALIZE_H_
+#define QMAP_EXPR_NORMALIZE_H_
+
+#include "qmap/expr/query.h"
+
+namespace qmap {
+
+/// Applies the constraint-level normalization of Section 4.2 to every leaf
+/// of `query`:
+///   * `<`/`<=` join constraints are rewritten with swapped operands to
+///     `>`/`>=` ([income < expense] becomes [expense > income]);
+///   * symmetric-operator join constraints order their attributes
+///     lexicographically ([b.y = a.x] becomes [a.x = b.y]).
+///
+/// With this normalization, mapping rules need only cover the normalized
+/// representations instead of enumerating equivalent patterns.  Tree-level
+/// normalization (∧/∨ alternation, idempotency, True rules) is already
+/// enforced by the Query constructors; this adds the leaf rewriting.
+Query NormalizeQuery(const Query& query);
+
+}  // namespace qmap
+
+#endif  // QMAP_EXPR_NORMALIZE_H_

@@ -1,0 +1,206 @@
+#include "qmap/expr/parser.h"
+
+#include <cmath>
+
+namespace qmap {
+namespace {
+
+Result<Query> ParseOr(TokenCursor& cursor);
+
+Result<Query> ParsePrimary(TokenCursor& cursor) {
+  if (cursor.TryConsumePunct("(")) {
+    Result<Query> inner = ParseOr(cursor);
+    if (!inner.ok()) return inner.status();
+    Status s = cursor.ExpectPunct(")");
+    if (!s.ok()) return s;
+    return inner;
+  }
+  if (cursor.TryConsumeIdent("true")) return Query::True();
+  if (cursor.Peek().kind == TokenKind::kPunct && cursor.Peek().text == "[") {
+    Result<Constraint> c = ParseConstraintAt(cursor);
+    if (!c.ok()) return c.status();
+    return Query::Leaf(*std::move(c));
+  }
+  return Status::ParseError("expected '(', '[' or 'true' but found '" +
+                            cursor.Peek().text + "' at offset " +
+                            std::to_string(cursor.Peek().offset));
+}
+
+Result<Query> ParseAnd(TokenCursor& cursor) {
+  Result<Query> first = ParsePrimary(cursor);
+  if (!first.ok()) return first;
+  std::vector<Query> parts = {*std::move(first)};
+  while (cursor.TryConsumeIdent("and") || cursor.TryConsumePunct("&")) {
+    Result<Query> next = ParsePrimary(cursor);
+    if (!next.ok()) return next;
+    parts.push_back(*std::move(next));
+  }
+  if (parts.size() == 1) return parts[0];
+  return Query::And(std::move(parts));
+}
+
+Result<Query> ParseOr(TokenCursor& cursor) {
+  Result<Query> first = ParseAnd(cursor);
+  if (!first.ok()) return first;
+  std::vector<Query> parts = {*std::move(first)};
+  while (cursor.TryConsumeIdent("or") || cursor.TryConsumePunct("|")) {
+    Result<Query> next = ParseAnd(cursor);
+    if (!next.ok()) return next;
+    parts.push_back(*std::move(next));
+  }
+  if (parts.size() == 1) return parts[0];
+  return Query::Or(std::move(parts));
+}
+
+}  // namespace
+
+Result<Attr> ParseAttrAt(TokenCursor& cursor) {
+  Result<std::string> head = cursor.ExpectIdent();
+  if (!head.ok()) return head.status();
+  Attr attr;
+  std::vector<std::string> parts = {*head};
+  int instance = 0;
+  if (cursor.TryConsumePunct("[")) {
+    const Token& t = cursor.Peek();
+    if (t.kind != TokenKind::kNumber || !t.is_integer) {
+      return Status::ParseError("expected integer view index at offset " +
+                                std::to_string(t.offset));
+    }
+    instance = static_cast<int>(cursor.Next().number);
+    Status s = cursor.ExpectPunct("]");
+    if (!s.ok()) return s;
+  }
+  while (cursor.TryConsumePunct(".")) {
+    Result<std::string> part = cursor.ExpectIdent();
+    if (!part.ok()) return part.status();
+    parts.push_back(*part);
+  }
+  if (parts.size() == 1) {
+    if (instance != 0) {
+      return Status::ParseError("view index requires a qualified attribute");
+    }
+    attr.name = parts[0];
+    return attr;
+  }
+  attr.view = parts[0];
+  attr.instance = instance;
+  std::string name = parts[1];
+  for (size_t i = 2; i < parts.size(); ++i) name += "." + parts[i];
+  attr.name = std::move(name);
+  return attr;
+}
+
+Result<Op> ParseOpAt(TokenCursor& cursor) {
+  const Token& t = cursor.Peek();
+  if (t.kind == TokenKind::kPunct || t.kind == TokenKind::kIdent) {
+    Result<Op> op = ParseOp(t.text);
+    if (op.ok()) {
+      cursor.Next();
+      return op;
+    }
+  }
+  return Status::ParseError("expected operator but found '" + t.text +
+                            "' at offset " + std::to_string(t.offset));
+}
+
+Result<Value> ParseValueAt(TokenCursor& cursor) {
+  const Token& t = cursor.Peek();
+  if (t.kind == TokenKind::kString) {
+    return Value::Str(cursor.Next().text);
+  }
+  if (t.kind == TokenKind::kNumber) {
+    Token num = cursor.Next();
+    if (num.is_integer) return Value::Int(static_cast<int64_t>(num.number));
+    return Value::Real(num.number);
+  }
+  if (t.kind == TokenKind::kIdent &&
+      (t.text == "date" || t.text == "range" || t.text == "point") &&
+      cursor.Peek(1).kind == TokenKind::kPunct && cursor.Peek(1).text == "(") {
+    std::string fn = cursor.Next().text;
+    cursor.Next();  // '('
+    std::vector<double> args;
+    while (true) {
+      const Token& arg = cursor.Peek();
+      if (arg.kind != TokenKind::kNumber) {
+        return Status::ParseError("expected number in " + fn + "() literal");
+      }
+      args.push_back(cursor.Next().number);
+      if (!cursor.TryConsumePunct(",")) break;
+    }
+    Status s = cursor.ExpectPunct(")");
+    if (!s.ok()) return s;
+    if (fn == "date") {
+      if (args.empty() || args.size() > 3) {
+        return Status::ParseError("date() takes 1-3 integer arguments");
+      }
+      Date d;
+      d.year = static_cast<int>(args[0]);
+      if (args.size() > 1) d.month = static_cast<int>(args[1]);
+      if (args.size() > 2) d.day = static_cast<int>(args[2]);
+      return Value::OfDate(d);
+    }
+    if (args.size() != 2) {
+      return Status::ParseError(fn + "() takes exactly 2 arguments");
+    }
+    if (fn == "range") return Value::OfRange(Range{args[0], args[1]});
+    return Value::OfPoint(Point{args[0], args[1]});
+  }
+  return Status::ParseError("expected value literal but found '" + t.text +
+                            "' at offset " + std::to_string(t.offset));
+}
+
+Result<Constraint> ParseConstraintAt(TokenCursor& cursor) {
+  Status s = cursor.ExpectPunct("[");
+  if (!s.ok()) return s;
+  Result<Attr> lhs = ParseAttrAt(cursor);
+  if (!lhs.ok()) return lhs.status();
+  Result<Op> op = ParseOpAt(cursor);
+  if (!op.ok()) return op.status();
+  Constraint c;
+  c.lhs = *std::move(lhs);
+  c.op = *op;
+  const Token& t = cursor.Peek();
+  bool rhs_is_attr =
+      t.kind == TokenKind::kIdent &&
+      !((t.text == "date" || t.text == "range" || t.text == "point") &&
+        cursor.Peek(1).kind == TokenKind::kPunct && cursor.Peek(1).text == "(");
+  if (rhs_is_attr) {
+    Result<Attr> rhs = ParseAttrAt(cursor);
+    if (!rhs.ok()) return rhs.status();
+    c.rhs = *std::move(rhs);
+  } else {
+    Result<Value> rhs = ParseValueAt(cursor);
+    if (!rhs.ok()) return rhs.status();
+    c.rhs = *std::move(rhs);
+  }
+  s = cursor.ExpectPunct("]");
+  if (!s.ok()) return s;
+  return c;
+}
+
+Result<Query> ParseQuery(std::string_view text) {
+  Result<std::vector<Token>> tokens = Lexer::Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  TokenCursor cursor(*std::move(tokens));
+  Result<Query> q = ParseOr(cursor);
+  if (!q.ok()) return q;
+  if (!cursor.AtEnd()) {
+    return Status::ParseError("trailing input after query: '" +
+                              cursor.Peek().text + "'");
+  }
+  return q;
+}
+
+Result<Constraint> ParseConstraint(std::string_view text) {
+  Result<std::vector<Token>> tokens = Lexer::Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  TokenCursor cursor(*std::move(tokens));
+  Result<Constraint> c = ParseConstraintAt(cursor);
+  if (!c.ok()) return c;
+  if (!cursor.AtEnd()) {
+    return Status::ParseError("trailing input after constraint");
+  }
+  return c;
+}
+
+}  // namespace qmap

@@ -1,0 +1,94 @@
+#include "qmap/expr/printer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace qmap {
+namespace {
+
+std::string NumberText(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string EscapeString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string ToParseableText(const Value& value) {
+  switch (value.kind()) {
+    case ValueKind::kNull:
+      return "null";  // cannot appear in parseable constraints
+    case ValueKind::kInt:
+      return std::to_string(value.AsInt());
+    case ValueKind::kDouble:
+      return NumberText(value.AsDouble());
+    case ValueKind::kString:
+      return EscapeString(value.AsString());
+    case ValueKind::kDate: {
+      const Date& d = value.AsDate();
+      std::string out = "date(" + std::to_string(d.year);
+      if (d.month.has_value()) out += ", " + std::to_string(*d.month);
+      if (d.day.has_value()) out += ", " + std::to_string(*d.day);
+      return out + ")";
+    }
+    case ValueKind::kRange: {
+      const Range& r = value.AsRange();
+      return "range(" + NumberText(r.lo) + ", " + NumberText(r.hi) + ")";
+    }
+    case ValueKind::kPoint: {
+      const Point& p = value.AsPoint();
+      return "point(" + NumberText(p.x) + ", " + NumberText(p.y) + ")";
+    }
+  }
+  return "null";
+}
+
+std::string ToParseableText(const Constraint& constraint) {
+  std::string rhs = constraint.is_join()
+                        ? constraint.rhs_attr().ToString()
+                        : ToParseableText(constraint.rhs_value());
+  return "[" + constraint.lhs.ToString() + " " + std::string(OpName(constraint.op)) +
+         " " + rhs + "]";
+}
+
+std::string ToParseableText(const Query& query) {
+  switch (query.kind()) {
+    case NodeKind::kTrue:
+      return "true";
+    case NodeKind::kLeaf:
+      return ToParseableText(query.constraint());
+    case NodeKind::kAnd:
+    case NodeKind::kOr: {
+      const char* sep = query.kind() == NodeKind::kAnd ? " and " : " or ";
+      std::string out;
+      for (size_t i = 0; i < query.children().size(); ++i) {
+        if (i > 0) out += sep;
+        const Query& child = query.children()[i];
+        bool parens =
+            child.kind() == NodeKind::kAnd || child.kind() == NodeKind::kOr;
+        if (parens) out += "(";
+        out += ToParseableText(child);
+        if (parens) out += ")";
+      }
+      return out;
+    }
+  }
+  return "true";
+}
+
+}  // namespace qmap

@@ -1,0 +1,182 @@
+#include "qmap/expr/query.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace qmap {
+namespace {
+
+// Appends `child` to `out`, flattening nested nodes of the same kind.
+void Flatten(NodeKind kind, const Query& child, std::vector<Query>* out) {
+  if (child.kind() == kind) {
+    for (const Query& grandchild : child.children()) Flatten(kind, grandchild, out);
+  } else {
+    out->push_back(child);
+  }
+}
+
+// Removes structural duplicates, preserving first occurrences (idempotency:
+// x ∧ x = x, x ∨ x = x).
+void DedupChildren(std::vector<Query>* children) {
+  std::vector<Query> unique;
+  std::vector<std::string> keys;
+  for (const Query& child : *children) {
+    std::string key = child.ToString();
+    if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+      keys.push_back(std::move(key));
+      unique.push_back(child);
+    }
+  }
+  *children = std::move(unique);
+}
+
+}  // namespace
+
+Query Query::True() {
+  static const std::shared_ptr<const Node>& node = *new std::shared_ptr<const Node>(
+      std::make_shared<Node>());
+  return Query(node);
+}
+
+Query Query::Leaf(Constraint constraint) {
+  auto node = std::make_shared<Node>();
+  node->kind = NodeKind::kLeaf;
+  node->constraint = std::move(constraint);
+  return Query(std::move(node));
+}
+
+Query Query::And(std::vector<Query> children) {
+  std::vector<Query> flat;
+  for (const Query& child : children) {
+    if (child.is_true()) continue;  // True conjunct is the ∧ identity
+    Flatten(NodeKind::kAnd, child, &flat);
+  }
+  DedupChildren(&flat);
+  if (flat.empty()) return True();
+  if (flat.size() == 1) return flat[0];
+  auto node = std::make_shared<Node>();
+  node->kind = NodeKind::kAnd;
+  node->children = std::move(flat);
+  return Query(std::move(node));
+}
+
+Query Query::Or(std::vector<Query> children) {
+  std::vector<Query> flat;
+  for (const Query& child : children) {
+    if (child.is_true()) return True();  // True disjunct absorbs the ∨
+    Flatten(NodeKind::kOr, child, &flat);
+  }
+  DedupChildren(&flat);
+  if (flat.empty()) return True();  // disallowed input; see header contract
+  if (flat.size() == 1) return flat[0];
+  auto node = std::make_shared<Node>();
+  node->kind = NodeKind::kOr;
+  node->children = std::move(flat);
+  return Query(std::move(node));
+}
+
+bool Query::IsSimpleConjunction() const {
+  switch (kind()) {
+    case NodeKind::kTrue:
+    case NodeKind::kLeaf:
+      return true;
+    case NodeKind::kAnd:
+      return std::all_of(children().begin(), children().end(),
+                         [](const Query& c) { return c.is_leaf(); });
+    case NodeKind::kOr:
+      return false;
+  }
+  return false;
+}
+
+std::vector<Constraint> Query::AsSimpleConjunction() const {
+  std::vector<Constraint> out;
+  if (is_leaf()) {
+    out.push_back(constraint());
+  } else if (kind() == NodeKind::kAnd) {
+    for (const Query& child : children()) out.push_back(child.constraint());
+  }
+  return out;
+}
+
+std::vector<Constraint> Query::AllConstraints() const {
+  std::vector<Constraint> out;
+  std::vector<std::string> seen;
+  std::function<void(const Query&)> visit = [&](const Query& q) {
+    if (q.is_leaf()) {
+      std::string key = q.constraint().ToString();
+      if (std::find(seen.begin(), seen.end(), key) == seen.end()) {
+        seen.push_back(std::move(key));
+        out.push_back(q.constraint());
+      }
+      return;
+    }
+    for (const Query& child : q.children()) visit(child);
+  };
+  visit(*this);
+  return out;
+}
+
+int Query::NodeCount() const {
+  if (kind() == NodeKind::kTrue || kind() == NodeKind::kLeaf) return 1;
+  int count = 1;
+  for (const Query& child : children()) count += child.NodeCount();
+  return count;
+}
+
+int Query::Depth() const {
+  if (kind() == NodeKind::kTrue || kind() == NodeKind::kLeaf) return 1;
+  int depth = 0;
+  for (const Query& child : children()) depth = std::max(depth, child.Depth());
+  return depth + 1;
+}
+
+bool Query::StructurallyEquals(const Query& other) const {
+  if (node_ == other.node_) return true;
+  if (kind() != other.kind()) return false;
+  switch (kind()) {
+    case NodeKind::kTrue:
+      return true;
+    case NodeKind::kLeaf:
+      return constraint() == other.constraint();
+    case NodeKind::kAnd:
+    case NodeKind::kOr: {
+      if (children().size() != other.children().size()) return false;
+      for (size_t i = 0; i < children().size(); ++i) {
+        if (!children()[i].StructurallyEquals(other.children()[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Query::ToString() const {
+  switch (kind()) {
+    case NodeKind::kTrue:
+      return "true";
+    case NodeKind::kLeaf:
+      return constraint().ToString();
+    case NodeKind::kAnd:
+    case NodeKind::kOr: {
+      const char* sep = kind() == NodeKind::kAnd ? " ∧ " : " ∨ ";
+      std::string out;
+      for (size_t i = 0; i < children().size(); ++i) {
+        if (i > 0) out += sep;
+        const Query& child = children()[i];
+        bool needs_parens = child.kind() == NodeKind::kAnd || child.kind() == NodeKind::kOr;
+        if (needs_parens) out += "(";
+        out += child.ToString();
+        if (needs_parens) out += ")";
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+Query operator&(const Query& a, const Query& b) { return Query::And({a, b}); }
+
+Query operator|(const Query& a, const Query& b) { return Query::Or({a, b}); }
+
+}  // namespace qmap

@@ -1,0 +1,99 @@
+#ifndef QMAP_EXPR_QUERY_H_
+#define QMAP_EXPR_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qmap/expr/constraint.h"
+
+namespace qmap {
+
+enum class NodeKind { kTrue, kLeaf, kAnd, kOr };
+
+/// An immutable constraint-query tree (Section 6): interior n-ary ∧/∨ nodes,
+/// leaf constraints, and the trivial query True.
+///
+/// Query is a value type wrapping a shared immutable node, so subtree reuse
+/// during rewriting (Disjunctivize, TDQM) is O(1) per reference — rewrites
+/// create new interior nodes but never deep-copy untouched subtrees.
+///
+/// The normalizing constructors maintain the paper's canonical shape:
+/// ∧ and ∨ strictly alternate along every path (same-operator children are
+/// collapsed, e.g. ∧{a, ∧{b,c}} = ∧{a,b,c}), `True` conjuncts are dropped,
+/// a `True` disjunct absorbs its disjunction, duplicate children are merged
+/// (idempotency), and single-child nodes collapse to the child.
+class Query {
+ public:
+  /// The trivial query (no constraint; selects everything).
+  static Query True();
+  /// A single-constraint query.
+  static Query Leaf(Constraint constraint);
+  /// Normalized conjunction of `children` (empty conjunction is True).
+  static Query And(std::vector<Query> children);
+  /// Normalized disjunction of `children`; `children` must be non-empty
+  /// (the library has no False — see DESIGN.md §7, negation is out of scope).
+  static Query Or(std::vector<Query> children);
+
+  Query() : Query(True()) {}
+
+  NodeKind kind() const { return node_->kind; }
+  bool is_true() const { return kind() == NodeKind::kTrue; }
+  bool is_leaf() const { return kind() == NodeKind::kLeaf; }
+
+  /// Leaf accessor; requires is_leaf().
+  const Constraint& constraint() const { return node_->constraint; }
+  /// Children of an ∧/∨ node (empty vector for leaves/True).
+  const std::vector<Query>& children() const { return node_->children; }
+
+  /// True if the query is a *simple conjunction*: True, a leaf, or an ∧ node
+  /// whose children are all leaves (the input shape of Algorithm SCM).
+  bool IsSimpleConjunction() const;
+
+  /// The constraints of a simple conjunction, in order. Requires
+  /// IsSimpleConjunction(); True yields the empty vector.
+  std::vector<Constraint> AsSimpleConjunction() const;
+
+  /// All leaf constraints in the tree, left-to-right, duplicates removed —
+  /// C(Q) in the paper's notation.
+  std::vector<Constraint> AllConstraints() const;
+
+  /// Number of nodes in the parse tree — the compactness measure of §8.
+  int NodeCount() const;
+
+  /// Maximum depth (True/leaf = 1).
+  int Depth() const;
+
+  /// Structural equality (after normalization; ignores child order for the
+  /// purpose of equality? No — order-sensitive; use ToString for canonical
+  /// comparisons in tests).
+  bool StructurallyEquals(const Query& other) const;
+
+  /// Paper-style rendering, e.g. `([ln = "Clancy"] ∨ [ln = "Klancy"]) ∧
+  /// [fn = "Tom"]`.
+  std::string ToString() const;
+
+  friend bool operator==(const Query& a, const Query& b) {
+    return a.StructurallyEquals(b);
+  }
+
+ private:
+  struct Node {
+    NodeKind kind = NodeKind::kTrue;
+    Constraint constraint;        // valid when kind == kLeaf
+    std::vector<Query> children;  // valid when kind is kAnd/kOr
+  };
+
+  explicit Query(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+/// Conjunction of two queries (convenience over Query::And).
+Query operator&(const Query& a, const Query& b);
+/// Disjunction of two queries (convenience over Query::Or).
+Query operator|(const Query& a, const Query& b);
+
+}  // namespace qmap
+
+#endif  // QMAP_EXPR_QUERY_H_

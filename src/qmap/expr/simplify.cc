@@ -1,0 +1,100 @@
+#include "qmap/expr/simplify.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "qmap/expr/dnf.h"
+
+namespace qmap {
+namespace {
+
+using ConstraintKeySet = std::set<std::string>;
+
+std::vector<ConstraintKeySet> DnfKeySets(const Query& q) {
+  std::vector<ConstraintKeySet> out;
+  for (const std::vector<Constraint>& disjunct : DnfDisjuncts(q)) {
+    ConstraintKeySet keys;
+    for (const Constraint& c : disjunct) keys.insert(c.ToString());
+    out.push_back(std::move(keys));
+  }
+  return out;
+}
+
+bool Contains(const ConstraintKeySet& super, const ConstraintKeySet& sub) {
+  for (const std::string& key : sub) {
+    if (super.find(key) == super.end()) return false;
+  }
+  return true;
+}
+
+bool Implies(const std::vector<ConstraintKeySet>& stronger,
+             const std::vector<ConstraintKeySet>& weaker) {
+  for (const ConstraintKeySet& s : stronger) {
+    bool some_weaker_disjunct_covered = false;
+    for (const ConstraintKeySet& w : weaker) {
+      if (Contains(s, w)) {
+        some_weaker_disjunct_covered = true;
+        break;
+      }
+    }
+    if (!some_weaker_disjunct_covered) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SyntacticallyImplies(const Query& stronger, const Query& weaker) {
+  return Implies(DnfKeySets(stronger), DnfKeySets(weaker));
+}
+
+Query SimplifyQuery(const Query& query) {
+  switch (query.kind()) {
+    case NodeKind::kTrue:
+    case NodeKind::kLeaf:
+      return query;
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      break;
+  }
+
+  std::vector<Query> children;
+  children.reserve(query.children().size());
+  for (const Query& child : query.children()) {
+    children.push_back(SimplifyQuery(child));
+  }
+  std::vector<std::vector<ConstraintKeySet>> dnfs;
+  dnfs.reserve(children.size());
+  for (const Query& child : children) dnfs.push_back(DnfKeySets(child));
+
+  std::vector<bool> dropped(children.size(), false);
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (dropped[i]) continue;
+    for (size_t j = 0; j < children.size(); ++j) {
+      if (i == j || dropped[j]) continue;
+      if (query.kind() == NodeKind::kOr) {
+        // child_i ⇒ child_j: absorb child_i into child_j.  On mutual
+        // implication, keep the earlier sibling.
+        if (Implies(dnfs[i], dnfs[j]) && (!Implies(dnfs[j], dnfs[i]) || j < i)) {
+          dropped[i] = true;
+          break;
+        }
+      } else {
+        // child_j ⇒ child_i: child_i is redundant in the conjunction.
+        if (Implies(dnfs[j], dnfs[i]) && (!Implies(dnfs[i], dnfs[j]) || j < i)) {
+          dropped[i] = true;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<Query> kept;
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (!dropped[i]) kept.push_back(children[i]);
+  }
+  return query.kind() == NodeKind::kAnd ? Query::And(std::move(kept))
+                                        : Query::Or(std::move(kept));
+}
+
+}  // namespace qmap

@@ -1,0 +1,30 @@
+#ifndef QMAP_EXPR_SIMPLIFY_H_
+#define QMAP_EXPR_SIMPLIFY_H_
+
+#include "qmap/expr/query.h"
+
+namespace qmap {
+
+/// Boolean simplification beyond the constructors' normalization: applies
+/// the absorption laws
+///
+///     x ∨ (x ∧ y) = x          x ∧ (x ∨ y) = x
+///
+/// generalized to syntactic *implication* between siblings — a disjunct
+/// whose constraint set is a superset of another disjunct's is dropped, and
+/// dually for conjuncts.  (Section 8 notes that term minimization [22] can
+/// shrink mappings further; this is the cheap, always-sound part of it:
+/// purely structural, no semantic reasoning about operators.)
+///
+/// The result is logically equivalent to the input and never larger.
+Query SimplifyQuery(const Query& query);
+
+/// True if `stronger` syntactically implies `weaker`: every disjunct of
+/// DNF(stronger) contains all the constraints of some disjunct of
+/// DNF(weaker).  Sufficient, not necessary (no operator reasoning). Used by
+/// SimplifyQuery on simple shapes; exposed for tests and tools.
+bool SyntacticallyImplies(const Query& stronger, const Query& weaker);
+
+}  // namespace qmap
+
+#endif  // QMAP_EXPR_SIMPLIFY_H_

@@ -1,0 +1,25 @@
+#include "qmap/mediator/capabilities.h"
+
+namespace qmap {
+
+void SourceCapabilities::Allow(const std::string& attr_name, Op op) {
+  allowed_.insert({attr_name, op});
+}
+
+bool SourceCapabilities::Supports(const Constraint& constraint) const {
+  return allowed_.find({constraint.lhs.name, constraint.op}) != allowed_.end();
+}
+
+bool SourceCapabilities::IsExpressible(const Query& query) const {
+  return UnsupportedIn(query).empty();
+}
+
+std::vector<Constraint> SourceCapabilities::UnsupportedIn(const Query& query) const {
+  std::vector<Constraint> out;
+  for (const Constraint& c : query.AllConstraints()) {
+    if (!Supports(c)) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace qmap

@@ -1,0 +1,42 @@
+#ifndef QMAP_MEDIATOR_CAPABILITIES_H_
+#define QMAP_MEDIATOR_CAPABILITIES_H_
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "qmap/expr/query.h"
+
+namespace qmap {
+
+/// The (attribute, operator) pairs a source supports in its native query
+/// interface — the "capability difference" of Section 2.  Used to check
+/// that a translated query is expressible at its target (requirement 1 of
+/// Definition 1): a correct mapping specification only emits supported
+/// constraints, so this is a validation/debugging aid for spec authors.
+class SourceCapabilities {
+ public:
+  SourceCapabilities() = default;
+
+  /// Declares that constraints `[<attr-name> <op> ...]` are supported.
+  /// `attr_name` is the unqualified attribute name in the source vocabulary
+  /// (e.g. "author", "ti-word", "aubib.bib").
+  void Allow(const std::string& attr_name, Op op);
+
+  /// True if the single constraint is supported.
+  bool Supports(const Constraint& constraint) const;
+
+  /// True if every leaf constraint of `query` is supported (True is always
+  /// expressible).
+  bool IsExpressible(const Query& query) const;
+
+  /// The unsupported constraints of `query`, for diagnostics.
+  std::vector<Constraint> UnsupportedIn(const Query& query) const;
+
+ private:
+  std::set<std::pair<std::string, Op>> allowed_;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_MEDIATOR_CAPABILITIES_H_

@@ -1,0 +1,78 @@
+#include "qmap/mediator/mediator.h"
+
+#include "qmap/relalg/ops.h"
+
+namespace qmap {
+
+void Mediator::AddSource(SourceContext source) {
+  sources_.push_back(std::move(source));
+}
+
+const SourceContext* Mediator::FindSource(const std::string& name) const {
+  for (const SourceContext& source : sources_) {
+    if (source.name() == name) return &source;
+  }
+  return nullptr;
+}
+
+void Mediator::AddConversion(ConversionFn conversion) {
+  conversions_.push_back(std::move(conversion));
+}
+
+void Mediator::SetViewConstraints(Query constraints) {
+  view_constraints_ = std::move(constraints);
+}
+
+Result<MediatorTranslation> Mediator::Translate(const Query& query) const {
+  Query full = query & view_constraints_;
+  MediatorTranslation out;
+  ExactCoverage merged;
+  for (const SourceContext& source : sources_) {
+    Translator translator(source.spec(), options_);
+    Result<Translation> translation = translator.Translate(full);
+    if (!translation.ok()) return translation.status();
+    merged.MergeAnySource(translation->coverage);
+    out.per_source.emplace(source.name(), *std::move(translation));
+  }
+  // A constraint stays in F unless *some* source covered it exactly.
+  out.filter = ResidueFilter(full, merged);
+  return out;
+}
+
+Result<TupleSet> Mediator::ConvertedCross(const MediatorTranslation* translation) const {
+  TupleSet combined = {Tuple()};
+  for (const SourceContext& source : sources_) {
+    Result<TupleSet> tuples = source.CrossOfBoundRelations();
+    if (!tuples.ok()) return tuples.status();
+    TupleSet source_tuples = *std::move(tuples);
+    if (translation != nullptr) {
+      const Translation& t = translation->per_source.at(source.name());
+      source_tuples = Select(source_tuples, t.mapped, semantics_);
+    }
+    combined = Cross(combined, source_tuples);
+  }
+  TupleSet converted = std::move(combined);
+  for (const ConversionFn& conversion : conversions_) {
+    Result<TupleSet> applied = ApplyConversion(converted, conversion);
+    if (!applied.ok()) return applied.status();
+    converted = *std::move(applied);
+  }
+  return converted;
+}
+
+Result<TupleSet> Mediator::Execute(const Query& query) const {
+  Result<MediatorTranslation> translation = Translate(query);
+  if (!translation.ok()) return translation.status();
+  Result<TupleSet> converted = ConvertedCross(&*translation);
+  if (!converted.ok()) return converted;
+  return Select(*converted, translation->filter, semantics_);
+}
+
+Result<TupleSet> Mediator::ExecuteDirect(const Query& query) const {
+  Result<TupleSet> converted = ConvertedCross(nullptr);
+  if (!converted.ok()) return converted;
+  Query full = query & view_constraints_;
+  return Select(*converted, full, semantics_);
+}
+
+}  // namespace qmap

@@ -1,0 +1,81 @@
+#ifndef QMAP_MEDIATOR_MEDIATOR_H_
+#define QMAP_MEDIATOR_MEDIATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qmap/core/translator.h"
+#include "qmap/mediator/source.h"
+#include "qmap/relalg/conversion.h"
+
+namespace qmap {
+
+/// The mediator's answer to "translate Q for everyone" (Eq. 3):
+/// Q = F ∧ S_1(Q) ∧ ... ∧ S_n(Q).
+struct MediatorTranslation {
+  /// S_i(Q), keyed by source name.
+  std::map<std::string, Translation> per_source;
+  /// The residue filter F: the original constraints not fully realized at
+  /// any source (plus cross-source view constraints, which no single source
+  /// can evaluate).
+  Query filter;
+};
+
+/// A mediation pipeline over heterogeneous sources (Section 2): view
+/// expansion has already rewritten the user query into the constraint query
+/// Q over qualified source relations and view attributes; this class owns
+/// the per-source constraint mapping and the execution of Eq. 2.
+///
+/// Execution data flow (Eq. 2):
+///   per source:   σ_{S_i(Q)}(R_i)        — push the mapped query down
+///   across:       × of the source results
+///   conversions:  apply the conceptual relations X (format conversions,
+///                 renames from source paths to view attributes)
+///   mediator:     σ_F — the residue filter removes the false positives the
+///                 relaxed mappings admitted (Figure 1)
+class Mediator {
+ public:
+  explicit Mediator(TranslatorOptions options = {}) : options_(options) {}
+
+  void AddSource(SourceContext source);
+  const SourceContext* FindSource(const std::string& name) const;
+
+  /// Registers a conversion function (applied in order, after crossing).
+  void AddConversion(ConversionFn conversion);
+
+  /// Declares constraints that are part of the *view definitions* (e.g. the
+  /// cross-source join tying aubib.name to prof's ln/fn in Example 3).
+  /// They are conjoined to every translated query and — being cross-source —
+  /// evaluate at the mediator, through the filter.
+  void SetViewConstraints(Query constraints);
+
+  /// Optional custom constraint semantics used when executing queries.
+  void SetSemantics(const ConstraintSemantics* semantics) { semantics_ = semantics; }
+
+  /// Translates `query` for every source and builds the combined filter:
+  /// a constraint is dropped from F only if some source realizes it exactly.
+  Result<MediatorTranslation> Translate(const Query& query) const;
+
+  /// Runs the full pipeline of Eq. 2 and returns the result tuples (in the
+  /// converted, view-attribute vocabulary).
+  Result<TupleSet> Execute(const Query& query) const;
+
+  /// Ground truth via Eq. 1: cross everything unfiltered, convert, then
+  /// select with the original query.  Execute() must agree with this —
+  /// the empirical form of the correctness property Eq. 3.
+  Result<TupleSet> ExecuteDirect(const Query& query) const;
+
+ private:
+  Result<TupleSet> ConvertedCross(const MediatorTranslation* translation) const;
+
+  TranslatorOptions options_;
+  std::vector<SourceContext> sources_;
+  std::vector<ConversionFn> conversions_;
+  Query view_constraints_ = Query::True();
+  const ConstraintSemantics* semantics_ = nullptr;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_MEDIATOR_MEDIATOR_H_

@@ -1,0 +1,31 @@
+#include "qmap/mediator/source.h"
+
+#include "qmap/relalg/ops.h"
+
+namespace qmap {
+
+Status SourceContext::Bind(const std::string& qualifier,
+                           const std::string& relation_name) {
+  if (relations_.find(relation_name) == relations_.end()) {
+    return Status::NotFound("source " + name_ + " has no relation " + relation_name);
+  }
+  bindings_.emplace_back(qualifier, relation_name);
+  return Status::Ok();
+}
+
+Result<std::vector<Tuple>> SourceContext::CrossOfBoundRelations() const {
+  if (bindings_.empty()) {
+    return Status::InvalidArgument("source " + name_ + " has no bound relations");
+  }
+  TupleSet result = {Tuple()};
+  for (const auto& [qualifier, relation_name] : bindings_) {
+    auto it = relations_.find(relation_name);
+    if (it == relations_.end()) {
+      return Status::NotFound("source " + name_ + " has no relation " + relation_name);
+    }
+    result = Cross(result, it->second.AsTuples(qualifier));
+  }
+  return result;
+}
+
+}  // namespace qmap

@@ -1,0 +1,57 @@
+#ifndef QMAP_MEDIATOR_SOURCE_H_
+#define QMAP_MEDIATOR_SOURCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qmap/mediator/capabilities.h"
+#include "qmap/relalg/relation.h"
+#include "qmap/rules/spec.h"
+
+namespace qmap {
+
+/// Everything the mediator knows about one underlying source T_i:
+/// its mapping specification K_i (vocabulary translation), its declared
+/// capabilities, its relations (data for the execution substrate), and the
+/// bindings from view-qualified relation instances to relations —
+/// e.g. source T1 contributes "fac.aubib" -> aubib and "pub.paper" -> paper
+/// (Example 3 / Section 4.2's qualified relation naming).
+class SourceContext {
+ public:
+  SourceContext() = default;
+  SourceContext(std::string name, MappingSpec spec)
+      : name_(std::move(name)), spec_(std::move(spec)) {}
+
+  const std::string& name() const { return name_; }
+  const MappingSpec& spec() const { return spec_; }
+  SourceCapabilities& capabilities() { return capabilities_; }
+  const SourceCapabilities& capabilities() const { return capabilities_; }
+
+  void AddRelation(Relation relation) {
+    relations_[relation.name()] = std::move(relation);
+  }
+  const std::map<std::string, Relation>& relations() const { return relations_; }
+
+  /// Binds the qualified instance `qualifier` (e.g. "fac.aubib") to the
+  /// source relation `relation_name`.
+  Status Bind(const std::string& qualifier, const std::string& relation_name);
+  const std::vector<std::pair<std::string, std::string>>& bindings() const {
+    return bindings_;
+  }
+
+  /// R_i of Eq. 1: the cross product of all bound relation instances, with
+  /// qualified attribute names.
+  Result<std::vector<Tuple>> CrossOfBoundRelations() const;
+
+ private:
+  std::string name_;
+  MappingSpec spec_;
+  SourceCapabilities capabilities_;
+  std::map<std::string, Relation> relations_;
+  std::vector<std::pair<std::string, std::string>> bindings_;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_MEDIATOR_SOURCE_H_

@@ -1,0 +1,72 @@
+#include "qmap/relalg/conversion.h"
+
+#include "qmap/text/names.h"
+
+namespace qmap {
+
+Result<TupleSet> ApplyConversion(const TupleSet& input,
+                                 const ConversionFn& conversion) {
+  TupleSet out;
+  out.reserve(input.size());
+  for (const Tuple& tuple : input) {
+    std::vector<Value> args;
+    args.reserve(conversion.inputs.size());
+    bool applicable = true;
+    for (const std::string& path : conversion.inputs) {
+      auto it = tuple.values().find(path);
+      if (it == tuple.values().end()) {
+        applicable = false;
+        break;
+      }
+      args.push_back(it->second);
+    }
+    if (!applicable) {
+      out.push_back(tuple);
+      continue;
+    }
+    Result<std::vector<Value>> produced = conversion.fn(args);
+    if (!produced.ok()) return produced.status();
+    if (produced->size() != conversion.outputs.size()) {
+      return Status::Internal("conversion " + conversion.name + " produced " +
+                              std::to_string(produced->size()) + " values for " +
+                              std::to_string(conversion.outputs.size()) + " outputs");
+    }
+    Tuple extended = tuple;
+    for (size_t i = 0; i < conversion.outputs.size(); ++i) {
+      extended.Set(conversion.outputs[i], (*produced)[i]);
+    }
+    out.push_back(std::move(extended));
+  }
+  return out;
+}
+
+ConversionFn RenameConversion(const std::string& input_path,
+                              const std::string& output_path) {
+  ConversionFn c;
+  c.name = "rename(" + input_path + " -> " + output_path + ")";
+  c.inputs = {input_path};
+  c.outputs = {output_path};
+  c.fn = [](const std::vector<Value>& args) -> Result<std::vector<Value>> {
+    return std::vector<Value>{args[0]};
+  };
+  return c;
+}
+
+ConversionFn NameSplitConversion(const std::string& author_path,
+                                 const std::string& ln_path,
+                                 const std::string& fn_path) {
+  ConversionFn c;
+  c.name = "NameLnFn(" + author_path + ")";
+  c.inputs = {author_path};
+  c.outputs = {ln_path, fn_path};
+  c.fn = [](const std::vector<Value>& args) -> Result<std::vector<Value>> {
+    if (args[0].kind() != ValueKind::kString) {
+      return Status::InvalidArgument("NameLnFn input must be a string");
+    }
+    auto [ln, fn] = NameLnFn(args[0].AsString());
+    return std::vector<Value>{Value::Str(ln), Value::Str(fn)};
+  };
+  return c;
+}
+
+}  // namespace qmap

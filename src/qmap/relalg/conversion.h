@@ -1,0 +1,41 @@
+#ifndef QMAP_RELALG_CONVERSION_H_
+#define QMAP_RELALG_CONVERSION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "qmap/common/status.h"
+#include "qmap/relalg/ops.h"
+
+namespace qmap {
+
+/// A data-conversion function modeled as a conceptual relation (Section 2's
+/// X): reads `inputs` attribute paths from a tuple and extends the tuple
+/// with `outputs`.  E.g. NameLnFn(author, ln, fn) reads "pub.paper.au" and
+/// writes "pub.ln" and "pub.fn".
+struct ConversionFn {
+  std::string name;
+  std::vector<std::string> inputs;   // attribute paths read
+  std::vector<std::string> outputs;  // attribute paths written
+  std::function<Result<std::vector<Value>>(const std::vector<Value>&)> fn;
+};
+
+/// Applies `conversion` to every tuple of `input`; tuples missing an input
+/// attribute pass through unchanged (the conversion is inapplicable there).
+Result<TupleSet> ApplyConversion(const TupleSet& input, const ConversionFn& conversion);
+
+/// Builds the common rename conversion: output := input, e.g. exposing the
+/// source attribute "fac.aubib.bib" as the view attribute "fac.bib".
+ConversionFn RenameConversion(const std::string& input_path,
+                              const std::string& output_path);
+
+/// NameLnFn as a conversion (Section 2): splits an "Ln, Fn" author string
+/// into last/first name attributes.
+ConversionFn NameSplitConversion(const std::string& author_path,
+                                 const std::string& ln_path,
+                                 const std::string& fn_path);
+
+}  // namespace qmap
+
+#endif  // QMAP_RELALG_CONVERSION_H_

@@ -1,0 +1,50 @@
+#include "qmap/relalg/ops.h"
+
+#include <set>
+
+namespace qmap {
+
+TupleSet Select(const TupleSet& input, const Query& query,
+                const ConstraintSemantics* semantics) {
+  TupleSet out;
+  for (const Tuple& tuple : input) {
+    if (EvalQuery(query, tuple, semantics)) out.push_back(tuple);
+  }
+  return out;
+}
+
+Tuple MergeTuples(const Tuple& a, const Tuple& b) {
+  Tuple out = a;
+  for (const auto& [key, value] : b.values()) out.Set(key, value);
+  return out;
+}
+
+TupleSet Cross(const TupleSet& a, const TupleSet& b) {
+  TupleSet out;
+  out.reserve(a.size() * b.size());
+  for (const Tuple& ta : a) {
+    for (const Tuple& tb : b) out.push_back(MergeTuples(ta, tb));
+  }
+  return out;
+}
+
+TupleSet Union(const TupleSet& a, const TupleSet& b) {
+  TupleSet out;
+  std::set<std::string> seen;
+  for (const TupleSet* set : {&a, &b}) {
+    for (const Tuple& tuple : *set) {
+      if (seen.insert(tuple.ToString()).second) out.push_back(tuple);
+    }
+  }
+  return out;
+}
+
+bool SameTupleSet(const TupleSet& a, const TupleSet& b) {
+  std::set<std::string> sa;
+  std::set<std::string> sb;
+  for (const Tuple& tuple : a) sa.insert(tuple.ToString());
+  for (const Tuple& tuple : b) sb.insert(tuple.ToString());
+  return sa == sb;
+}
+
+}  // namespace qmap

@@ -1,0 +1,35 @@
+#ifndef QMAP_RELALG_OPS_H_
+#define QMAP_RELALG_OPS_H_
+
+#include <vector>
+
+#include "qmap/expr/eval.h"
+
+namespace qmap {
+
+/// Tuple-set operators over the in-memory engine. All operators are
+/// value-semantic; tuple sets are plain vectors (duplicates permitted unless
+/// noted, as in SQL multiset semantics).
+using TupleSet = std::vector<Tuple>;
+
+/// σ: the tuples of `input` satisfying `query` (under optional custom
+/// semantics).
+TupleSet Select(const TupleSet& input, const Query& query,
+                const ConstraintSemantics* semantics = nullptr);
+
+/// Merges the attribute maps of two tuples (right-hand side wins on
+/// conflicting keys; callers use disjoint key spaces).
+Tuple MergeTuples(const Tuple& a, const Tuple& b);
+
+/// ×: pairwise merge of the two sets.
+TupleSet Cross(const TupleSet& a, const TupleSet& b);
+
+/// ∪ with duplicate elimination (by canonical tuple rendering).
+TupleSet Union(const TupleSet& a, const TupleSet& b);
+
+/// Set equality under duplicate elimination and arbitrary order.
+bool SameTupleSet(const TupleSet& a, const TupleSet& b);
+
+}  // namespace qmap
+
+#endif  // QMAP_RELALG_OPS_H_

@@ -1,0 +1,32 @@
+#include "qmap/relalg/relation.h"
+
+namespace qmap {
+
+Status Relation::AddRow(std::vector<Value> row) {
+  if (row.size() != attrs_.size()) {
+    return Status::InvalidArgument(
+        "relation " + name_ + ": row arity " + std::to_string(row.size()) +
+        " does not match schema arity " + std::to_string(attrs_.size()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+Tuple Relation::RowAsTuple(size_t index, const std::string& qualifier) const {
+  Tuple tuple;
+  const std::vector<Value>& row = rows_[index];
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    std::string key = qualifier.empty() ? attrs_[i] : qualifier + "." + attrs_[i];
+    tuple.Set(key, row[i]);
+  }
+  return tuple;
+}
+
+std::vector<Tuple> Relation::AsTuples(const std::string& qualifier) const {
+  std::vector<Tuple> out;
+  out.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) out.push_back(RowAsTuple(i, qualifier));
+  return out;
+}
+
+}  // namespace qmap

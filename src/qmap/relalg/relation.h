@@ -1,0 +1,46 @@
+#ifndef QMAP_RELALG_RELATION_H_
+#define QMAP_RELALG_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "qmap/common/status.h"
+#include "qmap/expr/eval.h"
+
+namespace qmap {
+
+/// A tiny in-memory relation: a named schema plus value rows.  This is the
+/// execution substrate standing in for the paper's live sources — enough to
+/// run the mediation pipeline of Eq. 1-2 and validate translations
+/// empirically (see DESIGN.md §2).
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, std::vector<std::string> attrs)
+      : name_(std::move(name)), attrs_(std::move(attrs)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& attrs() const { return attrs_; }
+  size_t NumRows() const { return rows_.size(); }
+  const std::vector<std::vector<Value>>& rows() const { return rows_; }
+
+  /// Appends a row; fails when the arity does not match the schema.
+  Status AddRow(std::vector<Value> row);
+
+  /// Renders row `index` as a Tuple whose keys are `qualifier`.attr (or the
+  /// bare attr names when `qualifier` is empty).  The qualifier names the
+  /// view-relation instance, e.g. "fac.aubib" (Section 4.2).
+  Tuple RowAsTuple(size_t index, const std::string& qualifier) const;
+
+  /// All rows as qualified tuples.
+  std::vector<Tuple> AsTuples(const std::string& qualifier) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> attrs_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_RELALG_RELATION_H_

@@ -1,0 +1,150 @@
+#include "qmap/rules/function_registry.h"
+
+#include "qmap/text/dates.h"
+#include "qmap/text/names.h"
+#include "qmap/text/text_pattern.h"
+
+namespace qmap {
+namespace {
+
+Status ArityError(const std::string& name, size_t want, size_t got) {
+  return Status::InvalidArgument(name + " expects " + std::to_string(want) +
+                                 " argument(s), got " + std::to_string(got));
+}
+
+Result<std::string> StringArg(const std::string& fn, const std::vector<Term>& args,
+                              size_t index) {
+  if (index >= args.size() || !TermIsValue(args[index]) ||
+      TermValue(args[index]).kind() != ValueKind::kString) {
+    return Status::InvalidArgument(fn + ": argument " + std::to_string(index) +
+                                   " must be a string");
+  }
+  return TermValue(args[index]).AsString();
+}
+
+Result<int64_t> IntArg(const std::string& fn, const std::vector<Term>& args,
+                       size_t index) {
+  if (index >= args.size() || !TermIsValue(args[index]) ||
+      !TermValue(args[index]).is_numeric()) {
+    return Status::InvalidArgument(fn + ": argument " + std::to_string(index) +
+                                   " must be numeric");
+  }
+  return static_cast<int64_t>(TermValue(args[index]).AsDouble());
+}
+
+Result<double> NumArg(const std::string& fn, const std::vector<Term>& args,
+                      size_t index) {
+  if (index >= args.size() || !TermIsValue(args[index]) ||
+      !TermValue(args[index]).is_numeric()) {
+    return Status::InvalidArgument(fn + ": argument " + std::to_string(index) +
+                                   " must be numeric");
+  }
+  return TermValue(args[index]).AsDouble();
+}
+
+}  // namespace
+
+void FunctionRegistry::RegisterCondition(const std::string& name, Condition fn) {
+  conditions_[name] = std::move(fn);
+}
+
+void FunctionRegistry::RegisterTransform(const std::string& name, Transform fn) {
+  transforms_[name] = std::move(fn);
+}
+
+const FunctionRegistry::Condition* FunctionRegistry::FindCondition(
+    const std::string& name) const {
+  auto it = conditions_.find(name);
+  return it == conditions_.end() ? nullptr : &it->second;
+}
+
+const FunctionRegistry::Transform* FunctionRegistry::FindTransform(
+    const std::string& name) const {
+  auto it = transforms_.find(name);
+  return it == transforms_.end() ? nullptr : &it->second;
+}
+
+FunctionRegistry FunctionRegistry::WithBuiltins() {
+  FunctionRegistry r;
+
+  r.RegisterCondition("Value", [](const std::vector<Term>& args) {
+    return args.size() == 1 && TermIsValue(args[0]);
+  });
+  r.RegisterCondition("Attribute", [](const std::vector<Term>& args) {
+    return args.size() == 1 && TermIsAttr(args[0]);
+  });
+  r.RegisterCondition("Integer", [](const std::vector<Term>& args) {
+    return args.size() == 1 && TermIsValue(args[0]) &&
+           TermValue(args[0]).kind() == ValueKind::kInt;
+  });
+  r.RegisterCondition("String", [](const std::vector<Term>& args) {
+    return args.size() == 1 && TermIsValue(args[0]) &&
+           TermValue(args[0]).kind() == ValueKind::kString;
+  });
+
+  r.RegisterTransform("Identity", [](const std::vector<Term>& args) -> Result<Term> {
+    if (args.size() != 1) return ArityError("Identity", 1, args.size());
+    return args[0];
+  });
+  r.RegisterTransform(
+      "RewriteTextPat", [](const std::vector<Term>& args) -> Result<Term> {
+        if (args.size() != 1) return ArityError("RewriteTextPat", 1, args.size());
+        Result<std::string> text = StringArg("RewriteTextPat", args, 0);
+        if (!text.ok()) return text.status();
+        Result<TextPattern> pattern = TextPattern::Parse(*text);
+        if (!pattern.ok()) return pattern.status();
+        return Term(Value::Str(pattern->RelaxNear().ToString()));
+      });
+  r.RegisterTransform(
+      "LnFnToName", [](const std::vector<Term>& args) -> Result<Term> {
+        if (args.size() != 2) return ArityError("LnFnToName", 2, args.size());
+        Result<std::string> ln = StringArg("LnFnToName", args, 0);
+        if (!ln.ok()) return ln.status();
+        Result<std::string> fn = StringArg("LnFnToName", args, 1);
+        if (!fn.ok()) return fn.status();
+        return Term(Value::Str(LnFnToName(*ln, *fn)));
+      });
+  r.RegisterTransform("NameOfLn", [](const std::vector<Term>& args) -> Result<Term> {
+    if (args.size() != 1) return ArityError("NameOfLn", 1, args.size());
+    Result<std::string> ln = StringArg("NameOfLn", args, 0);
+    if (!ln.ok()) return ln.status();
+    return Term(Value::Str(*ln));
+  });
+  r.RegisterTransform("MakeDate", [](const std::vector<Term>& args) -> Result<Term> {
+    if (args.size() != 2) return ArityError("MakeDate", 2, args.size());
+    Result<int64_t> year = IntArg("MakeDate", args, 0);
+    if (!year.ok()) return year.status();
+    Result<int64_t> month = IntArg("MakeDate", args, 1);
+    if (!month.ok()) return month.status();
+    Result<Date> d = MakeDate(*year, *month);
+    if (!d.ok()) return d.status();
+    return Term(Value::OfDate(*d));
+  });
+  r.RegisterTransform(
+      "MakeYearDate", [](const std::vector<Term>& args) -> Result<Term> {
+        if (args.size() != 1) return ArityError("MakeYearDate", 1, args.size());
+        Result<int64_t> year = IntArg("MakeYearDate", args, 0);
+        if (!year.ok()) return year.status();
+        return Term(Value::OfDate(MakeYearDate(*year)));
+      });
+  r.RegisterTransform("MakeRange", [](const std::vector<Term>& args) -> Result<Term> {
+    if (args.size() != 2) return ArityError("MakeRange", 2, args.size());
+    Result<double> lo = NumArg("MakeRange", args, 0);
+    if (!lo.ok()) return lo.status();
+    Result<double> hi = NumArg("MakeRange", args, 1);
+    if (!hi.ok()) return hi.status();
+    return Term(Value::OfRange(Range{*lo, *hi}));
+  });
+  r.RegisterTransform("MakePoint", [](const std::vector<Term>& args) -> Result<Term> {
+    if (args.size() != 2) return ArityError("MakePoint", 2, args.size());
+    Result<double> x = NumArg("MakePoint", args, 0);
+    if (!x.ok()) return x.status();
+    Result<double> y = NumArg("MakePoint", args, 1);
+    if (!y.ok()) return y.status();
+    return Term(Value::OfPoint(Point{*x, *y}));
+  });
+
+  return r;
+}
+
+}  // namespace qmap

@@ -1,0 +1,53 @@
+#ifndef QMAP_RULES_FUNCTION_REGISTRY_H_
+#define QMAP_RULES_FUNCTION_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qmap/common/status.h"
+#include "qmap/rules/term.h"
+
+namespace qmap {
+
+/// The externally supplied functions a mapping specification refers to
+/// (Section 4.1): *conditions* restrict rule matchings (`SimpleMapping(A1)`,
+/// `Value(N)`), *transforms* convert value formats and attribute names
+/// (`RewriteTextPat`, `LnFnToName`, `MakeDate`).  "The functions (as well as
+/// the conditions in the head) are supplied externally, and in principle can
+/// be written in any programming language" — here they are C++ callables
+/// registered by name.
+class FunctionRegistry {
+ public:
+  using Condition = std::function<bool(const std::vector<Term>&)>;
+  using Transform = std::function<Result<Term>(const std::vector<Term>&)>;
+
+  FunctionRegistry() = default;
+
+  void RegisterCondition(const std::string& name, Condition fn);
+  void RegisterTransform(const std::string& name, Transform fn);
+
+  /// nullptr when unknown.
+  const Condition* FindCondition(const std::string& name) const;
+  const Transform* FindTransform(const std::string& name) const;
+
+  /// A registry pre-loaded with the domain-independent built-ins:
+  ///
+  /// Conditions: `Value(T)` (term is a constant — restricts a pattern to
+  /// selection constraints, Section 4.2), `Attribute(T)` (term is an
+  /// attribute — restricts to join constraints), `Integer(T)`, `String(T)`.
+  ///
+  /// Transforms: `RewriteTextPat(P)` (relaxes `near` to `and`; reference
+  /// [20]), `LnFnToName(L, F)`, `NameOfLn(L)`, `MakeDate(Y, M)`,
+  /// `MakeYearDate(Y)`, `MakeRange(A, B)`, `MakePoint(X, Y)`, `Identity(T)`.
+  static FunctionRegistry WithBuiltins();
+
+ private:
+  std::map<std::string, Condition> conditions_;
+  std::map<std::string, Transform> transforms_;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_RULES_FUNCTION_REGISTRY_H_

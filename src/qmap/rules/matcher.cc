@@ -1,0 +1,92 @@
+#include "qmap/rules/matcher.h"
+
+#include <algorithm>
+#include <set>
+
+namespace qmap {
+namespace {
+
+// Recursively assigns constraints to head patterns. `used` holds the
+// constraint indices already taken by earlier patterns; a matching uses
+// pairwise-distinct constraints.
+void MatchHead(const Rule& rule, const std::vector<Constraint>& constraints,
+               const FunctionRegistry& registry, size_t pattern_index,
+               std::vector<int>* used, const Bindings& bindings,
+               MatchCounters* counters, std::set<std::string>* seen,
+               std::vector<Matching>* out) {
+  if (pattern_index == rule.head.size()) {
+    if (!rule.ConditionsHold(bindings, registry)) return;
+    Matching m;
+    m.constraint_indices = *used;
+    std::sort(m.constraint_indices.begin(), m.constraint_indices.end());
+    m.bindings = bindings;
+    m.rule = &rule;
+    m.rule_name = rule.name;
+    m.rule_exact = rule.exact;
+    std::string key = m.ToString();
+    if (seen->insert(std::move(key)).second) {
+      if (counters != nullptr) ++counters->matchings_found;
+      out->push_back(std::move(m));
+    }
+    return;
+  }
+  const ConstraintPattern& pattern = rule.head[pattern_index];
+  for (int i = 0; i < static_cast<int>(constraints.size()); ++i) {
+    if (std::find(used->begin(), used->end(), i) != used->end()) continue;
+    if (counters != nullptr) ++counters->pattern_attempts;
+    Bindings extended = bindings;
+    if (!pattern.Match(constraints[i], &extended)) continue;
+    used->push_back(i);
+    MatchHead(rule, constraints, registry, pattern_index + 1, used, extended,
+              counters, seen, out);
+    used->pop_back();
+  }
+}
+
+}  // namespace
+
+bool Matching::IsStrictSubsetOf(const Matching& other) const {
+  if (constraint_indices.size() >= other.constraint_indices.size()) return false;
+  return std::includes(other.constraint_indices.begin(),
+                       other.constraint_indices.end(), constraint_indices.begin(),
+                       constraint_indices.end());
+}
+
+std::string Matching::ToString() const {
+  std::string out = !rule_name.empty() ? rule_name : "?";
+  out += "{";
+  for (size_t i = 0; i < constraint_indices.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(constraint_indices[i]);
+  }
+  out += "}";
+  out += bindings.ToString();
+  return out;
+}
+
+std::vector<Matching> MatchRule(const Rule& rule,
+                                const std::vector<Constraint>& constraints,
+                                const FunctionRegistry& registry,
+                                MatchCounters* counters) {
+  std::vector<Matching> out;
+  std::vector<int> used;
+  std::set<std::string> seen;
+  Bindings empty;
+  MatchHead(rule, constraints, registry, 0, &used, empty, counters, &seen, &out);
+  return out;
+}
+
+std::vector<Matching> MatchSpec(const MappingSpec& spec,
+                                const std::vector<Constraint>& constraints,
+                                MatchCounters* counters) {
+  std::vector<Matching> out;
+  for (const Rule& rule : spec.rules()) {
+    std::vector<Matching> matched =
+        MatchRule(rule, constraints, spec.registry(), counters);
+    out.insert(out.end(), std::make_move_iterator(matched.begin()),
+               std::make_move_iterator(matched.end()));
+  }
+  return out;
+}
+
+}  // namespace qmap

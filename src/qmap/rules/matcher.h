@@ -1,0 +1,51 @@
+#ifndef QMAP_RULES_MATCHER_H_
+#define QMAP_RULES_MATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qmap/rules/spec.h"
+
+namespace qmap {
+
+/// A matching of a rule in a simple conjunction (Section 4.1): the subset of
+/// constraints (as sorted indices into the input conjunction) that together
+/// satisfy the rule's head, plus the variable bindings established.
+struct Matching {
+  std::vector<int> constraint_indices;  // sorted ascending, no duplicates
+  Bindings bindings;
+  /// The matched rule. Points into the MappingSpec the matching was produced
+  /// from: valid only while that spec is alive.
+  const Rule* rule = nullptr;
+  /// Self-contained copies for inspection after the spec is gone.
+  std::string rule_name;
+  bool rule_exact = true;
+
+  /// True if this matching's constraint set is a strict subset of `other`'s
+  /// (the sub-matching test of Algorithm SCM step 2).
+  bool IsStrictSubsetOf(const Matching& other) const;
+
+  std::string ToString() const;
+};
+
+/// Counters exposed to benchmarks (the N·P·R cost term of Section 4.4).
+struct MatchCounters {
+  uint64_t pattern_attempts = 0;  // pattern-vs-constraint match trials
+  uint64_t matchings_found = 0;
+};
+
+/// Finds M(Q̂, R): all matchings of `rule` in the conjunction `constraints`.
+/// Matchings are deduplicated by (constraint set, bindings).
+std::vector<Matching> MatchRule(const Rule& rule,
+                                const std::vector<Constraint>& constraints,
+                                const FunctionRegistry& registry,
+                                MatchCounters* counters = nullptr);
+
+/// Finds M(Q̂, K) = ∪_R M(Q̂, R) over all rules of `spec`.
+std::vector<Matching> MatchSpec(const MappingSpec& spec,
+                                const std::vector<Constraint>& constraints,
+                                MatchCounters* counters = nullptr);
+
+}  // namespace qmap
+
+#endif  // QMAP_RULES_MATCHER_H_

@@ -1,0 +1,234 @@
+#include "qmap/rules/pattern.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace qmap {
+namespace {
+
+// Encodes a view reference (name + instance) as the string a view variable
+// binds to, e.g. "fac" or "fac[2]".
+std::string ViewRefString(const std::string& view, int instance) {
+  if (instance == 0) return view;
+  return view + "[" + std::to_string(instance) + "]";
+}
+
+// Hidden binding carrying the instance matched by an *unindexed* view
+// literal ("fac.bib is an abbreviation for fac[i].bib", Section 4.2): all
+// unindexed references to the same view within one rule share the instance,
+// and emissions resolve to it.  '$' cannot appear in DSL identifiers, so
+// the name cannot collide with user variables.
+std::string ImplicitIndexVar(const std::string& view) { return "$idx$" + view; }
+
+// Decodes ViewRefString back into (view, instance).
+void ParseViewRef(const std::string& ref, std::string* view, int* instance) {
+  size_t bracket = ref.find('[');
+  if (bracket == std::string::npos) {
+    *view = ref;
+    *instance = 0;
+    return;
+  }
+  *view = ref.substr(0, bracket);
+  *instance = std::atoi(ref.substr(bracket + 1).c_str());
+}
+
+}  // namespace
+
+bool IsVariableName(std::string_view name) {
+  return !name.empty() && std::isupper(static_cast<unsigned char>(name[0]));
+}
+
+bool AttrExpr::Match(const Attr& attr, Bindings* bindings) const {
+  if (is_whole_var()) {
+    return bindings->BindOrCheck(whole_var, Term(attr));
+  }
+  if (!has_view()) {
+    // A bare pattern matches the attribute name in any (or no) view.
+    if (!name_literal.empty()) {
+      if (attr.name != name_literal) return false;
+    } else if (!name_var.empty()) {
+      if (!bindings->BindOrCheck(name_var, Term(Value::Str(attr.name)))) return false;
+    }
+    return true;
+  }
+  if (!view_literal.empty()) {
+    if (attr.view != view_literal) return false;
+  } else if (!view_var.empty()) {
+    if (!bindings->BindOrCheck(
+            view_var, Term(Value::Str(ViewRefString(attr.view, attr.instance))))) {
+      return false;
+    }
+  }
+  if (index_literal.has_value()) {
+    if (attr.instance != *index_literal) return false;
+  } else if (!index_var.empty()) {
+    if (!bindings->BindOrCheck(index_var,
+                               Term(Value::Int(attr.instance)))) {
+      return false;
+    }
+  } else if (!view_literal.empty()) {
+    // No index pattern: any instance matches (fac.bib ~ fac[i].bib), but the
+    // matched instance is recorded so emissions can reproduce it.
+    if (!bindings->BindOrCheck(ImplicitIndexVar(view_literal),
+                               Term(Value::Int(attr.instance)))) {
+      return false;
+    }
+  }
+  if (!name_literal.empty()) {
+    if (attr.name != name_literal) return false;
+  } else if (!name_var.empty()) {
+    if (!bindings->BindOrCheck(name_var, Term(Value::Str(attr.name)))) return false;
+  }
+  return true;
+}
+
+Result<Attr> AttrExpr::Resolve(const Bindings& bindings) const {
+  if (is_whole_var()) {
+    const Term* term = bindings.Find(whole_var);
+    if (term == nullptr) {
+      return Status::InvalidArgument("unbound attribute variable: " + whole_var);
+    }
+    if (TermIsAttr(*term)) return TermAttr(*term);
+    // A string-valued binding denotes a bare attribute name.
+    if (TermIsValue(*term) && TermValue(*term).kind() == ValueKind::kString) {
+      return Attr::Simple(TermValue(*term).AsString());
+    }
+    return Status::InvalidArgument("variable " + whole_var +
+                                   " is not bound to an attribute");
+  }
+  Attr attr;
+  if (!view_literal.empty()) {
+    attr.view = view_literal;
+  } else if (!view_var.empty()) {
+    const Term* term = bindings.Find(view_var);
+    if (term == nullptr || !TermIsValue(*term) ||
+        TermValue(*term).kind() != ValueKind::kString) {
+      return Status::InvalidArgument("unbound view variable: " + view_var);
+    }
+    ParseViewRef(TermValue(*term).AsString(), &attr.view, &attr.instance);
+  }
+  if (index_literal.has_value()) {
+    attr.instance = *index_literal;
+  } else if (!index_var.empty()) {
+    const Term* term = bindings.Find(index_var);
+    if (term == nullptr || !TermIsValue(*term) ||
+        TermValue(*term).kind() != ValueKind::kInt) {
+      return Status::InvalidArgument("unbound index variable: " + index_var);
+    }
+    attr.instance = static_cast<int>(TermValue(*term).AsInt());
+  } else if (!view_literal.empty()) {
+    // Unindexed view literal: reproduce the instance the head matched.
+    const Term* term = bindings.Find(ImplicitIndexVar(view_literal));
+    if (term != nullptr && TermIsValue(*term) &&
+        TermValue(*term).kind() == ValueKind::kInt) {
+      attr.instance = static_cast<int>(TermValue(*term).AsInt());
+    }
+  }
+  if (!name_literal.empty()) {
+    attr.name = name_literal;
+  } else if (!name_var.empty()) {
+    const Term* term = bindings.Find(name_var);
+    if (term == nullptr || !TermIsValue(*term) ||
+        TermValue(*term).kind() != ValueKind::kString) {
+      return Status::InvalidArgument("unbound name variable: " + name_var);
+    }
+    attr.name = TermValue(*term).AsString();
+  } else {
+    return Status::InvalidArgument("attribute expression has no name part");
+  }
+  return attr;
+}
+
+std::string AttrExpr::ToString() const {
+  if (is_whole_var()) return whole_var;
+  std::string out;
+  if (!view_literal.empty()) {
+    out += view_literal;
+  } else if (!view_var.empty()) {
+    out += view_var;
+  }
+  if (index_literal.has_value()) {
+    out += "[" + std::to_string(*index_literal) + "]";
+  } else if (!index_var.empty()) {
+    out += "[" + index_var + "]";
+  }
+  if (!out.empty()) out += ".";
+  out += !name_literal.empty() ? name_literal : name_var;
+  return out;
+}
+
+bool OperandExpr::Match(const Operand& operand, Bindings* bindings) const {
+  switch (kind) {
+    case Kind::kVar: {
+      Term term = std::holds_alternative<Value>(operand)
+                      ? Term(std::get<Value>(operand))
+                      : Term(std::get<Attr>(operand));
+      return bindings->BindOrCheck(var, term);
+    }
+    case Kind::kValueLiteral:
+      return std::holds_alternative<Value>(operand) &&
+             std::get<Value>(operand).Equals(value_literal);
+    case Kind::kAttr:
+      return std::holds_alternative<Attr>(operand) &&
+             attr.Match(std::get<Attr>(operand), bindings);
+  }
+  return false;
+}
+
+Result<Operand> OperandExpr::Resolve(const Bindings& bindings) const {
+  switch (kind) {
+    case Kind::kVar: {
+      const Term* term = bindings.Find(var);
+      if (term == nullptr) {
+        return Status::InvalidArgument("unbound operand variable: " + var);
+      }
+      if (TermIsValue(*term)) return Operand(TermValue(*term));
+      return Operand(TermAttr(*term));
+    }
+    case Kind::kValueLiteral:
+      return Operand(value_literal);
+    case Kind::kAttr: {
+      Result<Attr> resolved = attr.Resolve(bindings);
+      if (!resolved.ok()) return resolved.status();
+      return Operand(*std::move(resolved));
+    }
+  }
+  return Status::Internal("unreachable operand kind");
+}
+
+std::string OperandExpr::ToString() const {
+  switch (kind) {
+    case Kind::kVar:
+      return var;
+    case Kind::kValueLiteral:
+      return value_literal.ToString();
+    case Kind::kAttr:
+      return attr.ToString();
+  }
+  return "?";
+}
+
+bool ConstraintPattern::Match(const Constraint& constraint, Bindings* bindings) const {
+  if (constraint.op != op) return false;
+  if (!lhs.Match(constraint.lhs, bindings)) return false;
+  return rhs.Match(constraint.rhs, bindings);
+}
+
+Result<Constraint> ConstraintPattern::Resolve(const Bindings& bindings) const {
+  Result<Attr> attr = lhs.Resolve(bindings);
+  if (!attr.ok()) return attr.status();
+  Result<Operand> operand = rhs.Resolve(bindings);
+  if (!operand.ok()) return operand.status();
+  Constraint c;
+  c.lhs = *std::move(attr);
+  c.op = op;
+  c.rhs = *std::move(operand);
+  return c;
+}
+
+std::string ConstraintPattern::ToString() const {
+  return "[" + lhs.ToString() + " " + std::string(OpName(op)) + " " +
+         rhs.ToString() + "]";
+}
+
+}  // namespace qmap

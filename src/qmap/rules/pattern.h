@@ -1,0 +1,90 @@
+#ifndef QMAP_RULES_PATTERN_H_
+#define QMAP_RULES_PATTERN_H_
+
+#include <optional>
+#include <string>
+
+#include "qmap/common/status.h"
+#include "qmap/expr/constraint.h"
+#include "qmap/rules/term.h"
+
+namespace qmap {
+
+/// An attribute expression appearing in a rule — usable both as a *pattern*
+/// (matched against a constraint's attribute, binding variables) and as a
+/// *template* (resolved against bindings when firing a rule's tail).
+///
+/// Variables follow the paper's convention: capitalized symbols are
+/// variables.  Supported shapes (Section 4.1-4.2):
+///   * `A1`            — whole-attribute variable, binds the entire Attr
+///   * `ln`            — literal bare attribute
+///   * `fac.bib`       — literal view + literal name; as a pattern this
+///                       matches *any* instance of the view ("fac.bib is an
+///                       abbreviation for fac[i].bib")
+///   * `fac.A1`        — literal view, name variable (binds a string)
+///   * `V1.ln`         — view variable (binds the view name + instance),
+///                       literal name
+///   * `fac[i].A`      — literal view, index variable (binds an int),
+///                       name variable
+struct AttrExpr {
+  std::string whole_var;  // when non-empty, the other fields are unused
+
+  std::string view_literal;
+  std::string view_var;
+  std::optional<int> index_literal;
+  std::string index_var;
+  std::string name_literal;
+  std::string name_var;
+
+  bool is_whole_var() const { return !whole_var.empty(); }
+  bool has_view() const {
+    return !view_literal.empty() || !view_var.empty();
+  }
+
+  /// Pattern use: matches `attr`, extending `bindings`. Returns false (and
+  /// possibly leaves partial bindings — callers match on scratch copies) on
+  /// mismatch.
+  bool Match(const Attr& attr, Bindings* bindings) const;
+
+  /// Template use: produces a concrete Attr from `bindings`; unbound
+  /// variables are an error.
+  Result<Attr> Resolve(const Bindings& bindings) const;
+
+  std::string ToString() const;
+};
+
+/// Right-hand-side expression of a rule constraint pattern/template: a plain
+/// variable (binds the whole operand, constant or attribute), a literal
+/// value, or an attribute expression.
+struct OperandExpr {
+  enum class Kind { kVar, kValueLiteral, kAttr };
+
+  Kind kind = Kind::kVar;
+  std::string var;       // kVar
+  Value value_literal;   // kValueLiteral
+  AttrExpr attr;         // kAttr
+
+  bool Match(const Operand& operand, Bindings* bindings) const;
+  Result<Operand> Resolve(const Bindings& bindings) const;
+  std::string ToString() const;
+};
+
+/// One constraint pattern in a rule head (or constraint template in an
+/// emission), e.g. `[ti contains P1]` or `[V1.ln = V2.ln]`.
+struct ConstraintPattern {
+  AttrExpr lhs;
+  Op op = Op::kEq;
+  OperandExpr rhs;
+
+  bool Match(const Constraint& constraint, Bindings* bindings) const;
+  Result<Constraint> Resolve(const Bindings& bindings) const;
+  std::string ToString() const;
+};
+
+/// True if `name` is a variable identifier under the paper's convention
+/// (leading uppercase letter).
+bool IsVariableName(std::string_view name);
+
+}  // namespace qmap
+
+#endif  // QMAP_RULES_PATTERN_H_

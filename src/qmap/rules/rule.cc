@@ -1,0 +1,160 @@
+#include "qmap/rules/rule.h"
+
+namespace qmap {
+
+Result<Term> ArgExpr::Resolve(const Bindings& bindings) const {
+  switch (kind) {
+    case Kind::kVar: {
+      const Term* term = bindings.Find(var);
+      if (term == nullptr) {
+        return Status::InvalidArgument("unbound argument variable: " + var);
+      }
+      return *term;
+    }
+    case Kind::kValueLiteral:
+      return Term(value_literal);
+    case Kind::kAttr: {
+      Result<Attr> attr_result = attr.Resolve(bindings);
+      if (!attr_result.ok()) return attr_result.status();
+      return Term(*std::move(attr_result));
+    }
+  }
+  return Status::Internal("unreachable arg kind");
+}
+
+std::string ArgExpr::ToString() const {
+  switch (kind) {
+    case Kind::kVar:
+      return var;
+    case Kind::kValueLiteral:
+      return value_literal.ToString();
+    case Kind::kAttr:
+      return attr.ToString();
+  }
+  return "?";
+}
+
+std::string FunctionCall::ToString() const {
+  std::string out = function + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  return out + ")";
+}
+
+Result<Query> EmissionTemplate::Instantiate(const Bindings& bindings) const {
+  switch (kind) {
+    case Kind::kTrue:
+      return Query::True();
+    case Kind::kLeaf: {
+      Result<Constraint> c = leaf.Resolve(bindings);
+      if (!c.ok()) return c.status();
+      return Query::Leaf(*std::move(c));
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<Query> parts;
+      parts.reserve(children.size());
+      for (const EmissionTemplate& child : children) {
+        Result<Query> part = child.Instantiate(bindings);
+        if (!part.ok()) return part;
+        parts.push_back(*std::move(part));
+      }
+      return kind == Kind::kAnd ? Query::And(std::move(parts))
+                                : Query::Or(std::move(parts));
+    }
+  }
+  return Status::Internal("unreachable emission kind");
+}
+
+std::string EmissionTemplate::ToString() const {
+  switch (kind) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kLeaf:
+      return leaf.ToString();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = kind == Kind::kAnd ? " & " : " | ";
+      std::string out;
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += sep;
+        bool parens = children[i].kind == Kind::kAnd || children[i].kind == Kind::kOr;
+        if (parens) out += "(";
+        out += children[i].ToString();
+        if (parens) out += ")";
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+bool Rule::ConditionsHold(const Bindings& bindings,
+                          const FunctionRegistry& registry) const {
+  for (const FunctionCall& condition : conditions) {
+    const FunctionRegistry::Condition* fn = registry.FindCondition(condition.function);
+    if (fn == nullptr) return false;
+    std::vector<Term> args;
+    args.reserve(condition.args.size());
+    for (const ArgExpr& arg : condition.args) {
+      Result<Term> term = arg.Resolve(bindings);
+      if (!term.ok()) return false;
+      args.push_back(*std::move(term));
+    }
+    if (!(*fn)(args)) return false;
+  }
+  return true;
+}
+
+Result<Query> Rule::Fire(const Bindings& bindings,
+                         const FunctionRegistry& registry) const {
+  Bindings env = bindings;
+  for (const Assignment& let : lets) {
+    const FunctionRegistry::Transform* fn = registry.FindTransform(let.call.function);
+    if (fn == nullptr) {
+      return Status::NotFound("rule " + name + " references unknown transform " +
+                              let.call.function);
+    }
+    std::vector<Term> args;
+    args.reserve(let.call.args.size());
+    for (const ArgExpr& arg : let.call.args) {
+      Result<Term> term = arg.Resolve(env);
+      if (!term.ok()) return term.status();
+      args.push_back(*std::move(term));
+    }
+    Result<Term> out = (*fn)(args);
+    if (!out.ok()) return out.status();
+    if (!env.BindOrCheck(let.var, *out)) {
+      return Status::InvalidArgument("rule " + name + ": let rebinds " + let.var +
+                                     " to a different term");
+    }
+  }
+  return emission.Instantiate(env);
+}
+
+std::string Rule::ToString() const {
+  std::string out = "rule " + name;
+  if (!exact) out += " inexact";
+  out += ": ";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += head[i].ToString();
+  }
+  if (!conditions.empty()) {
+    out += " where ";
+    for (size_t i = 0; i < conditions.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += conditions[i].ToString();
+    }
+  }
+  out += " => ";
+  for (const Assignment& let : lets) {
+    out += "let " + let.var + " = " + let.call.ToString() + "; ";
+  }
+  out += "emit " + emission.ToString() + ";";
+  return out;
+}
+
+}  // namespace qmap

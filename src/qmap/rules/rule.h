@@ -1,0 +1,86 @@
+#ifndef QMAP_RULES_RULE_H_
+#define QMAP_RULES_RULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qmap/expr/query.h"
+#include "qmap/rules/function_registry.h"
+#include "qmap/rules/pattern.h"
+
+namespace qmap {
+
+/// An argument of a condition or transform call: a variable reference, a
+/// value literal, or an attribute expression resolved against the bindings.
+struct ArgExpr {
+  enum class Kind { kVar, kValueLiteral, kAttr };
+
+  Kind kind = Kind::kVar;
+  std::string var;
+  Value value_literal;
+  AttrExpr attr;
+
+  Result<Term> Resolve(const Bindings& bindings) const;
+  std::string ToString() const;
+};
+
+/// A call `Name(arg, ...)` appearing as a rule condition or a `let` RHS.
+struct FunctionCall {
+  std::string function;
+  std::vector<ArgExpr> args;
+
+  std::string ToString() const;
+};
+
+/// A `let Var = Fn(args);` step of a rule tail.
+struct Assignment {
+  std::string var;
+  FunctionCall call;
+};
+
+/// Emission template: a small ∧/∨ tree of constraint templates, or True.
+/// Instantiated against the matching's bindings to produce the target query.
+struct EmissionTemplate {
+  enum class Kind { kTrue, kLeaf, kAnd, kOr };
+
+  Kind kind = Kind::kTrue;
+  ConstraintPattern leaf;                            // kLeaf
+  std::vector<EmissionTemplate> children;            // kAnd/kOr
+
+  Result<Query> Instantiate(const Bindings& bindings) const;
+  std::string ToString() const;
+};
+
+/// A mapping rule (Section 4.1): the head is a list of constraint patterns
+/// plus condition calls; the tail is a list of transform assignments and an
+/// emission.  A sound rule's matchings are indecomposable constraint groups
+/// and its emission is their minimal subsuming mapping (Definition 3).
+struct Rule {
+  std::string name;
+  std::vector<ConstraintPattern> head;
+  std::vector<FunctionCall> conditions;
+  std::vector<Assignment> lets;
+  EmissionTemplate emission;
+
+  /// When false, the emission is a strict relaxation of the matched
+  /// constraints (e.g. `near` relaxed to `∧`, or a dropped name component);
+  /// the translator then keeps the matched constraints in the residue filter
+  /// F of Eq. 2-3.  Declared in the DSL with the `inexact` keyword.
+  bool exact = true;
+
+  /// Evaluates the rule's tail for a complete set of head bindings: runs the
+  /// `let` transforms, then instantiates the emission.
+  Result<Query> Fire(const Bindings& bindings, const FunctionRegistry& registry) const;
+
+  /// Checks all condition calls against `bindings`. Unknown functions are
+  /// treated as failed conditions (specs should be validated up front via
+  /// MappingSpec::Validate).
+  bool ConditionsHold(const Bindings& bindings, const FunctionRegistry& registry) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_RULES_RULE_H_

@@ -1,0 +1,49 @@
+#ifndef QMAP_RULES_SPEC_H_
+#define QMAP_RULES_SPEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qmap/rules/rule.h"
+
+namespace qmap {
+
+/// A mapping specification K: the set of mapping rules for one target
+/// context, together with the function registry its rules refer to
+/// (Section 4.1, Figures 3 and 5).
+///
+/// Soundness and completeness (Definitions 3-4) are properties of the
+/// *domain knowledge* the rules encode and cannot be checked syntactically;
+/// Validate() checks the mechanical well-formedness instead (all referenced
+/// functions exist, emission variables are bound by the head or by lets).
+class MappingSpec {
+ public:
+  MappingSpec() : registry_(std::make_shared<FunctionRegistry>()) {}
+  MappingSpec(std::string target_name, std::shared_ptr<const FunctionRegistry> registry)
+      : target_name_(std::move(target_name)), registry_(std::move(registry)) {}
+
+  const std::string& target_name() const { return target_name_; }
+  const FunctionRegistry& registry() const { return *registry_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+  /// Finds a rule by name; nullptr when absent.
+  const Rule* FindRule(const std::string& name) const;
+
+  /// Mechanical well-formedness checks (see class comment).
+  Status Validate() const;
+
+  /// Multi-line rendering of all rules.
+  std::string ToString() const;
+
+ private:
+  std::string target_name_;
+  std::shared_ptr<const FunctionRegistry> registry_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_RULES_SPEC_H_

@@ -1,0 +1,67 @@
+#include "qmap/rules/spec_check.h"
+
+#include "qmap/rules/matcher.h"
+
+namespace qmap {
+
+std::string SpecViolation::ToString() const {
+  std::string out = rule.empty() ? "(coverage)" : rule;
+  out += " " + matching + ": " + detail;
+  return out;
+}
+
+std::vector<SpecViolation> CheckRuleSoundness(
+    const MappingSpec& spec, const std::vector<Constraint>& conjunction,
+    const std::vector<Tuple>& source_universe,
+    const std::function<Tuple(const Tuple&)>& convert,
+    const ConstraintSemantics* semantics) {
+  std::vector<SpecViolation> violations;
+  std::vector<Matching> matchings = MatchSpec(spec, conjunction);
+  for (const Matching& m : matchings) {
+    Result<Query> emission = m.rule->Fire(m.bindings, spec.registry());
+    if (!emission.ok()) {
+      violations.push_back(
+          {m.rule_name, m.ToString(), "emission failed: " + emission.status().ToString()});
+      continue;
+    }
+    // ∧(m) as a query over the source vocabulary.
+    std::vector<Query> leaves;
+    std::string rendered;
+    for (int index : m.constraint_indices) {
+      const Constraint& c = conjunction[static_cast<size_t>(index)];
+      leaves.push_back(Query::Leaf(c));
+      rendered += c.ToString();
+    }
+    Query matched = Query::And(std::move(leaves));
+    for (const Tuple& t : source_universe) {
+      bool source_holds = EvalQuery(matched, t);
+      bool target_holds = EvalQuery(*emission, convert(t), semantics);
+      if (source_holds && !target_holds) {
+        violations.push_back({m.rule_name, rendered,
+                              "emission does not subsume the matching on tuple " +
+                                  t.ToString()});
+        break;
+      }
+      if (m.rule_exact && target_holds && !source_holds) {
+        violations.push_back(
+            {m.rule_name, rendered,
+             "rule is marked exact but its emission admits extra tuple " +
+                 t.ToString() + " (mark it `inexact`?)"});
+        break;
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<Constraint> UncoveredConstraints(
+    const MappingSpec& spec, const std::vector<Constraint>& constraints) {
+  std::vector<Constraint> uncovered;
+  for (const Constraint& c : constraints) {
+    std::vector<Matching> matchings = MatchSpec(spec, {c});
+    if (matchings.empty()) uncovered.push_back(c);
+  }
+  return uncovered;
+}
+
+}  // namespace qmap

@@ -1,0 +1,53 @@
+#ifndef QMAP_RULES_SPEC_CHECK_H_
+#define QMAP_RULES_SPEC_CHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "qmap/expr/eval.h"
+#include "qmap/rules/spec.h"
+
+namespace qmap {
+
+/// Tools for *empirically* auditing a mapping specification against the
+/// soundness/completeness contract of Definitions 3-4.  True soundness is a
+/// semantic property judged by the human expert; these checks catch the
+/// common authoring mistakes mechanically, over a caller-supplied workload
+/// and data universe.
+
+/// One detected violation.
+struct SpecViolation {
+  std::string rule;       // offending rule name (empty for coverage gaps)
+  std::string matching;   // the matched constraints, rendered
+  std::string detail;     // what went wrong, with a witness tuple
+
+  std::string ToString() const;
+};
+
+/// Checks the *subsumption* half of rule soundness over data: for every
+/// matching of every rule in `conjunction`, and every source tuple t in
+/// `source_universe`, if t satisfies the matched constraints then
+/// `convert(t)` must satisfy the rule's emission.  For rules not marked
+/// `inexact`, the converse is also required (the emission must not be a
+/// strict relaxation).
+///
+/// `convert` maps a source-vocabulary tuple to the target vocabulary (the
+/// data-conversion direction); `semantics` optionally customizes target
+/// constraint evaluation.
+std::vector<SpecViolation> CheckRuleSoundness(
+    const MappingSpec& spec, const std::vector<Constraint>& conjunction,
+    const std::vector<Tuple>& source_universe,
+    const std::function<Tuple(const Tuple&)>& convert,
+    const ConstraintSemantics* semantics = nullptr);
+
+/// Reports which of `constraints` (taken individually) match no rule at all
+/// — they will silently translate to True and fall to the residue filter.
+/// A non-empty report is not an error (Definition 4 allows trivial
+/// mappings), but it is exactly what a spec author wants to see.
+std::vector<Constraint> UncoveredConstraints(
+    const MappingSpec& spec, const std::vector<Constraint>& constraints);
+
+}  // namespace qmap
+
+#endif  // QMAP_RULES_SPEC_CHECK_H_

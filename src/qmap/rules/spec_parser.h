@@ -1,0 +1,49 @@
+#ifndef QMAP_RULES_SPEC_PARSER_H_
+#define QMAP_RULES_SPEC_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "qmap/rules/spec.h"
+
+namespace qmap {
+
+/// Parses a mapping specification written in the rule DSL, which transcribes
+/// the paper's rule notation (Figures 3 and 5).  Example — rules R4, R6 and
+/// R8 of K_Amazon:
+///
+///   rule R4 inexact: [ti contains P1]
+///     => let P2 = RewriteTextPat(P1); emit [ti-word contains P2];
+///
+///   rule R6: [pyear = Y]; [pmonth = M]
+///     => let D = MakeDate(Y, M); emit [pdate during D];
+///
+///   rule R8: [kwd contains P]
+///     => emit [ti-word contains P] | [subject-word contains P];
+///
+/// Join-constraint rules use attribute operands and view/index variables
+/// (Figure 5):
+///
+///   rule R5: [V1.ln = V2.ln]; [V1.fn = V2.fn]
+///     => let A1 = AuthorAttr(V1); let A2 = AuthorAttr(V2); emit [A1 = A2];
+///   rule R8: [fac[I].A = fac[J].A] where LnOrFn(A)
+///     => emit [fac[I].prof.A = fac[J].prof.A];
+///
+/// Conventions:
+///   * capitalized identifiers are variables (paper's convention); an index
+///     in brackets is a literal when numeric and a variable otherwise;
+///   * `where` lists condition calls; `let` runs transform calls;
+///   * `emit true;` declares the (non-)mapping explicitly — used when a rule
+///     exists only to document that a constraint group is supported nowhere;
+///   * `inexact` after the rule name marks relaxation rules whose emission
+///     strictly subsumes the matched constraints (kept in the filter F);
+///   * `#` and `//` start comments.
+///
+/// The returned spec shares `registry`; Validate() is run before returning.
+Result<MappingSpec> ParseMappingSpec(
+    std::string_view text, std::string target_name,
+    std::shared_ptr<const FunctionRegistry> registry);
+
+}  // namespace qmap
+
+#endif  // QMAP_RULES_SPEC_PARSER_H_

@@ -1,0 +1,50 @@
+#include "qmap/rules/term.h"
+
+namespace qmap {
+
+bool TermIsValue(const Term& t) { return std::holds_alternative<Value>(t); }
+
+bool TermIsAttr(const Term& t) { return std::holds_alternative<Attr>(t); }
+
+const Value& TermValue(const Term& t) { return std::get<Value>(t); }
+
+const Attr& TermAttr(const Term& t) { return std::get<Attr>(t); }
+
+std::string TermToString(const Term& t) {
+  if (TermIsValue(t)) return TermValue(t).ToString();
+  return TermAttr(t).ToString();
+}
+
+bool TermEquals(const Term& a, const Term& b) {
+  if (TermIsValue(a) && TermIsValue(b)) return TermValue(a).Equals(TermValue(b));
+  if (TermIsAttr(a) && TermIsAttr(b)) return TermAttr(a) == TermAttr(b);
+  return false;
+}
+
+bool Bindings::BindOrCheck(const std::string& var, const Term& term) {
+  auto it = vars_.find(var);
+  if (it == vars_.end()) {
+    vars_.emplace(var, term);
+    return true;
+  }
+  return TermEquals(it->second, term);
+}
+
+const Term* Bindings::Find(const std::string& var) const {
+  auto it = vars_.find(var);
+  if (it == vars_.end()) return nullptr;
+  return &it->second;
+}
+
+std::string Bindings::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [var, term] : vars_) {
+    if (!first) out += ", ";
+    first = false;
+    out += var + "=" + TermToString(term);
+  }
+  return out + "}";
+}
+
+}  // namespace qmap

@@ -1,0 +1,48 @@
+#ifndef QMAP_RULES_TERM_H_
+#define QMAP_RULES_TERM_H_
+
+#include <map>
+#include <string>
+#include <variant>
+
+#include "qmap/expr/attr.h"
+#include "qmap/value/value.h"
+
+namespace qmap {
+
+/// A bound term: what a rule variable can hold and what user-provided
+/// conversion functions consume and produce.  Values cover constants (and
+/// strings/ints used for attribute-name components and view indexes); Attrs
+/// cover whole attribute references bound by attribute variables.
+using Term = std::variant<Value, Attr>;
+
+bool TermIsValue(const Term& t);
+bool TermIsAttr(const Term& t);
+const Value& TermValue(const Term& t);
+const Attr& TermAttr(const Term& t);
+
+/// Canonical rendering for diagnostics and matching bookkeeping.
+std::string TermToString(const Term& t);
+
+bool TermEquals(const Term& a, const Term& b);
+
+/// Variable environment accumulated while matching a rule head and consumed
+/// when firing the rule's tail (Section 4.1).
+class Bindings {
+ public:
+  /// Binds `var` to `term`; if already bound, succeeds iff the terms agree.
+  bool BindOrCheck(const std::string& var, const Term& term);
+
+  const Term* Find(const std::string& var) const;
+
+  /// Deterministic rendering (sorted by variable) used to deduplicate
+  /// matchings.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Term> vars_;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_RULES_TERM_H_

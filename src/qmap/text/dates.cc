@@ -1,0 +1,32 @@
+#include "qmap/text/dates.h"
+
+namespace qmap {
+
+Result<Date> MakeDate(int64_t year, int64_t month) {
+  if (month < 1 || month > 12) {
+    return Status::InvalidArgument("month out of range: " + std::to_string(month));
+  }
+  Date d;
+  d.year = static_cast<int>(year);
+  d.month = static_cast<int>(month);
+  return d;
+}
+
+Date MakeYearDate(int64_t year) {
+  Date d;
+  d.year = static_cast<int>(year);
+  return d;
+}
+
+bool DateDuring(const Date& specific, const Date& period) {
+  if (specific.year != period.year) return false;
+  if (period.month.has_value()) {
+    if (!specific.month.has_value() || *specific.month != *period.month) return false;
+  }
+  if (period.day.has_value()) {
+    if (!specific.day.has_value() || *specific.day != *period.day) return false;
+  }
+  return true;
+}
+
+}  // namespace qmap

@@ -1,0 +1,23 @@
+#ifndef QMAP_TEXT_DATES_H_
+#define QMAP_TEXT_DATES_H_
+
+#include "qmap/common/status.h"
+#include "qmap/value/value.h"
+
+namespace qmap {
+
+/// Builds a month-granularity date from year/month constants (rule R6's
+/// MakeDate: pyear = 1997, pmonth = 5 -> May/97).
+Result<Date> MakeDate(int64_t year, int64_t month);
+
+/// Builds a year-granularity date (rule R7: pyear = 1997 -> 97).
+Date MakeYearDate(int64_t year);
+
+/// True if `specific` falls *during* the (possibly partial) period `period`:
+/// e.g. 12/May/97 during May/97, and May/97 during 97.  A more specific
+/// period never contains a less specific one.
+bool DateDuring(const Date& specific, const Date& period);
+
+}  // namespace qmap
+
+#endif  // QMAP_TEXT_DATES_H_

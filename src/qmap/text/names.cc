@@ -1,0 +1,21 @@
+#include "qmap/text/names.h"
+
+#include "qmap/common/strings.h"
+
+namespace qmap {
+
+std::string LnFnToName(std::string_view ln, std::string_view fn) {
+  if (fn.empty()) return std::string(ln);
+  return std::string(ln) + ", " + std::string(fn);
+}
+
+std::pair<std::string, std::string> NameLnFn(std::string_view name) {
+  size_t comma = name.find(',');
+  if (comma == std::string_view::npos) {
+    return {std::string(StripWhitespace(name)), ""};
+  }
+  return {std::string(StripWhitespace(name.substr(0, comma))),
+          std::string(StripWhitespace(name.substr(comma + 1)))};
+}
+
+}  // namespace qmap

@@ -1,0 +1,25 @@
+#ifndef QMAP_TEXT_NAMES_H_
+#define QMAP_TEXT_NAMES_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace qmap {
+
+/// Human-name format conversions used by the bookstore mapping rules
+/// (Examples 1-2 and Figure 3).  Amazon's `author` attribute stores
+/// "LastName, FirstName" (or "LastName" alone when the first name is not
+/// known).
+
+/// Composes the Amazon author format: ("Clancy", "Tom") -> "Clancy, Tom".
+std::string LnFnToName(std::string_view ln, std::string_view fn);
+
+/// Decomposes an author name: "Clancy, Tom" -> {"Clancy", "Tom"};
+/// "Clancy" -> {"Clancy", ""}.  This is the conversion function NameLnFn of
+/// Section 2 (the conceptual relation used in view definitions).
+std::pair<std::string, std::string> NameLnFn(std::string_view name);
+
+}  // namespace qmap
+
+#endif  // QMAP_TEXT_NAMES_H_

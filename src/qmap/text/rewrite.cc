@@ -1,0 +1,110 @@
+#include "qmap/text/rewrite.h"
+
+namespace qmap {
+namespace {
+
+int EffectiveWindow(const TextPattern& p, const TextCapabilities& caps) {
+  return p.window().has_value() ? *p.window() : caps.default_window;
+}
+
+}  // namespace
+
+bool TextExpressible(const TextPattern& pattern, const TextCapabilities& caps) {
+  switch (pattern.op()) {
+    case TextOp::kWord:
+      return true;
+    case TextOp::kNear:
+      if (!caps.supports_near) return false;
+      if (EffectiveWindow(pattern, caps) > caps.max_near_window) return false;
+      break;
+    case TextOp::kAnd:
+      if (!caps.supports_and) return false;
+      break;
+    case TextOp::kOr:
+      if (!caps.supports_or) return false;
+      break;
+  }
+  for (const TextPattern& child : pattern.children()) {
+    if (!TextExpressible(child, caps)) return false;
+  }
+  return true;
+}
+
+Result<TextPattern> RelaxText(const TextPattern& pattern,
+                              const TextCapabilities& caps) {
+  if (pattern.op() == TextOp::kWord) return pattern;
+
+  // Relax children first (a nested near may force its parent to stay as-is
+  // while the child relaxes independently).
+  std::vector<TextPattern> children;
+  children.reserve(pattern.children().size());
+  for (const TextPattern& child : pattern.children()) {
+    Result<TextPattern> relaxed = RelaxText(child, caps);
+    if (!relaxed.ok()) return relaxed;
+    children.push_back(*std::move(relaxed));
+  }
+
+  // Decide this node's connective, moving up the subsumption lattice
+  // near ⊑ and ⊑ or until supported.
+  TextOp op = pattern.op();
+  std::optional<int> window = pattern.window();
+  if (op == TextOp::kNear) {
+    bool near_ok = caps.supports_near &&
+                   EffectiveWindow(pattern, caps) <= caps.max_near_window;
+    if (near_ok) {
+      // Keep proximity; drop an explicit window equal to the target default
+      // (canonical form).
+      if (window.has_value() && *window == caps.default_window) window.reset();
+    } else {
+      op = TextOp::kAnd;
+      window.reset();
+    }
+  }
+  if (op == TextOp::kAnd && !caps.supports_and) {
+    if (!caps.supports_or) {
+      return Status::Unsupported(
+          "target supports neither and nor or; pattern '" + pattern.ToString() +
+          "' must be split into multiple constraints by the mapping rule");
+    }
+    op = TextOp::kOr;
+  }
+  if (op == TextOp::kOr && !caps.supports_or) {
+    return Status::Unsupported("target does not support or: '" +
+                               pattern.ToString() + "'");
+  }
+
+  // Rebuild through the friend access; flatten children whose connective
+  // (and window, for near) now equals the parent's — relaxation can turn
+  // near-under-and into and-under-and.
+  std::vector<TextPattern> flat;
+  for (TextPattern& child : children) {
+    if (child.op_ == op && (op != TextOp::kNear || child.window_ == window)) {
+      for (TextPattern& grandchild : child.children_) {
+        flat.push_back(std::move(grandchild));
+      }
+    } else {
+      flat.push_back(std::move(child));
+    }
+  }
+  TextPattern out = pattern;
+  out.op_ = op;
+  out.window_ = window;
+  out.children_ = std::move(flat);
+  return out;
+}
+
+FunctionRegistry::Transform MakeTextRewriteTransform(TextCapabilities caps) {
+  return [caps](const std::vector<Term>& args) -> Result<Term> {
+    if (args.size() != 1 || !TermIsValue(args[0]) ||
+        TermValue(args[0]).kind() != ValueKind::kString) {
+      return Status::InvalidArgument("text rewrite expects one string pattern");
+    }
+    Result<TextPattern> pattern = TextPattern::Parse(TermValue(args[0]).AsString());
+    if (!pattern.ok()) return pattern.status();
+    Result<TextPattern> relaxed = RelaxText(*pattern, caps);
+    if (!relaxed.ok()) return relaxed.status();
+    return Term(Value::Str(relaxed->ToString()));
+  };
+}
+
+}  // namespace qmap

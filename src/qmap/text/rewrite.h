@@ -1,0 +1,56 @@
+#ifndef QMAP_TEXT_REWRITE_H_
+#define QMAP_TEXT_REWRITE_H_
+
+#include "qmap/common/status.h"
+#include "qmap/rules/function_registry.h"
+#include "qmap/text/text_pattern.h"
+
+namespace qmap {
+
+/// The text-operator capabilities of a target IR engine — the substrate for
+/// the general predicate-rewriting procedure the paper delegates to
+/// reference [20]: "relax an unsupported constraint into a closest
+/// supported version".
+struct TextCapabilities {
+  bool supports_near = true;
+  /// Largest proximity window the target's `near` accepts; a query `near/K`
+  /// with K <= max_near_window keeps its proximity, a larger K (or a bare
+  /// `near` if default_window exceeds the max) must relax to `and`.
+  int max_near_window = 1 << 20;
+  /// Window the target applies to a bare `near` (and that this library's
+  /// evaluator defaults to).
+  int default_window = 3;
+  bool supports_and = true;
+  bool supports_or = true;
+};
+
+/// Rewrites `pattern` into the closest pattern expressible under `caps`,
+/// moving *upward* in the subsumption lattice only (the result matches a
+/// superset of the documents the original matches):
+///
+///   near/K  ->  near/K' (K' = smallest supported window >= K)
+///           ->  and     (when `near` is unsupported or no window fits)
+///   and     ->  or      (when `and` is unsupported but `or` is)
+///   or      ->  (error) when `or` is unsupported — a disjunction cannot be
+///               relaxed further inside a *single* constraint; the mapping
+///               rule must instead emit multiple constraints.
+///
+/// Also returns an error for and-relaxation when neither `and` nor `or` is
+/// supported (single-keyword-only engines), for the same reason.
+Result<TextPattern> RelaxText(const TextPattern& pattern,
+                              const TextCapabilities& caps);
+
+/// A registry transform implementing RelaxText for a fixed target: takes a
+/// string-valued text pattern, returns the rewritten pattern string.
+/// Register it per context, e.g.
+///   registry->RegisterTransform("RewriteForEngine",
+///                               MakeTextRewriteTransform(caps));
+FunctionRegistry::Transform MakeTextRewriteTransform(TextCapabilities caps);
+
+/// True if `pattern` is directly expressible under `caps` (no rewriting
+/// needed) — lets rule authors mark translations exact when possible.
+bool TextExpressible(const TextPattern& pattern, const TextCapabilities& caps);
+
+}  // namespace qmap
+
+#endif  // QMAP_TEXT_REWRITE_H_

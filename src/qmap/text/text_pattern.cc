@@ -1,0 +1,293 @@
+#include "qmap/text/text_pattern.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "qmap/common/strings.h"
+
+namespace qmap {
+namespace {
+
+// Returns the sorted token positions of `word` within `tokens`.
+std::vector<int> Positions(const std::vector<std::string>& tokens,
+                           const std::string& word) {
+  std::vector<int> out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i] == word) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+// Collects the positions at which a subpattern is "anchored" for proximity
+// checks. For a word it is the word's occurrences; for a composite pattern it
+// is the union of its leaves' occurrences (a simple but standard treatment).
+void AnchorPositions(const TextPattern& p, const std::vector<std::string>& tokens,
+                     std::vector<int>* out) {
+  if (p.op() == TextOp::kWord) {
+    for (int pos : Positions(tokens, ToLower(p.word()))) out->push_back(pos);
+    return;
+  }
+  for (const TextPattern& child : p.children()) AnchorPositions(child, tokens, out);
+}
+
+bool MatchesTokens(const TextPattern& p, const std::vector<std::string>& tokens,
+                   int near_window) {
+  // An explicit per-node window overrides the evaluation default.
+  if (p.op() == TextOp::kNear && p.window().has_value()) {
+    near_window = *p.window();
+  }
+  switch (p.op()) {
+    case TextOp::kWord:
+      return !Positions(tokens, ToLower(p.word())).empty();
+    case TextOp::kAnd:
+      return std::all_of(p.children().begin(), p.children().end(),
+                         [&](const TextPattern& c) {
+                           return MatchesTokens(c, tokens, near_window);
+                         });
+    case TextOp::kOr:
+      return std::any_of(p.children().begin(), p.children().end(),
+                         [&](const TextPattern& c) {
+                           return MatchesTokens(c, tokens, near_window);
+                         });
+    case TextOp::kNear: {
+      // Every child must match, and there must exist one anchor position per
+      // child such that max - min <= near_window.
+      std::vector<std::vector<int>> anchors;
+      for (const TextPattern& child : p.children()) {
+        if (!MatchesTokens(child, tokens, near_window)) return false;
+        std::vector<int> pos;
+        AnchorPositions(child, tokens, &pos);
+        if (pos.empty()) return false;
+        std::sort(pos.begin(), pos.end());
+        anchors.push_back(std::move(pos));
+      }
+      // Children counts are tiny (2-3); a simple recursive product search.
+      std::vector<int> chosen(anchors.size(), 0);
+      // Iterate over the cartesian product of anchor choices.
+      while (true) {
+        int lo = anchors[0][chosen[0]];
+        int hi = lo;
+        for (size_t i = 1; i < anchors.size(); ++i) {
+          lo = std::min(lo, anchors[i][chosen[i]]);
+          hi = std::max(hi, anchors[i][chosen[i]]);
+        }
+        if (hi - lo <= near_window) return true;
+        size_t i = 0;
+        while (i < chosen.size()) {
+          if (++chosen[i] < static_cast<int>(anchors[i].size())) break;
+          chosen[i] = 0;
+          ++i;
+        }
+        if (i == chosen.size()) return false;
+      }
+    }
+  }
+  return false;
+}
+
+const char* OpName(TextOp op) {
+  switch (op) {
+    case TextOp::kNear:
+      return "near";
+    case TextOp::kAnd:
+      return "and";
+    case TextOp::kOr:
+      return "or";
+    case TextOp::kWord:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace
+
+TextPattern TextPattern::Word(std::string word) {
+  TextPattern p;
+  p.op_ = TextOp::kWord;
+  p.word_ = std::move(word);
+  return p;
+}
+
+Result<TextPattern> TextPattern::Parse(std::string_view text) {
+  // Grammar: word ( "(" connective ")" word )*
+  // Words are maximal runs not containing '('.
+  std::vector<TextPattern> operands;
+  struct Connective {
+    TextOp op;
+    std::optional<int> window;
+  };
+  std::vector<Connective> ops;
+  size_t i = 0;
+  while (i < text.size()) {
+    // Skip leading whitespace before an operand.
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i < text.size() && text[i] == '[') {
+      // Bracketed subpattern: "[a(and)b](or)c".
+      int depth = 0;
+      size_t close = i;
+      for (; close < text.size(); ++close) {
+        if (text[close] == '[') ++depth;
+        if (text[close] == ']' && --depth == 0) break;
+      }
+      if (close >= text.size()) {
+        return Status::ParseError("unbalanced '[' in text pattern");
+      }
+      Result<TextPattern> inner = Parse(text.substr(i + 1, close - i - 1));
+      if (!inner.ok()) return inner;
+      operands.push_back(*std::move(inner));
+      i = close + 1;
+      while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+      if (i >= text.size()) break;
+      if (text[i] != '(') {
+        return Status::ParseError("expected connective after ']' in '" +
+                                  std::string(text) + "'");
+      }
+      size_t conn_close = text.find(')', i);
+      if (conn_close == std::string_view::npos) {
+        return Status::ParseError("unbalanced '(' in text pattern");
+      }
+      // Fall through to connective handling below with open = i.
+      size_t open = i;
+      std::string op_name =
+          ToLower(StripWhitespace(text.substr(open + 1, conn_close - open - 1)));
+      Connective connective;
+      if (op_name == "near") {
+        connective.op = TextOp::kNear;
+      } else if (op_name.rfind("near/", 0) == 0) {
+        connective.op = TextOp::kNear;
+        char* end = nullptr;
+        long window = std::strtol(op_name.c_str() + 5, &end, 10);
+        if (end == nullptr || *end != '\0' || window < 0) {
+          return Status::ParseError("malformed near window: '" + op_name + "'");
+        }
+        connective.window = static_cast<int>(window);
+      } else if (op_name == "and" || op_name == "^") {
+        connective.op = TextOp::kAnd;
+      } else if (op_name == "or" || op_name == "v") {
+        connective.op = TextOp::kOr;
+      } else {
+        return Status::ParseError("unknown text connective: '" + op_name + "'");
+      }
+      ops.push_back(connective);
+      i = conn_close + 1;
+      continue;
+    }
+    size_t open = text.find('(', i);
+    size_t bracket = text.find('[', i);
+    size_t stop = std::min(open, bracket);
+    std::string_view word_part =
+        StripWhitespace(text.substr(i, stop == std::string_view::npos
+                                           ? std::string_view::npos
+                                           : stop - i));
+    if (word_part.empty()) {
+      return Status::ParseError("empty word in text pattern: '" +
+                                std::string(text) + "'");
+    }
+    if (bracket != std::string_view::npos && bracket < open) {
+      return Status::ParseError("unexpected '[' after word in '" +
+                                std::string(text) + "'");
+    }
+    operands.push_back(Word(std::string(word_part)));
+    if (open == std::string_view::npos) break;
+    size_t close = text.find(')', open);
+    if (close == std::string_view::npos) {
+      return Status::ParseError("unbalanced '(' in text pattern");
+    }
+    std::string op_name = ToLower(StripWhitespace(text.substr(open + 1, close - open - 1)));
+    Connective connective;
+    if (op_name == "near") {
+      connective.op = TextOp::kNear;
+    } else if (op_name.rfind("near/", 0) == 0) {
+      connective.op = TextOp::kNear;
+      char* end = nullptr;
+      long window = std::strtol(op_name.c_str() + 5, &end, 10);
+      if (end == nullptr || *end != '\0' || window < 0) {
+        return Status::ParseError("malformed near window: '" + op_name + "'");
+      }
+      connective.window = static_cast<int>(window);
+    } else if (op_name == "and" || op_name == "^") {
+      connective.op = TextOp::kAnd;
+    } else if (op_name == "or" || op_name == "v") {
+      connective.op = TextOp::kOr;
+    } else {
+      return Status::ParseError("unknown text connective: '" + op_name + "'");
+    }
+    ops.push_back(connective);
+    i = close + 1;
+  }
+  if (operands.empty()) return Status::ParseError("empty text pattern");
+  if (operands.size() != ops.size() + 1) {
+    return Status::ParseError("trailing connective in text pattern");
+  }
+  // Left-associative fold; merge runs of the same connective (and, for
+  // near, the same window) into n-ary nodes.
+  TextPattern acc = operands[0];
+  for (size_t k = 0; k < ops.size(); ++k) {
+    if (acc.op_ == ops[k].op && (ops[k].op != TextOp::kNear || acc.window_ == ops[k].window)) {
+      acc.children_.push_back(operands[k + 1]);
+    } else {
+      TextPattern combined;
+      combined.op_ = ops[k].op;
+      combined.window_ = ops[k].window;
+      combined.children_ = {acc, operands[k + 1]};
+      acc = std::move(combined);
+    }
+  }
+  return acc;
+}
+
+bool TextPattern::Matches(std::string_view document, int near_window) const {
+  return MatchesTokens(*this, TokenizeWords(document), near_window);
+}
+
+TextPattern TextPattern::RelaxNear() const {
+  if (op_ == TextOp::kWord) return *this;
+  TextPattern out;
+  out.op_ = op_ == TextOp::kNear ? TextOp::kAnd : op_;
+  for (const TextPattern& child : children_) out.children_.push_back(child.RelaxNear());
+  return out;
+}
+
+bool TextPattern::UsesNear() const {
+  if (op_ == TextOp::kNear) return true;
+  return std::any_of(children_.begin(), children_.end(),
+                     [](const TextPattern& c) { return c.UsesNear(); });
+}
+
+std::vector<std::string> TextPattern::Words() const {
+  if (op_ == TextOp::kWord) return {word_};
+  std::vector<std::string> out;
+  for (const TextPattern& child : children_) {
+    std::vector<std::string> words = child.Words();
+    out.insert(out.end(), words.begin(), words.end());
+  }
+  return out;
+}
+
+std::string TextPattern::ToString() const {
+  if (op_ == TextOp::kWord) return word_;
+  std::string name = OpName(op_);
+  if (op_ == TextOp::kNear && window_.has_value()) {
+    name += "/" + std::to_string(*window_);
+  }
+  std::string sep = "(" + name + ")";
+  std::string out;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) out += sep;
+    const TextPattern& child = children_[i];
+    if (child.op_ == TextOp::kWord) {
+      out += child.word_;
+    } else {
+      out += "[" + child.ToString() + "]";  // nested groups are rare
+    }
+  }
+  return out;
+}
+
+bool operator==(const TextPattern& a, const TextPattern& b) {
+  return a.op_ == b.op_ && a.word_ == b.word_ && a.window_ == b.window_ &&
+         a.children_ == b.children_;
+}
+
+}  // namespace qmap

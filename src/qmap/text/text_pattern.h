@@ -1,0 +1,77 @@
+#ifndef QMAP_TEXT_TEXT_PATTERN_H_
+#define QMAP_TEXT_TEXT_PATTERN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qmap/common/status.h"
+
+namespace qmap {
+
+/// Connectives of the IR text-pattern language used by `contains` operands,
+/// e.g. "java(near)jdk" or "data(and)mining". `near` is a proximity
+/// predicate; `and`/`or` are plain Boolean keyword predicates.
+enum class TextOp { kWord, kNear, kAnd, kOr };
+
+/// Parse tree of a text pattern. Connectives are n-ary; leaves are words.
+///
+/// This is the substrate for the predicate-rewriting step the paper delegates
+/// to reference [20]: unsupported proximity operators are *relaxed* to the
+/// closest supported Boolean form (`near` -> `and`), which preserves
+/// subsumption (every string matching the `near` form matches the `and`
+/// form, Example 3).
+class TextPattern {
+ public:
+  /// Parses patterns like "java", "java(near)jdk", "a(and)b(and)c".
+  /// Mixed connectives associate left: "a(near)b(and)c" = (a near b) and c.
+  /// A proximity window may be given explicitly: "java(near/5)jdk" requires
+  /// the words within 5 positions; bare "(near)" uses the evaluation
+  /// default.
+  static Result<TextPattern> Parse(std::string_view text);
+
+  /// Single-word pattern.
+  static TextPattern Word(std::string word);
+
+  TextOp op() const { return op_; }
+  const std::string& word() const { return word_; }
+  const std::vector<TextPattern>& children() const { return children_; }
+  /// Explicit proximity window of a kNear node, if one was given.
+  const std::optional<int>& window() const { return window_; }
+
+  /// True if `document` satisfies the pattern. Words are matched on
+  /// lower-cased alphanumeric tokens; `near` requires the children's word
+  /// occurrences to fall within `near_window` positions of one another.
+  bool Matches(std::string_view document, int near_window = 3) const;
+
+  /// Relaxes every `near` connective to `and`. The result subsumes *this.
+  TextPattern RelaxNear() const;
+
+  /// True if any `near` connective occurs in the pattern.
+  bool UsesNear() const;
+
+  /// All leaf words, left to right.
+  std::vector<std::string> Words() const;
+
+  /// Canonical rendering, e.g. "java(near)jdk", "data(and)mining".
+  std::string ToString() const;
+
+  friend bool operator==(const TextPattern& a, const TextPattern& b);
+
+ private:
+  TextPattern() = default;
+
+  TextOp op_ = TextOp::kWord;
+  std::string word_;                   // valid when op_ == kWord
+  std::vector<TextPattern> children_;  // valid otherwise
+  std::optional<int> window_;          // explicit window of a kNear node
+
+  friend Result<TextPattern> RelaxText(const TextPattern& pattern,
+                                       const struct TextCapabilities& caps);
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_TEXT_TEXT_PATTERN_H_

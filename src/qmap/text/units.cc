@@ -1,0 +1,11 @@
+#include "qmap/text/units.h"
+
+namespace qmap {
+
+double InchesToCentimeters(double inches) { return inches * 2.54; }
+
+double CentimetersToInches(double centimeters) { return centimeters / 2.54; }
+
+double DollarsToCents(double dollars) { return dollars * 100.0; }
+
+}  // namespace qmap

@@ -1,0 +1,15 @@
+#ifndef QMAP_TEXT_UNITS_H_
+#define QMAP_TEXT_UNITS_H_
+
+namespace qmap {
+
+/// Unit conversions of the kind the paper cites as data-format heterogeneity
+/// ("3 inches to 7.62 centimeters", Section 1).
+
+double InchesToCentimeters(double inches);
+double CentimetersToInches(double centimeters);
+double DollarsToCents(double dollars);
+
+}  // namespace qmap
+
+#endif  // QMAP_TEXT_UNITS_H_

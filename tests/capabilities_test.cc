@@ -1,0 +1,53 @@
+#include "qmap/mediator/capabilities.h"
+
+#include <gtest/gtest.h>
+
+#include "qmap/contexts/amazon.h"
+#include "qmap/core/tdqm.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::C;
+using testing::Q;
+
+TEST(Capabilities, SupportsDeclaredPairs) {
+  SourceCapabilities caps;
+  caps.Allow("author", Op::kEq);
+  EXPECT_TRUE(caps.Supports(C("[author = \"X\"]")));
+  EXPECT_FALSE(caps.Supports(C("[author contains \"X\"]")));
+  EXPECT_FALSE(caps.Supports(C("[title = \"X\"]")));
+}
+
+TEST(Capabilities, ExpressibilityOverTrees) {
+  SourceCapabilities caps = AmazonCapabilities();
+  EXPECT_TRUE(caps.IsExpressible(Query::True()));
+  EXPECT_TRUE(caps.IsExpressible(
+      Q("[author = \"X\"] and ([ti-word contains \"a\"] or [isbn = \"i\"])")));
+  Query bad = Q("[author = \"X\"] and [kwd contains \"a\"]");
+  EXPECT_FALSE(caps.IsExpressible(bad));
+  std::vector<Constraint> unsupported = caps.UnsupportedIn(bad);
+  ASSERT_EQ(unsupported.size(), 1u);
+  EXPECT_EQ(unsupported[0].lhs.name, "kwd");
+}
+
+TEST(Capabilities, TdqmOutputIsAlwaysExpressibleAtAmazon) {
+  // Requirement 1 of Definition 1, checked on the running examples: every
+  // constraint TDQM emits is native Amazon vocabulary.
+  SourceCapabilities caps = AmazonCapabilities();
+  for (const char* text : {
+           "([ln = \"Clancy\"] or [ln = \"Klancy\"]) and [fn = \"Tom\"]",
+           "[ln = \"Smith\"] and [ti contains \"java(near)jdk\"] and "
+           "[pyear = 1997] and [pmonth = 5] and [kwd contains \"www\"]",
+           "(([ln = \"Smith\"] and [fn = \"J\"]) or [kwd contains \"www\"]) and "
+           "[pyear = 1997] and ([pmonth = 5] or [pmonth = 6])",
+       }) {
+    Result<Query> mapped = Tdqm(Q(text), AmazonSpec());
+    ASSERT_TRUE(mapped.ok());
+    EXPECT_TRUE(caps.IsExpressible(*mapped)) << mapped->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,68 @@
+#include "qmap/expr/constraint.h"
+
+#include <gtest/gtest.h>
+
+namespace qmap {
+namespace {
+
+TEST(Op, NamesRoundTrip) {
+  for (Op op : {Op::kEq, Op::kLt, Op::kLe, Op::kGt, Op::kGe, Op::kContains,
+                Op::kStartsWith, Op::kDuring}) {
+    Result<Op> parsed = ParseOp(OpName(op));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, op);
+  }
+  EXPECT_FALSE(ParseOp("noop").ok());
+}
+
+TEST(Op, SwappedOp) {
+  EXPECT_EQ(SwappedOp(Op::kLt), Op::kGt);
+  EXPECT_EQ(SwappedOp(Op::kLe), Op::kGe);
+  EXPECT_EQ(SwappedOp(Op::kGt), Op::kLt);
+  EXPECT_EQ(SwappedOp(Op::kEq), Op::kEq);
+  EXPECT_EQ(SwappedOp(Op::kContains), Op::kContains);
+}
+
+TEST(Constraint, SelectionToString) {
+  Constraint c = MakeSel(Attr::Simple("ln"), Op::kEq, Value::Str("Clancy"));
+  EXPECT_EQ(c.ToString(), "[ln = \"Clancy\"]");
+  EXPECT_FALSE(c.is_join());
+}
+
+TEST(Constraint, JoinToString) {
+  Constraint c = MakeJoin(Attr::Of("fac", "ln"), Op::kEq, Attr::Of("pub", "ln"));
+  EXPECT_EQ(c.ToString(), "[fac.ln = pub.ln]");
+  EXPECT_TRUE(c.is_join());
+}
+
+TEST(Constraint, EqualityByCanonicalForm) {
+  Constraint a = MakeSel(Attr::Simple("pyear"), Op::kEq, Value::Int(1997));
+  Constraint b = MakeSel(Attr::Simple("pyear"), Op::kEq, Value::Int(1997));
+  Constraint c = MakeSel(Attr::Simple("pyear"), Op::kEq, Value::Int(1998));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Constraint, NormalizeRewritesLessThanJoins) {
+  // [income < expense] becomes [expense > income] (Section 4.2).
+  Constraint c =
+      MakeJoin(Attr::Simple("income"), Op::kLt, Attr::Simple("expense"));
+  Constraint n = c.Normalized();
+  EXPECT_EQ(n.ToString(), "[expense > income]");
+}
+
+TEST(Constraint, NormalizeOrdersSymmetricJoins) {
+  Constraint c = MakeJoin(Attr::Simple("zzz"), Op::kEq, Attr::Simple("aaa"));
+  EXPECT_EQ(c.Normalized().ToString(), "[aaa = zzz]");
+  // Already ordered: unchanged.
+  Constraint d = MakeJoin(Attr::Simple("aaa"), Op::kEq, Attr::Simple("zzz"));
+  EXPECT_EQ(d.Normalized().ToString(), "[aaa = zzz]");
+}
+
+TEST(Constraint, NormalizeLeavesSelectionsAlone) {
+  Constraint c = MakeSel(Attr::Simple("x"), Op::kLt, Value::Int(3));
+  EXPECT_EQ(c.Normalized().ToString(), "[x < 3]");
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,133 @@
+// Unit tests for the shipped example contexts: the Amazon power-search
+// semantics, the data converters, and the geo semantics.
+
+#include <gtest/gtest.h>
+
+#include "qmap/contexts/amazon.h"
+#include "qmap/contexts/clbooks.h"
+#include "qmap/contexts/geo.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::C;
+
+Tuple AmazonBook(const char* author, const char* title) {
+  Tuple t;
+  t.Set("author", Value::Str(author));
+  t.Set("title", Value::Str(title));
+  t.Set("subject", Value::Str("programming"));
+  return t;
+}
+
+TEST(AmazonSemantics, AuthorMatchesByLastName) {
+  AmazonSemantics s;
+  Tuple book = AmazonBook("Clancy, Tom", "x");
+  EXPECT_EQ(s.Eval(C("[author = \"Clancy\"]"), book), true);
+  EXPECT_EQ(s.Eval(C("[author = \"Clancy, Tom\"]"), book), true);
+  EXPECT_EQ(s.Eval(C("[author = \"Clancy, Joe\"]"), book), false);
+  EXPECT_EQ(s.Eval(C("[author = \"Klancy\"]"), book), false);
+  // Case-insensitive.
+  EXPECT_EQ(s.Eval(C("[author = \"clancy, tom\"]"), book), true);
+}
+
+TEST(AmazonSemantics, AuthorWithoutFirstNameInData) {
+  AmazonSemantics s;
+  Tuple book = AmazonBook("Clancy", "x");
+  EXPECT_EQ(s.Eval(C("[author = \"Clancy\"]"), book), true);
+  // Query gives a first name but the record has none: no match.
+  EXPECT_EQ(s.Eval(C("[author = \"Clancy, Tom\"]"), book), false);
+}
+
+TEST(AmazonSemantics, TiWordSearchesTitleWords) {
+  AmazonSemantics s;
+  Tuple book = AmazonBook("X", "JDK guide for Java");
+  EXPECT_EQ(s.Eval(C("[ti-word contains \"java(and)jdk\"]"), book), true);
+  EXPECT_EQ(s.Eval(C("[ti-word contains \"python\"]"), book), false);
+}
+
+TEST(AmazonSemantics, SubjectWordSearchesSubject) {
+  AmazonSemantics s;
+  Tuple book = AmazonBook("X", "Y");
+  EXPECT_EQ(s.Eval(C("[subject-word contains \"programming\"]"), book), true);
+  EXPECT_EQ(s.Eval(C("[subject-word contains \"cooking\"]"), book), false);
+}
+
+TEST(AmazonSemantics, DefersUnknownAttributes) {
+  AmazonSemantics s;
+  Tuple book = AmazonBook("X", "Y");
+  EXPECT_EQ(s.Eval(C("[isbn = \"123\"]"), book), std::nullopt);
+  EXPECT_EQ(s.Eval(C("[pdate during date(1997)]"), book), std::nullopt);
+}
+
+TEST(AmazonConverter, FullBook) {
+  Tuple book;
+  book.Set("ln", Value::Str("Clancy"));
+  book.Set("fn", Value::Str("Tom"));
+  book.Set("ti", Value::Str("Red October"));
+  book.Set("pyear", Value::Int(1997));
+  book.Set("pmonth", Value::Int(5));
+  book.Set("category", Value::Str("D.3"));
+  book.Set("id-no", Value::Str("ISBN1"));
+  book.Set("publisher", Value::Str("putnam"));
+  Tuple amazon = AmazonTupleFromBook(book);
+  EXPECT_EQ(amazon.Get(Attr::Simple("author"))->AsString(), "Clancy, Tom");
+  EXPECT_EQ(amazon.Get(Attr::Simple("title"))->AsString(), "Red October");
+  EXPECT_EQ(amazon.Get(Attr::Simple("pdate"))->AsDate(), (Date{1997, 5, {}}));
+  EXPECT_EQ(amazon.Get(Attr::Simple("subject"))->AsString(), "programming");
+  EXPECT_EQ(amazon.Get(Attr::Simple("isbn"))->AsString(), "ISBN1");
+}
+
+TEST(AmazonConverter, PartialBook) {
+  Tuple book;
+  book.Set("ln", Value::Str("Clancy"));
+  book.Set("pyear", Value::Int(1997));
+  Tuple amazon = AmazonTupleFromBook(book);
+  EXPECT_EQ(amazon.Get(Attr::Simple("author"))->AsString(), "Clancy");
+  EXPECT_EQ(amazon.Get(Attr::Simple("pdate"))->AsDate(), (Date{1997, {}, {}}));
+  EXPECT_FALSE(amazon.Get(Attr::Simple("title")).has_value());
+}
+
+TEST(ClbooksConverter, AuthorJoined) {
+  Tuple book;
+  book.Set("ln", Value::Str("Clancy"));
+  book.Set("fn", Value::Str("Tom"));
+  book.Set("ti", Value::Str("Red October"));
+  Tuple clbooks = ClbooksTupleFromBook(book);
+  EXPECT_EQ(clbooks.Get(Attr::Simple("author"))->AsString(), "Clancy, Tom");
+  EXPECT_EQ(clbooks.Get(Attr::Simple("title-word"))->AsString(), "Red October");
+}
+
+TEST(GeoSemantics, BoundsAndRanges) {
+  GeoSemantics s;
+  Tuple point;
+  point.Set("x", Value::Int(15));
+  point.Set("y", Value::Int(25));
+  EXPECT_EQ(s.Eval(C("[x_min = 10]"), point), true);
+  EXPECT_EQ(s.Eval(C("[x_min = 20]"), point), false);
+  EXPECT_EQ(s.Eval(C("[x_max = 20]"), point), true);
+  EXPECT_EQ(s.Eval(C("[xrange = range(10, 30)]"), point), true);
+  EXPECT_EQ(s.Eval(C("[xrange = range(16, 30)]"), point), false);
+  EXPECT_EQ(s.Eval(C("[cll = point(10, 20)]"), point), true);
+  EXPECT_EQ(s.Eval(C("[cll = point(16, 20)]"), point), false);
+  EXPECT_EQ(s.Eval(C("[cur = point(30, 40)]"), point), true);
+  EXPECT_EQ(s.Eval(C("[cur = point(14, 40)]"), point), false);
+  // Unknown attributes defer to the default semantics.
+  EXPECT_EQ(s.Eval(C("[z = 1]"), point), std::nullopt);
+}
+
+TEST(GeoUniverse, GridShape) {
+  std::vector<Tuple> grid = GeoGridUniverse(0, 2, 0, 3);
+  EXPECT_EQ(grid.size(), 12u);
+}
+
+TEST(Capabilities, ContextsDeclareTheirVocabulary) {
+  EXPECT_TRUE(AmazonCapabilities().Supports(C("[author = \"X\"]")));
+  EXPECT_FALSE(AmazonCapabilities().Supports(C("[kwd contains \"X\"]")));
+  EXPECT_TRUE(ClbooksCapabilities().Supports(C("[author contains \"X\"]")));
+  EXPECT_FALSE(ClbooksCapabilities().Supports(C("[author = \"X\"]")));
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,121 @@
+// The digital-library engines: one query, three capability profiles, three
+// increasingly relaxed translations — reference [20]'s predicate rewriting
+// driven end-to-end through the rule framework.
+
+#include <gtest/gtest.h>
+
+#include "qmap/contexts/diglib.h"
+#include "qmap/core/translator.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::Q;
+
+constexpr char kQuery[] =
+    "[abstract contains \"data(near/8)mining(and)web\"] and [ti = \"x\"]";
+
+TEST(Diglib, SpecsParse) {
+  EXPECT_EQ(Prox10Spec().target_name(), "prox10");
+  EXPECT_EQ(BooleanSpec().target_name(), "boolean");
+  EXPECT_EQ(AnywordSpec().target_name(), "anyword");
+}
+
+TEST(Diglib, Prox10KeepsProximity) {
+  Translator translator(Prox10Spec());
+  Result<Translation> t = translator.TranslateText(kQuery);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->mapped.ToString(),
+            "[title = \"x\"] ∧ "
+            "[fulltext contains \"[data(near/8)mining](and)web\"]");
+}
+
+TEST(Diglib, Prox10RelaxesOnlyOversizedWindows) {
+  Translator translator(Prox10Spec());
+  Result<Translation> t = translator.TranslateText(
+      "[abstract contains \"data(near/40)mining\"]");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->mapped.ToString(), "[fulltext contains \"data(and)mining\"]");
+}
+
+TEST(Diglib, BooleanDropsProximity) {
+  Translator translator(BooleanSpec());
+  Result<Translation> t = translator.TranslateText(kQuery);
+  ASSERT_TRUE(t.ok());
+  // near/8 -> and, then flattened into the surrounding and.
+  EXPECT_EQ(t->mapped.ToString(),
+            "[title = \"x\"] ∧ [fulltext contains \"data(and)mining(and)web\"]");
+}
+
+TEST(Diglib, AnywordRelaxesAllTheWayToOr) {
+  Translator translator(AnywordSpec());
+  Result<Translation> t = translator.TranslateText(kQuery);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->mapped.ToString(),
+            "[title = \"x\"] ∧ [fulltext contains \"data(or)mining(or)web\"]");
+}
+
+TEST(Diglib, FilterRetainsTheRelaxedConstraint) {
+  Translator translator(AnywordSpec());
+  Result<Translation> t = translator.TranslateText(kQuery);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->filter.ToString(),
+            "[abstract contains \"data(near/8)mining(and)web\"]");
+}
+
+TEST(Diglib, RelaxationChainSubsumesOnDocuments) {
+  // Every engine's translated pattern admits every document the original
+  // admits; stricter engines admit fewer documents overall.
+  const char* docs[] = {
+      "web data mining systems",                             // all engines
+      "data mining on the web",                              // all engines
+      "web catalog of data about coal mining in one corpus " // words far apart
+      "with many other words separating the two terms data "
+      "appears here again far from mining",
+      "data without the other words",                        // anyword only
+  };
+  TextPattern original = *TextPattern::Parse("data(near/8)mining(and)web");
+  Result<TextPattern> boolean_pattern =
+      RelaxText(original, BooleanCapabilities());
+  Result<TextPattern> anyword_pattern =
+      RelaxText(original, AnywordCapabilities());
+  ASSERT_TRUE(boolean_pattern.ok());
+  ASSERT_TRUE(anyword_pattern.ok());
+  int original_hits = 0;
+  int boolean_hits = 0;
+  int anyword_hits = 0;
+  for (const char* doc : docs) {
+    bool o = original.Matches(doc);
+    bool b = boolean_pattern->Matches(doc);
+    bool a = anyword_pattern->Matches(doc);
+    if (o) {
+      EXPECT_TRUE(b) << doc;
+    }
+    if (b) {
+      EXPECT_TRUE(a) << doc;
+    }
+    original_hits += o;
+    boolean_hits += b;
+    anyword_hits += a;
+  }
+  EXPECT_LE(original_hits, boolean_hits);
+  EXPECT_LE(boolean_hits, anyword_hits);
+  EXPECT_EQ(anyword_hits, 4);  // 'data' is in every document
+}
+
+TEST(Diglib, RoundTripOfBracketedPatterns) {
+  // The relaxed prox10 pattern prints with a bracket group; it must
+  // re-parse to the same pattern (needed because emissions carry patterns
+  // as strings).
+  TextPattern original = *TextPattern::Parse("data(near/8)mining(and)web");
+  Result<TextPattern> relaxed = RelaxText(original, Prox10Capabilities());
+  ASSERT_TRUE(relaxed.ok());
+  EXPECT_EQ(relaxed->ToString(), "[data(near/8)mining](and)web");
+  Result<TextPattern> reparsed = TextPattern::Parse(relaxed->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(*reparsed, *relaxed);
+}
+
+}  // namespace
+}  // namespace qmap

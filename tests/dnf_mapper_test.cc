@@ -1,0 +1,76 @@
+#include "qmap/core/dnf_mapper.h"
+
+#include <gtest/gtest.h>
+
+#include "qmap/contexts/amazon.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::Q;
+
+TEST(DnfMapper, Example5MinimalMapping) {
+  // Q = (f1 ∨ f2) ∧ f3 maps to the minimal
+  // [author = "Clancy, Tom"] ∨ [author = "Klancy, Tom"].
+  Query q = Q("([ln = \"Clancy\"] or [ln = \"Klancy\"]) and [fn = \"Tom\"]");
+  TranslationStats stats;
+  Result<Query> mapped = DnfMap(q, AmazonSpec(), &stats);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->ToString(),
+            "[author = \"Clancy, Tom\"] ∨ [author = \"Klancy, Tom\"]");
+  EXPECT_EQ(stats.dnf_disjuncts, 2u);
+  EXPECT_EQ(stats.scm_calls, 2u);
+}
+
+TEST(DnfMapper, SeparateTranslationWouldBeSuboptimal) {
+  // The suboptimal Q_a of Example 2 — the per-conjunct mapping — is what a
+  // dependency-ignorant translator would produce; DnfMap avoids it.
+  Query conjunct1 = Q("[ln = \"Clancy\"] or [ln = \"Klancy\"]");
+  Query conjunct2 = Q("[fn = \"Tom\"]");
+  Result<Query> s1 = DnfMap(conjunct1, AmazonSpec());
+  Result<Query> s2 = DnfMap(conjunct2, AmazonSpec());
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ((*s1 & *s2).ToString(),
+            "[author = \"Clancy\"] ∨ [author = \"Klancy\"]");  // Q_a: broader
+}
+
+TEST(DnfMapper, SimpleConjunctionDelegatesToScm) {
+  Query q = Q("[ln = \"Smith\"] and [pyear = 1997] and [pmonth = 5]");
+  Result<Query> mapped = DnfMap(q, AmazonSpec());
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped->ToString(), "[author = \"Smith\"] ∧ [pdate during May/97]");
+}
+
+TEST(DnfMapper, TrueMapsToTrue) {
+  Result<Query> mapped = DnfMap(Query::True(), AmazonSpec());
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_TRUE(mapped->is_true());
+}
+
+TEST(DnfMapper, DisjunctMappingToTrueAbsorbs) {
+  // One disjunct unsupported at the target -> its mapping True absorbs the
+  // whole disjunction (the source must return everything).
+  Query q = Q("[ln = \"Smith\"] or [fn = \"Tom\"]");
+  Result<Query> mapped = DnfMap(q, AmazonSpec());
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_TRUE(mapped->is_true());
+}
+
+TEST(DnfMapper, Example6BlindExpansion) {
+  // Q_book expands to 6 disjuncts under Algorithm DNF (vs 2 local rewrites
+  // for TDQM) — the repeated work the paper criticizes.
+  Query q = Q(
+      "(([ln = \"Smith\"] and [fn = \"J\"]) or [kwd contains \"www\"] or "
+      "[kwd contains \"java\"]) and [pyear = 1997] and ([pmonth = 5] or "
+      "[pmonth = 6])");
+  TranslationStats stats;
+  Result<Query> mapped = DnfMap(q, AmazonSpec(), &stats);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(stats.dnf_disjuncts, 6u);
+  EXPECT_EQ(stats.scm_calls, 6u);
+}
+
+}  // namespace
+}  // namespace qmap

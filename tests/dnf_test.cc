@@ -1,0 +1,91 @@
+#include "qmap/expr/dnf.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::Q;
+
+TEST(Disjunctivize, SingleConjunctUnchanged) {
+  Query c1 = Q("[a = 1] or [b = 2]");
+  EXPECT_EQ(Disjunctivize({c1}), c1);
+}
+
+TEST(Disjunctivize, DistributesOneLevel) {
+  // ∧{(D11 ∨ D12), D2} -> ∨{D11∧D2, D12∧D2}  (Example 5's rewriting).
+  Query q = Disjunctivize({Q("[ln = \"Clancy\"] or [ln = \"Klancy\"]"),
+                           Q("[fn = \"Tom\"]")});
+  EXPECT_EQ(q.ToString(),
+            "([ln = \"Clancy\"] ∧ [fn = \"Tom\"]) ∨ ([ln = \"Klancy\"] ∧ [fn = "
+            "\"Tom\"])");
+}
+
+TEST(Disjunctivize, ProductOfTwoDisjunctions) {
+  Query q = Disjunctivize({Q("[a = 1] or [b = 2]"), Q("[c = 3] or [d = 4]")});
+  EXPECT_EQ(q.kind(), NodeKind::kOr);
+  EXPECT_EQ(q.children().size(), 4u);
+}
+
+TEST(Disjunctivize, EmptyBlockIsTrue) {
+  EXPECT_TRUE(Disjunctivize({}).is_true());
+}
+
+TEST(FullDnf, AlreadyDnfUnchangedInMeaning) {
+  Query q = Q("([a = 1] and [b = 2]) or [c = 3]");
+  EXPECT_EQ(FullDnf(q), q);
+}
+
+TEST(FullDnf, NestedConversion) {
+  // (a ∨ b) ∧ (c ∨ d) -> ac ∨ ad ∨ bc ∨ bd.
+  Query q = FullDnf(Q("([a = 1] or [b = 2]) and ([c = 3] or [d = 4])"));
+  EXPECT_EQ(q.kind(), NodeKind::kOr);
+  EXPECT_EQ(q.children().size(), 4u);
+  for (const Query& d : q.children()) EXPECT_TRUE(d.IsSimpleConjunction());
+}
+
+TEST(FullDnf, PaperExample6Expansion) {
+  // Q_book's DNF has 6 disjuncts: (f_l f_f ∨ f_k1 ∨ f_k2)(f_y)(f_m1 ∨ f_m2).
+  Query q = Q(
+      "(([ln = \"Smith\"] and [fn = \"J\"]) or [kwd contains \"www\"] or "
+      "[kwd contains \"java\"]) and [pyear = 1997] and ([pmonth = 5] or "
+      "[pmonth = 6])");
+  EXPECT_EQ(CountDnfDisjuncts(q), 6u);
+  std::vector<std::vector<Constraint>> disjuncts = DnfDisjuncts(q);
+  ASSERT_EQ(disjuncts.size(), 6u);
+  // First disjunct: f_l f_f f_y f_m1 (4 constraints).
+  EXPECT_EQ(disjuncts[0].size(), 4u);
+  // Third: f_k1 f_y f_m1 (3 constraints).
+  EXPECT_EQ(disjuncts[2].size(), 3u);
+}
+
+TEST(FullDnf, TrueYieldsOneEmptyDisjunct) {
+  std::vector<std::vector<Constraint>> disjuncts = DnfDisjuncts(Query::True());
+  ASSERT_EQ(disjuncts.size(), 1u);
+  EXPECT_TRUE(disjuncts[0].empty());
+}
+
+TEST(FullDnf, CountGrowsExponentially) {
+  // n conjuncts of k disjuncts each -> k^n DNF disjuncts (§8's blow-up).
+  std::vector<Query> conjuncts;
+  for (int i = 0; i < 10; ++i) {
+    std::string a = "a" + std::to_string(2 * i);
+    std::string b = "a" + std::to_string(2 * i + 1);
+    conjuncts.push_back(Q("[" + a + " = 1] or [" + b + " = 2]"));
+  }
+  EXPECT_EQ(CountDnfDisjuncts(Query::And(conjuncts)), 1024u);
+}
+
+TEST(FullDnf, DuplicateConstraintsMergedWithinDisjunct) {
+  // (a ∨ b) ∧ a -> a ∨ ab (the a∧a disjunct merges its duplicate).
+  std::vector<std::vector<Constraint>> disjuncts =
+      DnfDisjuncts(Q("([a = 1] or [b = 2]) and [a = 1]"));
+  ASSERT_EQ(disjuncts.size(), 2u);
+  EXPECT_EQ(disjuncts[0].size(), 1u);
+  EXPECT_EQ(disjuncts[1].size(), 2u);
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,212 @@
+#include "qmap/core/ednf.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "qmap/contexts/amazon.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::C;
+using testing::Q;
+
+// Q_book of Figure 7.
+Query QBook() {
+  return Q(
+      "(([ln = \"Smith\"] and [fn = \"J\"]) or [kwd contains \"www\"] or "
+      "[kwd contains \"java\"]) and [pyear = 1997] and ([pmonth = 5] or "
+      "[pmonth = 6])");
+}
+
+// Renders a disjunct list via the table for readable assertions; ε prints
+// as "e".
+std::string Render(const std::vector<ConstraintSet>& disjuncts,
+                   const ConstraintTable& table) {
+  std::string out;
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (i > 0) out += " v ";
+    if (disjuncts[i].empty()) {
+      out += "e";
+      continue;
+    }
+    for (int id : disjuncts[i]) {
+      out += table.constraints()[static_cast<size_t>(id)].lhs.ToString();
+      out += ".";
+    }
+  }
+  return out;
+}
+
+TEST(SetHelpers, ContainsIntersectUnion) {
+  EXPECT_TRUE(SetContains({1, 2, 3}, {1, 3}));
+  EXPECT_FALSE(SetContains({1, 2}, {3}));
+  EXPECT_TRUE(SetContains({1, 2}, {}));
+  EXPECT_TRUE(SetsIntersect({1, 2}, {2, 3}));
+  EXPECT_FALSE(SetsIntersect({1, 2}, {3, 4}));
+  EXPECT_FALSE(SetsIntersect({}, {1}));
+  EXPECT_EQ(SetUnion({1, 3}, {2, 3}), (ConstraintSet{1, 2, 3}));
+}
+
+TEST(ConstraintTable, NumbersDistinctConstraints) {
+  ConstraintTable table(QBook());
+  EXPECT_EQ(table.constraints().size(), 7u);
+  EXPECT_EQ(table.IdOf(C("[pyear = 1997]")), 4);  // after ln, fn, kwd, kwd
+  EXPECT_EQ(table.IdOf(C("[nope = 1]")), -1);
+  std::vector<Constraint> got = table.Materialize({0, 3});
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].ToString(), "[ln = \"Smith\"]");
+}
+
+TEST(Ednf, PotentialMatchingsOverAllConstraints) {
+  EdnfComputer ednf(AmazonSpec(), QBook());
+  // M_p: {ln,fn}(R2), {ln}(R3), {kwd1}(R8), {kwd2}(R8), {y,m1}(R6),
+  // {y,m2}(R6), {y}(R7)  — 7 distinct sets.
+  EXPECT_EQ(ednf.potential_matchings().size(), 7u);
+}
+
+TEST(Ednf, MatchingsWithinSubset) {
+  EdnfComputer ednf(AmazonSpec(), QBook());
+  const ConstraintTable& table = ednf.table();
+  int y = table.IdOf(C("[pyear = 1997]"));
+  int m1 = table.IdOf(C("[pmonth = 5]"));
+  std::vector<ConstraintSet> within = ednf.MatchingsWithin({y, m1});
+  // {y}, {y,m1}.
+  EXPECT_EQ(within.size(), 2u);
+}
+
+TEST(Ednf, Example11Annotations) {
+  // Paper: De(Č1) = ε, De(Č2) = f_y, De(Č3) = f_m1 ∨ f_m2.
+  Query q = QBook();
+  EdnfComputer ednf(AmazonSpec(), q);
+  const ConstraintTable& table = ednf.table();
+  ASSERT_EQ(q.children().size(), 3u);
+
+  std::vector<ConstraintSet> de1 = ednf.Ednf(q.children()[0]);
+  EXPECT_EQ(Render(de1, table), "e");
+
+  std::vector<ConstraintSet> de2 = ednf.Ednf(q.children()[1]);
+  EXPECT_EQ(Render(de2, table), "pyear.");
+
+  std::vector<ConstraintSet> de3 = ednf.Ednf(q.children()[2]);
+  EXPECT_EQ(Render(de3, table), "pmonth. v pmonth.");  // two 1-element disjuncts
+  ASSERT_EQ(de3.size(), 2u);
+  EXPECT_EQ(de3[0].size(), 1u);
+}
+
+TEST(Ednf, LeafOfIndependentConstraintIsEpsilon) {
+  // kwd only matches alone: its leaf annotation nullifies.
+  Query q = QBook();
+  EdnfComputer ednf(AmazonSpec(), q);
+  Query kwd_leaf = q.children()[0].children()[1];
+  ASSERT_TRUE(kwd_leaf.is_leaf());
+  std::vector<ConstraintSet> de = ednf.Ednf(kwd_leaf);
+  ASSERT_EQ(de.size(), 1u);
+  EXPECT_TRUE(de[0].empty());
+}
+
+TEST(Ednf, LnFnConjunctionNotNullifiedAtAndLevel) {
+  // The false-positive guard: f_l f_f must NOT be deleted at the ∧ node
+  // (only at the ∨ level where ε alternatives exist) — Section 7.1.3.
+  Query and_node = QBook().children()[0].children()[0];
+  ASSERT_EQ(and_node.kind(), NodeKind::kAnd);
+  EdnfComputer ednf(AmazonSpec(), QBook());
+  std::vector<ConstraintSet> de = ednf.Ednf(and_node);
+  ASSERT_EQ(de.size(), 1u);
+  EXPECT_EQ(de[0].size(), 2u);  // {f_l, f_f} kept
+}
+
+TEST(Ednf, NoDependenciesMeansAllEpsilon) {
+  // A query whose constraints have no multi-constraint matchings annotates
+  // to a single ε everywhere: the safety check is free (Section 8).
+  Query q = Q(
+      "([publisher = \"oreilly\"] or [id-no = \"X\"]) and "
+      "([ti contains \"java\"] or [kwd contains \"www\"])");
+  EdnfComputer ednf(AmazonSpec(), q);
+  std::vector<ConstraintSet> de = ednf.Ednf(q);
+  ASSERT_EQ(de.size(), 1u);
+  EXPECT_TRUE(de[0].empty());
+}
+
+TEST(Ednf, WholeTreeAnnotation) {
+  // D(Q_book) over the EDNF of the children has 2 disjuncts: (ε)(y)(m1),
+  // (ε)(y)(m2) — not the 6 of the full DNF.
+  Query q = QBook();
+  EdnfComputer ednf(AmazonSpec(), q);
+  std::vector<ConstraintSet> de_children[3] = {
+      ednf.Ednf(q.children()[0]), ednf.Ednf(q.children()[1]),
+      ednf.Ednf(q.children()[2])};
+  EXPECT_EQ(de_children[0].size() * de_children[1].size() * de_children[2].size(),
+            2u);
+}
+
+
+TEST(Ednf, PaperFalsePositiveGuardExample) {
+  // Section 7.1.3's exact cautionary example: in (f_l f_f)(f_l)(f_f) the
+  // matching {f_l, f_f} is fully contained in the first conjunct, so the
+  // conjunction is SAFE — deleting f_l f_f at its own ∧ node would have
+  // fabricated a cross-matching between conjuncts 2 and 3.
+  Query q = Q(
+      "([ln = \"S\"] and [fn = \"J\"]) and [ln = \"S\"] and [fn = \"J\"]");
+  // Normalization dedups identical conjuncts, so build the partition input
+  // explicitly instead.
+  Query c1 = Q("[ln = \"S\"] and [fn = \"J\"]");
+  Query c2 = Q("[ln = \"S\"]");
+  Query c3 = Q("[fn = \"J\"]");
+  EdnfComputer ednf(AmazonSpec(), c1);  // table covers both constraints
+  const ConstraintTable& t = ednf.table();
+  std::vector<ConstraintSet> sets = {
+      {t.IdOf(C("[ln = \"S\"]")), t.IdOf(C("[fn = \"J\"]"))},
+      {t.IdOf(C("[ln = \"S\"]"))},
+      {t.IdOf(C("[fn = \"J\"]"))}};
+  // {f_l, f_f} is contained in conjunct 1: not a cross-matching.
+  // (The constraint sets overlap here; safety only asks whether some
+  // matching escapes every single conjunct.)
+  for (const ConstraintSet& m : ednf.potential_matchings()) {
+    if (m.size() < 2) continue;
+    bool within_one = false;
+    for (const ConstraintSet& part : sets) {
+      if (SetContains(part, m)) within_one = true;
+    }
+    EXPECT_TRUE(within_one);
+  }
+  (void)q;
+  (void)c2;
+  (void)c3;
+}
+
+TEST(Ednf, SharedRootTableWorksForSubqueries) {
+  // An EdnfComputer built for the whole tree annotates any subquery (used
+  // by the M_p-reuse path).
+  Query q = QBook();
+  EdnfComputer ednf(AmazonSpec(), q);
+  for (const Query& child : q.children()) {
+    std::vector<ConstraintSet> de = ednf.Ednf(child);
+    EXPECT_FALSE(de.empty());
+  }
+}
+
+TEST(Ednf, MatchingsForRebasedIndices) {
+  Query q = QBook();
+  EdnfComputer ednf(AmazonSpec(), q);
+  // A conjunction listing pmonth before pyear: indices must rebase to the
+  // local positions (pyear at 1, pmonth at 0).
+  std::vector<Constraint> conjunction = {C("[pmonth = 5]"), C("[pyear = 1997]")};
+  auto matchings = ednf.MatchingsFor(conjunction);
+  ASSERT_TRUE(matchings.has_value());
+  bool found_pair = false;
+  for (const Matching& m : *matchings) {
+    if (m.constraint_indices.size() == 2) {
+      found_pair = true;
+      EXPECT_EQ(m.constraint_indices, (std::vector<int>{0, 1}));
+    }
+  }
+  EXPECT_TRUE(found_pair);
+  // Unknown constraints are refused.
+  EXPECT_FALSE(ednf.MatchingsFor({C("[nope = 1]")}).has_value());
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,104 @@
+#include "qmap/expr/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::C;
+using testing::Q;
+
+Tuple Book() {
+  Tuple t;
+  t.Set("ln", Value::Str("Clancy"));
+  t.Set("fn", Value::Str("Tom"));
+  t.Set("ti", Value::Str("The Hunt for Red October"));
+  t.Set("pyear", Value::Int(1997));
+  t.Set("pmonth", Value::Int(5));
+  t.Set("pdate", Value::OfDate(Date{1997, 5, {}}));
+  return t;
+}
+
+TEST(Eval, Equality) {
+  EXPECT_TRUE(EvalConstraint(C("[ln = \"Clancy\"]"), Book()));
+  EXPECT_FALSE(EvalConstraint(C("[ln = \"Klancy\"]"), Book()));
+  EXPECT_TRUE(EvalConstraint(C("[pyear = 1997]"), Book()));
+}
+
+TEST(Eval, MissingAttributeIsFalse) {
+  EXPECT_FALSE(EvalConstraint(C("[publisher = \"oreilly\"]"), Book()));
+}
+
+TEST(Eval, Comparisons) {
+  EXPECT_TRUE(EvalConstraint(C("[pyear > 1990]"), Book()));
+  EXPECT_TRUE(EvalConstraint(C("[pyear >= 1997]"), Book()));
+  EXPECT_FALSE(EvalConstraint(C("[pyear < 1997]"), Book()));
+  EXPECT_TRUE(EvalConstraint(C("[pyear <= 1997]"), Book()));
+  // Incomparable kinds are false, not errors.
+  EXPECT_FALSE(EvalConstraint(C("[ln > 3]"), Book()));
+}
+
+TEST(Eval, ContainsUsesTextPatterns) {
+  EXPECT_TRUE(EvalConstraint(C("[ti contains \"red(near)october\"]"), Book()));
+  EXPECT_TRUE(EvalConstraint(C("[ti contains \"hunt(and)october\"]"), Book()));
+  EXPECT_FALSE(EvalConstraint(C("[ti contains \"submarine\"]"), Book()));
+}
+
+TEST(Eval, StartsWith) {
+  EXPECT_TRUE(EvalConstraint(C("[ti starts \"the hunt\"]"), Book()));
+  EXPECT_FALSE(EvalConstraint(C("[ti starts \"hunt\"]"), Book()));
+}
+
+TEST(Eval, During) {
+  EXPECT_TRUE(EvalConstraint(C("[pdate during date(1997, 5)]"), Book()));
+  EXPECT_TRUE(EvalConstraint(C("[pdate during date(1997)]"), Book()));
+  EXPECT_FALSE(EvalConstraint(C("[pdate during date(1997, 6)]"), Book()));
+}
+
+TEST(Eval, JoinConstraints) {
+  Tuple t;
+  t.Set("fac.ln", Value::Str("Ullman"));
+  t.Set("pub.ln", Value::Str("Ullman"));
+  t.Set("pub.fn", Value::Str("Jeff"));
+  EXPECT_TRUE(EvalConstraint(C("[fac.ln = pub.ln]"), t));
+  EXPECT_FALSE(EvalConstraint(C("[fac.ln = pub.fn]"), t));
+  // Missing join partner is false.
+  EXPECT_FALSE(EvalConstraint(C("[fac.ln = pub.missing]"), t));
+}
+
+TEST(Eval, TupleFallbackToBareName) {
+  Tuple t;
+  t.Set("ln", Value::Str("Clancy"));
+  EXPECT_TRUE(EvalConstraint(C("[book.ln = \"Clancy\"]"), t));
+}
+
+TEST(Eval, QueryTreeSemantics) {
+  Query q = Q("([ln = \"Clancy\"] or [ln = \"Klancy\"]) and [fn = \"Tom\"]");
+  EXPECT_TRUE(EvalQuery(q, Book()));
+  Tuple other = Book();
+  other.Set("fn", Value::Str("Joe"));
+  EXPECT_FALSE(EvalQuery(q, other));
+  EXPECT_TRUE(EvalQuery(Query::True(), Book()));
+}
+
+class AlwaysYes : public ConstraintSemantics {
+ public:
+  std::optional<bool> Eval(const Constraint& constraint,
+                           const Tuple&) const override {
+    if (constraint.lhs.name == "magic") return true;
+    return std::nullopt;
+  }
+};
+
+TEST(Eval, CustomSemanticsOverrides) {
+  AlwaysYes semantics;
+  Query q = Q("[magic = 1] and [ln = \"Clancy\"]");
+  EXPECT_TRUE(EvalQuery(q, Book(), &semantics));
+  // Without the custom semantics, [magic = 1] is false (missing attr).
+  EXPECT_FALSE(EvalQuery(q, Book()));
+}
+
+}  // namespace
+}  // namespace qmap

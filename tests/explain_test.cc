@@ -1,0 +1,75 @@
+#include "qmap/core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "qmap/contexts/amazon.h"
+#include "qmap/core/tdqm.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::Q;
+
+TEST(Explain, SimpleConjunctionShowsMatchings) {
+  MappingSpec spec = AmazonSpec();
+  Result<std::string> trace = ExplainTdqm(Q("[pyear = 1997] and [pmonth = 5]"), spec);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_NE(trace->find("SCM: [pyear = 1997] ∧ [pmonth = 5]"), std::string::npos);
+  EXPECT_NE(trace->find("R6 matched {[pyear = 1997], [pmonth = 5]} -> "
+                        "[pdate during May/97]"),
+            std::string::npos)
+      << *trace;
+  EXPECT_NE(trace->find("=> S(Q) = [pdate during May/97]"), std::string::npos);
+  // The suppressed R7 sub-matching must not appear.
+  EXPECT_EQ(trace->find("R7"), std::string::npos);
+}
+
+TEST(Explain, PartitionAndRewriteNarrated) {
+  MappingSpec spec = AmazonSpec();
+  Result<std::string> trace = ExplainTdqm(
+      Q("([ln = \"Clancy\"] or [ln = \"Klancy\"]) and [fn = \"Tom\"]"), spec);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_NE(trace->find("PSafe partition: {{C1,C2}}"), std::string::npos) << *trace;
+  EXPECT_NE(trace->find("Disjunctivize -> 2 disjunct(s)"), std::string::npos);
+  EXPECT_NE(trace->find("=> S(Q) = [author = \"Clancy, Tom\"] ∨ "
+                        "[author = \"Klancy, Tom\"]"),
+            std::string::npos);
+}
+
+TEST(Explain, InexactRulesFlagged) {
+  MappingSpec spec = AmazonSpec();
+  Result<std::string> trace =
+      ExplainTdqm(Q("[ti contains \"java(near)jdk\"]"), spec);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_NE(trace->find("R4 (inexact)"), std::string::npos) << *trace;
+}
+
+TEST(Explain, UnsupportedConstraintNarrated) {
+  MappingSpec spec = AmazonSpec();
+  Result<std::string> trace = ExplainTdqm(Q("[fn = \"Tom\"]"), spec);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_NE(trace->find("no rule matches"), std::string::npos);
+}
+
+// The explain walk must agree with the real algorithm on every example.
+TEST(Explain, AgreesWithTdqm) {
+  MappingSpec spec = AmazonSpec();
+  for (const char* text : {
+           "[pyear = 1997] and ([pmonth = 5] or [pmonth = 6])",
+           "(([ln = \"S\"] and [fn = \"J\"]) or [kwd contains \"www\"]) and "
+           "[pyear = 1997]",
+           "[publisher = \"o\"] or [id-no = \"X\"]",
+       }) {
+    Query q = Q(text);
+    Result<std::string> trace = ExplainTdqm(q, spec);
+    Result<Query> mapped = Tdqm(q, spec);
+    ASSERT_TRUE(trace.ok());
+    ASSERT_TRUE(mapped.ok());
+    EXPECT_NE(trace->find("=> S(Q) = " + mapped->ToString()), std::string::npos)
+        << *trace;
+  }
+}
+
+}  // namespace
+}  // namespace qmap

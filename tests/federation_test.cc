@@ -1,0 +1,110 @@
+#include "qmap/mediator/federation.h"
+
+#include <gtest/gtest.h>
+
+#include "qmap/contexts/amazon.h"
+#include "qmap/contexts/clbooks.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::Q;
+
+Tuple Book(const char* ln, const char* fn, const char* ti, int pyear,
+           int pmonth) {
+  Tuple t;
+  t.Set("ln", Value::Str(ln));
+  t.Set("fn", Value::Str(fn));
+  t.Set("ti", Value::Str(ti));
+  t.Set("pyear", Value::Int(pyear));
+  t.Set("pmonth", Value::Int(pmonth));
+  return t;
+}
+
+const AmazonSemantics* Semantics() {
+  static const AmazonSemantics* semantics = new AmazonSemantics();
+  return semantics;
+}
+
+FederatedCatalog MakeCatalog() {
+  FederatedCatalog catalog;
+  FederatedCatalog::Member amazon;
+  amazon.name = "Amazon";
+  amazon.translator = Translator(AmazonSpec());
+  amazon.convert = &AmazonTupleFromBook;
+  amazon.semantics = Semantics();
+  amazon.data = {
+      Book("Clancy", "Tom", "The Hunt for Red October", 1997, 5),
+      Book("Tom", "Clancy", "Confusing Names", 1997, 6),
+      Book("Smith", "J", "JDK Guide for Java", 1997, 5),
+  };
+  catalog.AddMember(std::move(amazon));
+
+  FederatedCatalog::Member clbooks;
+  clbooks.name = "Clbooks";
+  clbooks.translator = Translator(ClbooksSpec());
+  clbooks.convert = &ClbooksTupleFromBook;
+  clbooks.data = {
+      Book("Clancy", "Tom", "Patriot Games", 1998, 1),
+      Book("Clancy", "Joe Tom", "Middle Name Games", 1998, 1),
+      Book("Gosling", "James", "The Java Language", 1997, 5),
+  };
+  catalog.AddMember(std::move(clbooks));
+  return catalog;
+}
+
+TEST(Federation, UnionOfMembersWithFilters) {
+  FederatedCatalog catalog = MakeCatalog();
+  Query q = Q("[fn = \"Tom\"] and [ln = \"Clancy\"]");
+  Result<FederatedCatalog::FederatedResult> result = catalog.Query(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Amazon holds one real Tom Clancy book; Clbooks holds one plus the
+  // "Clancy, Joe Tom" false positive its word search admits.
+  ASSERT_EQ(result->per_member.size(), 2u);
+  EXPECT_EQ(result->per_member[0].name, "Amazon");
+  EXPECT_EQ(result->per_member[0].tuples.size(), 1u);
+  EXPECT_EQ(result->per_member[1].raw_hits, 2u);    // false positive included
+  EXPECT_EQ(result->per_member[1].tuples.size(), 1u);  // removed by F
+  EXPECT_EQ(result->combined.size(), 2u);
+  EXPECT_TRUE(SameTupleSet(result->combined, catalog.QueryDirect(q)));
+}
+
+TEST(Federation, PushedQueriesDifferPerMember) {
+  FederatedCatalog catalog = MakeCatalog();
+  Query q = Q("[fn = \"Tom\"] and [ln = \"Clancy\"]");
+  Result<FederatedCatalog::FederatedResult> result = catalog.Query(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->per_member[0].pushed.ToString(), "[author = \"Clancy, Tom\"]");
+  EXPECT_EQ(result->per_member[1].pushed.ToString(),
+            "[author contains \"Clancy\"] ∧ [author contains \"Tom\"]");
+  EXPECT_TRUE(result->per_member[0].filter.is_true());
+  EXPECT_FALSE(result->per_member[1].filter.is_true());
+}
+
+TEST(Federation, AgreesWithDirectOnManyQueries) {
+  FederatedCatalog catalog = MakeCatalog();
+  for (const char* text : {
+           "[ln = \"Clancy\"]",
+           "[ti contains \"java\"]",
+           "[pyear = 1997] and [pmonth = 5]",
+           "([ln = \"Clancy\"] or [ln = \"Gosling\"]) and [pyear = 1997]",
+           "[ti contains \"java(near)jdk\"] or [fn = \"Tom\"]",
+       }) {
+    Query q = Q(text);
+    Result<FederatedCatalog::FederatedResult> result = catalog.Query(q);
+    ASSERT_TRUE(result.ok()) << text;
+    EXPECT_TRUE(SameTupleSet(result->combined, catalog.QueryDirect(q))) << text;
+  }
+}
+
+TEST(Federation, EmptyCatalog) {
+  FederatedCatalog catalog;
+  Result<FederatedCatalog::FederatedResult> result = catalog.Query(Q("[a = 1]"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->combined.empty());
+  EXPECT_TRUE(catalog.QueryDirect(Q("[a = 1]")).empty());
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,88 @@
+#include "qmap/core/filter.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::C;
+using testing::Q;
+
+TEST(ExactCoverage, AndAccumulatesWithinTranslation) {
+  ExactCoverage coverage;
+  Constraint c = C("[a = 1]");
+  EXPECT_FALSE(coverage.IsExact(c));  // never recorded
+  coverage.Record(c, true);
+  EXPECT_TRUE(coverage.IsExact(c));
+  coverage.Record(c, false);  // inexact in another context -> sticky false
+  EXPECT_FALSE(coverage.IsExact(c));
+  coverage.Record(c, true);
+  EXPECT_FALSE(coverage.IsExact(c));
+}
+
+TEST(ExactCoverage, MergeAnySourceIsOr) {
+  ExactCoverage t1;
+  ExactCoverage t2;
+  Constraint c = C("[dept = \"cs\"]");
+  t1.Record(c, false);  // T1 cannot handle dept
+  t2.Record(c, true);   // T2 handles it exactly
+  t1.MergeAnySource(t2);
+  EXPECT_TRUE(t1.IsExact(c));
+}
+
+TEST(ResidueFilter, DropsExactLeaves) {
+  ExactCoverage coverage;
+  coverage.Record(C("[a = 1]"), true);
+  coverage.Record(C("[b = 2]"), false);
+  Query f = ResidueFilter(Q("[a = 1] and [b = 2]"), coverage);
+  EXPECT_EQ(f.ToString(), "[b = 2]");
+}
+
+TEST(ResidueFilter, AllExactMeansNoFilter) {
+  ExactCoverage coverage;
+  coverage.Record(C("[a = 1]"), true);
+  coverage.Record(C("[b = 2]"), true);
+  Query f = ResidueFilter(Q("[a = 1] and [b = 2]"), coverage);
+  EXPECT_TRUE(f.is_true());
+}
+
+TEST(ResidueFilter, DisjunctionKeptWholeUnlessAllExact) {
+  ExactCoverage coverage;
+  coverage.Record(C("[a = 1]"), true);
+  coverage.Record(C("[b = 2]"), false);
+  // a exact but the ∨ node cannot be filtered piecemeal.
+  Query q = Q("[a = 1] or [b = 2]");
+  EXPECT_EQ(ResidueFilter(q, coverage).ToString(), "[a = 1] ∨ [b = 2]");
+  coverage.Record(C("[b = 2]"), true);  // still false (AND-accumulated)
+  EXPECT_EQ(ResidueFilter(q, coverage).ToString(), "[a = 1] ∨ [b = 2]");
+
+  ExactCoverage all_exact;
+  all_exact.Record(C("[a = 1]"), true);
+  all_exact.Record(C("[b = 2]"), true);
+  EXPECT_TRUE(ResidueFilter(q, all_exact).is_true());
+}
+
+TEST(ResidueFilter, MixedTree) {
+  ExactCoverage coverage;
+  coverage.Record(C("[a = 1]"), true);
+  coverage.Record(C("[b = 2]"), true);
+  coverage.Record(C("[c = 3]"), false);
+  Query q = Q("([a = 1] or [b = 2]) and [c = 3] and [a = 1]");
+  EXPECT_EQ(ResidueFilter(q, coverage).ToString(), "[c = 3]");
+}
+
+TEST(ResidueFilter, UnrecordedLeavesStay) {
+  ExactCoverage coverage;
+  Query q = Q("[never_seen = 9]");
+  EXPECT_EQ(ResidueFilter(q, coverage).ToString(), "[never_seen = 9]");
+}
+
+TEST(ResidueFilter, TrueStaysTrue) {
+  ExactCoverage coverage;
+  EXPECT_TRUE(ResidueFilter(Query::True(), coverage).is_true());
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,83 @@
+#include "qmap/common/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace qmap {
+namespace {
+
+std::vector<Token> Lex(std::string_view text) {
+  Result<std::vector<Token>> tokens = Lexer::Tokenize(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? *tokens : std::vector<Token>{};
+}
+
+TEST(Lexer, Identifiers) {
+  std::vector<Token> tokens = Lex("ln ti-word id-no _x");
+  ASSERT_EQ(tokens.size(), 5u);  // 4 idents + end
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].text, "ti-word");
+  EXPECT_EQ(tokens[2].text, "id-no");
+  EXPECT_EQ(tokens[3].text, "_x");
+}
+
+TEST(Lexer, Numbers) {
+  std::vector<Token> tokens = Lex("1997 3.5 -12");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNumber);
+  EXPECT_TRUE(tokens[0].is_integer);
+  EXPECT_EQ(tokens[0].number, 1997);
+  EXPECT_FALSE(tokens[1].is_integer);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 3.5);
+  EXPECT_EQ(tokens[2].number, -12);
+}
+
+TEST(Lexer, Strings) {
+  std::vector<Token> tokens = Lex("\"Clancy, Tom\" \"a\\\"b\"");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "Clancy, Tom");
+  EXPECT_EQ(tokens[1].text, "a\"b");
+}
+
+TEST(Lexer, UnterminatedStringFails) {
+  Result<std::vector<Token>> tokens = Lexer::Tokenize("\"oops");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kParseError);
+}
+
+TEST(Lexer, Puncts) {
+  std::vector<Token> tokens = Lex("[ ] ( ) <= >= => = < > . ; ,");
+  EXPECT_EQ(tokens[4].text, "<=");
+  EXPECT_EQ(tokens[5].text, ">=");
+  EXPECT_EQ(tokens[6].text, "=>");
+}
+
+TEST(Lexer, Comments) {
+  std::vector<Token> tokens = Lex("a # comment\nb // another\nc");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(Lexer, CursorHelpers) {
+  TokenCursor cursor(Lex("rule R1 : [ x ]"));
+  EXPECT_TRUE(cursor.TryConsumeIdent("rule"));
+  Result<std::string> name = cursor.ExpectIdent();
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "R1");
+  EXPECT_TRUE(cursor.ExpectPunct(":").ok());
+  EXPECT_TRUE(cursor.TryConsumePunct("["));
+  EXPECT_FALSE(cursor.TryConsumePunct("["));
+  EXPECT_TRUE(cursor.TryConsumeIdent("x"));
+  EXPECT_TRUE(cursor.ExpectPunct("]").ok());
+  EXPECT_TRUE(cursor.AtEnd());
+}
+
+TEST(Lexer, ErrorOnWeirdByte) {
+  Result<std::vector<Token>> tokens = Lexer::Tokenize("a $ b");
+  EXPECT_FALSE(tokens.ok());
+}
+
+}  // namespace
+}  // namespace qmap

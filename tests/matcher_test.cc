@@ -1,0 +1,147 @@
+#include "qmap/rules/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "qmap/contexts/amazon.h"
+#include "qmap/contexts/faculty.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::C;
+
+// Collects {rule-name, sorted-index-set} pairs for easy assertions.
+std::multiset<std::string> Summarize(const std::vector<Matching>& matchings) {
+  std::multiset<std::string> out;
+  for (const Matching& m : matchings) {
+    std::string key = m.rule_name + ":";
+    for (size_t i = 0; i < m.constraint_indices.size(); ++i) {
+      if (i > 0) key += ",";
+      key += std::to_string(m.constraint_indices[i]);
+    }
+    out.insert(std::move(key));
+  }
+  return out;
+}
+
+// Q̂1 of Figure 2: f_l, f_t1, f_y, f_m, f_k.
+std::vector<Constraint> Q1Constraints() {
+  return {C("[ln = \"Smith\"]"), C("[ti contains \"java(near)jdk\"]"),
+          C("[pyear = 1997]"), C("[pmonth = 5]"), C("[kwd contains \"www\"]")};
+}
+
+TEST(Matcher, Example4MatchingsForQ1) {
+  MappingSpec spec = AmazonSpec();
+  std::vector<Matching> matchings = MatchSpec(spec, Q1Constraints());
+  // Paper: M = {R3:{f_l}, R4:{f_t1}, R6:{f_y,f_m}, R7:{f_y}, R8:{f_k}}.
+  EXPECT_EQ(Summarize(matchings),
+            (std::multiset<std::string>{"R3:0", "R4:1", "R6:2,3", "R7:2", "R8:4"}));
+}
+
+TEST(Matcher, Example4MatchingsForQ2) {
+  // Q̂2 of Figure 2: publisher, ti =, category, id-no.
+  std::vector<Constraint> q2 = {C("[publisher = \"oreilly\"]"),
+                                C("[ti = \"jdkforjava\"]"),
+                                C("[category = \"D.3\"]"),
+                                C("[id-no = \"081815181Y\"]")};
+  std::vector<Matching> matchings = MatchSpec(AmazonSpec(), q2);
+  EXPECT_EQ(Summarize(matchings),
+            (std::multiset<std::string>{"R1:0", "R1:3", "R5:1", "R9:2"}));
+}
+
+TEST(Matcher, MultiConstraintMatchingBindsConsistently) {
+  MappingSpec spec = AmazonSpec();
+  std::vector<Constraint> constraints = {C("[ln = \"Clancy\"]"),
+                                         C("[fn = \"Tom\"]")};
+  std::vector<Matching> matchings =
+      MatchRule(*spec.FindRule("R2"), constraints, spec.registry());
+  ASSERT_EQ(matchings.size(), 1u);
+  Result<Query> emission =
+      matchings[0].rule->Fire(matchings[0].bindings, spec.registry());
+  ASSERT_TRUE(emission.ok()) << emission.status().ToString();
+  EXPECT_EQ(emission->ToString(), "[author = \"Clancy, Tom\"]");
+}
+
+TEST(Matcher, ConditionsRestrictMatching) {
+  MappingSpec spec = AmazonSpec();
+  // R1 requires SimpleMapping(A1): ln is not a "simple" attribute.
+  std::vector<Matching> matchings =
+      MatchRule(*spec.FindRule("R1"), {C("[ln = \"Clancy\"]")}, spec.registry());
+  EXPECT_TRUE(matchings.empty());
+  matchings = MatchRule(*spec.FindRule("R1"), {C("[id-no = \"X\"]")},
+                        spec.registry());
+  EXPECT_EQ(matchings.size(), 1u);
+}
+
+TEST(Matcher, ValueConditionExcludesJoinConstraints) {
+  // Section 4.2: Value(N) keeps [A1 = N] from matching join constraints.
+  MappingSpec spec = FacultyK1();
+  std::vector<Matching> matchings = MatchRule(
+      *spec.FindRule("R3"), {C("[fac.ln = pub.ln]")}, spec.registry());
+  EXPECT_TRUE(matchings.empty());
+  matchings = MatchRule(*spec.FindRule("R3"), {C("[fac.ln = \"Ullman\"]")},
+                        spec.registry());
+  EXPECT_EQ(matchings.size(), 1u);
+}
+
+TEST(Matcher, JoinRuleMatchesViewPairs) {
+  MappingSpec spec = FacultyK1();
+  std::vector<Constraint> joins = {C("[fac.ln = pub.ln]"), C("[fac.fn = pub.fn]")};
+  std::vector<Matching> matchings =
+      MatchRule(*spec.FindRule("R5"), joins, spec.registry());
+  ASSERT_EQ(matchings.size(), 1u);
+  Result<Query> emission =
+      matchings[0].rule->Fire(matchings[0].bindings, spec.registry());
+  ASSERT_TRUE(emission.ok()) << emission.status().ToString();
+  EXPECT_EQ(emission->ToString(), "[fac.aubib.name = pub.paper.au]");
+}
+
+TEST(Matcher, IndexVariableJoin) {
+  MappingSpec spec = FacultyK2();
+  std::vector<Constraint> joins = {C("[fac[1].ln = fac[2].ln]")};
+  std::vector<Matching> matchings =
+      MatchRule(*spec.FindRule("R8"), joins, spec.registry());
+  ASSERT_EQ(matchings.size(), 1u);
+  Result<Query> emission =
+      matchings[0].rule->Fire(matchings[0].bindings, spec.registry());
+  ASSERT_TRUE(emission.ok()) << emission.status().ToString();
+  EXPECT_EQ(emission->ToString(), "[fac[1].prof.ln = fac[2].prof.ln]");
+}
+
+TEST(Matcher, SameConstraintCanMatchMultipleRules) {
+  MappingSpec spec = AmazonSpec();
+  std::vector<Constraint> constraints = {C("[pyear = 1997]"), C("[pmonth = 5]")};
+  std::vector<Matching> matchings = MatchSpec(spec, constraints);
+  // pyear participates in both R6 (with pmonth) and R7 (alone): matching is
+  // non-consuming (Section 4.4).
+  EXPECT_EQ(Summarize(matchings), (std::multiset<std::string>{"R6:0,1", "R7:0"}));
+}
+
+TEST(Matcher, StrictSubsetDetection) {
+  MappingSpec spec = AmazonSpec();
+  std::vector<Constraint> constraints = {C("[pyear = 1997]"), C("[pmonth = 5]")};
+  std::vector<Matching> matchings = MatchSpec(spec, constraints);
+  ASSERT_EQ(matchings.size(), 2u);
+  const Matching& pair = matchings[0].constraint_indices.size() == 2
+                             ? matchings[0]
+                             : matchings[1];
+  const Matching& single = matchings[0].constraint_indices.size() == 1
+                               ? matchings[0]
+                               : matchings[1];
+  EXPECT_TRUE(single.IsStrictSubsetOf(pair));
+  EXPECT_FALSE(pair.IsStrictSubsetOf(single));
+  EXPECT_FALSE(pair.IsStrictSubsetOf(pair));
+}
+
+TEST(Matcher, CountersAccumulate) {
+  MatchCounters counters;
+  MatchSpec(AmazonSpec(), Q1Constraints(), &counters);
+  EXPECT_GT(counters.pattern_attempts, 0u);
+  EXPECT_EQ(counters.matchings_found, 5u);
+}
+
+}  // namespace
+}  // namespace qmap

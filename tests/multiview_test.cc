@@ -1,0 +1,86 @@
+// Section 4.2's multi-view complications at the translation level: view
+// instance indexes (tuple variables), join-vs-selection disambiguation, and
+// join normalization interacting with the rules.
+
+#include <gtest/gtest.h>
+
+#include "qmap/contexts/faculty.h"
+#include "qmap/core/translator.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::Q;
+
+TEST(MultiView, SelfJoinOnViewInstances) {
+  // "Professors with the same last name": [fac[1].ln = fac[2].ln].
+  Translator translator(FacultyK2());
+  Result<Translation> t =
+      translator.TranslateText("[fac[1].ln = fac[2].ln]");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->mapped.ToString(), "[fac[1].prof.ln = fac[2].prof.ln]");
+  EXPECT_TRUE(t->filter.is_true());
+}
+
+TEST(MultiView, SelfJoinWithSelections) {
+  Translator translator(FacultyK2());
+  Result<Translation> t = translator.TranslateText(
+      "[fac[1].ln = fac[2].ln] and [fac[1].dept = \"cs\"] and "
+      "[fac[2].dept = \"ee\"]");
+  ASSERT_TRUE(t.ok());
+  // R7 fires per dept selection (instances preserved), then R8 for the join.
+  EXPECT_EQ(t->mapped.ToString(),
+            "[fac[1].prof.dept = 230] ∧ [fac[2].prof.dept = 220] ∧ "
+            "[fac[1].prof.ln = fac[2].prof.ln]");
+}
+
+TEST(MultiView, InstanceIndexPreservedThroughSelectionRules) {
+  // R6's whole pattern is view-literal + name-var; the instance index must
+  // survive into the emission via ProfAttr.
+  Translator translator(FacultyK2());
+  Result<Translation> t = translator.TranslateText("[fac[2].ln = \"Ullman\"]");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->mapped.ToString(), "[fac[2].prof.ln = \"Ullman\"]");
+}
+
+TEST(MultiView, CrossViewJoinAtT1) {
+  Translator translator(FacultyK1());
+  Result<Translation> t = translator.TranslateText(
+      "[fac.ln = pub.ln] and [fac.fn = pub.fn] and [pub.ti = \"x\"]");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->mapped.ToString(),
+            "[pub.paper.ti = \"x\"] ∧ [fac.aubib.name = pub.paper.au]");
+}
+
+TEST(MultiView, PubPubJoinAlsoHandledByR5) {
+  // R5's view variables bind any pair of views, including two pub uses.
+  Translator translator(FacultyK1());
+  Result<Translation> t = translator.TranslateText(
+      "[pub[1].ln = pub[2].ln] and [pub[1].fn = pub[2].fn]");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->mapped.ToString(), "[pub[1].paper.au = pub[2].paper.au]");
+}
+
+TEST(MultiView, HalfAJoinPairIsNotEnough) {
+  // Only the ln equality, no fn equality: R5 cannot fire (the pair is the
+  // indecomposable unit) and no other K1 rule matches a join -> True.
+  Translator translator(FacultyK1());
+  Result<Translation> t = translator.TranslateText("[fac.ln = pub.ln]");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->mapped.is_true());
+  EXPECT_EQ(t->filter.ToString(), "[fac.ln = pub.ln]");
+}
+
+TEST(MultiView, DisjunctionOverViews) {
+  Translator translator(FacultyK2());
+  Result<Translation> t = translator.TranslateText(
+      "([fac.dept = \"cs\"] or [fac.dept = \"math\"]) and [fac.ln = \"Gray\"]");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->mapped.ToString(),
+            "([fac.prof.dept = 230] ∨ [fac.prof.dept = 110]) ∧ "
+            "[fac.prof.ln = \"Gray\"]");
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,164 @@
+// The dependency-ignorant baseline: correct (subsuming) but non-minimal.
+
+#include "qmap/core/naive_mapper.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "qmap/contexts/amazon.h"
+#include "qmap/contexts/synthetic.h"
+#include "qmap/core/translator.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::Q;
+
+TEST(Naive, ProducesExample2sSuboptimalQa) {
+  Query q = Q("([ln = \"Clancy\"] or [ln = \"Klancy\"]) and [fn = \"Tom\"]");
+  Result<Query> mapped = NaiveMap(q, AmazonSpec());
+  ASSERT_TRUE(mapped.ok());
+  // fn alone maps to True, which erases the conjunct: exactly Q_a.
+  EXPECT_EQ(mapped->ToString(), "[author = \"Clancy\"] ∨ [author = \"Klancy\"]");
+}
+
+TEST(Naive, LosesTheMonthOfDependentDates) {
+  Query q = Q("[pyear = 1997] and [pmonth = 5]");
+  Result<Query> naive = NaiveMap(q, AmazonSpec());
+  Result<Query> minimal = Tdqm(q, AmazonSpec());
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_EQ(naive->ToString(), "[pdate during 97]");
+  EXPECT_EQ(minimal->ToString(), "[pdate during May/97]");
+}
+
+TEST(Naive, StillSubsumesTheOriginal) {
+  SyntheticOptions options;
+  options.num_attrs = 8;
+  options.dependent_pairs = {{0, 1}, {2, 3}};
+  Result<MappingSpec> spec = MakeSyntheticSpec(options);
+  ASSERT_TRUE(spec.ok());
+  RandomQueryOptions query_options;
+  query_options.num_attrs = 8;
+  std::mt19937 rng(31);
+  for (int round = 0; round < 20; ++round) {
+    Query q = RandomQuery(rng, query_options);
+    Result<Query> mapped = NaiveMap(q, *spec);
+    ASSERT_TRUE(mapped.ok());
+    for (int i = 0; i < 150; ++i) {
+      Tuple source = RandomSourceTuple(rng, 8, 4);
+      if (!EvalQuery(q, source)) continue;
+      EXPECT_TRUE(EvalQuery(*mapped, ConvertSyntheticTuple(source, options)))
+          << q.ToString();
+    }
+  }
+}
+
+TEST(Naive, NeverMoreSelectiveThanTdqm) {
+  // TDQM's output implies the naive output on every tuple (minimality is
+  // relative: TDQM ⊆ naive as predicates).
+  SyntheticOptions options;
+  options.num_attrs = 6;
+  options.dependent_pairs = {{0, 1}, {2, 3}};
+  Result<MappingSpec> spec = MakeSyntheticSpec(options);
+  ASSERT_TRUE(spec.ok());
+  RandomQueryOptions query_options;
+  query_options.num_attrs = 6;
+  std::mt19937 rng(32);
+  for (int round = 0; round < 20; ++round) {
+    Query q = RandomQuery(rng, query_options);
+    Result<Query> naive = NaiveMap(q, *spec);
+    Result<Query> tdqm = Tdqm(q, *spec);
+    ASSERT_TRUE(naive.ok());
+    ASSERT_TRUE(tdqm.ok());
+    for (int i = 0; i < 150; ++i) {
+      Tuple t = ConvertSyntheticTuple(RandomSourceTuple(rng, 6, 4), options);
+      if (EvalQuery(*tdqm, t)) {
+        EXPECT_TRUE(EvalQuery(*naive, t))
+            << q.ToString() << "\n tdqm " << tdqm->ToString() << "\n naive "
+            << naive->ToString();
+      }
+    }
+  }
+}
+
+TEST(Naive, AvailableThroughTranslator) {
+  Translator translator(AmazonSpec(), {.algorithm = MappingAlgorithm::kNaive});
+  Result<Translation> t =
+      translator.TranslateText("[pyear = 1997] and [pmonth = 5]");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->mapped.ToString(), "[pdate during 97]");
+  // pmonth never got an exact translation: it stays in the filter.
+  EXPECT_EQ(t->filter.ToString(), "[pmonth = 5]");
+}
+
+TEST(TdqmReuse, OnAndOffAgreeExactly) {
+  MappingSpec spec = AmazonSpec();
+  for (const char* text : {
+           "([ln = \"Clancy\"] or [ln = \"Klancy\"]) and [fn = \"Tom\"]",
+           "(([ln = \"S\"] and [fn = \"J\"]) or [kwd contains \"www\"]) and "
+           "[pyear = 1997] and ([pmonth = 5] or [pmonth = 6])",
+           "[publisher = \"o\"] or ([pyear = 1997] and [pmonth = 5])",
+       }) {
+    Query q = Q(text);
+    TdqmOptions with_reuse{.reuse_potential_matchings = true};
+    TdqmOptions without{.reuse_potential_matchings = false};
+    Result<Query> a = Tdqm(q, spec, nullptr, nullptr, with_reuse);
+    Result<Query> b = Tdqm(q, spec, nullptr, nullptr, without);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << text;
+  }
+}
+
+TEST(TdqmReuse, SemanticallyAgreesOnRandomQueries) {
+  // With reuse, M_p spans the whole root query, so the EDNF nullification
+  // is more conservative inside rewritten subtrees and PSafe may choose a
+  // different (equally safe) partition: the outputs can differ structurally
+  // but must be logically equivalent — and both minimal.
+  SyntheticOptions options;
+  options.num_attrs = 8;
+  options.dependent_pairs = {{0, 1}, {2, 3}, {4, 5}};
+  Result<MappingSpec> spec = MakeSyntheticSpec(options);
+  ASSERT_TRUE(spec.ok());
+  RandomQueryOptions query_options;
+  query_options.num_attrs = 8;
+  query_options.max_depth = 4;
+  std::mt19937 rng(33);
+  for (int round = 0; round < 40; ++round) {
+    Query q = RandomQuery(rng, query_options);
+    Result<Query> a =
+        Tdqm(q, *spec, nullptr, nullptr, {.reuse_potential_matchings = true});
+    Result<Query> b =
+        Tdqm(q, *spec, nullptr, nullptr, {.reuse_potential_matchings = false});
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    for (int i = 0; i < 250; ++i) {
+      Tuple t = ConvertSyntheticTuple(RandomSourceTuple(rng, 8, 4), options);
+      ASSERT_EQ(EvalQuery(*a, t), EvalQuery(*b, t))
+          << q.ToString() << "\n reuse:    " << a->ToString()
+          << "\n no-reuse: " << b->ToString() << "\n tuple " << t.ToString();
+    }
+  }
+}
+
+TEST(TdqmReuse, SavesMatchingWork) {
+  MappingSpec spec = AmazonSpec();
+  Query q = Q(
+      "(([ln = \"S\"] and [fn = \"J\"]) or [kwd contains \"www\"]) and "
+      "[pyear = 1997] and ([pmonth = 5] or [pmonth = 6])");
+  TranslationStats with_reuse;
+  TranslationStats without;
+  ASSERT_TRUE(Tdqm(q, spec, &with_reuse, nullptr,
+                   {.reuse_potential_matchings = true})
+                  .ok());
+  ASSERT_TRUE(Tdqm(q, spec, &without, nullptr,
+                   {.reuse_potential_matchings = false})
+                  .ok());
+  EXPECT_LT(with_reuse.match.pattern_attempts, without.match.pattern_attempts);
+}
+
+}  // namespace
+}  // namespace qmap

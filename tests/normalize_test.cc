@@ -1,0 +1,47 @@
+#include "qmap/expr/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::Q;
+
+TEST(Normalize, RewritesLessThanJoins) {
+  Query q = Q("[income < expense] and [a = 1]");
+  EXPECT_EQ(NormalizeQuery(q).ToString(), "[expense > income] ∧ [a = 1]");
+}
+
+TEST(Normalize, OrdersSymmetricJoins) {
+  Query q = Q("([z.y = a.x] or [b = 2]) and [c = 3]");
+  EXPECT_EQ(NormalizeQuery(q).ToString(), "([a.x = z.y] ∨ [b = 2]) ∧ [c = 3]");
+}
+
+TEST(Normalize, LeavesSelectionsAlone) {
+  Query q = Q("[a < 3] and [b contains \"x\"]");
+  EXPECT_EQ(NormalizeQuery(q), q);
+}
+
+TEST(Normalize, TrueUnchanged) {
+  EXPECT_TRUE(NormalizeQuery(Query::True()).is_true());
+}
+
+TEST(Normalize, MergesLeavesThatBecomeEqual) {
+  // [a = b] and [b = a] normalize to the same constraint -> idempotency
+  // collapses the conjunction to a single leaf.
+  Query q = Query::And({Q("[a.x = b.y]"), Q("[b.y = a.x]")});
+  EXPECT_EQ(q.children().size(), 2u);  // distinct before normalization
+  Query n = NormalizeQuery(q);
+  EXPECT_TRUE(n.is_leaf());
+  EXPECT_EQ(n.ToString(), "[a.x = b.y]");
+}
+
+TEST(Normalize, LeJoinsBecomesGe) {
+  Query q = Q("[low <= high]");
+  EXPECT_EQ(NormalizeQuery(q).ToString(), "[high >= low]");
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,179 @@
+#include "qmap/rules/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::C;
+
+AttrExpr WholeVar(const std::string& name) {
+  AttrExpr e;
+  e.whole_var = name;
+  return e;
+}
+
+AttrExpr BareLiteral(const std::string& name) {
+  AttrExpr e;
+  e.name_literal = name;
+  return e;
+}
+
+TEST(Pattern, IsVariableName) {
+  EXPECT_TRUE(IsVariableName("A1"));
+  EXPECT_TRUE(IsVariableName("V"));
+  EXPECT_FALSE(IsVariableName("ln"));
+  EXPECT_FALSE(IsVariableName("fac"));
+  EXPECT_FALSE(IsVariableName(""));
+}
+
+TEST(Pattern, WholeVarBindsEntireAttr) {
+  AttrExpr e = WholeVar("A1");
+  Bindings b;
+  Attr attr = Attr::Of("fac", "dept");
+  EXPECT_TRUE(e.Match(attr, &b));
+  const Term* bound = b.Find("A1");
+  ASSERT_NE(bound, nullptr);
+  EXPECT_EQ(TermAttr(*bound), attr);
+  // Re-matching a different attr under the same var fails.
+  EXPECT_FALSE(e.Match(Attr::Of("fac", "ln"), &b));
+}
+
+TEST(Pattern, BareLiteralMatchesAnyView) {
+  // `fac.bib` pattern abbreviation aside: a bare literal pattern matches the
+  // name in any or no view (single-view shorthand of Section 4.1).
+  AttrExpr e = BareLiteral("ln");
+  Bindings b;
+  EXPECT_TRUE(e.Match(Attr::Simple("ln"), &b));
+  EXPECT_TRUE(e.Match(Attr::Of("fac", "ln"), &b));
+  EXPECT_FALSE(e.Match(Attr::Simple("fn"), &b));
+}
+
+TEST(Pattern, ViewLiteralMatchesAnyInstance) {
+  // fac.bib is an abbreviation for fac[i].bib (Section 4.2).
+  AttrExpr e;
+  e.view_literal = "fac";
+  e.name_literal = "bib";
+  Bindings b1;
+  EXPECT_TRUE(e.Match(Attr::Of("fac", "bib"), &b1));
+  Bindings b2;
+  EXPECT_TRUE(e.Match(Attr::OfInstance("fac", 2, "bib"), &b2));
+  Bindings b3;
+  EXPECT_FALSE(e.Match(Attr::Of("pub", "bib"), &b3));
+}
+
+TEST(Pattern, UnindexedViewLiteralCarriesInstanceToEmission) {
+  // The abbreviation is rule-scoped: the matched instance binds implicitly
+  // and emissions with the same unindexed view reproduce it.
+  AttrExpr pattern;
+  pattern.view_literal = "fac";
+  pattern.name_literal = "dept";
+  Bindings b;
+  EXPECT_TRUE(pattern.Match(Attr::OfInstance("fac", 2, "dept"), &b));
+  AttrExpr emission;
+  emission.view_literal = "fac";
+  emission.name_literal = "prof.dept";
+  Result<Attr> resolved = emission.Resolve(b);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->instance, 2);
+  // A second unindexed fac pattern in the same rule must agree on the
+  // instance.
+  AttrExpr other;
+  other.view_literal = "fac";
+  other.name_literal = "ln";
+  EXPECT_FALSE(other.Match(Attr::OfInstance("fac", 3, "ln"), &b));
+  EXPECT_TRUE(other.Match(Attr::OfInstance("fac", 2, "ln"), &b));
+}
+
+TEST(Pattern, IndexVariableBinds) {
+  AttrExpr e;
+  e.view_literal = "fac";
+  e.index_var = "I";
+  e.name_var = "A";
+  Bindings b;
+  EXPECT_TRUE(e.Match(Attr::OfInstance("fac", 2, "ln"), &b));
+  EXPECT_EQ(TermValue(*b.Find("I")).AsInt(), 2);
+  EXPECT_EQ(TermValue(*b.Find("A")).AsString(), "ln");
+}
+
+TEST(Pattern, ViewVariableBindsViewRef) {
+  AttrExpr e;
+  e.view_var = "V1";
+  e.name_literal = "ln";
+  Bindings b;
+  EXPECT_TRUE(e.Match(Attr::OfInstance("fac", 2, "ln"), &b));
+  EXPECT_EQ(TermValue(*b.Find("V1")).AsString(), "fac[2]");
+  // Resolving the same expression reproduces the attr.
+  Result<Attr> resolved = e.Resolve(b);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, Attr::OfInstance("fac", 2, "ln"));
+}
+
+TEST(Pattern, ResolveUnboundFails) {
+  AttrExpr e = WholeVar("A9");
+  Bindings b;
+  EXPECT_FALSE(e.Resolve(b).ok());
+}
+
+TEST(Pattern, OperandVarBindsValueOrAttr) {
+  OperandExpr e;
+  e.kind = OperandExpr::Kind::kVar;
+  e.var = "N";
+  Bindings b1;
+  EXPECT_TRUE(e.Match(Operand(Value::Str("Clancy")), &b1));
+  EXPECT_TRUE(TermIsValue(*b1.Find("N")));
+  Bindings b2;
+  EXPECT_TRUE(e.Match(Operand(Attr::Of("pub", "ln")), &b2));
+  EXPECT_TRUE(TermIsAttr(*b2.Find("N")));
+}
+
+TEST(Pattern, OperandLiteralMustMatchExactly) {
+  OperandExpr e;
+  e.kind = OperandExpr::Kind::kValueLiteral;
+  e.value_literal = Value::Int(1997);
+  Bindings b;
+  EXPECT_TRUE(e.Match(Operand(Value::Int(1997)), &b));
+  EXPECT_FALSE(e.Match(Operand(Value::Int(1998)), &b));
+  EXPECT_FALSE(e.Match(Operand(Attr::Simple("x")), &b));
+}
+
+TEST(Pattern, ConstraintPatternChecksOp) {
+  ConstraintPattern p;
+  p.lhs = BareLiteral("ti");
+  p.op = Op::kContains;
+  p.rhs.kind = OperandExpr::Kind::kVar;
+  p.rhs.var = "P1";
+  Bindings b;
+  EXPECT_TRUE(p.Match(C("[ti contains \"java\"]"), &b));
+  Bindings b2;
+  EXPECT_FALSE(p.Match(C("[ti = \"java\"]"), &b2));
+}
+
+TEST(Pattern, SharedVariablesAcrossPatternsEnforceConsistency) {
+  // Two patterns [V1.ln = V2.ln] / [V1.fn = V2.fn] must agree on V1, V2.
+  ConstraintPattern p1;
+  p1.lhs.view_var = "V1";
+  p1.lhs.name_literal = "ln";
+  p1.op = Op::kEq;
+  p1.rhs.kind = OperandExpr::Kind::kAttr;
+  p1.rhs.attr.view_var = "V2";
+  p1.rhs.attr.name_literal = "ln";
+
+  ConstraintPattern p2 = p1;
+  p2.lhs.name_literal = "fn";
+  p2.rhs.attr.name_literal = "fn";
+
+  Bindings b;
+  EXPECT_TRUE(p1.Match(C("[fac.ln = pub.ln]"), &b));
+  EXPECT_TRUE(p2.Match(C("[fac.fn = pub.fn]"), &b));
+
+  Bindings b2;
+  EXPECT_TRUE(p1.Match(C("[fac.ln = pub.ln]"), &b2));
+  // Different views for the fn pair: inconsistent with V1=fac.
+  EXPECT_FALSE(p2.Match(C("[pub.fn = fac.fn]"), &b2));
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,62 @@
+#include "qmap/expr/printer.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "qmap/contexts/synthetic.h"
+#include "qmap/expr/parser.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::Q;
+
+TEST(Printer, Values) {
+  EXPECT_EQ(ToParseableText(Value::Int(3)), "3");
+  EXPECT_EQ(ToParseableText(Value::Real(2.5)), "2.5");
+  EXPECT_EQ(ToParseableText(Value::Str("a \"b\"")), "\"a \\\"b\\\"\"");
+  EXPECT_EQ(ToParseableText(Value::OfDate(Date{1997, 5, {}})), "date(1997, 5)");
+  EXPECT_EQ(ToParseableText(Value::OfDate(Date{1997, 5, 12})), "date(1997, 5, 12)");
+  EXPECT_EQ(ToParseableText(Value::OfRange(Range{10, 30})), "range(10, 30)");
+  EXPECT_EQ(ToParseableText(Value::OfPoint(Point{1.5, 2})), "point(1.5, 2)");
+}
+
+TEST(Printer, QueriesUseKeywordConnectives) {
+  Query q = Q("([a = 1] or [b = 2]) and [c = 3]");
+  EXPECT_EQ(ToParseableText(q), "([a = 1] or [b = 2]) and [c = 3]");
+}
+
+TEST(Printer, RoundTripFixedQueries) {
+  for (const char* text : {
+           "true",
+           "[ln = \"Clancy\"]",
+           "[pdate during date(1997, 5)]",
+           "[xrange = range(10, 30)] and [cll = point(10, 20)]",
+           "([a = 1] or ([b = 2] and ([c = 3] or [d = 4]))) and [e <= 2.5]",
+           "[fac[1].ln = fac[2].ln]",
+           "[fac.aubib.bib contains \"data(near)mining\"]",
+       }) {
+    Query q = Q(text);
+    Result<Query> reparsed = ParseQuery(ToParseableText(q));
+    ASSERT_TRUE(reparsed.ok()) << text << " -> " << ToParseableText(q);
+    EXPECT_EQ(*reparsed, q) << text;
+  }
+}
+
+TEST(Printer, RoundTripRandomQueries) {
+  RandomQueryOptions options;
+  options.num_attrs = 8;
+  options.max_depth = 4;
+  std::mt19937 rng(123);
+  for (int i = 0; i < 200; ++i) {
+    Query q = RandomQuery(rng, options);
+    Result<Query> reparsed = ParseQuery(ToParseableText(q));
+    ASSERT_TRUE(reparsed.ok()) << ToParseableText(q);
+    EXPECT_EQ(*reparsed, q) << ToParseableText(q);
+  }
+}
+
+}  // namespace
+}  // namespace qmap

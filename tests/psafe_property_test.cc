@@ -1,0 +1,122 @@
+// Property tests for Algorithm PSafe over randomized conjunctive queries:
+//
+//   SAFETY (Theorem 6): the mapping computed block-wise —
+//   S(∧B1) ∧ ... ∧ S(∧Bm) — must equal the mapping of the whole
+//   conjunction (decided semantically over consistent tuples).
+//
+//   COVERING: every conjunct appears in exactly one block.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "qmap/contexts/synthetic.h"
+#include "qmap/core/dnf_mapper.h"
+#include "qmap/core/psafe.h"
+#include "qmap/expr/dnf.h"
+
+namespace qmap {
+namespace {
+
+struct PSafeCase {
+  uint32_t seed;
+  int num_attrs;
+  int num_pairs;
+};
+
+class PSafeProperty : public ::testing::TestWithParam<PSafeCase> {
+ protected:
+  void SetUp() override {
+    options_.num_attrs = GetParam().num_attrs;
+    for (int i = 0; i < GetParam().num_pairs; ++i) {
+      options_.dependent_pairs.push_back({2 * i, 2 * i + 1});
+    }
+    Result<MappingSpec> spec = MakeSyntheticSpec(options_);
+    ASSERT_TRUE(spec.ok());
+    spec_ = std::make_unique<MappingSpec>(*std::move(spec));
+    rng_.seed(GetParam().seed);
+  }
+
+  // A random conjunction of 2-4 conjuncts, each a leaf or small disjunction.
+  Query RandomConjunction() {
+    std::uniform_int_distribution<int> conjunct_count(2, 4);
+    std::uniform_int_distribution<int> disjunct_count(1, 3);
+    std::uniform_int_distribution<int> attr_dist(0, options_.num_attrs - 1);
+    std::uniform_int_distribution<int> value_dist(0, 3);
+    std::vector<Query> conjuncts;
+    int n = conjunct_count(rng_);
+    for (int i = 0; i < n; ++i) {
+      int k = disjunct_count(rng_);
+      std::vector<Query> disjuncts;
+      for (int j = 0; j < k; ++j) {
+        disjuncts.push_back(Query::Leaf(
+            MakeSel(Attr::Simple("a" + std::to_string(attr_dist(rng_))),
+                    Op::kEq, Value::Int(value_dist(rng_)))));
+      }
+      conjuncts.push_back(Query::Or(std::move(disjuncts)));
+    }
+    return Query::And(std::move(conjuncts));
+  }
+
+  SyntheticOptions options_;
+  std::unique_ptr<MappingSpec> spec_;
+  std::mt19937 rng_;
+};
+
+TEST_P(PSafeProperty, PartitionIsSafeAndCovering) {
+  for (int round = 0; round < 25; ++round) {
+    Query q = RandomConjunction();
+    if (q.kind() != NodeKind::kAnd) continue;  // collapsed by normalization
+    EdnfComputer ednf(*spec_, q);
+    PSafePartition partition = PSafe(q.children(), ednf);
+
+    // Covering: each conjunct in exactly one block.
+    std::set<int> seen;
+    for (const std::vector<int>& block : partition.blocks) {
+      for (int index : block) {
+        EXPECT_TRUE(seen.insert(index).second) << "conjunct in two blocks";
+      }
+    }
+    EXPECT_EQ(seen.size(), q.children().size());
+
+    // Safety: block-wise mapping == whole mapping, semantically.
+    Result<Query> whole = DnfMap(q, *spec_);
+    ASSERT_TRUE(whole.ok());
+    std::vector<Query> block_mappings;
+    for (const std::vector<int>& block : partition.blocks) {
+      std::vector<Query> members;
+      for (int index : block) {
+        members.push_back(q.children()[static_cast<size_t>(index)]);
+      }
+      Result<Query> mapped = DnfMap(Query::And(std::move(members)), *spec_);
+      ASSERT_TRUE(mapped.ok());
+      block_mappings.push_back(*std::move(mapped));
+    }
+    Query blockwise = Query::And(std::move(block_mappings));
+    for (int i = 0; i < 200; ++i) {
+      Tuple source = RandomSourceTuple(rng_, options_.num_attrs, 4);
+      Tuple converted = ConvertSyntheticTuple(source, options_);
+      ASSERT_EQ(EvalQuery(*whole, converted), EvalQuery(blockwise, converted))
+          << "partition " << partition.ToString() << " unsafe for "
+          << q.ToString() << "\n whole: " << whole->ToString()
+          << "\n blockwise: " << blockwise.ToString()
+          << "\n tuple: " << converted.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, PSafeProperty,
+    ::testing::Values(PSafeCase{21, 4, 1}, PSafeCase{22, 4, 2},
+                      PSafeCase{23, 6, 2}, PSafeCase{24, 6, 3},
+                      PSafeCase{25, 8, 3}, PSafeCase{26, 8, 4},
+                      PSafeCase{27, 10, 4}, PSafeCase{28, 10, 5}),
+    [](const ::testing::TestParamInfo<PSafeCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_attrs" +
+             std::to_string(info.param.num_attrs) + "_pairs" +
+             std::to_string(info.param.num_pairs);
+    });
+
+}  // namespace
+}  // namespace qmap

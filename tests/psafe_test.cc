@@ -1,0 +1,94 @@
+#include "qmap/core/psafe.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "qmap/contexts/amazon.h"
+#include "qmap/rules/spec_parser.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::Q;
+
+// The spec of Examples 13-14: matchings {x,y}, {u}, {v} over constraint
+// attributes x, y, u, v.
+MappingSpec XyuvSpec() {
+  auto registry =
+      std::make_shared<FunctionRegistry>(FunctionRegistry::WithBuiltins());
+  registry->RegisterTransform(
+      "Concat", [](const std::vector<Term>& args) -> Result<Term> {
+        return Term(Value::Str(TermToString(args[0]) + "|" + TermToString(args[1])));
+      });
+  Result<MappingSpec> spec = ParseMappingSpec(
+      "rule RXY: [x = A]; [y = B] where Value(A), Value(B)"
+      "  => let C = Concat(A, B); emit [txy = C];"
+      "rule RU: [u = A] where Value(A) => emit [tu = A];"
+      "rule RV: [v = A] where Value(A) => emit [tv = A];",
+      "xyuv", registry);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return *std::move(spec);
+}
+
+PSafePartition Partition(const Query& q, const MappingSpec& spec,
+                         TranslationStats* stats = nullptr) {
+  EXPECT_EQ(q.kind(), NodeKind::kAnd);
+  EdnfComputer ednf(spec, q, stats);
+  return PSafe(q.children(), ednf, stats);
+}
+
+TEST(PSafe, QBookPartition) {
+  // Example 12: partition = {{Č1}, {Č2, Č3}}.
+  Query q = Q(
+      "(([ln = \"Smith\"] and [fn = \"J\"]) or [kwd contains \"www\"] or "
+      "[kwd contains \"java\"]) and [pyear = 1997] and ([pmonth = 5] or "
+      "[pmonth = 6])");
+  PSafePartition partition = Partition(q, AmazonSpec());
+  EXPECT_EQ(partition.ToString(), "{{C1}, {C2,C3}}");
+  EXPECT_EQ(partition.cross_matching_instances, 2);
+}
+
+TEST(PSafe, ExampleQaPartition) {
+  // Example 13/14: Q_a = (x)(y)(yu ∨ v)  ->  {{C1, C2}, {C3}}.
+  Query q = Q("[x = 1] and [y = 2] and (([y = 2] and [u = 3]) or [v = 4])");
+  PSafePartition partition = Partition(q, XyuvSpec());
+  EXPECT_EQ(partition.ToString(), "{{C1,C2}, {C3}}");
+}
+
+TEST(PSafe, ExampleQbMergesOverlappingBlocks) {
+  // Q_b = (x)(y ∨ u)(y ∨ v)  ->  the single block {C1, C2, C3}.
+  Query q = Q("[x = 1] and ([y = 2] or [u = 3]) and ([y = 2] or [v = 4])");
+  PSafePartition partition = Partition(q, XyuvSpec());
+  EXPECT_EQ(partition.ToString(), "{{C1,C2,C3}}");
+}
+
+TEST(PSafe, SafeConjunctionFullySeparates) {
+  // Independent conjuncts -> all singleton blocks, no cross-matchings.
+  Query q = Q(
+      "([publisher = \"oreilly\"] or [id-no = \"X\"]) and "
+      "([ti contains \"java\"] or [kwd contains \"www\"])");
+  TranslationStats stats;
+  PSafePartition partition = Partition(q, AmazonSpec(), &stats);
+  EXPECT_EQ(partition.ToString(), "{{C1}, {C2}}");
+  EXPECT_EQ(partition.cross_matching_instances, 0);
+  EXPECT_EQ(stats.cross_matchings, 0u);
+}
+
+TEST(PSafe, Example2Partition) {
+  // (f1 ∨ f2) ∧ f3: the {ln, fn} dependency groups both conjuncts.
+  Query q = Q("([ln = \"Clancy\"] or [ln = \"Klancy\"]) and [fn = \"Tom\"]");
+  PSafePartition partition = Partition(q, AmazonSpec());
+  EXPECT_EQ(partition.ToString(), "{{C1,C2}}");
+}
+
+TEST(PSafe, CrossMatchingContainedInOneConjunctIsNotCross) {
+  // (xy) ∧ (v): {x,y} lives inside conjunct 1 -> fully separable.
+  Query q = Q("(([x = 1] and [y = 2]) or [u = 3]) and [v = 4]");
+  PSafePartition partition = Partition(q, XyuvSpec());
+  EXPECT_EQ(partition.ToString(), "{{C1}, {C2}}");
+}
+
+}  // namespace
+}  // namespace qmap

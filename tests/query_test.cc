@@ -1,0 +1,128 @@
+#include "qmap/expr/query.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::C;
+using testing::Q;
+
+TEST(Query, TrueNode) {
+  Query t = Query::True();
+  EXPECT_TRUE(t.is_true());
+  EXPECT_EQ(t.ToString(), "true");
+  EXPECT_EQ(t.NodeCount(), 1);
+}
+
+TEST(Query, LeafNode) {
+  Query leaf = Query::Leaf(C("[ln = \"Clancy\"]"));
+  EXPECT_TRUE(leaf.is_leaf());
+  EXPECT_EQ(leaf.ToString(), "[ln = \"Clancy\"]");
+}
+
+TEST(Query, AndFlattensNested) {
+  Query q = Q("[a = 1] and ([b = 2] and [c = 3])");
+  EXPECT_EQ(q.kind(), NodeKind::kAnd);
+  EXPECT_EQ(q.children().size(), 3u);  // ∧{a, ∧{b,c}} = ∧{a,b,c}
+}
+
+TEST(Query, OrFlattensNested) {
+  Query q = Q("[a = 1] or ([b = 2] or [c = 3])");
+  EXPECT_EQ(q.kind(), NodeKind::kOr);
+  EXPECT_EQ(q.children().size(), 3u);
+}
+
+TEST(Query, AndDropsTrue) {
+  Query q = Query::And({Query::True(), Q("[a = 1]")});
+  EXPECT_TRUE(q.is_leaf());
+  EXPECT_EQ(q.ToString(), "[a = 1]");
+}
+
+TEST(Query, AndOfNothingIsTrue) { EXPECT_TRUE(Query::And({}).is_true()); }
+
+TEST(Query, OrAbsorbsTrue) {
+  Query q = Query::Or({Q("[a = 1]"), Query::True()});
+  EXPECT_TRUE(q.is_true());
+}
+
+TEST(Query, SingleChildCollapses) {
+  Query q = Query::And({Q("[a = 1]")});
+  EXPECT_TRUE(q.is_leaf());
+  Query r = Query::Or({Q("[a = 1] and [b = 2]")});
+  EXPECT_EQ(r.kind(), NodeKind::kAnd);
+}
+
+TEST(Query, IdempotentChildrenMerged) {
+  Query q = Query::And({Q("[a = 1]"), Q("[a = 1]")});
+  EXPECT_TRUE(q.is_leaf());  // x ∧ x = x
+  Query r = Query::Or({Q("[a = 1]"), Q("[a = 1]")});
+  EXPECT_TRUE(r.is_leaf());  // x ∨ x = x
+}
+
+TEST(Query, AlternationInvariantHolds) {
+  // Children of an ∧ are never ∧; children of an ∨ are never ∨.
+  Query q = Q("([a = 1] or ([b = 2] and ([c = 3] or [d = 4]))) and [e = 5]");
+  std::function<void(const Query&)> check = [&](const Query& node) {
+    for (const Query& child : node.children()) {
+      if (node.kind() == NodeKind::kAnd) EXPECT_NE(child.kind(), NodeKind::kAnd);
+      if (node.kind() == NodeKind::kOr) EXPECT_NE(child.kind(), NodeKind::kOr);
+      check(child);
+    }
+  };
+  check(q);
+}
+
+TEST(Query, IsSimpleConjunction) {
+  EXPECT_TRUE(Query::True().IsSimpleConjunction());
+  EXPECT_TRUE(Q("[a = 1]").IsSimpleConjunction());
+  EXPECT_TRUE(Q("[a = 1] and [b = 2]").IsSimpleConjunction());
+  EXPECT_FALSE(Q("[a = 1] or [b = 2]").IsSimpleConjunction());
+  EXPECT_FALSE(Q("[a = 1] and ([b = 2] or [c = 3])").IsSimpleConjunction());
+}
+
+TEST(Query, AsSimpleConjunction) {
+  std::vector<Constraint> cs = Q("[a = 1] and [b = 2]").AsSimpleConjunction();
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[0].ToString(), "[a = 1]");
+  EXPECT_EQ(cs[1].ToString(), "[b = 2]");
+  EXPECT_TRUE(Query::True().AsSimpleConjunction().empty());
+}
+
+TEST(Query, AllConstraintsDeduplicates) {
+  Query q = Q("([a = 1] or [b = 2]) and [a = 1]");
+  std::vector<Constraint> cs = q.AllConstraints();
+  EXPECT_EQ(cs.size(), 2u);
+}
+
+TEST(Query, NodeCountAndDepth) {
+  Query q = Q("([a = 1] or [b = 2]) and [c = 3]");
+  EXPECT_EQ(q.NodeCount(), 5);  // and, or, 3 leaves
+  EXPECT_EQ(q.Depth(), 3);
+  EXPECT_EQ(Q("[a = 1]").Depth(), 1);
+}
+
+TEST(Query, StructuralEquality) {
+  EXPECT_EQ(Q("[a = 1] and [b = 2]"), Q("[a = 1] and [b = 2]"));
+  EXPECT_FALSE(Q("[a = 1] and [b = 2]") == Q("[b = 2] and [a = 1]"));
+  EXPECT_FALSE(Q("[a = 1]") == Q("[a = 2]"));
+}
+
+TEST(Query, ToStringParenthesization) {
+  Query q = Q("([a = 1] or [b = 2]) and [c = 3]");
+  EXPECT_EQ(q.ToString(), "([a = 1] ∨ [b = 2]) ∧ [c = 3]");
+}
+
+TEST(Query, Operators) {
+  Query q = Q("[a = 1]") & Q("[b = 2]");
+  EXPECT_EQ(q.kind(), NodeKind::kAnd);
+  Query r = Q("[a = 1]") | Q("[b = 2]");
+  EXPECT_EQ(r.kind(), NodeKind::kOr);
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "qmap/relalg/conversion.h"
+#include "qmap/relalg/ops.h"
+#include "qmap/relalg/relation.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::Q;
+
+Relation SampleBooks() {
+  Relation r("book", {"ti", "au"});
+  EXPECT_TRUE(r.AddRow({Value::Str("red october"), Value::Str("Clancy, Tom")}).ok());
+  EXPECT_TRUE(r.AddRow({Value::Str("patriot games"), Value::Str("Clancy, Tom")}).ok());
+  EXPECT_TRUE(r.AddRow({Value::Str("data mining"), Value::Str("Han, Jiawei")}).ok());
+  return r;
+}
+
+TEST(Relation, SchemaEnforced) {
+  Relation r("t", {"a", "b"});
+  EXPECT_TRUE(r.AddRow({Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_FALSE(r.AddRow({Value::Int(1)}).ok());
+  EXPECT_EQ(r.NumRows(), 1u);
+}
+
+TEST(Relation, QualifiedTuples) {
+  Relation r = SampleBooks();
+  Tuple t = r.RowAsTuple(0, "pub.paper");
+  EXPECT_EQ(t.Get(Attr::Parse("pub.paper.ti").value())->AsString(), "red october");
+  Tuple bare = r.RowAsTuple(0, "");
+  EXPECT_EQ(bare.Get(Attr::Simple("au"))->AsString(), "Clancy, Tom");
+}
+
+TEST(Ops, Select) {
+  TupleSet all = SampleBooks().AsTuples("");
+  TupleSet clancy = Select(all, Q("[au contains \"clancy\"]"));
+  EXPECT_EQ(clancy.size(), 2u);
+  TupleSet none = Select(all, Q("[au = \"Nobody\"]"));
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(Select(all, Query::True()).size(), 3u);
+}
+
+TEST(Ops, CrossMergesDisjointKeySpaces) {
+  Relation a("a", {"x"});
+  (void)a.AddRow({Value::Int(1)});
+  (void)a.AddRow({Value::Int(2)});
+  Relation b("b", {"y"});
+  (void)b.AddRow({Value::Int(10)});
+  (void)b.AddRow({Value::Int(20)});
+  (void)b.AddRow({Value::Int(30)});
+  TupleSet crossed = Cross(a.AsTuples("a"), b.AsTuples("b"));
+  EXPECT_EQ(crossed.size(), 6u);
+  EXPECT_EQ(crossed[0].Get(Attr::Parse("a.x").value())->AsInt(), 1);
+  EXPECT_EQ(crossed[0].Get(Attr::Parse("b.y").value())->AsInt(), 10);
+}
+
+TEST(Ops, UnionDeduplicates) {
+  TupleSet all = SampleBooks().AsTuples("");
+  TupleSet both = Union(all, all);
+  EXPECT_EQ(both.size(), 3u);
+}
+
+TEST(Ops, SameTupleSetIgnoresOrderAndDuplicates) {
+  TupleSet all = SampleBooks().AsTuples("");
+  TupleSet reversed(all.rbegin(), all.rend());
+  EXPECT_TRUE(SameTupleSet(all, reversed));
+  TupleSet doubled = all;
+  doubled.push_back(all[0]);
+  EXPECT_TRUE(SameTupleSet(all, doubled));
+  TupleSet fewer(all.begin(), all.begin() + 2);
+  EXPECT_FALSE(SameTupleSet(all, fewer));
+}
+
+TEST(Conversion, NameSplit) {
+  ConversionFn split = NameSplitConversion("au", "ln", "fn");
+  TupleSet all = SampleBooks().AsTuples("");
+  Result<TupleSet> converted = ApplyConversion(all, split);
+  ASSERT_TRUE(converted.ok());
+  EXPECT_EQ((*converted)[0].Get(Attr::Simple("ln"))->AsString(), "Clancy");
+  EXPECT_EQ((*converted)[0].Get(Attr::Simple("fn"))->AsString(), "Tom");
+}
+
+TEST(Conversion, Rename) {
+  ConversionFn rename = RenameConversion("ti", "title");
+  TupleSet all = SampleBooks().AsTuples("");
+  Result<TupleSet> converted = ApplyConversion(all, rename);
+  ASSERT_TRUE(converted.ok());
+  EXPECT_EQ((*converted)[0].Get(Attr::Simple("title"))->AsString(), "red october");
+  // Original attribute is preserved (conversions extend, not replace).
+  EXPECT_EQ((*converted)[0].Get(Attr::Simple("ti"))->AsString(), "red october");
+}
+
+TEST(Conversion, InapplicableTuplePassesThrough) {
+  ConversionFn rename = RenameConversion("missing", "out");
+  TupleSet all = SampleBooks().AsTuples("");
+  Result<TupleSet> converted = ApplyConversion(all, rename);
+  ASSERT_TRUE(converted.ok());
+  EXPECT_EQ(converted->size(), all.size());
+  EXPECT_FALSE((*converted)[0].Get(Attr::Simple("out")).has_value());
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,121 @@
+// Robustness: hostile/degenerate inputs must produce Status errors (never
+// crashes), and the const translation API must be safe to share across
+// threads.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+
+#include "qmap/contexts/amazon.h"
+#include "qmap/core/translator.h"
+#include "qmap/expr/parser.h"
+#include "qmap/rules/spec_parser.h"
+
+namespace qmap {
+namespace {
+
+TEST(Robustness, ParserSurvivesRandomBytes) {
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<int> len_dist(0, 60);
+  std::uniform_int_distribution<int> byte_dist(32, 126);
+  for (int i = 0; i < 2000; ++i) {
+    std::string garbage;
+    int len = len_dist(rng);
+    for (int k = 0; k < len; ++k) {
+      garbage.push_back(static_cast<char>(byte_dist(rng)));
+    }
+    // Must not crash; ok() or a ParseError are both acceptable.
+    Result<Query> q = ParseQuery(garbage);
+    if (!q.ok()) {
+      EXPECT_EQ(q.status().code(), StatusCode::kParseError) << garbage;
+    }
+  }
+}
+
+TEST(Robustness, ParserSurvivesMutatedValidQueries) {
+  const std::string base =
+      "([ln = \"Clancy\"] or [pdate during date(1997, 5)]) and "
+      "[xrange = range(10, 30)]";
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<size_t> pos_dist(0, base.size() - 1);
+  std::uniform_int_distribution<int> byte_dist(32, 126);
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = base;
+    mutated[pos_dist(rng)] = static_cast<char>(byte_dist(rng));
+    Result<Query> q = ParseQuery(mutated);  // must not crash
+    (void)q;
+  }
+}
+
+TEST(Robustness, SpecParserSurvivesRandomBytes) {
+  auto registry =
+      std::make_shared<FunctionRegistry>(FunctionRegistry::WithBuiltins());
+  std::mt19937 rng(13);
+  std::uniform_int_distribution<int> len_dist(0, 80);
+  std::uniform_int_distribution<int> byte_dist(32, 126);
+  for (int i = 0; i < 1000; ++i) {
+    std::string garbage = "rule R: ";
+    int len = len_dist(rng);
+    for (int k = 0; k < len; ++k) {
+      garbage.push_back(static_cast<char>(byte_dist(rng)));
+    }
+    Result<MappingSpec> spec = ParseMappingSpec(garbage, "T", registry);
+    EXPECT_FALSE(spec.ok() && spec->rules().empty());  // never a silent no-op
+  }
+}
+
+TEST(Robustness, DeeplyNestedQueryParses) {
+  std::string text = "[a = 1]";
+  for (int i = 0; i < 200; ++i) text = "(" + text + " and [b = 2])";
+  Result<Query> q = ParseQuery(text);
+  ASSERT_TRUE(q.ok());
+  // The normalizing constructors collapse it all to one conjunction.
+  EXPECT_EQ(q->NodeCount(), 3);
+}
+
+TEST(Robustness, ConcurrentTranslationsShareOneTranslator) {
+  Translator translator(AmazonSpec());
+  const char* queries[] = {
+      "([ln = \"Clancy\"] or [ln = \"Klancy\"]) and [fn = \"Tom\"]",
+      "[pyear = 1997] and ([pmonth = 5] or [pmonth = 6])",
+      "[publisher = \"o\"] or [id-no = \"X\"]",
+      "[ti contains \"java(near)jdk\"] and [kwd contains \"www\"]",
+  };
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&translator, &queries, &failures, t] {
+      for (int i = 0; i < 200; ++i) {
+        Result<Translation> result =
+            translator.TranslateText(queries[(t + i) % 4]);
+        if (!result.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Robustness, HugeConjunctionTranslates) {
+  Translator translator(AmazonSpec());
+  std::vector<Query> leaves;
+  for (int i = 0; i < 500; ++i) {
+    leaves.push_back(Query::Leaf(MakeSel(Attr::Simple("pyear"), Op::kEq,
+                                         Value::Int(1500 + i))));
+  }
+  Result<Translation> t = translator.Translate(Query::And(std::move(leaves)));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->mapped.children().size(), 500u);
+}
+
+TEST(Robustness, EmptyTranslatorMapsEverythingToTrue) {
+  Translator translator;
+  Result<Translation> t = translator.TranslateText("[a = 1] and [b = 2]");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->mapped.is_true());
+  EXPECT_EQ(t->filter.ToString(), "[a = 1] ∧ [b = 2]");
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,128 @@
+#include "qmap/core/scm.h"
+
+#include <gtest/gtest.h>
+
+#include "qmap/contexts/amazon.h"
+#include "qmap/contexts/clbooks.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::C;
+
+// Q̂1 of Figure 2.
+std::vector<Constraint> Q1() {
+  return {C("[ln = \"Smith\"]"), C("[ti contains \"java(near)jdk\"]"),
+          C("[pyear = 1997]"), C("[pmonth = 5]"), C("[kwd contains \"www\"]")};
+}
+
+// Q̂2 of Figure 2.
+std::vector<Constraint> Q2() {
+  return {C("[publisher = \"oreilly\"]"), C("[ti = \"jdkforjava\"]"),
+          C("[category = \"D.3\"]"), C("[id-no = \"081815181Y\"]")};
+}
+
+TEST(Scm, Example4MapsQ1ToS1) {
+  // Figure 2: S1 = a_a ∧ a_t1 ∧ a_d ∧ (a_t2 ∨ a_s1).
+  TranslationStats stats;
+  Result<Query> mapped = ScmMap(Q1(), AmazonSpec(), &stats);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->ToString(),
+            "[author = \"Smith\"] ∧ [ti-word contains \"java(and)jdk\"] ∧ "
+            "[pdate during May/97] ∧ ([ti-word contains \"www\"] ∨ "
+            "[subject-word contains \"www\"])");
+  // R7's sub-matching {f_y} was suppressed by R6's {f_y, f_m}.
+  EXPECT_EQ(stats.submatchings_removed, 1u);
+  EXPECT_EQ(stats.matchings_applied, 4u);
+}
+
+TEST(Scm, Example4MapsQ2ToS2) {
+  // Figure 2: S2 = a_p ∧ a_t3 ∧ a_s2 ∧ a_i.
+  Result<Query> mapped = ScmMap(Q2(), AmazonSpec());
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped->ToString(),
+            "[publisher = \"oreilly\"] ∧ [isbn = \"081815181Y\"] ∧ "
+            "[title starts \"jdkforjava\"] ∧ [subject = \"programming\"]");
+}
+
+TEST(Scm, Example2LnFnDependency) {
+  // {ln, fn} together fire R2, and the single-name matching of R3 is
+  // suppressed: the mapping is [author = "Clancy, Tom"], not a conjunction
+  // with [author = "Clancy"].
+  Result<Query> mapped =
+      ScmMap({C("[ln = \"Clancy\"]"), C("[fn = \"Tom\"]")}, AmazonSpec());
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped->ToString(), "[author = \"Clancy, Tom\"]");
+}
+
+TEST(Scm, UnsupportedConstraintMapsToTrue) {
+  // fn alone has no Amazon rule (a first name alone cannot be searched).
+  Result<Query> mapped = ScmMap({C("[fn = \"Tom\"]")}, AmazonSpec());
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_TRUE(mapped->is_true());
+}
+
+TEST(Scm, EmptyConjunctionIsTrue) {
+  Result<Query> mapped = ScmMap({}, AmazonSpec());
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_TRUE(mapped->is_true());
+}
+
+TEST(Scm, PartialDateWithoutMonthUsesR7) {
+  Result<Query> mapped = ScmMap({C("[pyear = 1997]")}, AmazonSpec());
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped->ToString(), "[pdate during 97]");
+}
+
+TEST(Scm, MonthAloneIsUnsupported) {
+  // S(f_m) = True: Amazon requires the year in any pdate constraint.
+  Result<Query> mapped = ScmMap({C("[pmonth = 5]")}, AmazonSpec());
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_TRUE(mapped->is_true());
+}
+
+TEST(Scm, CoverageMarksExactAndInexact) {
+  ExactCoverage coverage;
+  TranslationStats stats;
+  Result<ScmResult> result = Scm(Q1(), AmazonSpec(), &stats, &coverage);
+  ASSERT_TRUE(result.ok());
+  // ln (R3) and pyear/pmonth (R6) are exact; ti (R4, relaxed near) and kwd
+  // (R8, approximated) are not.
+  EXPECT_TRUE(coverage.IsExact(C("[ln = \"Smith\"]")));
+  EXPECT_TRUE(coverage.IsExact(C("[pyear = 1997]")));
+  EXPECT_TRUE(coverage.IsExact(C("[pmonth = 5]")));
+  EXPECT_FALSE(coverage.IsExact(C("[ti contains \"java(near)jdk\"]")));
+  EXPECT_FALSE(coverage.IsExact(C("[kwd contains \"www\"]")));
+}
+
+TEST(Scm, ClbooksExample1Relaxation) {
+  // Example 1: Q_c = [author contains Tom] ∧ [author contains Clancy].
+  Result<Query> mapped =
+      ScmMap({C("[fn = \"Tom\"]"), C("[ln = \"Clancy\"]")}, ClbooksSpec());
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped->ToString(),
+            "[author contains \"Clancy\"] ∧ [author contains \"Tom\"]");
+}
+
+TEST(Scm, SuppressSubmatchingsKeepsEqualSets) {
+  // Two matchings with identical constraint sets (different rules) both
+  // survive — only strict subsets are suppressed.
+  Matching a;
+  a.constraint_indices = {0, 1};
+  Matching b;
+  b.constraint_indices = {0, 1};
+  Matching c;
+  c.constraint_indices = {0};
+  std::vector<Matching> kept = SuppressSubmatchings({a, b, c});
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+TEST(Scm, AppliedMatchingsExposed) {
+  Result<ScmResult> result = Scm(Q1(), AmazonSpec());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->applied.size(), 4u);
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,179 @@
+#include "qmap/core/separability.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "qmap/contexts/amazon.h"
+#include "qmap/contexts/geo.h"
+#include "qmap/rules/spec_parser.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::C;
+using testing::Q;
+
+TEST(Safety, Example7UnsafeConjunction) {
+  // Q̂ = (f_l f_f)(f_y)(f_m1): the cross-matching {f_y, f_m1} makes it
+  // unsafe.
+  Query whole = Q(
+      "[ln = \"S\"] and [fn = \"J\"] and [pyear = 1997] and [pmonth = 5]");
+  EdnfComputer ednf(AmazonSpec(), whole);
+  const ConstraintTable& t = ednf.table();
+  std::vector<ConstraintSet> conjuncts = {
+      {t.IdOf(C("[ln = \"S\"]")), t.IdOf(C("[fn = \"J\"]"))},
+      {t.IdOf(C("[pyear = 1997]"))},
+      {t.IdOf(C("[pmonth = 5]"))}};
+  SafetyResult result = CheckBaseCaseSafety(conjuncts, ednf);
+  EXPECT_FALSE(result.safe);
+  ASSERT_EQ(result.cross_matchings.size(), 1u);
+  EXPECT_EQ(result.cross_matchings[0].size(), 2u);
+}
+
+TEST(Safety, IndependentConjunctionIsSafe) {
+  Query whole = Q("[publisher = \"o\"] and [id-no = \"X\"]");
+  EdnfComputer ednf(AmazonSpec(), whole);
+  const ConstraintTable& t = ednf.table();
+  std::vector<ConstraintSet> conjuncts = {{t.IdOf(C("[publisher = \"o\"]"))},
+                                          {t.IdOf(C("[id-no = \"X\"]"))}};
+  EXPECT_TRUE(CheckBaseCaseSafety(conjuncts, ednf).safe);
+}
+
+TEST(Safety, GeneralCaseDetectsCrossMatchingsThroughDisjunctions) {
+  Query q = Q("([ln = \"A\"] or [publisher = \"p\"]) and [fn = \"B\"]");
+  EdnfComputer ednf(AmazonSpec(), q);
+  SafetyResult result = CheckGeneralSafety(q.children(), ednf);
+  EXPECT_FALSE(result.safe);  // {ln, fn} crosses the conjuncts
+}
+
+TEST(Safety, GeneralCaseSafeWhenNoCross) {
+  Query q = Q("([ti contains \"x\"] or [publisher = \"p\"]) and [kwd contains \"y\"]");
+  EdnfComputer ednf(AmazonSpec(), q);
+  EXPECT_TRUE(CheckGeneralSafety(q.children(), ednf).safe);
+}
+
+// --- Example 8: the geo context, where safety is not necessary. ---
+
+TEST(Separability, Example8RedundantCrossMatchings) {
+  // Q̂ = (f1 f2)(f3 f4): unsafe (cross-matchings m3 = {f1,f3}, m4 = {f2,f4})
+  // but separable by Theorem 3 — the corner constraints are redundant next
+  // to the range constraints.
+  std::vector<std::vector<Constraint>> conjuncts = {
+      {C("[x_min = 10]"), C("[x_max = 30]")},
+      {C("[y_min = 20]"), C("[y_max = 40]")}};
+  // First confirm unsafety.
+  Query whole = Q("[x_min = 10] and [x_max = 30] and [y_min = 20] and [y_max = 40]");
+  EdnfComputer ednf(GeoSpec(), whole);
+  const ConstraintTable& t = ednf.table();
+  std::vector<ConstraintSet> sets = {
+      {t.IdOf(C("[x_min = 10]")), t.IdOf(C("[x_max = 30]"))},
+      {t.IdOf(C("[y_min = 20]")), t.IdOf(C("[y_max = 40]"))}};
+  SafetyResult safety = CheckBaseCaseSafety(sets, ednf);
+  EXPECT_FALSE(safety.safe);
+  EXPECT_EQ(safety.cross_matchings.size(), 2u);
+
+  // Theorem 3 over the coordinate grid: separable nevertheless.
+  GeoSemantics semantics;
+  std::vector<Tuple> universe = GeoGridUniverse(0, 60, 0, 60);
+  Result<bool> separable =
+      IsSeparableBaseCase(conjuncts, GeoSpec(), universe, &semantics);
+  ASSERT_TRUE(separable.ok()) << separable.status().ToString();
+  EXPECT_TRUE(*separable);
+}
+
+TEST(Separability, Example8EssentialCrossMatchings) {
+  // Q̂ = (f1 f4)(f2 f3): all four cross-matchings are essential — the
+  // conjuncts alone map to True, so dropping any matching loses selectivity.
+  std::vector<std::vector<Constraint>> conjuncts = {
+      {C("[x_min = 10]"), C("[y_max = 40]")},
+      {C("[x_max = 30]"), C("[y_min = 20]")}};
+  GeoSemantics semantics;
+  std::vector<Tuple> universe = GeoGridUniverse(0, 60, 0, 60);
+  Result<bool> separable =
+      IsSeparableBaseCase(conjuncts, GeoSpec(), universe, &semantics);
+  ASSERT_TRUE(separable.ok()) << separable.status().ToString();
+  EXPECT_FALSE(*separable);
+}
+
+TEST(Separability, SubsumesOnUniverse) {
+  GeoSemantics semantics;
+  std::vector<Tuple> universe = GeoGridUniverse(0, 60, 0, 60);
+  Query cll = Q("[cll = point(10, 20)]");
+  Query rect = Q("[xrange = range(10, 30)] and [yrange = range(20, 40)]");
+  // Figure 9: g3 (the corner region) subsumes g1g2 (the rectangle).
+  EXPECT_TRUE(SubsumesOnUniverse(cll, rect, universe, &semantics));
+  EXPECT_FALSE(SubsumesOnUniverse(rect, cll, universe, &semantics));
+}
+
+// --- Section 7.1.2's anomaly: unsafe but separable via masking. ---
+
+TEST(Separability, UnsafeButSeparableAnomaly) {
+  // Q̂ = (x ∨ y)(z) where {y,z} is a matching and x has no mapping at all:
+  // S(xz) = S(z) masks the unsafe term.  Theorem 4 detects separability.
+  auto registry =
+      std::make_shared<FunctionRegistry>(FunctionRegistry::WithBuiltins());
+  registry->RegisterTransform(
+      "Concat", [](const std::vector<Term>& args) -> Result<Term> {
+        return Term(Value::Str(TermToString(args[0]) + "|" + TermToString(args[1])));
+      });
+  Result<MappingSpec> spec = ParseMappingSpec(
+      "rule RYZ: [y = A]; [z = B] where Value(A), Value(B)"
+      "  => let CC = Concat(A, B); emit [tyz = CC];"
+      "rule RZ: [z = B] where Value(B) => emit [tz = B];",
+      "anomaly", registry);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  Query c1 = Q("[x = 1] or [y = 2]");
+  Query c2 = Q("[z = 3]");
+
+  // Unsafe: the (y)(z) combination has the cross-matching {y,z}.
+  EdnfComputer ednf(*spec, c1 & c2);
+  SafetyResult safety = CheckGeneralSafety({c1, c2}, ednf);
+  EXPECT_FALSE(safety.safe);
+
+  // But separable: build a universe over the target vocabulary; note the
+  // mapped queries use tz / tyz, with source constraints x,y,z evaluated on
+  // the same tuples (default semantics).
+  std::vector<Tuple> universe;
+  for (int x = 0; x <= 2; ++x) {
+    for (int y = 0; y <= 3; ++y) {
+      for (int z = 0; z <= 4; ++z) {
+        Tuple t;
+        t.Set("x", Value::Int(x));
+        t.Set("y", Value::Int(y));
+        t.Set("z", Value::Int(z));
+        t.Set("tz", Value::Int(z));
+        t.Set("tyz", Value::Str(Value::Int(y).ToString() + "|" +
+                                Value::Int(z).ToString()));
+        universe.push_back(std::move(t));
+      }
+    }
+  }
+  Result<bool> separable =
+      IsSeparableGeneralCase({c1, c2}, *spec, universe, nullptr);
+  ASSERT_TRUE(separable.ok()) << separable.status().ToString();
+  EXPECT_TRUE(*separable);
+
+  // Control: with a mapping for x, the masking disappears and the
+  // conjunction is truly inseparable.
+  Result<MappingSpec> spec2 = ParseMappingSpec(
+      "rule RYZ: [y = A]; [z = B] where Value(A), Value(B)"
+      "  => let CC = Concat(A, B); emit [tyz = CC];"
+      "rule RZ: [z = B] where Value(B) => emit [tz = B];"
+      "rule RX: [x = A] where Value(A) => emit [tx = A];",
+      "anomaly2", registry);
+  ASSERT_TRUE(spec2.ok());
+  for (Tuple& t : universe) {
+    std::optional<Value> x = t.Get(Attr::Simple("x"));
+    t.Set("tx", *x);
+  }
+  Result<bool> separable2 =
+      IsSeparableGeneralCase({c1, c2}, *spec2, universe, nullptr);
+  ASSERT_TRUE(separable2.ok());
+  EXPECT_FALSE(*separable2);
+}
+
+}  // namespace
+}  // namespace qmap

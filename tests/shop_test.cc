@@ -1,0 +1,103 @@
+// The MetricShop context: comparison-operator rules with unit transforms.
+
+#include <gtest/gtest.h>
+
+#include "qmap/contexts/shop.h"
+#include "qmap/core/translator.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::Q;
+
+Tuple Product(const char* name, double price, double length) {
+  Tuple t;
+  t.Set("name", Value::Str(name));
+  t.Set("price", Value::Real(price));
+  t.Set("length", Value::Real(length));
+  return t;
+}
+
+TEST(Shop, SpecParses) {
+  EXPECT_EQ(ShopSpec().target_name(), "MetricShop");
+  EXPECT_EQ(ShopSpec().rules().size(), 12u);
+}
+
+TEST(Shop, ComparisonOperatorsMapWithConvertedBounds) {
+  Translator translator(ShopSpec());
+  Result<Translation> t =
+      translator.TranslateText("[price < 19.99] and [length >= 10]");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->mapped.ToString(), "[price_cents < 1999] ∧ [length_cm >= 25.4]");
+  EXPECT_TRUE(t->filter.is_true());  // monotonic transforms: exact
+}
+
+TEST(Shop, EqualityMaps) {
+  Translator translator(ShopSpec());
+  Result<Translation> t = translator.TranslateText("[price = 5]");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->mapped.ToString(), "[price_cents = 500]");
+}
+
+TEST(Shop, NameSearchIsRelaxed) {
+  Translator translator(ShopSpec());
+  Result<Translation> t = translator.TranslateText("[name = \"red widget\"]");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->mapped.ToString(), "[name-word contains \"red widget\"]");
+  EXPECT_EQ(t->filter.ToString(), "[name = \"red widget\"]");
+}
+
+TEST(Shop, DisjunctivePriceBands) {
+  Translator translator(ShopSpec());
+  Result<Translation> t = translator.TranslateText(
+      "([price < 10] or [price > 100]) and [length <= 3]");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->mapped.ToString(),
+            "([price_cents < 1000] ∨ [price_cents > 10000]) ∧ "
+            "[length_cm <= 7.62]");
+}
+
+TEST(Shop, SubsumptionOverConvertedProducts) {
+  Translator translator(ShopSpec());
+  const char* queries[] = {
+      "[price < 19.99]",
+      "[price >= 5] and [price <= 20]",
+      "([price < 10] or [length > 12]) and [name contains \"widget\"]",
+      "[length = 3]",
+  };
+  std::vector<Tuple> products;
+  for (double price : {1.0, 4.99, 5.0, 9.99, 19.99, 20.0, 150.0}) {
+    for (double length : {1.0, 3.0, 10.0, 12.5}) {
+      products.push_back(Product("red widget deluxe", price, length));
+      products.push_back(Product("plain gadget", price, length));
+    }
+  }
+  for (const char* text : queries) {
+    Result<Translation> t = translator.TranslateText(text);
+    ASSERT_TRUE(t.ok()) << text;
+    for (const Tuple& p : products) {
+      bool original = EvalQuery(Q(text), p);
+      bool mapped = EvalQuery(t->mapped, MetricTupleFromProduct(p));
+      if (original) {
+        EXPECT_TRUE(mapped) << text << " on " << p.ToString();
+      }
+      // Exact parts must also not over-select: check the full identity.
+      bool reconstructed = mapped && EvalQuery(t->filter, p);
+      EXPECT_EQ(original, reconstructed) << text << " on " << p.ToString();
+    }
+  }
+}
+
+TEST(Shop, MixedSupportedAndUnsupported) {
+  Translator translator(ShopSpec());
+  // "weight" has no rules: maps to True and stays in the filter.
+  Result<Translation> t =
+      translator.TranslateText("[price < 10] and [weight = 2]");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->mapped.ToString(), "[price_cents < 1000]");
+  EXPECT_EQ(t->filter.ToString(), "[weight = 2]");
+}
+
+}  // namespace
+}  // namespace qmap

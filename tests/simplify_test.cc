@@ -1,0 +1,82 @@
+#include "qmap/expr/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::Q;
+
+TEST(SyntacticallyImplies, ConjunctionImpliesItsParts) {
+  EXPECT_TRUE(SyntacticallyImplies(Q("[a = 1] and [b = 2]"), Q("[a = 1]")));
+  EXPECT_FALSE(SyntacticallyImplies(Q("[a = 1]"), Q("[a = 1] and [b = 2]")));
+}
+
+TEST(SyntacticallyImplies, DisjunctionImpliedByItsParts) {
+  EXPECT_TRUE(SyntacticallyImplies(Q("[a = 1]"), Q("[a = 1] or [b = 2]")));
+  EXPECT_FALSE(SyntacticallyImplies(Q("[a = 1] or [b = 2]"), Q("[a = 1]")));
+}
+
+TEST(SyntacticallyImplies, EverythingImpliesTrue) {
+  EXPECT_TRUE(SyntacticallyImplies(Q("[a = 1]"), Query::True()));
+  EXPECT_TRUE(SyntacticallyImplies(Query::True(), Query::True()));
+  EXPECT_FALSE(SyntacticallyImplies(Query::True(), Q("[a = 1]")));
+}
+
+TEST(SyntacticallyImplies, NoOperatorReasoning) {
+  // [a < 1] does imply [a < 2] semantically, but not syntactically.
+  EXPECT_FALSE(SyntacticallyImplies(Q("[a < 1]"), Q("[a < 2]")));
+}
+
+TEST(SyntacticallyImplies, CrossShape) {
+  EXPECT_TRUE(SyntacticallyImplies(Q("([a = 1] and [b = 2]) or ([a = 1] and [c = 3])"),
+                                   Q("[a = 1]")));
+  EXPECT_FALSE(SyntacticallyImplies(
+      Q("([a = 1] and [b = 2]) or [c = 3]"), Q("[a = 1]")));
+}
+
+TEST(Simplify, OrAbsorption) {
+  // x ∨ (x ∧ y) = x.
+  Query q = Q("[a = 1] or ([a = 1] and [b = 2])");
+  EXPECT_EQ(SimplifyQuery(q).ToString(), "[a = 1]");
+}
+
+TEST(Simplify, AndAbsorption) {
+  // x ∧ (x ∨ y) = x.
+  Query q = Q("[a = 1] and ([a = 1] or [b = 2])");
+  EXPECT_EQ(SimplifyQuery(q).ToString(), "[a = 1]");
+}
+
+TEST(Simplify, DropsSubsumedDnfDisjuncts) {
+  Query q = Q("([a = 1] and [b = 2]) or [a = 1] or ([a = 1] and [c = 3])");
+  EXPECT_EQ(SimplifyQuery(q).ToString(), "[a = 1]");
+}
+
+TEST(Simplify, KeepsIncomparableSiblings) {
+  Query q = Q("[a = 1] or [b = 2]");
+  EXPECT_EQ(SimplifyQuery(q), q);
+  Query r = Q("[a = 1] and [b = 2]");
+  EXPECT_EQ(SimplifyQuery(r), r);
+}
+
+TEST(Simplify, RecursesIntoSubtrees) {
+  Query q = Q("([x = 9] or ([x = 9] and [y = 8])) and [z = 7]");
+  EXPECT_EQ(SimplifyQuery(q).ToString(), "[x = 9] ∧ [z = 7]");
+}
+
+TEST(Simplify, MutualImplicationKeepsOne) {
+  // Structurally different but DNF-equivalent siblings: keep the first.
+  Query q = Query::Or({Q("[a = 1] and [b = 2]"), Q("[b = 2] and [a = 1]")});
+  Query s = SimplifyQuery(q);
+  EXPECT_EQ(s.ToString(), "[a = 1] ∧ [b = 2]");
+}
+
+TEST(Simplify, TrueAndLeavesUnchanged) {
+  EXPECT_TRUE(SimplifyQuery(Query::True()).is_true());
+  EXPECT_EQ(SimplifyQuery(Q("[a = 1]")).ToString(), "[a = 1]");
+}
+
+}  // namespace
+}  // namespace qmap

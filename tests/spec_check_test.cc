@@ -1,0 +1,107 @@
+#include "qmap/rules/spec_check.h"
+
+#include <gtest/gtest.h>
+
+#include "qmap/contexts/amazon.h"
+#include "qmap/rules/spec_parser.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::C;
+
+std::vector<Tuple> BookUniverse() {
+  std::vector<Tuple> out;
+  for (const std::string& ln : {"Clancy", "Smith"}) {
+    for (const std::string& fn : {"Tom", "Joe"}) {
+      for (int pyear : {1997, 1998}) {
+        for (int pmonth : {5, 6}) {
+          Tuple t;
+          t.Set("ln", Value::Str(ln));
+          t.Set("fn", Value::Str(fn));
+          t.Set("ti", Value::Str("java jdk handbook"));
+          t.Set("pyear", Value::Int(pyear));
+          t.Set("pmonth", Value::Int(pmonth));
+          out.push_back(std::move(t));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(SpecCheck, AmazonRulesSoundOnBookUniverse) {
+  MappingSpec spec = AmazonSpec();
+  AmazonSemantics semantics;
+  std::vector<Constraint> conjunction = {
+      C("[ln = \"Clancy\"]"), C("[fn = \"Tom\"]"), C("[pyear = 1997]"),
+      C("[pmonth = 5]"), C("[ti contains \"java(near)jdk\"]")};
+  std::vector<SpecViolation> violations =
+      CheckRuleSoundness(spec, conjunction, BookUniverse(),
+                         &AmazonTupleFromBook, &semantics);
+  for (const SpecViolation& v : violations) ADD_FAILURE() << v.ToString();
+}
+
+TEST(SpecCheck, DetectsNonSubsumingEmission) {
+  // A deliberately broken rule: maps [pyear = Y] to an *unrelated* constant
+  // date, so the emission fails to subsume the matching.
+  auto registry =
+      std::make_shared<FunctionRegistry>(FunctionRegistry::WithBuiltins());
+  Result<MappingSpec> spec = ParseMappingSpec(
+      "rule BAD: [pyear = Y] where Value(Y)"
+      "  => let D = MakeYearDate(1900); emit [pdate during D];",
+      "broken", registry);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  std::vector<SpecViolation> violations = CheckRuleSoundness(
+      *spec, {C("[pyear = 1997]")}, BookUniverse(), &AmazonTupleFromBook);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].rule, "BAD");
+  EXPECT_NE(violations[0].detail.find("does not subsume"), std::string::npos);
+}
+
+TEST(SpecCheck, DetectsOverclaimedExactness) {
+  // A relaxation not marked `inexact`: [ti contains P] -> matches any book
+  // (emits a tautology-ish broad constraint on the year).
+  auto registry =
+      std::make_shared<FunctionRegistry>(FunctionRegistry::WithBuiltins());
+  Result<MappingSpec> spec = ParseMappingSpec(
+      "rule OVER: [pmonth = M] where Value(M)"
+      "  => let D = MakeYearDate(1997); emit [pdate during D];",
+      "overclaim", registry);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  std::vector<SpecViolation> violations = CheckRuleSoundness(
+      *spec, {C("[pmonth = 5]")}, BookUniverse(), &AmazonTupleFromBook);
+  // pmonth=5 -> "during 97" admits the June 1997 books: not exact.
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].detail.find("marked exact"), std::string::npos);
+}
+
+TEST(SpecCheck, InexactRulesMayRelax) {
+  MappingSpec spec = AmazonSpec();
+  AmazonSemantics semantics;
+  // R4 (inexact) relaxes near->and: no violation even though inexact.
+  std::vector<SpecViolation> violations =
+      CheckRuleSoundness(spec, {C("[ti contains \"java(near)jdk\"]")},
+                         BookUniverse(), &AmazonTupleFromBook, &semantics);
+  for (const SpecViolation& v : violations) ADD_FAILURE() << v.ToString();
+}
+
+TEST(SpecCheck, UncoveredConstraintsReported) {
+  MappingSpec spec = AmazonSpec();
+  std::vector<Constraint> vocabulary = {
+      C("[ln = \"X\"]"),      // covered (R3)
+      C("[fn = \"X\"]"),      // NOT covered alone
+      C("[pmonth = 5]"),      // NOT covered alone
+      C("[pyear = 1997]"),    // covered (R7)
+      C("[binding = \"X\"]")  // unknown attribute: not covered
+  };
+  std::vector<Constraint> uncovered = UncoveredConstraints(spec, vocabulary);
+  ASSERT_EQ(uncovered.size(), 3u);
+  EXPECT_EQ(uncovered[0].lhs.name, "fn");
+  EXPECT_EQ(uncovered[1].lhs.name, "pmonth");
+  EXPECT_EQ(uncovered[2].lhs.name, "binding");
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,61 @@
+#include "qmap/common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace qmap {
+namespace {
+
+TEST(Strings, JoinEmpty) { EXPECT_EQ(Join({}, ", "), ""); }
+
+TEST(Strings, JoinSingle) { EXPECT_EQ(Join({"a"}, ", "), "a"); }
+
+TEST(Strings, JoinMany) { EXPECT_EQ(Join({"a", "b", "c"}, "."), "a.b.c"); }
+
+TEST(Strings, SplitBasic) {
+  std::vector<std::string> parts = Split("a.b.c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  std::vector<std::string> parts = Split("a..b", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, SplitNoSeparator) {
+  std::vector<std::string> parts = Split("abc", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(ToLower("Tom CLANCY"), "tom clancy"); }
+
+TEST(Strings, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi there \t\n"), "hi there");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(Strings, StartsWithIgnoreCase) {
+  EXPECT_TRUE(StartsWithIgnoreCase("JDK for Java", "jdk"));
+  EXPECT_TRUE(StartsWithIgnoreCase("abc", "abc"));
+  EXPECT_FALSE(StartsWithIgnoreCase("ab", "abc"));
+  EXPECT_FALSE(StartsWithIgnoreCase("xabc", "abc"));
+}
+
+TEST(Strings, TokenizeWords) {
+  std::vector<std::string> words = TokenizeWords("Data Mining, over-Web logs!");
+  ASSERT_EQ(words.size(), 5u);
+  EXPECT_EQ(words[0], "data");
+  EXPECT_EQ(words[1], "mining");
+  EXPECT_EQ(words[2], "over");
+  EXPECT_EQ(words[3], "web");
+  EXPECT_EQ(words[4], "logs");
+}
+
+TEST(Strings, TokenizeEmpty) { EXPECT_TRUE(TokenizeWords("  ,,  ").empty()); }
+
+}  // namespace
+}  // namespace qmap

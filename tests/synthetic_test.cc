@@ -1,0 +1,96 @@
+#include "qmap/contexts/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "qmap/core/scm.h"
+#include "qmap/expr/dnf.h"
+
+namespace qmap {
+namespace {
+
+TEST(Synthetic, SpecStructure) {
+  SyntheticOptions options;
+  options.num_attrs = 6;
+  options.dependent_pairs = {{0, 1}, {2, 3}};
+  Result<MappingSpec> spec = MakeSyntheticSpec(options);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  // 2 independent singles (a4, a5) + 2 pair rules + 2 partial singles.
+  EXPECT_EQ(spec->rules().size(), 6u);
+  EXPECT_NE(spec->FindRule("P0_1"), nullptr);
+  EXPECT_NE(spec->FindRule("D0"), nullptr);
+  EXPECT_NE(spec->FindRule("S4"), nullptr);
+  EXPECT_EQ(spec->FindRule("S0"), nullptr);  // pair members get no b-rule
+}
+
+TEST(Synthetic, PairRuleIsIndecomposableInPractice) {
+  SyntheticOptions options;
+  options.num_attrs = 2;
+  options.dependent_pairs = {{0, 1}};
+  Result<MappingSpec> spec = MakeSyntheticSpec(options);
+  ASSERT_TRUE(spec.ok());
+  Constraint a0 = MakeSel(Attr::Simple("a0"), Op::kEq, Value::Int(1));
+  Constraint a1 = MakeSel(Attr::Simple("a1"), Op::kEq, Value::Int(2));
+  Result<Query> pair = ScmMap({a0, a1}, *spec);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->ToString(), "[c0_1 = \"1|2\"]");
+  // Singles: first member has the partial d-rule, second maps to True.
+  Result<Query> first = ScmMap({a0}, *spec);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->ToString(), "[d0 = 1]");
+  Result<Query> second = ScmMap({a1}, *spec);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->is_true());
+}
+
+TEST(Synthetic, ConversionConsistentWithRules) {
+  SyntheticOptions options;
+  options.num_attrs = 4;
+  options.dependent_pairs = {{0, 1}};
+  std::mt19937 rng(7);
+  Tuple source = RandomSourceTuple(rng, 4, 4);
+  Tuple converted = ConvertSyntheticTuple(source, options);
+  // b2/b3 mirror a2/a3; c0_1 concatenates; d0 mirrors a0.
+  EXPECT_TRUE(converted.Get(Attr::Simple("b2"))->Equals(
+      *source.Get(Attr::Simple("a2"))));
+  EXPECT_TRUE(converted.Get(Attr::Simple("d0"))->Equals(
+      *source.Get(Attr::Simple("a0"))));
+  std::string expected = source.Get(Attr::Simple("a0"))->ToString() + "|" +
+                         source.Get(Attr::Simple("a1"))->ToString();
+  EXPECT_EQ(converted.Get(Attr::Simple("c0_1"))->AsString(), expected);
+  EXPECT_FALSE(converted.Get(Attr::Simple("b0")).has_value());
+}
+
+TEST(Synthetic, RandomQueryDeterministicPerSeed) {
+  RandomQueryOptions options;
+  options.num_attrs = 6;
+  std::mt19937 rng1(42);
+  std::mt19937 rng2(42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(RandomQuery(rng1, options), RandomQuery(rng2, options));
+  }
+}
+
+TEST(Synthetic, RandomQueryRespectsDepthBound) {
+  RandomQueryOptions options;
+  options.num_attrs = 6;
+  options.max_depth = 3;
+  std::mt19937 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    Query q = RandomQuery(rng, options);
+    EXPECT_LE(q.Depth(), 4);  // depth counts nodes: 3 operator levels + leaf
+  }
+}
+
+TEST(Synthetic, GridQueryShape) {
+  Query q = GridQuery(3, 2, 6);
+  EXPECT_EQ(q.kind(), NodeKind::kAnd);
+  EXPECT_EQ(q.children().size(), 3u);
+  for (const Query& child : q.children()) {
+    EXPECT_EQ(child.kind(), NodeKind::kOr);
+    EXPECT_EQ(child.children().size(), 2u);
+  }
+  EXPECT_EQ(CountDnfDisjuncts(q), 8u);
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,33 @@
+#ifndef QMAP_TESTS_TEST_UTIL_H_
+#define QMAP_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "qmap/expr/parser.h"
+#include "qmap/expr/query.h"
+
+namespace qmap {
+namespace testing {
+
+/// Parses a query, failing the test on parse errors.
+inline Query Q(const std::string& text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << "parse failed for '" << text << "': "
+                      << q.status().ToString();
+  return q.ok() ? *q : Query::True();
+}
+
+/// Parses a single bracketed constraint.
+inline Constraint C(const std::string& text) {
+  Result<Constraint> c = ParseConstraint(text);
+  EXPECT_TRUE(c.ok()) << "parse failed for '" << text << "': "
+                      << c.status().ToString();
+  return c.ok() ? *c : Constraint{};
+}
+
+}  // namespace testing
+}  // namespace qmap
+
+#endif  // QMAP_TESTS_TEST_UTIL_H_

@@ -1,0 +1,188 @@
+#include "qmap/text/rewrite.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace qmap {
+namespace {
+
+TextPattern P(const char* text) {
+  Result<TextPattern> p = TextPattern::Parse(text);
+  EXPECT_TRUE(p.ok()) << text << ": " << p.status().ToString();
+  return p.ok() ? *p : TextPattern::Word("?");
+}
+
+TEST(TextWindow, ParseAndPrint) {
+  TextPattern p = P("java(near/5)jdk");
+  EXPECT_EQ(p.op(), TextOp::kNear);
+  ASSERT_TRUE(p.window().has_value());
+  EXPECT_EQ(*p.window(), 5);
+  EXPECT_EQ(p.ToString(), "java(near/5)jdk");
+  EXPECT_FALSE(TextPattern::Parse("a(near/x)b").ok());
+  EXPECT_FALSE(TextPattern::Parse("a(near/-1)b").ok());
+}
+
+TEST(TextWindow, DifferentWindowsDoNotMergeIntoOneNode) {
+  TextPattern p = P("a(near/2)b(near/9)c");
+  EXPECT_EQ(p.op(), TextOp::kNear);
+  ASSERT_TRUE(p.window().has_value());
+  EXPECT_EQ(*p.window(), 9);
+  EXPECT_EQ(p.children().size(), 2u);  // [(a near/2 b), c]
+}
+
+TEST(TextWindow, EvaluationHonorsExplicitWindow) {
+  const char* doc = "data is one two three mining here";  // distance 5
+  EXPECT_FALSE(P("data(near)mining").Matches(doc));    // default 3
+  EXPECT_TRUE(P("data(near/5)mining").Matches(doc));
+  EXPECT_FALSE(P("data(near/4)mining").Matches(doc));
+}
+
+TEST(Relax, KeepsSupportedPatterns) {
+  TextCapabilities caps;
+  Result<TextPattern> r = RelaxText(P("java(near)jdk"), caps);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToString(), "java(near)jdk");
+  EXPECT_TRUE(TextExpressible(P("a(and)b(or)c"), caps));
+}
+
+TEST(Relax, NearToAndWhenUnsupported) {
+  TextCapabilities caps;
+  caps.supports_near = false;
+  Result<TextPattern> r = RelaxText(P("java(near)jdk"), caps);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToString(), "java(and)jdk");
+  EXPECT_FALSE(TextExpressible(P("java(near)jdk"), caps));
+}
+
+TEST(Relax, WideWindowRelaxesWhenAboveTargetMax) {
+  TextCapabilities caps;
+  caps.max_near_window = 4;
+  Result<TextPattern> keep = RelaxText(P("a(near/4)b"), caps);
+  ASSERT_TRUE(keep.ok());
+  EXPECT_EQ(keep->op(), TextOp::kNear);
+  Result<TextPattern> relax = RelaxText(P("a(near/5)b"), caps);
+  ASSERT_TRUE(relax.ok());
+  EXPECT_EQ(relax->op(), TextOp::kAnd);
+}
+
+TEST(Relax, BareNearRelaxesWhenDefaultExceedsTargetMax) {
+  TextCapabilities caps;
+  caps.default_window = 8;
+  caps.max_near_window = 4;
+  Result<TextPattern> r = RelaxText(P("a(near)b"), caps);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->op(), TextOp::kAnd);
+}
+
+TEST(Relax, AndToOrWhenUnsupported) {
+  TextCapabilities caps;
+  caps.supports_and = false;
+  Result<TextPattern> r = RelaxText(P("a(and)b"), caps);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToString(), "a(or)b");
+  // Chained: near -> and -> or.
+  caps.supports_near = false;
+  Result<TextPattern> chained = RelaxText(P("a(near)b"), caps);
+  ASSERT_TRUE(chained.ok());
+  EXPECT_EQ(chained->ToString(), "a(or)b");
+}
+
+TEST(Relax, SingleKeywordOnlyEngineIsUnsupported) {
+  TextCapabilities caps;
+  caps.supports_near = false;
+  caps.supports_and = false;
+  caps.supports_or = false;
+  EXPECT_TRUE(RelaxText(P("java"), caps).ok());  // single words always fine
+  Result<TextPattern> r = RelaxText(P("a(and)b"), caps);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(Relax, NestedPatternsRelaxRecursively) {
+  TextCapabilities caps;
+  caps.supports_near = false;
+  Result<TextPattern> r = RelaxText(P("a(near)b(or)c"), caps);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToString(), "[a(and)b](or)c");
+}
+
+TEST(Relax, TransformIntegration) {
+  TextCapabilities caps;
+  caps.supports_near = false;
+  FunctionRegistry::Transform transform = MakeTextRewriteTransform(caps);
+  Result<Term> out = transform({Term(Value::Str("data(near)mining"))});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(TermValue(*out).AsString(), "data(and)mining");
+  EXPECT_FALSE(transform({Term(Value::Int(3))}).ok());
+}
+
+// Property: relaxation subsumes — every document matching the original
+// matches the relaxed pattern, over random documents and random patterns.
+TEST(Relax, SubsumptionPropertyOnRandomDocuments) {
+  const char* kWords[] = {"alpha", "beta", "gamma", "delta", "epsilon"};
+  std::mt19937 rng(2024);
+  std::uniform_int_distribution<int> word_dist(0, 4);
+  std::uniform_int_distribution<int> connective_dist(0, 3);
+  std::uniform_int_distribution<int> len_dist(2, 4);
+  std::uniform_int_distribution<int> doc_len(3, 18);
+
+  auto random_pattern = [&]() {
+    std::string text = kWords[word_dist(rng)];
+    int terms = len_dist(rng);
+    for (int i = 1; i < terms; ++i) {
+      switch (connective_dist(rng)) {
+        case 0:
+          text += "(near)";
+          break;
+        case 1:
+          text += "(near/1)";
+          break;
+        case 2:
+          text += "(and)";
+          break;
+        default:
+          text += "(or)";
+          break;
+      }
+      text += kWords[word_dist(rng)];
+    }
+    return P(text.c_str());
+  };
+  auto random_doc = [&]() {
+    std::string doc;
+    int len = doc_len(rng);
+    for (int i = 0; i < len; ++i) {
+      if (i > 0) doc += " ";
+      doc += kWords[word_dist(rng)];
+    }
+    return doc;
+  };
+
+  TextCapabilities no_near;
+  no_near.supports_near = false;
+  TextCapabilities no_and = no_near;
+  no_and.supports_and = false;
+  TextCapabilities tight;
+  tight.max_near_window = 1;
+
+  for (int round = 0; round < 300; ++round) {
+    TextPattern original = random_pattern();
+    for (const TextCapabilities& caps : {no_near, no_and, tight}) {
+      Result<TextPattern> relaxed = RelaxText(original, caps);
+      if (!relaxed.ok()) continue;  // single-keyword engines may refuse
+      EXPECT_TRUE(TextExpressible(*relaxed, caps)) << relaxed->ToString();
+      for (int d = 0; d < 20; ++d) {
+        std::string doc = random_doc();
+        if (original.Matches(doc)) {
+          EXPECT_TRUE(relaxed->Matches(doc))
+              << "original " << original.ToString() << " relaxed "
+              << relaxed->ToString() << " doc '" << doc << "'";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qmap

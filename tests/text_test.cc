@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "qmap/text/dates.h"
+#include "qmap/text/names.h"
+#include "qmap/text/text_pattern.h"
+#include "qmap/text/units.h"
+
+namespace qmap {
+namespace {
+
+TEST(TextPattern, ParseSingleWord) {
+  Result<TextPattern> p = TextPattern::Parse("java");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->op(), TextOp::kWord);
+  EXPECT_EQ(p->ToString(), "java");
+}
+
+TEST(TextPattern, ParseNear) {
+  Result<TextPattern> p = TextPattern::Parse("java(near)jdk");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->op(), TextOp::kNear);
+  ASSERT_EQ(p->children().size(), 2u);
+  EXPECT_EQ(p->ToString(), "java(near)jdk");
+}
+
+TEST(TextPattern, ParseNaryAnd) {
+  Result<TextPattern> p = TextPattern::Parse("a(and)b(and)c");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->op(), TextOp::kAnd);
+  EXPECT_EQ(p->children().size(), 3u);
+}
+
+TEST(TextPattern, ParseErrors) {
+  EXPECT_FALSE(TextPattern::Parse("").ok());
+  EXPECT_FALSE(TextPattern::Parse("a(near)").ok());
+  EXPECT_FALSE(TextPattern::Parse("a(huh)b").ok());
+  EXPECT_FALSE(TextPattern::Parse("a(near b").ok());
+}
+
+TEST(TextPattern, WordMatching) {
+  TextPattern p = *TextPattern::Parse("mining");
+  EXPECT_TRUE(p.Matches("data mining over web logs"));
+  EXPECT_TRUE(p.Matches("Mining!"));
+  EXPECT_FALSE(p.Matches("datamining"));  // token boundaries respected
+  EXPECT_FALSE(p.Matches(""));
+}
+
+TEST(TextPattern, AndOrMatching) {
+  TextPattern both = *TextPattern::Parse("data(and)mining");
+  EXPECT_TRUE(both.Matches("mining of data"));
+  EXPECT_FALSE(both.Matches("data only"));
+  TextPattern either = *TextPattern::Parse("data(or)mining");
+  EXPECT_TRUE(either.Matches("data only"));
+  EXPECT_TRUE(either.Matches("mining only"));
+  EXPECT_FALSE(either.Matches("neither word"));
+}
+
+TEST(TextPattern, NearRequiresProximity) {
+  TextPattern p = *TextPattern::Parse("data(near)mining");
+  EXPECT_TRUE(p.Matches("data mining is fun"));
+  EXPECT_TRUE(p.Matches("mining of big data"));  // distance 3
+  EXPECT_FALSE(p.Matches(
+      "data is a word that appears very far from the term mining here"));
+}
+
+TEST(TextPattern, RelaxNearSubsumes) {
+  TextPattern near = *TextPattern::Parse("data(near)mining");
+  TextPattern relaxed = near.RelaxNear();
+  EXPECT_EQ(relaxed.ToString(), "data(and)mining");
+  EXPECT_FALSE(relaxed.UsesNear());
+  EXPECT_TRUE(near.UsesNear());
+  // Everything matching `near` matches the relaxation; not vice versa.
+  std::string far_apart =
+      "data is a word that appears very far from the term mining here";
+  EXPECT_TRUE(relaxed.Matches(far_apart));
+  EXPECT_FALSE(near.Matches(far_apart));
+}
+
+TEST(TextPattern, Words) {
+  TextPattern p = *TextPattern::Parse("a(near)b(and)c");
+  std::vector<std::string> words = p.Words();
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "a");
+  EXPECT_EQ(words[2], "c");
+}
+
+TEST(Names, LnFnToName) {
+  EXPECT_EQ(LnFnToName("Clancy", "Tom"), "Clancy, Tom");
+  EXPECT_EQ(LnFnToName("Clancy", ""), "Clancy");
+}
+
+TEST(Names, NameLnFnRoundTrip) {
+  auto [ln, fn] = NameLnFn("Clancy, Tom");
+  EXPECT_EQ(ln, "Clancy");
+  EXPECT_EQ(fn, "Tom");
+  auto [ln2, fn2] = NameLnFn("Clancy");
+  EXPECT_EQ(ln2, "Clancy");
+  EXPECT_EQ(fn2, "");
+}
+
+TEST(Dates, MakeDate) {
+  Result<Date> d = MakeDate(1997, 5);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(DateToString(*d), "May/97");
+  EXPECT_FALSE(MakeDate(1997, 13).ok());
+  EXPECT_FALSE(MakeDate(1997, 0).ok());
+}
+
+TEST(Dates, During) {
+  Date full{1997, 5, 12};
+  Date may97{1997, 5, {}};
+  Date y97{1997, {}, {}};
+  Date jun97{1997, 6, {}};
+  EXPECT_TRUE(DateDuring(full, may97));
+  EXPECT_TRUE(DateDuring(full, y97));
+  EXPECT_TRUE(DateDuring(may97, y97));
+  EXPECT_FALSE(DateDuring(full, jun97));
+  EXPECT_FALSE(DateDuring(y97, may97));  // coarser is not "during" finer
+  EXPECT_FALSE(DateDuring(Date{1998, 5, {}}, may97));
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(InchesToCentimeters(3.0), 7.62);  // the paper's example
+  EXPECT_DOUBLE_EQ(CentimetersToInches(7.62), 3.0);
+  EXPECT_DOUBLE_EQ(DollarsToCents(1.5), 150.0);
+}
+
+}  // namespace
+}  // namespace qmap

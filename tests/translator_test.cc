@@ -1,0 +1,108 @@
+#include "qmap/core/translator.h"
+
+#include <gtest/gtest.h>
+
+#include "qmap/contexts/amazon.h"
+#include "qmap/contexts/clbooks.h"
+#include "qmap/rules/spec_parser.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::Q;
+
+TEST(Translator, DefaultsToTdqm) {
+  Translator translator(AmazonSpec());
+  Result<Translation> t = translator.Translate(
+      Q("([ln = \"Clancy\"] or [ln = \"Klancy\"]) and [fn = \"Tom\"]"));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->mapped.ToString(),
+            "[author = \"Clancy, Tom\"] ∨ [author = \"Klancy, Tom\"]");
+  EXPECT_GT(t->stats.scm_calls, 0u);
+}
+
+TEST(Translator, DnfOptionProducesEquivalentMapping) {
+  Translator tdqm(AmazonSpec());
+  Translator dnf(AmazonSpec(), {.algorithm = MappingAlgorithm::kDnf});
+  Query q = Q("([ln = \"Clancy\"] or [ln = \"Klancy\"]) and [fn = \"Tom\"]");
+  Result<Translation> a = tdqm.Translate(q);
+  Result<Translation> b = dnf.Translate(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->mapped, b->mapped);  // identical here (both already minimal)
+  EXPECT_GT(b->stats.dnf_disjuncts, 0u);
+  EXPECT_EQ(a->stats.dnf_disjuncts, 0u);
+}
+
+TEST(Translator, TranslateTextParses) {
+  Translator translator(AmazonSpec());
+  Result<Translation> t = translator.TranslateText("[pyear = 1997]");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->mapped.ToString(), "[pdate during 97]");
+}
+
+TEST(Translator, TranslateTextRejectsGarbage) {
+  Translator translator(AmazonSpec());
+  Result<Translation> t = translator.TranslateText("this is not a query");
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+}
+
+TEST(Translator, FilterTracksInexactRules) {
+  Translator translator(ClbooksSpec());
+  Result<Translation> t = translator.TranslateText(
+      "[ln = \"Clancy\"] and [id-no = \"X\"]");
+  ASSERT_TRUE(t.ok());
+  // id-no -> isbn is exact; ln -> author contains is a relaxation.
+  EXPECT_EQ(t->filter.ToString(), "[ln = \"Clancy\"]");
+}
+
+TEST(Translator, CoverageExposedForMediators) {
+  Translator translator(AmazonSpec());
+  Result<Translation> t =
+      translator.TranslateText("[ln = \"Clancy\"] and [kwd contains \"x\"]");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->coverage.IsExact(*ParseConstraint("[ln = \"Clancy\"]")));
+  EXPECT_FALSE(t->coverage.IsExact(*ParseConstraint("[kwd contains \"x\"]")));
+}
+
+TEST(Translator, TrueQueryTranslatesToTrue) {
+  Translator translator(AmazonSpec());
+  Result<Translation> t = translator.Translate(Query::True());
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->mapped.is_true());
+  EXPECT_TRUE(t->filter.is_true());
+}
+
+TEST(Translator, SimplifyOutputOption) {
+  // A query whose naive-union mapping contains an absorbable disjunct.
+  auto registry =
+      std::make_shared<FunctionRegistry>(FunctionRegistry::WithBuiltins());
+  Result<MappingSpec> spec = ParseMappingSpec(
+      "rule RA: [a = V] where Value(V) => emit [ta = V];"
+      "rule RB: [b = V] where Value(V) => emit [ta = V] & [tb = V];",
+      "T", registry);
+  ASSERT_TRUE(spec.ok());
+  Query q = *ParseQuery("[a = 1] or ([b = 1] and [a = 1])");
+  Translator plain(*spec);
+  Translator simplifying(*spec, {.algorithm = MappingAlgorithm::kTdqm,
+                                 .reuse_potential_matchings = true,
+                                 .simplify_output = true});
+  Result<Translation> a = plain.Translate(q);
+  Result<Translation> b = simplifying.Translate(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // [ta=1] ∨ ([ta=1] ∧ [tb=1]) absorbs to [ta=1].
+  EXPECT_EQ(a->mapped.ToString(), "[ta = 1] ∨ ([ta = 1] ∧ [tb = 1])");
+  EXPECT_EQ(b->mapped.ToString(), "[ta = 1]");
+  EXPECT_LE(b->mapped.NodeCount(), a->mapped.NodeCount());
+}
+
+TEST(Translator, SpecAccessor) {
+  Translator translator(AmazonSpec());
+  EXPECT_EQ(translator.spec().target_name(), "Amazon");
+}
+
+}  // namespace
+}  // namespace qmap
