@@ -31,6 +31,30 @@ ConstraintSet SetUnion(const ConstraintSet& a, const ConstraintSet& b) {
   return out;
 }
 
+std::vector<ConstraintSet> CrossEdnfDisjuncts(
+    const std::vector<std::vector<ConstraintSet>>& parts) {
+  for (const std::vector<ConstraintSet>& part : parts) {
+    if (part.empty()) return {};  // unsatisfiable child: empty product
+  }
+  std::vector<ConstraintSet> d;
+  std::vector<size_t> idx(parts.size(), 0);
+  while (true) {
+    ConstraintSet combined;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      combined = SetUnion(combined, parts[i][idx[i]]);
+    }
+    d.push_back(std::move(combined));
+    size_t i = 0;
+    while (i < idx.size()) {
+      if (++idx[i] < parts[i].size()) break;
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == idx.size()) break;
+  }
+  return d;
+}
+
 ConstraintTable::ConstraintTable(const Query& root) {
   for (const Constraint& c : root.AllConstraints()) {
     std::string key = c.ToString();
@@ -174,24 +198,11 @@ std::vector<ConstraintSet> EdnfComputer::Ednf(const Query& q) const {
       std::vector<std::vector<ConstraintSet>> parts;
       parts.reserve(q.children().size());
       for (const Query& child : q.children()) parts.push_back(Ednf(child));
-      // Disjunctivize over the children's EDNF (Figure 10, line 12).
-      std::vector<ConstraintSet> d;
-      std::vector<size_t> idx(parts.size(), 0);
-      while (true) {
-        ConstraintSet combined;
-        for (size_t i = 0; i < parts.size(); ++i) {
-          combined = SetUnion(combined, parts[i][idx[i]]);
-        }
-        d.push_back(std::move(combined));
-        size_t i = 0;
-        while (i < idx.size()) {
-          if (++idx[i] < parts[i].size()) break;
-          idx[i] = 0;
-          ++i;
-        }
-        if (i == idx.size()) break;
-      }
-      return Simplify(std::move(d));
+      // Disjunctivize over the children's EDNF (Figure 10, line 12). The
+      // guarded cross product returns the empty list when any child's EDNF
+      // is empty (an ∨ node with no satisfiable disjuncts) instead of
+      // indexing out of bounds into it.
+      return Simplify(CrossEdnfDisjuncts(parts));
     }
   }
   return {{}};

@@ -23,6 +23,16 @@ bool SetsIntersect(const ConstraintSet& a, const ConstraintSet& b);
 /// Sorted union.
 ConstraintSet SetUnion(const ConstraintSet& a, const ConstraintSet& b);
 
+/// Cross product of per-child EDNF disjunct lists (Figure 10, line 12):
+/// every way of choosing one disjunct per child, each choice unioned into a
+/// single constraint set. An *empty* child disjunct list denotes an
+/// unsatisfiable child, so the whole product is empty — callers must handle
+/// the empty case rather than index into children (the unguarded cross
+/// product used to read out of bounds there). Zero children yield {ε}, the
+/// identity of conjunction.
+std::vector<ConstraintSet> CrossEdnfDisjuncts(
+    const std::vector<std::vector<ConstraintSet>>& parts);
+
 /// Numbers the distinct constraints of a query — C(Q) with ids.
 class ConstraintTable {
  public:

@@ -9,6 +9,14 @@
 namespace qmap {
 namespace {
 
+// Subset enumeration below is exponential in the number of relevant sets
+// and — worse — `1 << n` is undefined once n reaches the mask width.
+// Beyond this cap, fall back to the single all-relevant cover: a sound
+// over-approximation (larger blocks are always safe, Theorem 6; the
+// partition merely loses minimality). 2^20 subset probes is already far
+// beyond anything the greedy set cover downstream can use interactively.
+constexpr size_t kMaxMinimalCoverSets = 20;
+
 // Enumerates all minimal covers of `target` using the sets in `parts`
 // restricted to indices in `relevant`; each cover is a sorted index vector.
 // A cover is minimal if no proper subset of it still covers `target`.
@@ -17,21 +25,26 @@ void MinimalCovers(const ConstraintSet& target,
                    const std::vector<int>& relevant,
                    std::vector<std::vector<int>>* out) {
   size_t n = relevant.size();
+  if (n > kMaxMinimalCoverSets) {
+    out->push_back(relevant);  // already sorted ascending by construction
+    return;
+  }
   // Relevant sets are those intersecting the target, so n is small (≤ |m|
   // in practice); enumerate subsets by increasing popcount.
-  std::vector<uint32_t> candidates;
-  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+  std::vector<uint64_t> candidates;
+  const uint64_t limit = uint64_t{1} << n;
+  for (uint64_t mask = 1; mask < limit; ++mask) {
     ConstraintSet covered;
     for (size_t i = 0; i < n; ++i) {
-      if (mask & (1u << i)) {
+      if ((mask >> i) & 1) {
         covered = SetUnion(covered, parts[static_cast<size_t>(relevant[i])]);
       }
     }
     if (SetContains(covered, target)) candidates.push_back(mask);
   }
-  for (uint32_t mask : candidates) {
+  for (uint64_t mask : candidates) {
     bool minimal = true;
-    for (uint32_t other : candidates) {
+    for (uint64_t other : candidates) {
       if (other != mask && (other & mask) == other) {
         minimal = false;
         break;
@@ -40,7 +53,7 @@ void MinimalCovers(const ConstraintSet& target,
     if (minimal) {
       std::vector<int> cover;
       for (size_t i = 0; i < n; ++i) {
-        if (mask & (1u << i)) cover.push_back(relevant[i]);
+        if ((mask >> i) & 1) cover.push_back(relevant[i]);
       }
       out->push_back(std::move(cover));
     }
@@ -83,9 +96,20 @@ PSafePartition PSafe(const std::vector<Query>& conjuncts, const EdnfComputer& ed
   // Candidate block -> ids of the matching instances it (minimally) covers.
   std::map<std::vector<int>, std::set<int>> block_covers;
 
+  // An empty De(Či) means the conjunct has no satisfiable disjunct: the
+  // cross product D(Q̂) is empty and there is nothing to walk (indexing
+  // de[i][idx[i]] below would otherwise read out of bounds).
+  bool product_is_empty = false;
+  for (const std::vector<ConstraintSet>& disjuncts : de) {
+    if (disjuncts.empty()) {
+      product_is_empty = true;
+      break;
+    }
+  }
+
   std::vector<size_t> idx(n, 0);
   int next_instance_id = 0;
-  while (true) {
+  while (!product_is_empty) {
     if (stats != nullptr) ++stats->ednf_disjuncts_checked;
     // Ingredient sets of this disjunct.
     std::vector<ConstraintSet> parts(n);

@@ -14,6 +14,10 @@ void TranslationStats::MergeFrom(const TranslationStats& other) {
   ednf_disjuncts_checked += other.ednf_disjuncts_checked;
   cross_matchings += other.cross_matchings;
   candidate_blocks += other.candidate_blocks;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_evictions += other.cache_evictions;
+  parallel_tasks += other.parallel_tasks;
 }
 
 std::string TranslationStats::ToString() const {
@@ -29,6 +33,10 @@ std::string TranslationStats::ToString() const {
   out += " ednf_disjuncts_checked=" + std::to_string(ednf_disjuncts_checked);
   out += " cross_matchings=" + std::to_string(cross_matchings);
   out += " candidate_blocks=" + std::to_string(candidate_blocks);
+  out += " cache_hits=" + std::to_string(cache_hits);
+  out += " cache_misses=" + std::to_string(cache_misses);
+  out += " cache_evictions=" + std::to_string(cache_evictions);
+  out += " parallel_tasks=" + std::to_string(parallel_tasks);
   return out;
 }
 

@@ -26,6 +26,15 @@ struct TranslationStats {
   uint64_t cross_matchings = 0;
   uint64_t candidate_blocks = 0;
 
+  // Service-layer counters (qmap/service): per-source translations answered
+  // from / missed by the shared translation cache, evictions observed while
+  // answering, and per-source tasks fanned out to the thread pool. All zero
+  // for a bare Translator/Mediator run.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t parallel_tasks = 0;
+
   void MergeFrom(const TranslationStats& other);
   std::string ToString() const;
 };

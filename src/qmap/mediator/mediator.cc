@@ -32,6 +32,7 @@ Result<MediatorTranslation> Mediator::Translate(const Query& query) const {
     Result<Translation> translation = translator.Translate(full);
     if (!translation.ok()) return translation.status();
     merged.MergeAnySource(translation->coverage);
+    out.stats.MergeFrom(translation->stats);
     out.per_source.emplace(source.name(), *std::move(translation));
   }
   // A constraint stays in F unless *some* source covered it exactly.
@@ -46,8 +47,12 @@ Result<TupleSet> Mediator::ConvertedCross(const MediatorTranslation* translation
     if (!tuples.ok()) return tuples.status();
     TupleSet source_tuples = *std::move(tuples);
     if (translation != nullptr) {
-      const Translation& t = translation->per_source.at(source.name());
-      source_tuples = Select(source_tuples, t.mapped, semantics_);
+      auto it = translation->per_source.find(source.name());
+      if (it == translation->per_source.end()) {
+        return Status::NotFound("no translation for source '" + source.name() +
+                                "' (source added after Translate?)");
+      }
+      source_tuples = Select(source_tuples, it->second.mapped, semantics_);
     }
     combined = Cross(combined, source_tuples);
   }
@@ -63,9 +68,14 @@ Result<TupleSet> Mediator::ConvertedCross(const MediatorTranslation* translation
 Result<TupleSet> Mediator::Execute(const Query& query) const {
   Result<MediatorTranslation> translation = Translate(query);
   if (!translation.ok()) return translation.status();
-  Result<TupleSet> converted = ConvertedCross(&*translation);
+  return ExecuteTranslated(*translation);
+}
+
+Result<TupleSet> Mediator::ExecuteTranslated(
+    const MediatorTranslation& translation) const {
+  Result<TupleSet> converted = ConvertedCross(&translation);
   if (!converted.ok()) return converted;
-  return Select(*converted, translation->filter, semantics_);
+  return Select(*converted, translation.filter, semantics_);
 }
 
 Result<TupleSet> Mediator::ExecuteDirect(const Query& query) const {

@@ -20,6 +20,11 @@ struct MediatorTranslation {
   /// any source (plus cross-source view constraints, which no single source
   /// can evaluate).
   Query filter;
+  /// Cost counters merged across all per-source translations (plus the
+  /// service layer's cache/parallelism counters when produced by a
+  /// TranslationService). Observability only: not part of the translation's
+  /// semantic payload.
+  TranslationStats stats;
 };
 
 /// A mediation pipeline over heterogeneous sources (Section 2): view
@@ -40,6 +45,7 @@ class Mediator {
 
   void AddSource(SourceContext source);
   const SourceContext* FindSource(const std::string& name) const;
+  const std::vector<SourceContext>& sources() const { return sources_; }
 
   /// Registers a conversion function (applied in order, after crossing).
   void AddConversion(ConversionFn conversion);
@@ -49,6 +55,7 @@ class Mediator {
   /// They are conjoined to every translated query and — being cross-source —
   /// evaluate at the mediator, through the filter.
   void SetViewConstraints(Query constraints);
+  const Query& view_constraints() const { return view_constraints_; }
 
   /// Optional custom constraint semantics used when executing queries.
   void SetSemantics(const ConstraintSemantics* semantics) { semantics_ = semantics; }
@@ -60,6 +67,13 @@ class Mediator {
   /// Runs the full pipeline of Eq. 2 and returns the result tuples (in the
   /// converted, view-attribute vocabulary).
   Result<TupleSet> Execute(const Query& query) const;
+
+  /// Runs the execution half of Eq. 2 against a previously computed
+  /// translation (e.g. one cached by a TranslationService): per-source
+  /// push-down selects, cross, conversions, then the residue filter.
+  /// `translation` must cover every current source — if a source was added
+  /// after the translation was computed, returns NotFound (it never throws).
+  Result<TupleSet> ExecuteTranslated(const MediatorTranslation& translation) const;
 
   /// Ground truth via Eq. 1: cross everything unfiltered, convert, then
   /// select with the original query.  Execute() must agree with this —

@@ -17,6 +17,12 @@ namespace qmap {
 /// *domain knowledge* the rules encode and cannot be checked syntactically;
 /// Validate() checks the mechanical well-formedness instead (all referenced
 /// functions exist, emission variables are bound by the head or by lets).
+///
+/// Thread safety: a MappingSpec is treated as immutable once translation
+/// begins. Const access (rules(), registry(), FindRule()) from many threads
+/// is safe — the TranslationService fans per-source translations out across
+/// a thread pool under this contract — but AddRule() must not race with any
+/// concurrent reader.
 class MappingSpec {
  public:
   MappingSpec() : registry_(std::make_shared<FunctionRegistry>()) {}

@@ -1,0 +1,45 @@
+#ifndef QMAP_SERVICE_THREAD_POOL_H_
+#define QMAP_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qmap {
+
+/// A fixed-size worker pool with a single FIFO task queue. Tasks are opaque
+/// thunks; completion signalling (latches, futures) is the caller's concern.
+/// The destructor drains the queue: tasks already submitted run to
+/// completion before the workers join, so a caller blocked on a latch never
+/// deadlocks against pool teardown.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution on some worker. Safe to call from any
+  /// thread, including from inside a task.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  bool stopping_ = false;                    // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_SERVICE_THREAD_POOL_H_

@@ -1,0 +1,81 @@
+#include "qmap/service/translation_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace qmap {
+
+TranslationCache::TranslationCache(TranslationCacheOptions options) {
+  size_t shards = std::max<size_t>(1, options.shards);
+  size_t capacity = std::max<size_t>(1, options.capacity);
+  per_shard_capacity_ = (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+TranslationCache::Shard& TranslationCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::optional<Translation> TranslationCache::Get(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.stats.hits;
+  return it->second->value;
+}
+
+void TranslationCache::Put(const std::string& key, Translation value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(value)});
+  shard.index.emplace(key, shard.lru.begin());
+  ++shard.stats.insertions;
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+}
+
+TranslationCacheStats TranslationCache::stats() const {
+  TranslationCacheStats out;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->stats.hits;
+    out.misses += shard->stats.misses;
+    out.insertions += shard->stats.insertions;
+    out.evictions += shard->stats.evictions;
+  }
+  return out;
+}
+
+size_t TranslationCache::size() const {
+  size_t out = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out += shard->lru.size();
+  }
+  return out;
+}
+
+void TranslationCache::Clear() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace qmap

@@ -1,0 +1,85 @@
+#ifndef QMAP_SERVICE_TRANSLATION_CACHE_H_
+#define QMAP_SERVICE_TRANSLATION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qmap/core/translator.h"
+
+namespace qmap {
+
+struct TranslationCacheOptions {
+  /// Total entry budget across all shards (per-shard budget is the ceiling
+  /// of capacity/shards, at least 1).
+  size_t capacity = 1024;
+  /// Number of independently locked shards. More shards = less contention
+  /// under concurrent translation; eviction is LRU *within* a shard.
+  size_t shards = 8;
+};
+
+struct TranslationCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+};
+
+/// A thread-safe sharded LRU map from cache-key strings to completed
+/// Translations. Keys are opaque here; TranslationService composes them from
+/// the source spec identity and the normalized printed query (see
+/// docs/ALGORITHMS.md, "The service layer").
+///
+/// Get/Put copy the Translation value. Translation holds Query trees behind
+/// shared immutable nodes with atomic refcounts, so copies handed to
+/// concurrent callers are safe to use and destroy independently.
+class TranslationCache {
+ public:
+  explicit TranslationCache(TranslationCacheOptions options = {});
+
+  TranslationCache(const TranslationCache&) = delete;
+  TranslationCache& operator=(const TranslationCache&) = delete;
+
+  /// Returns a copy of the entry and refreshes its recency, or nullopt.
+  std::optional<Translation> Get(const std::string& key);
+
+  /// Inserts or overwrites `key`, making it the shard's most recent entry;
+  /// evicts the shard's least recent entry when over budget.
+  void Put(const std::string& key, Translation value);
+
+  /// Counters aggregated over all shards (a consistent-enough snapshot:
+  /// each shard is read under its lock, shards are read in sequence).
+  TranslationCacheStats stats() const;
+
+  /// Current number of entries across all shards.
+  size_t size() const;
+
+  /// Drops every entry (counters are kept).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    Translation value;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    TranslationCacheStats stats;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t per_shard_capacity_;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_SERVICE_TRANSLATION_CACHE_H_

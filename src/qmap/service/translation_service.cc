@@ -1,0 +1,206 @@
+#include "qmap/service/translation_service.h"
+
+#include <algorithm>
+#include <latch>
+#include <map>
+#include <utility>
+
+#include "qmap/core/filter.h"
+#include "qmap/expr/printer.h"
+
+namespace qmap {
+namespace {
+
+// FNV-1a 64-bit, used to fingerprint a spec's full rendering. The
+// fingerprint only disambiguates *within* one service (the source name is
+// also in the key), so a 64-bit digest is plenty.
+uint64_t Fingerprint(const std::string& text) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string OptionsTag(const TranslatorOptions& options) {
+  std::string tag;
+  switch (options.algorithm) {
+    case MappingAlgorithm::kTdqm:
+      tag = "tdqm";
+      break;
+    case MappingAlgorithm::kDnf:
+      tag = "dnf";
+      break;
+    case MappingAlgorithm::kNaive:
+      tag = "naive";
+      break;
+  }
+  tag += options.reuse_potential_matchings ? "+reuse" : "-reuse";
+  tag += options.simplify_output ? "+simp" : "-simp";
+  return tag;
+}
+
+// Separator between cache-key fields; cannot occur in names, option tags,
+// or printed queries (ToParseableText emits printable ASCII only).
+constexpr char kKeySep = '\x1f';
+
+}  // namespace
+
+TranslationService::TranslationService(ServiceOptions options)
+    : options_(options), cache_(options.cache) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+void TranslationService::AddSource(std::string name, MappingSpec spec) {
+  SourceEntry entry;
+  entry.cache_prefix = name + kKeySep +
+                       std::to_string(Fingerprint(spec.target_name() + "\n" +
+                                                  spec.ToString())) +
+                       kKeySep + OptionsTag(options_.translator) + kKeySep;
+  entry.name = std::move(name);
+  entry.translator = Translator(std::move(spec), options_.translator);
+  auto pos = std::lower_bound(
+      sources_.begin(), sources_.end(), entry,
+      [](const SourceEntry& a, const SourceEntry& b) { return a.name < b.name; });
+  sources_.insert(pos, std::move(entry));
+}
+
+void TranslationService::AddSourcesFrom(const Mediator& mediator) {
+  for (const SourceContext& source : mediator.sources()) {
+    AddSource(source.name(), source.spec());
+  }
+  SetViewConstraints(mediator.view_constraints());
+}
+
+void TranslationService::SetViewConstraints(Query constraints) {
+  view_constraints_ = std::move(constraints);
+  cache_.Clear();
+}
+
+Result<Translation> TranslationService::TranslateOne(
+    const SourceEntry& source, const Query& full,
+    const std::string& query_text) const {
+  if (!options_.enable_cache) {
+    return source.translator.Translate(full);
+  }
+  std::string key = source.cache_prefix + query_text;
+  if (std::optional<Translation> hit = cache_.Get(key)) {
+    // Stats describe the work done *for this call*: a hit does no rule
+    // matching, so the computation counters reset and only the hit shows.
+    hit->stats = TranslationStats{};
+    hit->stats.cache_hits = 1;
+    return *std::move(hit);
+  }
+  Result<Translation> translation = source.translator.Translate(full);
+  if (!translation.ok()) return translation;
+  cache_.Put(key, *translation);
+  translation->stats.cache_misses = 1;
+  return translation;
+}
+
+Result<MediatorTranslation> TranslationService::TranslateFull(
+    const Query& full, const std::string& query_text) const {
+  const size_t n = sources_.size();
+  const uint64_t evictions_before =
+      options_.enable_cache ? cache_.stats().evictions : 0;
+  std::vector<std::optional<Result<Translation>>> outcomes(n);
+  if (pool_ != nullptr && n > 1) {
+    parallel_tasks_.fetch_add(n, std::memory_order_relaxed);
+    std::latch done(static_cast<ptrdiff_t>(n));
+    for (size_t i = 0; i < n; ++i) {
+      pool_->Submit([this, &full, &query_text, &outcomes, &done, i] {
+        outcomes[i].emplace(TranslateOne(sources_[i], full, query_text));
+        done.count_down();
+      });
+    }
+    done.wait();
+  } else {
+    inline_tasks_.fetch_add(n, std::memory_order_relaxed);
+    for (size_t i = 0; i < n; ++i) {
+      outcomes[i].emplace(TranslateOne(sources_[i], full, query_text));
+    }
+  }
+
+  // Deterministic join: sources_ is sorted by name, and the merge below
+  // always runs in that order, independent of task completion order.
+  MediatorTranslation out;
+  ExactCoverage merged;
+  for (size_t i = 0; i < n; ++i) {
+    Result<Translation>& translation = *outcomes[i];
+    if (!translation.ok()) return translation.status();
+    merged.MergeAnySource(translation->coverage);
+    out.stats.MergeFrom(translation->stats);
+    out.per_source.emplace(sources_[i].name, *std::move(translation));
+  }
+  if (pool_ != nullptr && n > 1) out.stats.parallel_tasks += n;
+  if (options_.enable_cache) {
+    // Approximate under concurrent Translate calls: evictions are counted
+    // against whichever call observes them.
+    out.stats.cache_evictions += cache_.stats().evictions - evictions_before;
+  }
+  out.filter = ResidueFilter(full, merged);
+  return out;
+}
+
+Result<MediatorTranslation> TranslationService::Translate(const Query& query) const {
+  translate_calls_.fetch_add(1, std::memory_order_relaxed);
+  Query full = query & view_constraints_;
+  return TranslateFull(full, ToParseableText(full));
+}
+
+Result<std::vector<MediatorTranslation>> TranslationService::TranslateBatch(
+    std::span<const Query> queries) const {
+  batch_calls_.fetch_add(1, std::memory_order_relaxed);
+  batch_queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+
+  // Intra-batch dedup: identical normalized printed forms translate once.
+  std::vector<Query> unique_full;
+  std::vector<std::string> unique_text;
+  std::map<std::string, size_t> slot_by_text;
+  std::vector<size_t> slot_of(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    Query full = queries[q] & view_constraints_;
+    std::string text = ToParseableText(full);
+    auto [it, inserted] = slot_by_text.emplace(std::move(text), unique_full.size());
+    if (inserted) {
+      unique_full.push_back(std::move(full));
+      unique_text.push_back(it->first);
+    } else {
+      batch_duplicates_.fetch_add(1, std::memory_order_relaxed);
+    }
+    slot_of[q] = it->second;
+  }
+
+  std::vector<MediatorTranslation> unique_results;
+  unique_results.reserve(unique_full.size());
+  for (size_t u = 0; u < unique_full.size(); ++u) {
+    Result<MediatorTranslation> translation =
+        TranslateFull(unique_full[u], unique_text[u]);
+    if (!translation.ok()) return translation.status();
+    unique_results.push_back(*std::move(translation));
+  }
+
+  std::vector<MediatorTranslation> out;
+  out.reserve(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    out.push_back(unique_results[slot_of[q]]);
+  }
+  return out;
+}
+
+ServiceStats TranslationService::stats() const {
+  ServiceStats out;
+  out.cache = cache_.stats();
+  out.translate_calls = translate_calls_.load(std::memory_order_relaxed);
+  out.batch_calls = batch_calls_.load(std::memory_order_relaxed);
+  out.batch_queries = batch_queries_.load(std::memory_order_relaxed);
+  out.batch_duplicates = batch_duplicates_.load(std::memory_order_relaxed);
+  out.parallel_tasks = parallel_tasks_.load(std::memory_order_relaxed);
+  out.inline_tasks = inline_tasks_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace qmap

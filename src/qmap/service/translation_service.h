@@ -1,0 +1,122 @@
+#ifndef QMAP_SERVICE_TRANSLATION_SERVICE_H_
+#define QMAP_SERVICE_TRANSLATION_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qmap/mediator/mediator.h"
+#include "qmap/service/thread_pool.h"
+#include "qmap/service/translation_cache.h"
+
+namespace qmap {
+
+struct ServiceOptions {
+  /// Options forwarded to every per-source Translator.
+  TranslatorOptions translator;
+  /// Worker threads for the per-source fan-out. 1 (or less) runs every
+  /// translation inline on the calling thread — the serial reference path.
+  int num_threads = 4;
+  /// Shared translation cache across all queries and sources; disable to
+  /// force a fresh translation on every call (e.g. for benchmarking the
+  /// mapping algorithms themselves).
+  bool enable_cache = true;
+  TranslationCacheOptions cache;
+};
+
+/// Aggregate service counters (monotonic over the service lifetime).
+struct ServiceStats {
+  TranslationCacheStats cache;
+  uint64_t translate_calls = 0;
+  uint64_t batch_calls = 0;
+  uint64_t batch_queries = 0;     // queries received across all batches
+  uint64_t batch_duplicates = 0;  // batch queries answered by intra-batch dedup
+  uint64_t parallel_tasks = 0;    // per-source tasks dispatched to the pool
+  uint64_t inline_tasks = 0;      // per-source tasks run on the calling thread
+};
+
+/// A reusable, thread-safe translation service over a fixed federation: the
+/// mediation pipeline's S_i(Q) fan-out (Section 2, Eq. 3) run concurrently
+/// per source, with completed Translations memoized in a sharded LRU cache.
+///
+/// Results are deterministic: sources are kept sorted by name, and the
+/// coverage merge / residue-filter construction always runs in that order,
+/// so a Translate with N worker threads returns exactly what the 1-thread
+/// (inline) configuration returns — and what Mediator::Translate returns
+/// for the same federation — modulo the observability-only `stats` fields.
+///
+/// Threading contract: AddSource / AddSourcesFrom / SetViewConstraints are
+/// setup-phase only (not thread-safe against concurrent Translate calls).
+/// Once set up, Translate and TranslateBatch may be called from any number
+/// of threads: per-source MappingSpecs are strictly read-only during
+/// translation (see MappingSpec's class comment).
+class TranslationService {
+ public:
+  explicit TranslationService(ServiceOptions options = {});
+
+  /// Registers one source's mapping specification under `name` (unique per
+  /// service; also part of the cache key).
+  void AddSource(std::string name, MappingSpec spec);
+
+  /// Copies every source spec and the view constraints out of `mediator`,
+  /// so the service translates exactly as the mediator does.
+  void AddSourcesFrom(const Mediator& mediator);
+
+  /// See Mediator::SetViewConstraints. Invalidates cached entries (the
+  /// constraints are conjoined into the query, hence into the cache key).
+  void SetViewConstraints(Query constraints);
+
+  size_t num_sources() const { return sources_.size(); }
+
+  /// Translates `query` for every source: Eq. 3's S_1(Q) ... S_n(Q) plus
+  /// the merged residue filter F. Per-source work runs on the pool when one
+  /// is configured; cached sources skip rule matching entirely. The returned
+  /// translation's `stats` aggregates per-source counters plus the service's
+  /// cache/parallelism counters for this call.
+  Result<MediatorTranslation> Translate(const Query& query) const;
+
+  /// Translates a batch, deduplicating identical queries (by normalized
+  /// printed form) within the batch: duplicates are translated once and the
+  /// result replicated. Output order matches input order. The first failing
+  /// query's status fails the whole batch.
+  Result<std::vector<MediatorTranslation>> TranslateBatch(
+      std::span<const Query> queries) const;
+
+  ServiceStats stats() const;
+
+ private:
+  struct SourceEntry {
+    std::string name;
+    Translator translator;
+    /// Cache-key prefix: source name + spec fingerprint + translator
+    /// options tag (see docs/ALGORITHMS.md for the scheme).
+    std::string cache_prefix;
+  };
+
+  /// One per-source unit of work: cache lookup, else translate and fill.
+  Result<Translation> TranslateOne(const SourceEntry& source, const Query& full,
+                                   const std::string& query_text) const;
+
+  /// The fan-out + deterministic join for one full query (view constraints
+  /// already conjoined, `query_text` its normalized printed form).
+  Result<MediatorTranslation> TranslateFull(const Query& full,
+                                            const std::string& query_text) const;
+
+  ServiceOptions options_;
+  std::vector<SourceEntry> sources_;  // sorted by name
+  Query view_constraints_ = Query::True();
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads <= 1
+  mutable TranslationCache cache_;
+  mutable std::atomic<uint64_t> translate_calls_{0};
+  mutable std::atomic<uint64_t> batch_calls_{0};
+  mutable std::atomic<uint64_t> batch_queries_{0};
+  mutable std::atomic<uint64_t> batch_duplicates_{0};
+  mutable std::atomic<uint64_t> parallel_tasks_{0};
+  mutable std::atomic<uint64_t> inline_tasks_{0};
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_SERVICE_TRANSLATION_SERVICE_H_

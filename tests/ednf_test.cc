@@ -208,5 +208,34 @@ TEST(Ednf, MatchingsForRebasedIndices) {
   EXPECT_FALSE(ednf.MatchingsFor({C("[nope = 1]")}).has_value());
 }
 
+
+TEST(Ednf, CrossEdnfDisjunctsProduct) {
+  // {{0},{1}} x {{2}} — every way of picking one disjunct per child.
+  std::vector<std::vector<ConstraintSet>> parts = {{{0}, {1}}, {{2}}};
+  std::vector<ConstraintSet> d = CrossEdnfDisjuncts(parts);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0], (ConstraintSet{0, 2}));
+  EXPECT_EQ(d[1], (ConstraintSet{1, 2}));
+}
+
+TEST(Ednf, CrossEdnfDisjunctsZeroChildrenIsEpsilon) {
+  // The empty conjunction's product is the single ε disjunct (∧ identity).
+  std::vector<ConstraintSet> d = CrossEdnfDisjuncts({});
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_TRUE(d[0].empty());
+}
+
+TEST(Ednf, CrossEdnfDisjunctsEmptyChildIsEmptyProduct) {
+  // Regression: a child with *no* disjuncts (an unsatisfiable child, e.g.
+  // an ∨ node with zero satisfiable branches) used to be indexed at [0]
+  // inside the cross product — out-of-bounds under ASan. The guarded
+  // product must instead propagate emptiness.
+  std::vector<std::vector<ConstraintSet>> parts = {{{0}, {1}}, {}, {{2}}};
+  EXPECT_TRUE(CrossEdnfDisjuncts(parts).empty());
+  // Emptiness anywhere, including first/last position.
+  EXPECT_TRUE(CrossEdnfDisjuncts({{}, {{0}}}).empty());
+  EXPECT_TRUE(CrossEdnfDisjuncts({{{0}}, {}}).empty());
+}
+
 }  // namespace
 }  // namespace qmap

@@ -118,6 +118,52 @@ TEST(Mediator, LnFnPairComposesAuthorName) {
             "[fac.aubib.name = \"Ullman, Jeff\"]");
 }
 
+TEST(Mediator, ExecuteTranslatedMatchesExecute) {
+  Mediator mediator = MakeFacultyMediator();
+  Result<MediatorTranslation> t = mediator.Translate(Example3Query());
+  ASSERT_TRUE(t.ok());
+  Result<TupleSet> replayed = mediator.ExecuteTranslated(*t);
+  Result<TupleSet> executed = mediator.Execute(Example3Query());
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  ASSERT_TRUE(executed.ok());
+  EXPECT_TRUE(SameTupleSet(*replayed, *executed));
+}
+
+TEST(Mediator, ExecuteTranslatedStaleSourceReturnsStatus) {
+  // Regression: a source added between Translate and execution used to hit
+  // per_source.at() and throw std::out_of_range from deep inside
+  // ConvertedCross. It must surface as a Status instead (the library's
+  // no-exceptions contract).
+  Mediator mediator = MakeFacultyMediator();
+  Result<MediatorTranslation> t = mediator.Translate(Example3Query());
+  ASSERT_TRUE(t.ok());
+  SourceContext late("T3", MappingSpec());
+  Relation extra("extra", {"x"});
+  ASSERT_TRUE(extra.AddRow({Value::Int(1)}).ok());
+  late.AddRelation(std::move(extra));
+  ASSERT_TRUE(late.Bind("t3.extra", "extra").ok());
+  mediator.AddSource(std::move(late));
+  Result<TupleSet> stale = mediator.ExecuteTranslated(*t);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(stale.status().message().find("T3"), std::string::npos);
+}
+
+TEST(Mediator, TranslateMergesPerSourceStats) {
+  Mediator mediator = MakeFacultyMediator();
+  Result<MediatorTranslation> t = mediator.Translate(Example3Query());
+  ASSERT_TRUE(t.ok());
+  uint64_t per_source_attempts = 0;
+  for (const auto& [name, translation] : t->per_source) {
+    per_source_attempts += translation.stats.match.pattern_attempts;
+  }
+  EXPECT_GT(per_source_attempts, 0u);
+  EXPECT_EQ(t->stats.match.pattern_attempts, per_source_attempts);
+  // No service layer involved: cache/parallelism counters stay zero.
+  EXPECT_EQ(t->stats.cache_hits, 0u);
+  EXPECT_EQ(t->stats.parallel_tasks, 0u);
+}
+
 TEST(Mediator, FindSource) {
   Mediator mediator = MakeFacultyMediator();
   EXPECT_NE(mediator.FindSource("T1"), nullptr);

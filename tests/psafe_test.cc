@@ -90,5 +90,40 @@ TEST(PSafe, CrossMatchingContainedInOneConjunctIsNotCross) {
   EXPECT_EQ(partition.ToString(), "{{C1}, {C2}}");
 }
 
+
+TEST(PSafe, WideCrossMatchingBeyondMaskWidth) {
+  // Regression: a cross-matching touching 33 conjuncts drove MinimalCovers'
+  // subset enumeration to `1u << 33` — undefined behavior on a 32-bit mask
+  // (UBSan: shift exponent too large). On x86 the shift wrapped, the
+  // enumeration saw almost no subsets, and PSafe silently returned 33
+  // *singleton* blocks for an inseparable conjunction — an unsafe partition.
+  // The fixed code caps the enumeration and falls back to the single
+  // all-relevant cover: one block containing every conjunct.
+  constexpr int kWide = 33;
+  std::string dsl = "rule WIDE: ";
+  std::string query_text;
+  for (int i = 0; i < kWide; ++i) {
+    if (i > 0) {
+      dsl += "; ";
+      query_text += " and ";
+    }
+    dsl += "[w" + std::to_string(i) + " = V" + std::to_string(i) + "]";
+    query_text += "[w" + std::to_string(i) + " = 0]";
+  }
+  dsl += " => emit [z = V0];";
+  auto registry =
+      std::make_shared<FunctionRegistry>(FunctionRegistry::WithBuiltins());
+  Result<MappingSpec> spec = ParseMappingSpec(dsl, "wide", registry);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  Query q = Q(query_text);
+  ASSERT_EQ(q.children().size(), static_cast<size_t>(kWide));
+  EdnfComputer ednf(*spec, q);
+  PSafePartition partition = PSafe(q.children(), ednf);
+  EXPECT_EQ(partition.cross_matching_instances, 1);
+  ASSERT_EQ(partition.blocks.size(), 1u);
+  EXPECT_EQ(partition.blocks[0].size(), static_cast<size_t>(kWide));
+}
+
 }  // namespace
 }  // namespace qmap

@@ -1,0 +1,321 @@
+#include "qmap/service/translation_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <latch>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "qmap/contexts/faculty.h"
+#include "qmap/contexts/synthetic.h"
+#include "qmap/expr/printer.h"
+#include "qmap/service/thread_pool.h"
+#include "qmap/service/translation_cache.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::Q;
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  constexpr int kTasks = 128;
+  std::atomic<int> ran{0};
+  std::latch done(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      ran.fetch_add(1);
+      done.count_down();
+    });
+  }
+  done.wait();
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  std::latch done(1);
+  pool.Submit([&] { done.count_down(); });
+  done.wait();
+}
+
+// ---------------------------------------------------------------------------
+// TranslationCache
+
+Translation DummyTranslation(const std::string& text) {
+  Translation t;
+  t.mapped = Query::Leaf(MakeSel(Attr::Simple("x"), Op::kEq, Value::Str(text)));
+  return t;
+}
+
+TEST(TranslationCache, GetAfterPutReturnsValue) {
+  TranslationCache cache({.capacity = 8, .shards = 2});
+  cache.Put("k1", DummyTranslation("v1"));
+  std::optional<Translation> hit = cache.Get("k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->mapped.ToString(), "[x = \"v1\"]");
+  EXPECT_FALSE(cache.Get("k2").has_value());
+  TranslationCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(TranslationCache, EvictsLeastRecentlyUsed) {
+  // Single shard so LRU order is global.
+  TranslationCache cache({.capacity = 2, .shards = 1});
+  cache.Put("a", DummyTranslation("a"));
+  cache.Put("b", DummyTranslation("b"));
+  ASSERT_TRUE(cache.Get("a").has_value());  // refresh a; b is now LRU
+  cache.Put("c", DummyTranslation("c"));    // evicts b
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(TranslationCache, PutOverwritesExistingKey) {
+  TranslationCache cache({.capacity = 4, .shards = 1});
+  cache.Put("k", DummyTranslation("old"));
+  cache.Put("k", DummyTranslation("new"));
+  EXPECT_EQ(cache.size(), 1u);
+  std::optional<Translation> hit = cache.Get("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->mapped.ToString(), "[x = \"new\"]");
+}
+
+TEST(TranslationCache, ClearDropsEntriesKeepsCounters) {
+  TranslationCache cache({.capacity = 8, .shards = 4});
+  cache.Put("a", DummyTranslation("a"));
+  ASSERT_TRUE(cache.Get("a").has_value());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// TranslationService
+
+// Canonical semantic rendering of a MediatorTranslation: everything the
+// mediation pipeline consumes, deliberately excluding the observability-only
+// stats. Used for byte-identical comparisons across thread counts.
+std::string Render(const MediatorTranslation& t) {
+  std::string out;
+  for (const auto& [name, translation] : t.per_source) {
+    out += name + ": " + ToParseableText(translation.mapped) + " / " +
+           ToParseableText(translation.filter) + "\n";
+  }
+  out += "F: " + ToParseableText(t.filter) + "\n";
+  return out;
+}
+
+// A 4-source synthetic federation with differing dependency structure, so
+// per-source translations genuinely differ.
+std::vector<std::pair<std::string, MappingSpec>> SyntheticFederation() {
+  std::vector<std::pair<std::string, MappingSpec>> out;
+  SyntheticOptions base;
+  base.num_attrs = 8;
+  const std::vector<std::vector<std::pair<int, int>>> pair_sets = {
+      {}, {{0, 1}}, {{2, 3}, {4, 5}}, {{0, 2}, {1, 3}, {4, 6}}};
+  for (size_t i = 0; i < pair_sets.size(); ++i) {
+    SyntheticOptions options = base;
+    options.dependent_pairs = pair_sets[i];
+    Result<MappingSpec> spec = MakeSyntheticSpec(options);
+    EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+    out.emplace_back("S" + std::to_string(i), *spec);
+  }
+  return out;
+}
+
+// TranslationService is pinned in place (it owns mutexes and atomics), so
+// the factory hands out a unique_ptr.
+std::unique_ptr<TranslationService> MakeService(int num_threads, bool enable_cache,
+                                                size_t cache_capacity = 256) {
+  ServiceOptions options;
+  options.num_threads = num_threads;
+  options.enable_cache = enable_cache;
+  options.cache.capacity = cache_capacity;
+  auto service = std::make_unique<TranslationService>(options);
+  for (auto& [name, spec] : SyntheticFederation()) {
+    service->AddSource(name, spec);
+  }
+  return service;
+}
+
+std::vector<Query> TestQueries(int count) {
+  std::mt19937 rng(20260806);
+  RandomQueryOptions options;
+  options.num_attrs = 8;
+  options.max_depth = 3;
+  std::vector<Query> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(RandomQuery(rng, options));
+  return out;
+}
+
+TEST(TranslationService, MatchesMediatorTranslateOnFaculty) {
+  Mediator mediator = MakeFacultyMediator();
+  TranslationService service;
+  service.AddSourcesFrom(mediator);
+  ASSERT_EQ(service.num_sources(), 2u);
+
+  Query q = Q(
+      "[fac.ln = pub.ln] and [fac.fn = pub.fn] and "
+      "[fac.bib contains \"data(near)mining\"] and [fac.dept = \"cs\"]");
+  Result<MediatorTranslation> from_mediator = mediator.Translate(q);
+  Result<MediatorTranslation> from_service = service.Translate(q);
+  ASSERT_TRUE(from_mediator.ok()) << from_mediator.status().ToString();
+  ASSERT_TRUE(from_service.ok()) << from_service.status().ToString();
+  EXPECT_EQ(Render(*from_mediator), Render(*from_service));
+}
+
+TEST(TranslationService, ParallelResultIsIdenticalToSerial) {
+  // The determinism contract: N worker threads produce byte-identical
+  // mapped queries, filters, and merged residue to the 1-thread path.
+  auto serial = MakeService(/*num_threads=*/1, /*enable_cache=*/false);
+  auto parallel = MakeService(/*num_threads=*/4, /*enable_cache=*/false);
+  for (const Query& q : TestQueries(24)) {
+    Result<MediatorTranslation> a = serial->Translate(q);
+    Result<MediatorTranslation> b = parallel->Translate(q);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(Render(*a), Render(*b)) << "query: " << q.ToString();
+  }
+  ServiceStats stats = parallel->stats();
+  EXPECT_GT(stats.parallel_tasks, 0u);
+  EXPECT_EQ(stats.cache.hits, 0u);  // cache disabled
+}
+
+TEST(TranslationService, ParallelCoverageMatchesSerial) {
+  // The merged coverage drives the residue filter; also probe it directly
+  // through IsExact on every constraint of the query.
+  auto serial = MakeService(1, false);
+  auto parallel = MakeService(4, false);
+  for (const Query& q : TestQueries(12)) {
+    Result<MediatorTranslation> a = serial->Translate(q);
+    Result<MediatorTranslation> b = parallel->Translate(q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    for (const auto& [name, ta] : a->per_source) {
+      const Translation& tb = b->per_source.at(name);
+      for (const Constraint& c : q.AllConstraints()) {
+        EXPECT_EQ(ta.coverage.IsExact(c), tb.coverage.IsExact(c));
+      }
+    }
+  }
+}
+
+TEST(TranslationService, CacheHitEqualsFreshTranslation) {
+  auto cached = MakeService(2, /*enable_cache=*/true);
+  auto fresh = MakeService(2, /*enable_cache=*/false);
+  std::vector<Query> queries = TestQueries(8);
+  // Warm the cache, then re-translate and compare against a cacheless run.
+  for (const Query& q : queries) ASSERT_TRUE(cached->Translate(q).ok());
+  for (const Query& q : queries) {
+    Result<MediatorTranslation> hit = cached->Translate(q);
+    Result<MediatorTranslation> ref = fresh->Translate(q);
+    ASSERT_TRUE(hit.ok() && ref.ok());
+    EXPECT_EQ(Render(*hit), Render(*ref)) << "query: " << q.ToString();
+    // The warm pass answered every source from the cache.
+    EXPECT_EQ(hit->stats.cache_hits, cached->num_sources());
+    EXPECT_EQ(hit->stats.match.pattern_attempts, 0u);
+  }
+  ServiceStats stats = cached->stats();
+  EXPECT_GE(stats.cache.hits, queries.size() * cached->num_sources());
+}
+
+TEST(TranslationService, CacheMissesAreCountedOnColdPath) {
+  auto service = MakeService(1, true);
+  Result<MediatorTranslation> cold = service->Translate(Q("[a0 = 1] and [a1 = 2]"));
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->stats.cache_misses, service->num_sources());
+  EXPECT_EQ(cold->stats.cache_hits, 0u);
+  Result<MediatorTranslation> warm = service->Translate(Q("[a0 = 1] and [a1 = 2]"));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->stats.cache_hits, service->num_sources());
+  EXPECT_EQ(warm->stats.cache_misses, 0u);
+}
+
+TEST(TranslationService, CacheEvictionStillCorrect) {
+  // Tiny cache: every entry fights for space; results must stay correct.
+  auto tiny = MakeService(2, true, /*cache_capacity=*/4);
+  auto fresh = MakeService(2, false);
+  std::vector<Query> queries = TestQueries(16);
+  for (int round = 0; round < 2; ++round) {
+    for (const Query& q : queries) {
+      Result<MediatorTranslation> a = tiny->Translate(q);
+      Result<MediatorTranslation> b = fresh->Translate(q);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(Render(*a), Render(*b));
+    }
+  }
+  EXPECT_GT(tiny->stats().cache.evictions, 0u);
+}
+
+TEST(TranslationService, BatchMatchesIndividualTranslates) {
+  auto service = MakeService(4, true);
+  std::vector<Query> queries = TestQueries(6);
+  // Duplicate some queries within the batch.
+  std::vector<Query> batch = queries;
+  batch.push_back(queries[0]);
+  batch.push_back(queries[2]);
+  batch.push_back(queries[0]);
+
+  Result<std::vector<MediatorTranslation>> results =
+      service->TranslateBatch(batch);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Result<MediatorTranslation> single = service->Translate(batch[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(Render((*results)[i]), Render(*single)) << "batch item " << i;
+  }
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.batch_calls, 1u);
+  EXPECT_EQ(stats.batch_queries, batch.size());
+  EXPECT_EQ(stats.batch_duplicates, 3u);
+}
+
+TEST(TranslationService, ViewConstraintsFlowIntoEverySource) {
+  Mediator mediator = MakeFacultyMediator();
+  TranslationService service;
+  service.AddSourcesFrom(mediator);
+  // The fac view join rides along even for a trivial query, exactly as in
+  // Mediator::Translate.
+  Query q = Q("[fac.ln = \"Ullman\"]");
+  Result<MediatorTranslation> a = mediator.Translate(q);
+  Result<MediatorTranslation> b = service.Translate(q);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(Render(*a), Render(*b));
+}
+
+TEST(TranslationService, EmptyBatchIsOk) {
+  auto service = MakeService(2, true);
+  Result<std::vector<MediatorTranslation>> results =
+      service->TranslateBatch(std::span<const Query>{});
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+}  // namespace
+}  // namespace qmap
