@@ -93,3 +93,7 @@ void CompactnessRatio(benchmark::State& state) {
 BENCHMARK(CompactnessRatio)->DenseRange(2, 12, 2);
 
 }  // namespace
+
+#include "bench_util.h"
+
+QMAP_BENCH_MAIN(bench_compactness)

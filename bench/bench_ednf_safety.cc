@@ -133,3 +133,7 @@ void FullDnfSafetyCheck(benchmark::State& state) {
 BENCHMARK(FullDnfSafetyCheck)->DenseRange(0, 5, 1);
 
 }  // namespace
+
+#include "bench_util.h"
+
+QMAP_BENCH_MAIN(bench_ednf_safety)

@@ -109,3 +109,7 @@ void MatchVsP_Ambiguous(benchmark::State& state) {
 BENCHMARK(MatchVsP_Ambiguous)->DenseRange(1, 4, 1);
 
 }  // namespace
+
+#include "bench_util.h"
+
+QMAP_BENCH_MAIN(bench_matching)

@@ -61,3 +61,7 @@ void MediatorExecuteDirect(benchmark::State& state) {
 BENCHMARK(MediatorExecuteDirect)->DenseRange(0, 2, 1);
 
 }  // namespace
+
+#include "bench_util.h"
+
+QMAP_BENCH_MAIN(bench_mediator)

@@ -69,3 +69,7 @@ void PSafeVsDependencyDensity(benchmark::State& state) {
 BENCHMARK(PSafeVsDependencyDensity)->DenseRange(0, 7, 1);
 
 }  // namespace
+
+#include "bench_util.h"
+
+QMAP_BENCH_MAIN(bench_psafe)

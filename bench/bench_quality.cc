@@ -102,3 +102,7 @@ void SelectivityLoss(benchmark::State& state) {
 BENCHMARK(SelectivityLoss)->DenseRange(0, 4, 1);
 
 }  // namespace
+
+#include "bench_util.h"
+
+QMAP_BENCH_MAIN(bench_quality)

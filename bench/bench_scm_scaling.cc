@@ -102,3 +102,7 @@ void ScmVsDependencies(benchmark::State& state) {
 BENCHMARK(ScmVsDependencies)->DenseRange(0, 16, 2);
 
 }  // namespace
+
+#include "bench_util.h"
+
+QMAP_BENCH_MAIN(bench_scm_scaling)

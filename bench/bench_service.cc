@@ -170,3 +170,7 @@ void ServiceBatchCached(benchmark::State& state) {
 BENCHMARK(ServiceBatchCached);
 
 }  // namespace
+
+#include "bench_util.h"
+
+QMAP_BENCH_MAIN(bench_service)

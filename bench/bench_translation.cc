@@ -159,3 +159,7 @@ void DependentGridDnf(benchmark::State& state) {
 BENCHMARK(DependentGridDnf)->DenseRange(2, 8, 2);
 
 }  // namespace
+
+#include "bench_util.h"
+
+QMAP_BENCH_MAIN(bench_translation)

@@ -1,0 +1,55 @@
+#ifndef QMAP_BENCH_BENCH_UTIL_H_
+#define QMAP_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace qmap_bench {
+
+/// Runs the google-benchmark main loop with two additions over the stock
+/// benchmark_main:
+///  - unless the caller passed --benchmark_out themselves, results are also
+///    written to BENCH_<name>.json (benchmark's JSON schema) in the current
+///    directory, so every bench run leaves a machine-readable artifact that
+///    CI can upload and scripts can diff across commits;
+///  - when the QMAP_BENCH_SMOKE environment variable is set (any value),
+///    --benchmark_min_time=0.01 is appended so CI can smoke-run every bench
+///    in seconds. Smoke numbers are for "does it run and emit JSON", not
+///    for performance comparison.
+inline int BenchMain(const char* name, int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out_flag;
+  static char format_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    out_flag = std::string("--benchmark_out=BENCH_") + name + ".json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag);
+  }
+  static char min_time_flag[] = "--benchmark_min_time=0.01";
+  if (std::getenv("QMAP_BENCH_SMOKE") != nullptr) {
+    args.push_back(min_time_flag);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace qmap_bench
+
+/// Expands to a main() that forwards to BenchMain with this bench's name
+/// (used for the BENCH_<name>.json output path).
+#define QMAP_BENCH_MAIN(name) \
+  int main(int argc, char** argv) { return qmap_bench::BenchMain(#name, argc, argv); }
+
+#endif  // QMAP_BENCH_BENCH_UTIL_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "qmap/obs/trace.h"
+
 namespace qmap {
 
 bool SetContains(const ConstraintSet& super, const ConstraintSet& sub) {
@@ -78,8 +80,10 @@ std::vector<Constraint> ConstraintTable::Materialize(const ConstraintSet& set) c
 }
 
 EdnfComputer::EdnfComputer(const MappingSpec& spec, const Query& root,
-                           TranslationStats* stats)
+                           TranslationStats* stats, Trace* trace,
+                           uint64_t parent_span)
     : table_(root), stats_(stats) {
+  Span span(trace, "ednf.match", parent_span);
   all_matchings_ = MatchSpec(spec, table_.constraints(),
                              stats != nullptr ? &stats->match : nullptr);
   std::set<ConstraintSet> unique;

@@ -10,6 +10,8 @@
 
 namespace qmap {
 
+class Trace;
+
 /// A set of constraints identified by their ids in a ConstraintTable, kept
 /// sorted ascending.  The empty set plays the role of the paper's ε
 /// ("don't care") placeholder: conjoining with ε changes nothing (x·ε = x),
@@ -63,8 +65,11 @@ class ConstraintTable {
 /// and the safety check costs nothing (Section 8).
 class EdnfComputer {
  public:
+  /// `trace`/`parent_span`, when given, record the potential-matchings
+  /// computation as an "ednf.match" span (see docs/OBSERVABILITY.md).
   EdnfComputer(const MappingSpec& spec, const Query& root,
-               TranslationStats* stats = nullptr);
+               TranslationStats* stats = nullptr, Trace* trace = nullptr,
+               uint64_t parent_span = 0);
 
   const ConstraintTable& table() const { return table_; }
 

@@ -1,97 +1,131 @@
 #include "qmap/core/explain.h"
 
-#include "qmap/core/psafe.h"
-#include "qmap/core/scm.h"
-#include "qmap/expr/dnf.h"
+#include "qmap/core/tdqm.h"
+#include "qmap/obs/trace.h"
 
 namespace qmap {
 namespace {
 
+// ExplainTdqm no longer walks the query itself: it runs the *real* Algorithm
+// TDQM with a detail-mode trace attached and renders the narrative from the
+// recorded spans. The traversal cases, PSafe partitions, Disjunctivize
+// rewrites and applied SCM matchings all come from the same hook points the
+// production tracer uses, so the explanation cannot disagree with what the
+// algorithm actually did.
+
 std::string Indent(int depth) { return std::string(static_cast<size_t>(depth) * 2, ' '); }
 
-// Mirrors the traversal of Algorithm TDQM (Figure 8), appending a narrative
-// to `out` and returning the mapping of the subquery.
-Result<Query> Walk(const Query& query, const MappingSpec& spec, int depth,
-                   std::string* out) {
-  if (query.IsSimpleConjunction()) {
-    if (query.is_true()) {
-      *out += Indent(depth) + "true -> true\n";
-      return Query::True();
-    }
-    *out += Indent(depth) + "SCM: " + query.ToString() + "\n";
-    Result<ScmResult> result = Scm(query.AsSimpleConjunction(), spec);
-    if (!result.ok()) return result.status();
-    for (const Matching& m : result->applied) {
-      Result<Query> emission = m.rule->Fire(m.bindings, spec.registry());
-      if (!emission.ok()) return emission.status();
-      *out += Indent(depth + 1) + m.rule_name + (m.rule_exact ? "" : " (inexact)") +
-              " matched {";
-      std::vector<Constraint> conjunction = query.AsSimpleConjunction();
-      for (size_t i = 0; i < m.constraint_indices.size(); ++i) {
-        if (i > 0) *out += ", ";
-        *out += conjunction[static_cast<size_t>(m.constraint_indices[i])].ToString();
+const std::string* FindAttr(const SpanRecord& span, std::string_view key) {
+  for (const auto& [attr_key, value] : span.attrs) {
+    if (attr_key == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string AttrOr(const SpanRecord& span, std::string_view key,
+                   const char* fallback) {
+  const std::string* value = FindAttr(span, key);
+  return value != nullptr ? *value : std::string(fallback);
+}
+
+struct SpanTree {
+  const std::vector<SpanRecord>& spans;
+  // children[i]: indices of the spans whose parent is span i+1 (span ids are
+  // 1-based), in creation order — pre-order for a single-threaded traversal.
+  std::vector<std::vector<size_t>> children;
+
+  explicit SpanTree(const std::vector<SpanRecord>& all) : spans(all) {
+    children.resize(all.size());
+    for (size_t i = 0; i < all.size(); ++i) {
+      uint64_t parent = all[i].parent;
+      if (parent >= 1 && parent <= all.size()) {
+        children[static_cast<size_t>(parent - 1)].push_back(i);
       }
-      *out += "} -> " + emission->ToString() + "\n";
     }
-    if (result->applied.empty()) {
+  }
+};
+
+bool IsTraversalNode(const SpanRecord& span) {
+  return span.name.rfind("node.", 0) == 0;
+}
+
+// Mirrors the rendering the old hand-maintained walk produced, keyed off the
+// span taxonomy (docs/OBSERVABILITY.md).
+void RenderNode(const SpanTree& tree, size_t index, int depth, std::string* out) {
+  const SpanRecord& span = tree.spans[index];
+  if (span.name == "node.true") {
+    *out += Indent(depth) + "true -> true\n";
+    return;
+  }
+  if (span.name == "node.scm") {
+    *out += Indent(depth) + "SCM: " + AttrOr(span, "query", "?") + "\n";
+    bool any_match = false;
+    for (size_t child : tree.children[index]) {
+      if (tree.spans[child].name != "scm") continue;
+      for (const auto& [key, value] : tree.spans[child].attrs) {
+        if (key != "match") continue;
+        *out += Indent(depth + 1) + value + "\n";
+        any_match = true;
+      }
+    }
+    if (!any_match) {
       *out += Indent(depth + 1) + "(no rule matches: maps to true)\n";
     }
-    return result->mapped;
+    return;
   }
-
-  if (query.kind() == NodeKind::kOr) {
-    *out += Indent(depth) + "∨-node (" + std::to_string(query.children().size()) +
+  if (span.name == "node.or") {
+    *out += Indent(depth) + "∨-node (" + AttrOr(span, "disjuncts", "?") +
             " disjuncts; disjuncts are always separable)\n";
-    std::vector<Query> mapped;
-    for (const Query& disjunct : query.children()) {
-      Result<Query> part = Walk(disjunct, spec, depth + 1, out);
-      if (!part.ok()) return part;
-      mapped.push_back(*std::move(part));
-    }
-    return Query::Or(std::move(mapped));
-  }
-
-  // ∧-node with non-leaf children.
-  *out += Indent(depth) + "∧-node: " + query.ToString() + "\n";
-  EdnfComputer ednf(spec, query);
-  PSafePartition partition = PSafe(query.children(), ednf);
-  *out += Indent(depth + 1) + "PSafe partition: " + partition.ToString() + " (" +
-          std::to_string(partition.cross_matching_instances) +
-          " cross-matching instance(s))\n";
-  std::vector<Query> mapped_blocks;
-  for (const std::vector<int>& block : partition.blocks) {
-    std::vector<Query> members;
-    for (int index : block) {
-      members.push_back(query.children()[static_cast<size_t>(index)]);
-    }
-    Query rewritten = Disjunctivize(members);
-    if (members.size() > 1) {
-      std::string label = "{";
-      for (size_t i = 0; i < block.size(); ++i) {
-        if (i > 0) label += ",";
-        label += "C" + std::to_string(block[i] + 1);
+    for (size_t child : tree.children[index]) {
+      if (IsTraversalNode(tree.spans[child])) {
+        RenderNode(tree, child, depth + 1, out);
       }
-      label += "}";
-      size_t disjuncts = rewritten.kind() == NodeKind::kOr
-                             ? rewritten.children().size()
-                             : 1;
-      *out += Indent(depth + 1) + "block " + label + ": Disjunctivize -> " +
-              std::to_string(disjuncts) + " disjunct(s)\n";
     }
-    Result<Query> part = Walk(rewritten, spec, depth + 2, out);
-    if (!part.ok()) return part;
-    mapped_blocks.push_back(*std::move(part));
+    return;
   }
-  return Query::And(std::move(mapped_blocks));
+  if (span.name == "node.and") {
+    *out += Indent(depth) + "∧-node: " + AttrOr(span, "query", "?") + "\n";
+    for (size_t child : tree.children[index]) {
+      const SpanRecord& child_span = tree.spans[child];
+      if (child_span.name == "psafe") {
+        *out += Indent(depth + 1) + "PSafe partition: " +
+                AttrOr(child_span, "partition", "?") + " (" +
+                AttrOr(child_span, "cross", "0") +
+                " cross-matching instance(s))\n";
+      } else if (child_span.name == "disjunctivize") {
+        const std::string* label = FindAttr(child_span, "label");
+        if (label != nullptr) {
+          *out += Indent(depth + 1) + "block " + *label + ": Disjunctivize -> " +
+                  AttrOr(child_span, "disjuncts", "?") + " disjunct(s)\n";
+        }
+      } else if (IsTraversalNode(child_span)) {
+        RenderNode(tree, child, depth + 2, out);
+      }
+      // Other children (ednf.match, match) are timing-only spans with no
+      // narrative line.
+    }
+    return;
+  }
 }
 
 }  // namespace
 
 Result<std::string> ExplainTdqm(const Query& query, const MappingSpec& spec) {
-  std::string out;
-  out += "Q = " + query.ToString() + "\n";
-  Result<Query> mapped = Walk(query, spec, 0, &out);
+  Trace trace("explain", /*capture_detail=*/true);
+  TdqmOptions options;
+  options.trace = &trace;
+  Result<Query> mapped = Tdqm(query, spec, nullptr, nullptr, options);
   if (!mapped.ok()) return mapped.status();
+
+  std::vector<SpanRecord> spans = trace.spans();
+  SpanTree tree(spans);
+  std::string out = "Q = " + query.ToString() + "\n";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].name != "tdqm") continue;
+    for (size_t child : tree.children[i]) {
+      if (IsTraversalNode(spans[child])) RenderNode(tree, child, 0, &out);
+    }
+  }
   out += "=> S(Q) = " + mapped->ToString() + "\n";
   return out;
 }

@@ -6,6 +6,8 @@
 #include <map>
 #include <set>
 
+#include "qmap/obs/trace.h"
+
 namespace qmap {
 namespace {
 
@@ -77,14 +79,19 @@ std::string PSafePartition::ToString() const {
 }
 
 PSafePartition PSafe(const std::vector<Query>& conjuncts, const EdnfComputer& ednf,
-                     TranslationStats* stats) {
+                     TranslationStats* stats, Trace* trace,
+                     uint64_t parent_span) {
   if (stats != nullptr) ++stats->psafe_calls;
+  Span span(trace, "psafe", parent_span);
   const size_t n = conjuncts.size();
 
   // EDNF of each conjunct: De(Či) = Î_i1 ∨ ... ∨ Î_im_i.
   std::vector<std::vector<ConstraintSet>> de;
   de.reserve(n);
-  for (const Query& conjunct : conjuncts) de.push_back(ednf.Ednf(conjunct));
+  {
+    Span ednf_span(trace, "ednf.safety", span.id());
+    for (const Query& conjunct : conjuncts) de.push_back(ednf.Ednf(conjunct));
+  }
 
   // Step (1): walk the disjuncts of D(Q̂) = cross product of the De's; find
   // cross-matchings and candidate blocks.
@@ -245,6 +252,10 @@ PSafePartition PSafe(const std::vector<Query>& conjuncts, const EdnfComputer& ed
   }
   // Deterministic order: by smallest conjunct index.
   std::sort(result.blocks.begin(), result.blocks.end());
+  if (span.detail()) {
+    span.AddAttr("partition", result.ToString());
+    span.AddAttr("cross", std::to_string(result.cross_matching_instances));
+  }
   return result;
 }
 

@@ -34,8 +34,14 @@ struct PSafePartition {
 ///
 /// `ednf` must have been built for (a query containing) the conjunction, so
 /// that every conjunct's constraints are in its table.
+///
+/// With a trace attached, the whole partitioning records as a "psafe" span
+/// under `parent_span`, with the per-conjunct EDNF annotation work (the
+/// safety-check cost term) as a nested "ednf.safety" span; in detail mode
+/// the span carries the partition rendering and cross-matching count.
 PSafePartition PSafe(const std::vector<Query>& conjuncts, const EdnfComputer& ednf,
-                     TranslationStats* stats = nullptr);
+                     TranslationStats* stats = nullptr, Trace* trace = nullptr,
+                     uint64_t parent_span = 0);
 
 }  // namespace qmap
 

@@ -1,5 +1,7 @@
 #include "qmap/core/scm.h"
 
+#include "qmap/obs/trace.h"
+
 namespace qmap {
 
 std::vector<Matching> SuppressSubmatchings(std::vector<Matching> matchings,
@@ -27,19 +29,27 @@ std::vector<Matching> SuppressSubmatchings(std::vector<Matching> matchings,
 
 Result<ScmResult> Scm(const std::vector<Constraint>& conjunction,
                       const MappingSpec& spec, TranslationStats* stats,
-                      ExactCoverage* coverage) {
+                      ExactCoverage* coverage, Trace* trace,
+                      uint64_t parent_span) {
   // (1) all matchings of any rule in K.
-  std::vector<Matching> matchings = MatchSpec(
-      spec, conjunction, stats != nullptr ? &stats->match : nullptr);
-  return ScmFromMatchings(conjunction, std::move(matchings), spec, stats, coverage);
+  std::vector<Matching> matchings;
+  {
+    Span span(trace, "match", parent_span);
+    matchings = MatchSpec(spec, conjunction,
+                          stats != nullptr ? &stats->match : nullptr);
+  }
+  return ScmFromMatchings(conjunction, std::move(matchings), spec, stats,
+                          coverage, trace, parent_span);
 }
 
 Result<ScmResult> ScmFromMatchings(const std::vector<Constraint>& conjunction,
                                    std::vector<Matching> matchings,
                                    const MappingSpec& spec,
                                    TranslationStats* stats,
-                                   ExactCoverage* coverage) {
+                                   ExactCoverage* coverage, Trace* trace,
+                                   uint64_t parent_span) {
   if (stats != nullptr) ++stats->scm_calls;
+  Span span(trace, "scm", parent_span);
 
   // (2) sub-matching suppression.
   matchings = SuppressSubmatchings(std::move(matchings), stats);
@@ -51,6 +61,17 @@ Result<ScmResult> ScmFromMatchings(const std::vector<Constraint>& conjunction,
   for (const Matching& m : matchings) {
     Result<Query> emission = m.rule->Fire(m.bindings, spec.registry());
     if (!emission.ok()) return emission.status();
+    if (span.detail()) {
+      std::string line = m.rule_name + (m.rule_exact ? "" : " (inexact)") +
+                         " matched {";
+      for (size_t i = 0; i < m.constraint_indices.size(); ++i) {
+        if (i > 0) line += ", ";
+        line +=
+            conjunction[static_cast<size_t>(m.constraint_indices[i])].ToString();
+      }
+      line += "} -> " + emission->ToString();
+      span.AddAttr("match", std::move(line));
+    }
     emissions.push_back(*std::move(emission));
     if (m.rule_exact) {
       for (int index : m.constraint_indices) exactly_covered[index] = true;

@@ -9,6 +9,8 @@
 
 namespace qmap {
 
+class Trace;
+
 /// Output of Algorithm SCM.
 struct ScmResult {
   /// S(Q̂): the conjunction of the emissions of the surviving matchings.
@@ -30,9 +32,15 @@ struct ScmResult {
 ///
 /// `coverage`, if non-null, records per-constraint exact coverage for
 /// residue-filter construction (see ExactCoverage).
+///
+/// With a trace attached, step 1 records as a "match" span and steps 2-3 as
+/// an "scm" span (both children of `parent_span`); in detail mode the "scm"
+/// span carries one "match" attribute per applied rule — the lines
+/// ExplainTdqm renders.
 Result<ScmResult> Scm(const std::vector<Constraint>& conjunction,
                       const MappingSpec& spec, TranslationStats* stats = nullptr,
-                      ExactCoverage* coverage = nullptr);
+                      ExactCoverage* coverage = nullptr, Trace* trace = nullptr,
+                      uint64_t parent_span = 0);
 
 /// Convenience wrapper returning just the mapped query.
 Result<Query> ScmMap(const std::vector<Constraint>& conjunction,
@@ -46,7 +54,9 @@ Result<ScmResult> ScmFromMatchings(const std::vector<Constraint>& conjunction,
                                    std::vector<Matching> matchings,
                                    const MappingSpec& spec,
                                    TranslationStats* stats = nullptr,
-                                   ExactCoverage* coverage = nullptr);
+                                   ExactCoverage* coverage = nullptr,
+                                   Trace* trace = nullptr,
+                                   uint64_t parent_span = 0);
 
 /// Step 2 of Algorithm SCM in isolation (exposed for tests and for the
 /// suppression-ablation benchmark): removes every matching whose constraint

@@ -3,41 +3,27 @@
 namespace qmap {
 
 void TranslationStats::MergeFrom(const TranslationStats& other) {
-  match.pattern_attempts += other.match.pattern_attempts;
-  match.matchings_found += other.match.matchings_found;
-  scm_calls += other.scm_calls;
-  submatchings_removed += other.submatchings_removed;
-  matchings_applied += other.matchings_applied;
-  dnf_disjuncts += other.dnf_disjuncts;
-  disjunctivize_calls += other.disjunctivize_calls;
-  psafe_calls += other.psafe_calls;
-  ednf_disjuncts_checked += other.ednf_disjuncts_checked;
-  cross_matchings += other.cross_matchings;
-  candidate_blocks += other.candidate_blocks;
-  cache_hits += other.cache_hits;
-  cache_misses += other.cache_misses;
-  cache_evictions += other.cache_evictions;
-  parallel_tasks += other.parallel_tasks;
+#define QMAP_STATS_MERGE(name, expr) expr += other.expr;
+  QMAP_TRANSLATION_STATS_FIELDS(QMAP_STATS_MERGE)
+#undef QMAP_STATS_MERGE
 }
 
 std::string TranslationStats::ToString() const {
   std::string out;
-  out += "pattern_attempts=" + std::to_string(match.pattern_attempts);
-  out += " matchings_found=" + std::to_string(match.matchings_found);
-  out += " scm_calls=" + std::to_string(scm_calls);
-  out += " submatchings_removed=" + std::to_string(submatchings_removed);
-  out += " matchings_applied=" + std::to_string(matchings_applied);
-  out += " dnf_disjuncts=" + std::to_string(dnf_disjuncts);
-  out += " disjunctivize_calls=" + std::to_string(disjunctivize_calls);
-  out += " psafe_calls=" + std::to_string(psafe_calls);
-  out += " ednf_disjuncts_checked=" + std::to_string(ednf_disjuncts_checked);
-  out += " cross_matchings=" + std::to_string(cross_matchings);
-  out += " candidate_blocks=" + std::to_string(candidate_blocks);
-  out += " cache_hits=" + std::to_string(cache_hits);
-  out += " cache_misses=" + std::to_string(cache_misses);
-  out += " cache_evictions=" + std::to_string(cache_evictions);
-  out += " parallel_tasks=" + std::to_string(parallel_tasks);
+#define QMAP_STATS_PRINT(name, expr)        \
+  if (!out.empty()) out += ' ';             \
+  out += #name "=" + std::to_string(expr);
+  QMAP_TRANSLATION_STATS_FIELDS(QMAP_STATS_PRINT)
+#undef QMAP_STATS_PRINT
   return out;
+}
+
+std::vector<const char*> TranslationStats::FieldNames() {
+  std::vector<const char*> names;
+#define QMAP_STATS_NAME(name, expr) names.push_back(#name);
+  QMAP_TRANSLATION_STATS_FIELDS(QMAP_STATS_NAME)
+#undef QMAP_STATS_NAME
+  return names;
 }
 
 }  // namespace qmap

@@ -3,10 +3,37 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "qmap/rules/matcher.h"
 
 namespace qmap {
+
+/// The single source of truth for the counters of TranslationStats.
+/// X(name, expr): `name` is the external identifier (ToString keys, trace
+/// JSON keys, metric suffixes); `expr` is the member access path within a
+/// TranslationStats object. MergeFrom, ToString, ForEachField and FieldNames
+/// all expand from this table, so a counter added here is automatically
+/// merged, printed, serialized, and covered by the completeness test in
+/// tests/stats_test.cc — it cannot silently drift out of any of them.
+#define QMAP_TRANSLATION_STATS_FIELDS(X)            \
+  X(pattern_attempts, match.pattern_attempts)       \
+  X(matchings_found, match.matchings_found)         \
+  X(scm_calls, scm_calls)                           \
+  X(submatchings_removed, submatchings_removed)     \
+  X(matchings_applied, matchings_applied)           \
+  X(dnf_disjuncts, dnf_disjuncts)                   \
+  X(disjunctivize_calls, disjunctivize_calls)       \
+  X(psafe_calls, psafe_calls)                       \
+  X(ednf_disjuncts_checked, ednf_disjuncts_checked) \
+  X(cross_matchings, cross_matchings)               \
+  X(candidate_blocks, candidate_blocks)             \
+  X(cache_hits, cache_hits)                         \
+  X(cache_misses, cache_misses)                     \
+  X(cache_evictions, cache_evictions)               \
+  X(parallel_tasks, parallel_tasks)                 \
+  X(translate_ns, translate_ns)                     \
+  X(queue_wait_ns, queue_wait_ns)
 
 /// Counters accumulated during one translation. These expose the cost terms
 /// the paper analyzes: the N·P·R rule-matching work and M² sub-matching
@@ -35,8 +62,36 @@ struct TranslationStats {
   uint64_t cache_evictions = 0;
   uint64_t parallel_tasks = 0;
 
+  // Timing (observability): wall time spent inside Translator::Translate,
+  // and — when a TranslationService runs the per-source work on its pool
+  // with tracing active — time the task waited in the pool queue. Merged by
+  // summation, so a MediatorTranslation's stats carry the *total* per-source
+  // translation time, which can exceed wall time under parallelism.
+  uint64_t translate_ns = 0;
+  uint64_t queue_wait_ns = 0;
+
   void MergeFrom(const TranslationStats& other);
   std::string ToString() const;
+
+  /// Calls fn(name, value) for every counter in the field table, in table
+  /// order. Used by the trace serializer and the metrics bridge.
+  template <typename Fn>
+  void ForEachField(Fn&& fn) const {
+#define QMAP_STATS_VISIT(name, expr) fn(#name, expr);
+    QMAP_TRANSLATION_STATS_FIELDS(QMAP_STATS_VISIT)
+#undef QMAP_STATS_VISIT
+  }
+
+  /// Mutable variant: fn(name, uint64_t&).
+  template <typename Fn>
+  void ForEachFieldMutable(Fn&& fn) {
+#define QMAP_STATS_VISIT(name, expr) fn(#name, expr);
+    QMAP_TRANSLATION_STATS_FIELDS(QMAP_STATS_VISIT)
+#undef QMAP_STATS_VISIT
+  }
+
+  /// Every counter name in the field table, in table order.
+  static std::vector<const char*> FieldNames();
 };
 
 }  // namespace qmap

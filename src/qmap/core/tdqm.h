@@ -12,6 +12,13 @@ struct TdqmOptions {
   /// of re-matching rules per node.  Semantically identical; benchmarked by
   /// bench_translation's reuse-ablation series.
   bool reuse_potential_matchings = true;
+
+  /// Observability (qmap/obs): when `trace` is attached, the traversal
+  /// records a "tdqm" span under `parent_span` with nested node.* / psafe /
+  /// scm / disjunctivize spans — the taxonomy of docs/OBSERVABILITY.md.
+  /// Null trace = the no-op path (no clock reads).  Not owned.
+  Trace* trace = nullptr;
+  uint64_t parent_span = 0;
 };
 
 /// Algorithm TDQM (Figure 8): maps an arbitrary ∧/∨ query by top-down

@@ -57,11 +57,19 @@ class Translator {
   const MappingSpec& spec() const { return spec_; }
 
   /// Translates `query` into the target vocabulary, producing the mapped
-  /// query, the residue filter, and cost counters.
-  Result<Translation> Translate(const Query& query) const;
+  /// query, the residue filter, and cost counters. With a trace attached,
+  /// records a "translate" span under `parent_span` whose children cover the
+  /// algorithm run (tdqm/dnf/naive, with the tdqm traversal fully nested)
+  /// and the residue-filter construction; the span carries the final
+  /// TranslationStats. A null trace is the no-op path.
+  Result<Translation> Translate(const Query& query, Trace* trace = nullptr,
+                                uint64_t parent_span = 0) const;
 
-  /// Parses `query_text` with ParseQuery and translates it.
-  Result<Translation> TranslateText(const std::string& query_text) const;
+  /// Parses `query_text` with ParseQuery (a "parse" span when traced) and
+  /// translates it.
+  Result<Translation> TranslateText(const std::string& query_text,
+                                    Trace* trace = nullptr,
+                                    uint64_t parent_span = 0) const;
 
  private:
   MappingSpec spec_;

@@ -1,5 +1,6 @@
 #include "qmap/mediator/mediator.h"
 
+#include "qmap/obs/trace.h"
 #include "qmap/relalg/ops.h"
 
 namespace qmap {
@@ -23,20 +24,30 @@ void Mediator::SetViewConstraints(Query constraints) {
   view_constraints_ = std::move(constraints);
 }
 
-Result<MediatorTranslation> Mediator::Translate(const Query& query) const {
+Result<MediatorTranslation> Mediator::Translate(const Query& query, Trace* trace,
+                                                uint64_t parent_span) const {
+  Span root(trace, "mediator.translate", parent_span);
   Query full = query & view_constraints_;
   MediatorTranslation out;
   ExactCoverage merged;
   for (const SourceContext& source : sources_) {
+    Span source_span(trace, "source.translate", root.id());
+    if (source_span.enabled()) source_span.AddAttr("source", source.name());
     Translator translator(source.spec(), options_);
-    Result<Translation> translation = translator.Translate(full);
+    Result<Translation> translation =
+        translator.Translate(full, trace, source_span.id());
     if (!translation.ok()) return translation.status();
+    source_span.SetStats(translation->stats);
     merged.MergeAnySource(translation->coverage);
     out.stats.MergeFrom(translation->stats);
     out.per_source.emplace(source.name(), *std::move(translation));
   }
   // A constraint stays in F unless *some* source covered it exactly.
-  out.filter = ResidueFilter(full, merged);
+  {
+    Span filter_span(trace, "filter", root.id());
+    out.filter = ResidueFilter(full, merged);
+  }
+  root.SetStats(out.stats);
   return out;
 }
 

@@ -62,7 +62,12 @@ class Mediator {
 
   /// Translates `query` for every source and builds the combined filter:
   /// a constraint is dropped from F only if some source realizes it exactly.
-  Result<MediatorTranslation> Translate(const Query& query) const;
+  /// With a trace attached, records a "mediator.translate" span under
+  /// `parent_span` with one "source.translate" child per source (attr
+  /// "source" = name, stats = that source's counters) plus a "filter" span.
+  Result<MediatorTranslation> Translate(const Query& query,
+                                        Trace* trace = nullptr,
+                                        uint64_t parent_span = 0) const;
 
   /// Runs the full pipeline of Eq. 2 and returns the result tuples (in the
   /// converted, view-attribute vocabulary).

@@ -1,0 +1,197 @@
+#include "qmap/obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <mutex>
+
+namespace qmap {
+namespace {
+
+std::string Sanitize(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+int Histogram::BucketFor(uint64_t v) { return std::bit_width(v); }
+
+uint64_t Histogram::BucketUpperBound(int b) {
+  if (b <= 0) return 0;
+  if (b >= 64) return ~uint64_t{0};
+  return (uint64_t{1} << b) - 1;
+}
+
+void Histogram::Record(uint64_t v) {
+  buckets_[static_cast<size_t>(BucketFor(v))].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::Quantile(double q) const {
+  // Snapshot the buckets once (relaxed loads: a consistent-enough view).
+  std::array<uint64_t, kNumBuckets> counts;
+  uint64_t total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    counts[static_cast<size_t>(b)] = bucket_count(b);
+    total += counts[static_cast<size_t>(b)];
+  }
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based; ceil so Quantile(1.0) = max bucket.
+  double rank = q * static_cast<double>(total);
+  uint64_t target = static_cast<uint64_t>(std::ceil(rank));
+  if (target == 0) target = 1;
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    uint64_t in_bucket = counts[static_cast<size_t>(b)];
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= target) {
+      // Linear interpolation inside [lower, upper] of this bucket.
+      double lower = b == 0 ? 0.0 : static_cast<double>(BucketUpperBound(b - 1)) + 1.0;
+      double upper = static_cast<double>(BucketUpperBound(b));
+      if (b == 0) return 0.0;
+      double fraction = static_cast<double>(target - cumulative) /
+                        static_cast<double>(in_bucket);
+      return lower + fraction * (upper - lower);
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(BucketUpperBound(kNumBuckets - 1));
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = counters_.try_emplace(std::string(name), nullptr);
+  if (inserted) it->second = std::make_unique<Counter>();
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = histograms_.try_emplace(std::string(name), nullptr);
+  if (inserted) it->second = std::make_unique<Histogram>();
+  return *it->second;
+}
+
+size_t MetricsRegistry::num_counters() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return counters_.size();
+}
+
+size_t MetricsRegistry::num_histograms() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return histograms_.size();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + std::to_string(counter->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":{";
+    out += "\"count\":" + std::to_string(hist->count());
+    out += ",\"sum\":" + std::to_string(hist->sum());
+    out += ",\"p50\":" + FormatDouble(hist->Quantile(0.5));
+    out += ",\"p95\":" + FormatDouble(hist->Quantile(0.95));
+    out += ",\"p99\":" + FormatDouble(hist->Quantile(0.99));
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      uint64_t n = hist->bucket_count(b);
+      if (n == 0) continue;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += "{\"le\":" + std::to_string(Histogram::BucketUpperBound(b)) +
+             ",\"count\":" + std::to_string(n) + '}';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    std::string prom = Sanitize(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    std::string prom = Sanitize(name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      uint64_t n = hist->bucket_count(b);
+      cumulative += n;
+      // Emit only buckets that advance the cumulative count (plus +Inf),
+      // keeping the exposition compact without losing any sample.
+      if (n == 0) continue;
+      out += prom + "_bucket{le=\"" +
+             std::to_string(Histogram::BucketUpperBound(b)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(hist->count()) + "\n";
+    out += prom + "_sum " + std::to_string(hist->sum()) + "\n";
+    out += prom + "_count " + std::to_string(hist->count()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace qmap

@@ -1,0 +1,96 @@
+#ifndef QMAP_OBS_METRICS_H_
+#define QMAP_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+namespace qmap {
+
+/// A monotonically increasing counter. Lock-free; safe to increment from any
+/// number of threads concurrently.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A log₂-bucketed histogram of non-negative integer samples (latencies in
+/// microseconds, sizes, counts). Bucket b ≥ 1 holds samples in
+/// [2^{b-1}, 2^b - 1]; bucket 0 holds exactly the sample 0 — i.e. a sample v
+/// lands in bucket bit_width(v). Recording is two relaxed atomic adds plus
+/// one to the bucket: cheap enough for per-span use under the thread pool.
+///
+/// Quantiles are estimated by walking the cumulative bucket counts and
+/// interpolating linearly inside the selected bucket — exact for the bucket
+/// boundaries themselves, within a factor of 2 everywhere (the usual
+/// log-bucket contract; see tests/obs_test.cc for the pinned boundaries).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;  // bit_width(uint64) ∈ [0, 64]
+
+  /// Bucket index a sample lands in: bit_width(v) (0 for v = 0).
+  static int BucketFor(uint64_t v);
+  /// Inclusive upper bound of bucket b: 0 for b = 0, else 2^b - 1
+  /// (UINT64_MAX for the last bucket).
+  static uint64_t BucketUpperBound(int b);
+
+  void Record(uint64_t v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(int b) const {
+    return buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+  }
+
+  /// Estimated q-quantile (q in [0, 1]) of the recorded samples; 0 when the
+  /// histogram is empty. Quantile(0.5) = p50, Quantile(0.99) = p99.
+  double Quantile(double q) const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// A named registry of counters and histograms, shared across the service
+/// and the pool. Lookup by name takes a shared lock (exclusive only on first
+/// creation); instrumented hot paths should look a metric up once and cache
+/// the returned reference — Counter/Histogram addresses are stable for the
+/// registry's lifetime.
+///
+/// Exports:
+///   ToJson()           — {"counters": {...}, "histograms": {...}} with
+///                        count/sum/p50/p95/p99 and the non-empty buckets.
+///   ToPrometheusText() — the Prometheus text exposition format; histogram
+///                        buckets carry cumulative counts with le="2^b - 1".
+///                        Names are sanitized ([^a-zA-Z0-9_] → '_').
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// The registered metric counts (mostly for tests).
+  size_t num_counters() const;
+  size_t num_histograms() const;
+
+  std::string ToJson() const;
+  std::string ToPrometheusText() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_OBS_METRICS_H_

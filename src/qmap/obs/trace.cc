@@ -1,0 +1,477 @@
+#include "qmap/obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "qmap/obs/metrics.h"
+
+namespace qmap {
+namespace {
+
+std::atomic<uint64_t> g_next_trace_serial{1};
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendSpanJson(const SpanRecord& span, std::string* out) {
+  *out += "{\"id\":" + std::to_string(span.id);
+  *out += ",\"parent\":" + std::to_string(span.parent);
+  *out += ",\"name\":\"" + JsonEscape(span.name) + "\"";
+  *out += ",\"thread\":" + std::to_string(span.thread);
+  *out += ",\"start_ns\":" + std::to_string(span.start_ns);
+  *out += ",\"dur_ns\":" + std::to_string(span.dur_ns < 0 ? int64_t{0} : span.dur_ns);
+  if (!span.attrs.empty()) {
+    *out += ",\"attrs\":[";
+    for (size_t i = 0; i < span.attrs.size(); ++i) {
+      if (i > 0) *out += ',';
+      *out += "[\"" + JsonEscape(span.attrs[i].first) + "\",\"" +
+              JsonEscape(span.attrs[i].second) + "\"]";
+    }
+    *out += ']';
+  }
+  if (span.has_stats) {
+    *out += ",\"stats\":{";
+    bool first = true;
+    span.stats.ForEachField([&](const char* name, uint64_t value) {
+      if (value == 0) return;
+      if (!first) *out += ',';
+      first = false;
+      *out += "\"" + std::string(name) + "\":" + std::to_string(value);
+    });
+    *out += '}';
+  }
+  *out += '}';
+}
+
+std::string TraceJson(const std::string& trace_id, const std::string& label,
+                      bool detail, const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"trace_id\":\"" + JsonEscape(trace_id) + "\"";
+  out += ",\"label\":\"" + JsonEscape(label) + "\"";
+  out += ",\"detail\":";
+  out += detail ? "true" : "false";
+  out += ",\"spans\":[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendSpanJson(spans[i], &out);
+  }
+  out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough for the documents this module emits
+// (objects, arrays, strings with the escapes JsonEscape produces, unsigned
+// integers, true/false/null). Recursive descent over an in-memory buffer.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  uint64_t number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    Result<JsonValue> value = ParseValue();
+    if (!value.ok()) return value;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& why) const {
+    return Status::ParseError("trace JSON: " + why + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    return Fail(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue out;
+    out.kind = JsonValue::Kind::kObject;
+    if (Consume('}')) return out;
+    while (true) {
+      Result<JsonValue> key = ParseString();
+      if (!key.ok()) return key;
+      if (!Consume(':')) return Fail("expected ':'");
+      Result<JsonValue> value = ParseValue();
+      if (!value.ok()) return value;
+      out.object.emplace_back(std::move(key->string), *std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return out;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue out;
+    out.kind = JsonValue::Kind::kArray;
+    if (Consume(']')) return out;
+    while (true) {
+      Result<JsonValue> value = ParseValue();
+      if (!value.ok()) return value;
+      out.array.push_back(*std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return out;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return Fail("expected string");
+    ++pos_;
+    JsonValue out;
+    out.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out.string += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("dangling escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.string += '"'; break;
+        case '\\': out.string += '\\'; break;
+        case '/': out.string += '/'; break;
+        case 'n': out.string += '\n'; break;
+        case 't': out.string += '\t'; break;
+        case 'r': out.string += '\r'; break;
+        case 'b': out.string += '\b'; break;
+        case 'f': out.string += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // The emitter only produces \u00XX control escapes.
+          out.string += static_cast<char>(code & 0xff);
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Result<JsonValue> ParseBool() {
+    JsonValue out;
+    out.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.boolean = true;
+      pos_ += 4;
+      return out;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.boolean = false;
+      pos_ += 5;
+      return out;
+    }
+    return Fail("expected boolean");
+  }
+
+  Result<JsonValue> ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return Fail("expected null");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    JsonValue out;
+    out.kind = JsonValue::Kind::kNumber;
+    if (text_[pos_] == '-') return Fail("negative numbers not expected here");
+    uint64_t value = 0;
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      value = value * 10 + static_cast<uint64_t>(text_[pos_] - '0');
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected digits");
+    out.number = value;
+    return out;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Result<SpanRecord> SpanFromJson(const JsonValue& value) {
+  if (value.kind != JsonValue::Kind::kObject) {
+    return Status::ParseError("trace JSON: span is not an object");
+  }
+  SpanRecord span;
+  const JsonValue* field = value.Find("id");
+  if (field == nullptr) return Status::ParseError("trace JSON: span missing id");
+  span.id = field->number;
+  if ((field = value.Find("parent")) != nullptr) span.parent = field->number;
+  if ((field = value.Find("name")) != nullptr) span.name = field->string;
+  if ((field = value.Find("thread")) != nullptr) {
+    span.thread = static_cast<int>(field->number);
+  }
+  if ((field = value.Find("start_ns")) != nullptr) {
+    span.start_ns = static_cast<int64_t>(field->number);
+  }
+  if ((field = value.Find("dur_ns")) != nullptr) {
+    span.dur_ns = static_cast<int64_t>(field->number);
+  }
+  if ((field = value.Find("attrs")) != nullptr) {
+    for (const JsonValue& pair : field->array) {
+      if (pair.array.size() != 2) {
+        return Status::ParseError("trace JSON: attr is not a [key, value] pair");
+      }
+      span.attrs.emplace_back(pair.array[0].string, pair.array[1].string);
+    }
+  }
+  if ((field = value.Find("stats")) != nullptr) {
+    span.has_stats = true;
+    for (const auto& [name, counter] : field->object) {
+      bool known = false;
+      span.stats.ForEachFieldMutable([&](const char* field_name, uint64_t& slot) {
+        if (name == field_name) {
+          slot = counter.number;
+          known = true;
+        }
+      });
+      if (!known) {
+        return Status::ParseError("trace JSON: unknown stats field '" + name + "'");
+      }
+    }
+  }
+  return span;
+}
+
+}  // namespace
+
+Trace::Trace(std::string label, bool capture_detail)
+    : label_(std::move(label)),
+      capture_detail_(capture_detail),
+      serial_(g_next_trace_serial.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(Clock::now()) {}
+
+std::string Trace::trace_id() const { return "qt" + std::to_string(serial_); }
+
+int64_t Trace::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch_)
+      .count();
+}
+
+int Trace::ThreadIndexLocked() {
+  auto [it, inserted] =
+      thread_idx_.emplace(std::this_thread::get_id(),
+                          static_cast<int>(thread_idx_.size()));
+  return it->second;
+}
+
+uint64_t Trace::StartSpan(std::string_view name, uint64_t parent) {
+  int64_t start = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord& span = spans_.emplace_back();
+  span.id = spans_.size();
+  span.parent = parent;
+  span.name = name;
+  span.thread = ThreadIndexLocked();
+  span.start_ns = start;
+  return span.id;
+}
+
+void Trace::EndSpan(uint64_t id) {
+  int64_t end = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size()) return;
+  SpanRecord& span = spans_[id - 1];
+  if (span.dur_ns < 0) span.dur_ns = end - span.start_ns;
+}
+
+void Trace::AddAttr(uint64_t id, std::string_view key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].attrs.emplace_back(std::string(key), std::move(value));
+}
+
+void Trace::SetStats(uint64_t id, const TranslationStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].stats = stats;
+  spans_[id - 1].has_stats = true;
+}
+
+uint64_t Trace::AddCompleteSpan(std::string_view name, uint64_t parent,
+                                int64_t start_ns, int64_t end_ns) {
+  int64_t dur_ns = end_ns - start_ns;
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord& span = spans_.emplace_back();
+  span.id = spans_.size();
+  span.parent = parent;
+  span.name = name;
+  span.thread = ThreadIndexLocked();
+  span.start_ns = start_ns;
+  span.dur_ns = dur_ns < 0 ? 0 : dur_ns;
+  return span.id;
+}
+
+std::vector<SpanRecord> Trace::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Trace::num_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::string Trace::ToJson() const {
+  return TraceJson(trace_id(), label_, capture_detail_, spans());
+}
+
+std::string ParsedTrace::ToJson() const {
+  return TraceJson(trace_id, label, capture_detail, spans);
+}
+
+std::string Trace::ToChromeTraceJson() const {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans()) {
+    if (!first) out += ',';
+    first = false;
+    char ts[64];
+    std::snprintf(ts, sizeof(ts), "%.3f",
+                  static_cast<double>(span.start_ns) / 1000.0);
+    char dur[64];
+    std::snprintf(dur, sizeof(dur), "%.3f",
+                  static_cast<double>(span.dur_ns < 0 ? 0 : span.dur_ns) / 1000.0);
+    out += "{\"name\":\"" + JsonEscape(span.name) + "\",\"cat\":\"qmap\"";
+    out += ",\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(span.thread);
+    out += ",\"ts\":" + std::string(ts) + ",\"dur\":" + std::string(dur);
+    out += ",\"args\":{\"span_id\":" + std::to_string(span.id);
+    out += ",\"parent\":" + std::to_string(span.parent);
+    for (const auto& [key, attr_value] : span.attrs) {
+      out += ",\"" + JsonEscape(key) + "\":\"" + JsonEscape(attr_value) + "\"";
+    }
+    if (span.has_stats) {
+      span.stats.ForEachField([&](const char* name, uint64_t value) {
+        if (value == 0) return;
+        out += ",\"" + std::string(name) + "\":" + std::to_string(value);
+      });
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Result<ParsedTrace> ParseTraceJson(const std::string& json) {
+  JsonReader reader(json);
+  Result<JsonValue> root = reader.Parse();
+  if (!root.ok()) return root.status();
+  if (root->kind != JsonValue::Kind::kObject) {
+    return Status::ParseError("trace JSON: root is not an object");
+  }
+  ParsedTrace out;
+  const JsonValue* field = root->Find("trace_id");
+  if (field != nullptr) out.trace_id = field->string;
+  if ((field = root->Find("label")) != nullptr) out.label = field->string;
+  if ((field = root->Find("detail")) != nullptr) out.capture_detail = field->boolean;
+  if ((field = root->Find("spans")) == nullptr) {
+    return Status::ParseError("trace JSON: missing spans array");
+  }
+  for (const JsonValue& value : field->array) {
+    Result<SpanRecord> span = SpanFromJson(value);
+    if (!span.ok()) return span.status();
+    out.spans.push_back(*std::move(span));
+  }
+  return out;
+}
+
+void RecordTraceMetrics(const Trace& trace, MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  for (const SpanRecord& span : trace.spans()) {
+    if (span.dur_ns < 0) continue;
+    std::string name = "qmap_span_";
+    for (char c : span.name) {
+      bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '_';
+      name += ok ? c : '_';
+    }
+    name += "_us";
+    registry->histogram(name).Record(static_cast<uint64_t>(span.dur_ns) / 1000);
+  }
+}
+
+}  // namespace qmap

@@ -1,6 +1,9 @@
 #include "qmap/service/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "qmap/obs/metrics.h"
 
 namespace qmap {
 
@@ -21,7 +24,31 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+void ThreadPool::AttachMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    queue_wait_hist_ = run_hist_ = nullptr;
+    return;
+  }
+  queue_wait_hist_ = &registry->histogram("qmap_pool_queue_wait_us");
+  run_hist_ = &registry->histogram("qmap_pool_run_us");
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
+  if (queue_wait_hist_ != nullptr) {
+    auto submitted = std::chrono::steady_clock::now();
+    task = [this, submitted, inner = std::move(task)] {
+      auto started = std::chrono::steady_clock::now();
+      queue_wait_hist_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(started -
+                                                                submitted)
+              .count()));
+      inner();
+      run_hist_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count()));
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));

@@ -10,6 +10,9 @@
 
 namespace qmap {
 
+class Histogram;
+class MetricsRegistry;
+
 /// A fixed-size worker pool with a single FIFO task queue. Tasks are opaque
 /// thunks; completion signalling (latches, futures) is the caller's concern.
 /// The destructor drains the queue: tasks already submitted run to
@@ -26,6 +29,13 @@ class ThreadPool {
 
   int size() const { return static_cast<int>(workers_.size()); }
 
+  /// Records every task's queue-wait time (Submit → a worker picking it up)
+  /// and run time into `registry` as the qmap_pool_queue_wait_us and
+  /// qmap_pool_run_us histograms. Setup-phase only: call before the first
+  /// Submit; the registry must outlive the pool. Null detaches — the
+  /// default, in which case Submit does no clock reads at all.
+  void AttachMetrics(MetricsRegistry* registry);
+
   /// Enqueues `task` for execution on some worker. Safe to call from any
   /// thread, including from inside a task.
   void Submit(std::function<void()> task);
@@ -38,6 +48,10 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;  // guarded by mu_
   bool stopping_ = false;                    // guarded by mu_
   std::vector<std::thread> workers_;
+
+  // Optional metric bridges (see AttachMetrics); null when detached.
+  Histogram* queue_wait_hist_ = nullptr;
+  Histogram* run_hist_ = nullptr;
 };
 
 }  // namespace qmap

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "qmap/obs/metrics.h"
+
 namespace qmap {
 
 TranslationCache::TranslationCache(TranslationCacheOptions options) {
@@ -17,16 +19,30 @@ TranslationCache::Shard& TranslationCache::ShardFor(const std::string& key) {
   return *shards_[std::hash<std::string>{}(key) % shards_.size()];
 }
 
+void TranslationCache::AttachMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    hits_counter_ = misses_counter_ = insertions_counter_ = evictions_counter_ =
+        nullptr;
+    return;
+  }
+  hits_counter_ = &registry->counter("qmap_cache_hits_total");
+  misses_counter_ = &registry->counter("qmap_cache_misses_total");
+  insertions_counter_ = &registry->counter("qmap_cache_insertions_total");
+  evictions_counter_ = &registry->counter("qmap_cache_evictions_total");
+}
+
 std::optional<Translation> TranslationCache::Get(const std::string& key) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.stats.misses;
+    if (misses_counter_ != nullptr) misses_counter_->Inc();
     return std::nullopt;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   ++shard.stats.hits;
+  if (hits_counter_ != nullptr) hits_counter_->Inc();
   return it->second->value;
 }
 
@@ -42,10 +58,12 @@ void TranslationCache::Put(const std::string& key, Translation value) {
   shard.lru.push_front(Entry{key, std::move(value)});
   shard.index.emplace(key, shard.lru.begin());
   ++shard.stats.insertions;
+  if (insertions_counter_ != nullptr) insertions_counter_->Inc();
   if (shard.lru.size() > per_shard_capacity_) {
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.stats.evictions;
+    if (evictions_counter_ != nullptr) evictions_counter_->Inc();
   }
 }
 

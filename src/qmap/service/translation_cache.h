@@ -14,6 +14,9 @@
 
 namespace qmap {
 
+class Counter;
+class MetricsRegistry;
+
 struct TranslationCacheOptions {
   /// Total entry budget across all shards (per-shard budget is the ceiling
   /// of capacity/shards, at least 1).
@@ -44,6 +47,13 @@ class TranslationCache {
 
   TranslationCache(const TranslationCache&) = delete;
   TranslationCache& operator=(const TranslationCache&) = delete;
+
+  /// Mirrors hit/miss/insertion/eviction counts into `registry` as the
+  /// qmap_cache_*_total counters, in addition to the internal stats().
+  /// Setup-phase only: not thread-safe against concurrent Get/Put; the
+  /// registry must outlive the cache. Null detaches (the default, no-cost
+  /// path: a single pointer check per operation).
+  void AttachMetrics(MetricsRegistry* registry);
 
   /// Returns a copy of the entry and refreshes its recency, or nullopt.
   std::optional<Translation> Get(const std::string& key);
@@ -78,6 +88,12 @@ class TranslationCache {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t per_shard_capacity_;
+
+  // Optional metric bridges (see AttachMetrics); null when detached.
+  Counter* hits_counter_ = nullptr;
+  Counter* misses_counter_ = nullptr;
+  Counter* insertions_counter_ = nullptr;
+  Counter* evictions_counter_ = nullptr;
 };
 
 }  // namespace qmap

@@ -1,12 +1,15 @@
 #include "qmap/service/translation_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <latch>
 #include <map>
 #include <utility>
 
 #include "qmap/core/filter.h"
 #include "qmap/expr/printer.h"
+#include "qmap/obs/metrics.h"
+#include "qmap/obs/trace.h"
 
 namespace qmap {
 namespace {
@@ -52,6 +55,14 @@ TranslationService::TranslationService(ServiceOptions options)
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
+  if (options_.obs.metrics != nullptr) {
+    MetricsRegistry* metrics = options_.obs.metrics;
+    cache_.AttachMetrics(metrics);
+    if (pool_ != nullptr) pool_->AttachMetrics(metrics);
+    translate_counter_ = &metrics->counter("qmap_translate_total");
+    slow_counter_ = &metrics->counter("qmap_slow_queries_total");
+    latency_hist_ = &metrics->histogram("qmap_translate_latency_us");
+  }
 }
 
 void TranslationService::AddSource(std::string name, MappingSpec spec) {
@@ -82,37 +93,67 @@ void TranslationService::SetViewConstraints(Query constraints) {
 
 Result<Translation> TranslationService::TranslateOne(
     const SourceEntry& source, const Query& full,
-    const std::string& query_text) const {
+    const std::string& query_text, Trace* trace, uint64_t parent_span) const {
   if (!options_.enable_cache) {
-    return source.translator.Translate(full);
+    return source.translator.Translate(full, trace, parent_span);
   }
   std::string key = source.cache_prefix + query_text;
-  if (std::optional<Translation> hit = cache_.Get(key)) {
-    // Stats describe the work done *for this call*: a hit does no rule
-    // matching, so the computation counters reset and only the hit shows.
-    hit->stats = TranslationStats{};
-    hit->stats.cache_hits = 1;
-    return *std::move(hit);
+  {
+    Span lookup(trace, "cache.lookup", parent_span);
+    if (std::optional<Translation> hit = cache_.Get(key)) {
+      if (lookup.enabled()) lookup.AddAttr("hit", "true");
+      // Stats describe the work done *for this call*: a hit does no rule
+      // matching, so the computation counters reset and only the hit shows.
+      hit->stats = TranslationStats{};
+      hit->stats.cache_hits = 1;
+      return *std::move(hit);
+    }
+    if (lookup.enabled()) lookup.AddAttr("hit", "false");
   }
-  Result<Translation> translation = source.translator.Translate(full);
+  Result<Translation> translation =
+      source.translator.Translate(full, trace, parent_span);
   if (!translation.ok()) return translation;
-  cache_.Put(key, *translation);
+  {
+    Span insert(trace, "cache.insert", parent_span);
+    cache_.Put(key, *translation);
+  }
   translation->stats.cache_misses = 1;
   return translation;
 }
 
 Result<MediatorTranslation> TranslationService::TranslateFull(
-    const Query& full, const std::string& query_text) const {
+    const Query& full, const std::string& query_text, Trace* trace) const {
+  Span root(trace, "service.translate", 0);
+  if (root.detail()) root.AddAttr("query", query_text);
+  const uint64_t root_id = root.id();
   const size_t n = sources_.size();
   const uint64_t evictions_before =
       options_.enable_cache ? cache_.stats().evictions : 0;
   std::vector<std::optional<Result<Translation>>> outcomes(n);
   if (pool_ != nullptr && n > 1) {
     parallel_tasks_.fetch_add(n, std::memory_order_relaxed);
+    // Covers the whole fan-out window on the calling thread: submits, the
+    // workers' overlapping spans, and the latch wake-up latency.
+    Span fanout_span(trace, "fanout.wait", root_id);
     std::latch done(static_cast<ptrdiff_t>(n));
     for (size_t i = 0; i < n; ++i) {
-      pool_->Submit([this, &full, &query_text, &outcomes, &done, i] {
-        outcomes[i].emplace(TranslateOne(sources_[i], full, query_text));
+      const int64_t submit_ns = trace != nullptr ? trace->NowNs() : 0;
+      pool_->Submit([this, &full, &query_text, &outcomes, &done, trace,
+                     root_id, submit_ns, i] {
+        const int64_t start_ns = trace != nullptr ? trace->NowNs() : 0;
+        Span source_span(trace, "source.translate", root_id);
+        if (source_span.enabled()) {
+          source_span.AddAttr("source", sources_[i].name);
+          trace->AddCompleteSpan("pool.wait", root_id, submit_ns, start_ns);
+        }
+        Result<Translation> translation = TranslateOne(
+            sources_[i], full, query_text, trace, source_span.id());
+        if (translation.ok()) {
+          translation->stats.queue_wait_ns +=
+              static_cast<uint64_t>(start_ns - submit_ns);
+          source_span.SetStats(translation->stats);
+        }
+        outcomes[i].emplace(std::move(translation));
         done.count_down();
       });
     }
@@ -120,12 +161,18 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
   } else {
     inline_tasks_.fetch_add(n, std::memory_order_relaxed);
     for (size_t i = 0; i < n; ++i) {
-      outcomes[i].emplace(TranslateOne(sources_[i], full, query_text));
+      Span source_span(trace, "source.translate", root_id);
+      if (source_span.enabled()) source_span.AddAttr("source", sources_[i].name);
+      Result<Translation> translation = TranslateOne(
+          sources_[i], full, query_text, trace, source_span.id());
+      if (translation.ok()) source_span.SetStats(translation->stats);
+      outcomes[i].emplace(std::move(translation));
     }
   }
 
   // Deterministic join: sources_ is sorted by name, and the merge below
   // always runs in that order, independent of task completion order.
+  Span join_span(trace, "join", root_id);
   MediatorTranslation out;
   ExactCoverage merged;
   for (size_t i = 0; i < n; ++i) {
@@ -141,14 +188,77 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
     // against whichever call observes them.
     out.stats.cache_evictions += cache_.stats().evictions - evictions_before;
   }
-  out.filter = ResidueFilter(full, merged);
+  join_span.End();
+  {
+    Span filter_span(trace, "filter", root_id);
+    out.filter = ResidueFilter(full, merged);
+  }
+  root.SetStats(out.stats);
   return out;
 }
 
-Result<MediatorTranslation> TranslationService::Translate(const Query& query) const {
+Result<MediatorTranslation> TranslationService::TranslateObserved(
+    const Query& full, const std::string& query_text, Trace* trace) const {
+  const SlowQueryLogOptions& slow = options_.obs.slow_query;
+  const bool want_obs = slow.enabled || latency_hist_ != nullptr;
+  if (!want_obs) return TranslateFull(full, query_text, trace);
+
+  // The slow-query log wants a trace of every query so the slow ones come
+  // with their per-source spans attached, and the per-phase qmap_span_*
+  // histograms are fed from trace spans; record a trace internally when the
+  // caller did not supply one and either consumer is active.
+  std::unique_ptr<Trace> local_trace;
+  if (trace == nullptr && (slow.enabled || options_.obs.metrics != nullptr)) {
+    local_trace = std::make_unique<Trace>("service", /*capture_detail=*/false);
+    trace = local_trace.get();
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  Result<MediatorTranslation> out = TranslateFull(full, query_text, trace);
+  const uint64_t total_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  if (latency_hist_ != nullptr) latency_hist_->Record(total_us);
+  if (trace != nullptr && options_.obs.metrics != nullptr) {
+    RecordTraceMetrics(*trace, options_.obs.metrics);
+  }
+  if (!out.ok() || !slow.enabled) return out;
+
+  uint64_t max_disjuncts = 0;
+  for (const auto& [name, translation] : out->per_source) {
+    max_disjuncts = std::max(max_disjuncts, translation.stats.dnf_disjuncts);
+  }
+  const bool is_slow =
+      total_us >= slow.latency_threshold_us ||
+      (slow.disjunct_threshold > 0 && max_disjuncts >= slow.disjunct_threshold);
+  if (!is_slow) return out;
+
+  slow_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (slow_counter_ != nullptr) slow_counter_->Inc();
+  SlowQueryRecord record;
+  record.query_text = query_text;
+  record.total_us = total_us;
+  record.max_disjuncts = max_disjuncts;
+  record.stats = out->stats.ToString();
+  if (trace != nullptr) record.trace_json = trace->ToJson();
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    slow_log_.push_back(std::move(record));
+    while (slow_log_.size() > std::max<size_t>(1, slow.capacity)) {
+      slow_log_.pop_front();
+    }
+  }
+  return out;
+}
+
+Result<MediatorTranslation> TranslationService::Translate(const Query& query,
+                                                          Trace* trace) const {
   translate_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (translate_counter_ != nullptr) translate_counter_->Inc();
   Query full = query & view_constraints_;
-  return TranslateFull(full, ToParseableText(full));
+  std::string text = ToParseableText(full);
+  return TranslateObserved(full, text, trace);
 }
 
 Result<std::vector<MediatorTranslation>> TranslationService::TranslateBatch(
@@ -178,7 +288,7 @@ Result<std::vector<MediatorTranslation>> TranslationService::TranslateBatch(
   unique_results.reserve(unique_full.size());
   for (size_t u = 0; u < unique_full.size(); ++u) {
     Result<MediatorTranslation> translation =
-        TranslateFull(unique_full[u], unique_text[u]);
+        TranslateObserved(unique_full[u], unique_text[u], nullptr);
     if (!translation.ok()) return translation.status();
     unique_results.push_back(*std::move(translation));
   }
@@ -200,7 +310,13 @@ ServiceStats TranslationService::stats() const {
   out.batch_duplicates = batch_duplicates_.load(std::memory_order_relaxed);
   out.parallel_tasks = parallel_tasks_.load(std::memory_order_relaxed);
   out.inline_tasks = inline_tasks_.load(std::memory_order_relaxed);
+  out.slow_queries = slow_queries_.load(std::memory_order_relaxed);
   return out;
+}
+
+std::vector<SlowQueryRecord> TranslationService::slow_queries() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return std::vector<SlowQueryRecord>(slow_log_.begin(), slow_log_.end());
 }
 
 }  // namespace qmap

@@ -2,7 +2,10 @@
 #define QMAP_SERVICE_TRANSLATION_SERVICE_H_
 
 #include <atomic>
+#include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -12,6 +15,57 @@
 #include "qmap/service/translation_cache.h"
 
 namespace qmap {
+
+class Counter;
+class Histogram;
+class MetricsRegistry;
+class Trace;
+
+/// When to capture a query into the service's slow-query log (see
+/// docs/OBSERVABILITY.md). A query is "slow" when its wall time reaches
+/// `latency_threshold_us`, or when any source's translation produced at
+/// least `disjunct_threshold` DNF disjuncts — the paper's 2^n blowup
+/// (Section 8) shows up as disjunct count before it shows up as latency
+/// on small inputs, so both axes are worth watching.
+struct SlowQueryLogOptions {
+  bool enabled = false;
+  /// Wall-time threshold in microseconds; 0 logs every query.
+  uint64_t latency_threshold_us = 1000;
+  /// Per-source DNF disjunct threshold; 0 ignores disjunct counts.
+  uint64_t disjunct_threshold = 0;
+  /// Ring-buffer size: only the most recent `capacity` slow queries are
+  /// kept (the qmap_slow_queries_total counter keeps the lifetime count).
+  size_t capacity = 32;
+};
+
+/// Observability wiring for the service. All of it defaults to off, in
+/// which case the service adds no clock reads or locking to the
+/// translation path.
+struct ObsOptions {
+  /// When set, the service registers and updates counters/histograms here
+  /// (qmap_translate_total, qmap_translate_latency_us, qmap_cache_*_total,
+  /// qmap_pool_*_us, qmap_slow_queries_total, and per-phase
+  /// qmap_span_*_us from traced runs). Must outlive the service.
+  MetricsRegistry* metrics = nullptr;
+  SlowQueryLogOptions slow_query;
+};
+
+/// One captured slow query (see SlowQueryLogOptions).
+struct SlowQueryRecord {
+  /// The normalized printed form of the full query (view constraints
+  /// conjoined) — the same text used as the cache-key suffix.
+  std::string query_text;
+  uint64_t total_us = 0;
+  /// Max dnf_disjuncts over the per-source translations.
+  uint64_t max_disjuncts = 0;
+  /// TranslationStats::ToString() of the aggregated stats.
+  std::string stats;
+  /// Trace::ToJson() of the per-query trace (per-source spans, pool waits,
+  /// cache lookups). Present even when the caller did not pass a Trace:
+  /// the service records an internal trace whenever the slow-query log is
+  /// enabled.
+  std::string trace_json;
+};
 
 struct ServiceOptions {
   /// Options forwarded to every per-source Translator.
@@ -24,6 +78,8 @@ struct ServiceOptions {
   /// mapping algorithms themselves).
   bool enable_cache = true;
   TranslationCacheOptions cache;
+  /// Metrics and slow-query-log wiring; off by default.
+  ObsOptions obs;
 };
 
 /// Aggregate service counters (monotonic over the service lifetime).
@@ -35,6 +91,7 @@ struct ServiceStats {
   uint64_t batch_duplicates = 0;  // batch queries answered by intra-batch dedup
   uint64_t parallel_tasks = 0;    // per-source tasks dispatched to the pool
   uint64_t inline_tasks = 0;      // per-source tasks run on the calling thread
+  uint64_t slow_queries = 0;      // queries captured by the slow-query log
 };
 
 /// A reusable, thread-safe translation service over a fixed federation: the
@@ -75,7 +132,16 @@ class TranslationService {
   /// is configured; cached sources skip rule matching entirely. The returned
   /// translation's `stats` aggregates per-source counters plus the service's
   /// cache/parallelism counters for this call.
-  Result<MediatorTranslation> Translate(const Query& query) const;
+  ///
+  /// When `trace` is non-null the whole call is recorded into it: a
+  /// service.translate root span, one source.translate span per source
+  /// (with pool.wait spans when the fan-out runs on the pool), cache
+  /// lookups, and the full per-source algorithm spans underneath (tdqm,
+  /// psafe, ednf.safety, scm, disjunctivize — see docs/OBSERVABILITY.md).
+  /// Caveat: reusing one Trace across calls double-counts its spans in
+  /// qmap_span_* metrics; pass a fresh Trace per call when metrics are on.
+  Result<MediatorTranslation> Translate(const Query& query,
+                                        Trace* trace = nullptr) const;
 
   /// Translates a batch, deduplicating identical queries (by normalized
   /// printed form) within the batch: duplicates are translated once and the
@@ -85,6 +151,10 @@ class TranslationService {
       std::span<const Query> queries) const;
 
   ServiceStats stats() const;
+
+  /// Snapshot of the slow-query ring buffer, oldest first. Empty unless
+  /// options.obs.slow_query.enabled.
+  std::vector<SlowQueryRecord> slow_queries() const;
 
  private:
   struct SourceEntry {
@@ -97,12 +167,22 @@ class TranslationService {
 
   /// One per-source unit of work: cache lookup, else translate and fill.
   Result<Translation> TranslateOne(const SourceEntry& source, const Query& full,
-                                   const std::string& query_text) const;
+                                   const std::string& query_text, Trace* trace,
+                                   uint64_t parent_span) const;
 
   /// The fan-out + deterministic join for one full query (view constraints
   /// already conjoined, `query_text` its normalized printed form).
   Result<MediatorTranslation> TranslateFull(const Query& full,
-                                            const std::string& query_text) const;
+                                            const std::string& query_text,
+                                            Trace* trace) const;
+
+  /// TranslateFull plus the observability envelope: wall-clock timing, the
+  /// latency histogram, folding trace spans into per-phase metrics, and
+  /// slow-query capture. Creates an internal Trace when the caller passed
+  /// none but metrics or the slow-query log need one.
+  Result<MediatorTranslation> TranslateObserved(const Query& full,
+                                                const std::string& query_text,
+                                                Trace* trace) const;
 
   ServiceOptions options_;
   std::vector<SourceEntry> sources_;  // sorted by name
@@ -115,6 +195,16 @@ class TranslationService {
   mutable std::atomic<uint64_t> batch_duplicates_{0};
   mutable std::atomic<uint64_t> parallel_tasks_{0};
   mutable std::atomic<uint64_t> inline_tasks_{0};
+  mutable std::atomic<uint64_t> slow_queries_{0};
+
+  // Slow-query ring buffer (guarded by slow_mu_), newest at the back.
+  mutable std::mutex slow_mu_;
+  mutable std::deque<SlowQueryRecord> slow_log_;
+
+  // Cached metric handles (see ObsOptions::metrics); null when detached.
+  Counter* translate_counter_ = nullptr;
+  Counter* slow_counter_ = nullptr;
+  Histogram* latency_hist_ = nullptr;
 };
 
 }  // namespace qmap

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qmap/contexts/faculty.h"
+#include "qmap/obs/metrics.h"
+#include "qmap/obs/trace.h"
+#include "qmap/service/translation_service.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::Q;
+
+Query FacultyQuery() {
+  return Q(
+      "[fac.ln = pub.ln] and [fac.fn = pub.fn] and "
+      "[fac.bib contains \"data(near)mining\"] and [fac.dept = \"cs\"]");
+}
+
+std::unique_ptr<TranslationService> MakeFacultyService(ServiceOptions options) {
+  auto service = std::make_unique<TranslationService>(options);
+  service->AddSourcesFrom(MakeFacultyMediator());
+  return service;
+}
+
+std::string Render(const MediatorTranslation& t) {
+  std::string out;
+  for (const auto& [name, translation] : t.per_source) {
+    out += name + ": " + translation.mapped.ToString() + "\n";
+  }
+  out += "F: " + t.filter.ToString() + "\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Traced service runs
+
+TEST(ObsService, TracedRunProducesNestedSpans) {
+  auto service = MakeFacultyService({});
+  Trace trace("query", /*capture_detail=*/false);
+  Result<MediatorTranslation> translation =
+      service->Translate(FacultyQuery(), &trace);
+  ASSERT_TRUE(translation.ok()) << translation.status().ToString();
+
+  std::vector<SpanRecord> spans = trace.spans();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans[0].name, "service.translate");
+  EXPECT_EQ(spans[0].parent, 0u);
+  size_t source_spans = 0;
+  size_t algo_spans = 0;
+  for (const SpanRecord& span : spans) {
+    EXPECT_GE(span.dur_ns, 0) << span.name << " left open";
+    if (span.name == "source.translate") ++source_spans;
+    if (span.name == "tdqm" || span.name == "psafe" || span.name == "scm") {
+      ++algo_spans;
+    }
+  }
+  EXPECT_EQ(source_spans, service->num_sources());
+  EXPECT_GT(algo_spans, 0u);
+  // The root span covers the whole translation: every other span nests
+  // inside its window.
+  for (const SpanRecord& span : spans) {
+    EXPECT_GE(span.start_ns, spans[0].start_ns) << span.name;
+    EXPECT_LE(span.start_ns + span.dur_ns, spans[0].start_ns + spans[0].dur_ns)
+        << span.name;
+  }
+  EXPECT_TRUE(spans[0].has_stats);
+
+  // Both exports are well-formed; the round-trip parser accepts ToJson().
+  Result<ParsedTrace> parsed = ParseTraceJson(trace.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->spans.size(), spans.size());
+  std::string chrome = trace.ToChromeTraceJson();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("service.translate"), std::string::npos);
+}
+
+TEST(ObsService, PoolFanOutRecordsWaitSpansAndQueueWait) {
+  ServiceOptions options;
+  options.num_threads = 4;
+  auto service = MakeFacultyService(options);
+  Trace trace("pooled");
+  Result<MediatorTranslation> translation =
+      service->Translate(FacultyQuery(), &trace);
+  ASSERT_TRUE(translation.ok());
+  size_t waits = 0;
+  for (const SpanRecord& span : trace.spans()) {
+    if (span.name == "pool.wait") ++waits;
+  }
+  EXPECT_EQ(waits, service->num_sources());
+}
+
+TEST(ObsService, TracingDoesNotChangeResults) {
+  auto service = MakeFacultyService({});
+  Result<MediatorTranslation> plain = service->Translate(FacultyQuery());
+  Trace trace("check", /*capture_detail=*/true);
+  Result<MediatorTranslation> traced =
+      service->Translate(FacultyQuery(), &trace);
+  ASSERT_TRUE(plain.ok() && traced.ok());
+  EXPECT_EQ(Render(*plain), Render(*traced));
+}
+
+// ---------------------------------------------------------------------------
+// Metrics wiring
+
+TEST(ObsService, MetricsRegistryIsPopulated) {
+  MetricsRegistry registry;
+  ServiceOptions options;
+  options.num_threads = 4;
+  options.obs.metrics = &registry;
+  auto service = MakeFacultyService(options);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service->Translate(FacultyQuery()).ok());
+  }
+  EXPECT_EQ(registry.counter("qmap_translate_total").value(), 3u);
+  EXPECT_EQ(registry.histogram("qmap_translate_latency_us").count(), 3u);
+  // Cache: first call misses per source, later calls hit.
+  EXPECT_EQ(registry.counter("qmap_cache_misses_total").value(),
+            service->num_sources());
+  EXPECT_EQ(registry.counter("qmap_cache_hits_total").value(),
+            2 * service->num_sources());
+  // Pool wait/run histograms saw one task per source per call.
+  EXPECT_EQ(registry.histogram("qmap_pool_run_us").count(),
+            3 * service->num_sources());
+  // Per-phase span histograms are fed from the service's internal traces.
+  EXPECT_GT(registry.histogram("qmap_span_service_translate_us").count(), 0u);
+  EXPECT_GT(registry.histogram("qmap_span_source_translate_us").count(), 0u);
+
+  std::string prom = registry.ToPrometheusText();
+  EXPECT_NE(prom.find("qmap_translate_latency_us_bucket"), std::string::npos);
+  EXPECT_NE(prom.find("qmap_span_tdqm_us"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("qmap_translate_total 3"), std::string::npos);
+}
+
+TEST(ObsService, MetricsDoNotChangeResults) {
+  auto bare = MakeFacultyService({});
+  MetricsRegistry registry;
+  ServiceOptions options;
+  options.obs.metrics = &registry;
+  options.obs.slow_query.enabled = true;
+  options.obs.slow_query.latency_threshold_us = 0;
+  auto observed = MakeFacultyService(options);
+  Result<MediatorTranslation> a = bare->Translate(FacultyQuery());
+  Result<MediatorTranslation> b = observed->Translate(FacultyQuery());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(Render(*a), Render(*b));
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query log
+
+TEST(ObsService, SlowQueryLogCapturesEverythingAtZeroThreshold) {
+  ServiceOptions options;
+  options.obs.slow_query.enabled = true;
+  options.obs.slow_query.latency_threshold_us = 0;  // log every query
+  auto service = MakeFacultyService(options);
+  ASSERT_TRUE(service->Translate(FacultyQuery()).ok());
+  ASSERT_TRUE(service->Translate(Q("[fac.dept = \"ee\"]")).ok());
+
+  std::vector<SlowQueryRecord> slow = service->slow_queries();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(service->stats().slow_queries, 2u);
+  EXPECT_NE(slow[0].query_text.find("fac.dept"), std::string::npos);
+  EXPECT_FALSE(slow[0].stats.empty());
+  // The record carries a full trace even though no caller passed one.
+  Result<ParsedTrace> parsed = ParseTraceJson(slow[0].trace_json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed->spans.empty());
+  EXPECT_EQ(parsed->spans[0].name, "service.translate");
+}
+
+TEST(ObsService, FastQueriesStayOutOfTheLog) {
+  ServiceOptions options;
+  options.obs.slow_query.enabled = true;
+  // Nothing the faculty federation does takes an hour.
+  options.obs.slow_query.latency_threshold_us = 3'600'000'000ull;
+  auto service = MakeFacultyService(options);
+  ASSERT_TRUE(service->Translate(FacultyQuery()).ok());
+  EXPECT_TRUE(service->slow_queries().empty());
+  EXPECT_EQ(service->stats().slow_queries, 0u);
+}
+
+TEST(ObsService, DisjunctThresholdTriggersIndependentlyOfLatency) {
+  ServiceOptions options;
+  options.translator.algorithm = MappingAlgorithm::kDnf;  // counts disjuncts
+  options.obs.slow_query.enabled = true;
+  options.obs.slow_query.latency_threshold_us = 3'600'000'000ull;
+  options.obs.slow_query.disjunct_threshold = 1;
+  auto service = MakeFacultyService(options);
+  ASSERT_TRUE(service->Translate(FacultyQuery()).ok());
+  std::vector<SlowQueryRecord> slow = service->slow_queries();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_GE(slow[0].max_disjuncts, 1u);
+}
+
+TEST(ObsService, RingBufferKeepsOnlyTheMostRecent) {
+  ServiceOptions options;
+  options.obs.slow_query.enabled = true;
+  options.obs.slow_query.latency_threshold_us = 0;
+  options.obs.slow_query.capacity = 2;
+  auto service = MakeFacultyService(options);
+  // Distinct queries the faculty spec can map (DeptCode knows these four).
+  const std::vector<std::string> depts = {"cs", "ee", "math", "physics"};
+  for (const std::string& dept : depts) {
+    ASSERT_TRUE(service->Translate(Q("[fac.dept = \"" + dept + "\"]")).ok());
+  }
+  ASSERT_TRUE(service->Translate(FacultyQuery()).ok());
+  std::vector<SlowQueryRecord> slow = service->slow_queries();
+  ASSERT_EQ(slow.size(), 2u);  // capped by capacity
+  EXPECT_EQ(service->stats().slow_queries, 5u);  // lifetime count keeps going
+  EXPECT_NE(slow[0].query_text.find("physics"), std::string::npos);
+  EXPECT_NE(slow[1].query_text.find("data(near)mining"), std::string::npos);
+}
+
+TEST(ObsService, BatchQueriesFlowThroughTheSlowQueryLog) {
+  ServiceOptions options;
+  options.obs.slow_query.enabled = true;
+  options.obs.slow_query.latency_threshold_us = 0;
+  auto service = MakeFacultyService(options);
+  std::vector<Query> batch = {Q("[fac.dept = \"cs\"]"), Q("[fac.dept = \"cs\"]"),
+                              Q("[fac.dept = \"ee\"]")};
+  Result<std::vector<MediatorTranslation>> out = service->TranslateBatch(batch);
+  ASSERT_TRUE(out.ok());
+  // Dedup means 2 unique translations, hence 2 log entries.
+  EXPECT_EQ(service->slow_queries().size(), 2u);
+}
+
+}  // namespace
+}  // namespace qmap

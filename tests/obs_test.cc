@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <latch>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "qmap/obs/metrics.h"
+#include "qmap/obs/trace.h"
+#include "qmap/service/thread_pool.h"
+
+namespace qmap {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram: log₂ bucket boundaries
+
+TEST(Histogram, BucketForIsBitWidth) {
+  EXPECT_EQ(Histogram::BucketFor(0), 0);
+  EXPECT_EQ(Histogram::BucketFor(1), 1);
+  EXPECT_EQ(Histogram::BucketFor(2), 2);
+  EXPECT_EQ(Histogram::BucketFor(3), 2);
+  EXPECT_EQ(Histogram::BucketFor(4), 3);
+  EXPECT_EQ(Histogram::BucketFor(7), 3);
+  EXPECT_EQ(Histogram::BucketFor(8), 4);
+  EXPECT_EQ(Histogram::BucketFor(1023), 10);
+  EXPECT_EQ(Histogram::BucketFor(1024), 11);
+  EXPECT_EQ(Histogram::BucketFor(std::numeric_limits<uint64_t>::max()), 64);
+}
+
+TEST(Histogram, BucketUpperBounds) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023u);
+  EXPECT_EQ(Histogram::BucketUpperBound(64),
+            std::numeric_limits<uint64_t>::max());
+  // Every sample's bucket contains it: v ≤ upper(bucket(v)) and (for v > 0)
+  // v > upper(bucket(v) - 1).
+  for (uint64_t v : {1ull, 2ull, 3ull, 5ull, 100ull, 4096ull, 999999ull}) {
+    int b = Histogram::BucketFor(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(b)) << v;
+    EXPECT_GT(v, Histogram::BucketUpperBound(b - 1)) << v;
+  }
+}
+
+TEST(Histogram, RecordUpdatesCountSumAndBuckets) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  h.Record(0);
+  h.Record(1);
+  h.Record(6);
+  h.Record(7);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 14u);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // {0}
+  EXPECT_EQ(h.bucket_count(1), 1u);  // {1}
+  EXPECT_EQ(h.bucket_count(2), 0u);  // [2,3] empty
+  EXPECT_EQ(h.bucket_count(3), 2u);  // {6,7}
+}
+
+TEST(Histogram, QuantileOfEmptyIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(Histogram, QuantileOfSingleBucketInterpolates) {
+  Histogram h;
+  h.Record(1);  // bucket 1 = [1, 1]
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.0);
+  Histogram h0;
+  h0.Record(0);
+  EXPECT_DOUBLE_EQ(h0.Quantile(0.99), 0.0);
+}
+
+TEST(Histogram, QuantilesAreMonotonicAndBucketAccurate) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  double p50 = h.Quantile(0.5);
+  double p95 = h.Quantile(0.95);
+  double p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // The true p50 of 1..1000 is 500, in bucket 9 = [256, 511]; the log-bucket
+  // contract is "right bucket, linear inside it".
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 511.0);
+  // The true p99 is 990, in bucket 10 = [512, 1023].
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1023.0);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistry, ReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("a_total");
+  a.Inc(3);
+  EXPECT_EQ(&registry.counter("a_total"), &a);
+  EXPECT_EQ(registry.counter("a_total").value(), 3u);
+  Histogram& h = registry.histogram("lat_us");
+  h.Record(10);
+  EXPECT_EQ(&registry.histogram("lat_us"), &h);
+  EXPECT_EQ(registry.num_counters(), 1u);
+  EXPECT_EQ(registry.num_histograms(), 1u);
+}
+
+TEST(MetricsRegistry, JsonAndPrometheusExports) {
+  MetricsRegistry registry;
+  registry.counter("requests_total").Inc(5);
+  Histogram& h = registry.histogram("latency.us");  // '.' gets sanitized
+  h.Record(3);
+  h.Record(100);
+
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"requests_total\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"latency.us\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sum\":103"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+
+  std::string prom = registry.ToPrometheusText();
+  EXPECT_NE(prom.find("# TYPE requests_total counter"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("requests_total 5"), std::string::npos) << prom;
+  // Sanitized name, cumulative buckets, +Inf, _sum and _count.
+  EXPECT_NE(prom.find("# TYPE latency_us histogram"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("latency_us_bucket{le=\"3\"} 1"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("latency_us_bucket{le=\"127\"} 2"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("latency_us_bucket{le=\"+Inf\"} 2"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("latency_us_sum 103"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("latency_us_count 2"), std::string::npos) << prom;
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesUnderThreadPoolAreExact) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("ops_total");
+  Histogram& hist = registry.histogram("op_us");
+  constexpr int kTasks = 64;
+  constexpr int kPerTask = 1000;
+  ThreadPool pool(8);
+  std::latch done(kTasks);
+  for (int t = 0; t < kTasks; ++t) {
+    pool.Submit([&, t] {
+      for (int i = 0; i < kPerTask; ++i) {
+        counter.Inc();
+        hist.Record(static_cast<uint64_t>(t));
+        // Lookups race against other threads' first-touch insertions.
+        registry.counter("ops_total").Inc(0);
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
+  EXPECT_EQ(counter.value(), static_cast<uint64_t>(kTasks) * kPerTask);
+  EXPECT_EQ(hist.count(), static_cast<uint64_t>(kTasks) * kPerTask);
+  uint64_t bucket_total = 0;
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    bucket_total += hist.bucket_count(b);
+  }
+  EXPECT_EQ(bucket_total, hist.count());
+}
+
+// ---------------------------------------------------------------------------
+// Trace
+
+TEST(Trace, SpansNestAndReadBackInPreOrder) {
+  Trace trace("test", /*capture_detail=*/true);
+  {
+    Span root(&trace, "root");
+    EXPECT_TRUE(root.enabled());
+    EXPECT_TRUE(root.detail());
+    {
+      Span child(&trace, "child", root.id());
+      child.AddAttr("k", "v");
+      TranslationStats stats;
+      stats.scm_calls = 3;
+      child.SetStats(stats);
+    }
+    Span sibling(&trace, "sibling", root.id());
+  }
+  std::vector<SpanRecord> spans = trace.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[1].name, "child");
+  EXPECT_EQ(spans[2].name, "sibling");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[2].parent, spans[0].id);
+  EXPECT_GE(spans[0].dur_ns, 0);  // all closed
+  ASSERT_EQ(spans[1].attrs.size(), 1u);
+  EXPECT_EQ(spans[1].attrs[0].first, "k");
+  EXPECT_TRUE(spans[1].has_stats);
+  EXPECT_EQ(spans[1].stats.scm_calls, 3u);
+  EXPECT_FALSE(spans[0].has_stats);
+}
+
+TEST(Trace, NullTraceSpanIsANoOp) {
+  Span span(nullptr, "anything");
+  EXPECT_FALSE(span.enabled());
+  EXPECT_FALSE(span.detail());
+  EXPECT_EQ(span.id(), 0u);
+  span.AddAttr("k", "v");  // must not crash
+  span.SetStats(TranslationStats{});
+  span.End();
+  Span defaulted;
+  EXPECT_FALSE(defaulted.enabled());
+}
+
+TEST(Trace, JsonRoundTripIsExact) {
+  Trace trace("round-trip", /*capture_detail=*/true);
+  {
+    Span root(&trace, "service.translate");
+    root.AddAttr("query", "[a = \"x\\\"y\"]");  // exercises escaping
+    Span child(&trace, "tdqm", root.id());
+    TranslationStats stats;
+    stats.matchings_applied = 2;
+    stats.translate_ns = 12345;
+    child.SetStats(stats);
+  }
+  trace.AddCompleteSpan("pool.wait", 1, 10, 250);
+
+  std::string json = trace.ToJson();
+  Result<ParsedTrace> parsed = ParseTraceJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->trace_id, trace.trace_id());
+  EXPECT_EQ(parsed->label, "round-trip");
+  EXPECT_TRUE(parsed->capture_detail);
+  ASSERT_EQ(parsed->spans.size(), 3u);
+  EXPECT_EQ(parsed->spans[1].stats.translate_ns, 12345u);
+  EXPECT_EQ(parsed->spans[2].name, "pool.wait");
+  EXPECT_EQ(parsed->spans[2].dur_ns, 240);
+  // The parsed form serializes byte-identically.
+  EXPECT_EQ(parsed->ToJson(), json);
+}
+
+TEST(Trace, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseTraceJson("").ok());
+  EXPECT_FALSE(ParseTraceJson("{").ok());
+  EXPECT_FALSE(ParseTraceJson("[1,2,3]").ok());
+  // Unknown stats field names are an error, not silently dropped.
+  EXPECT_FALSE(
+      ParseTraceJson(
+          R"({"trace_id":"qt1","label":"","capture_detail":false,)"
+          R"("spans":[{"id":1,"parent":0,"name":"x","thread":0,)"
+          R"("start_ns":0,"dur_ns":1,"stats":{"no_such_field":1}}]})")
+          .ok());
+}
+
+TEST(Trace, ChromeExportIsWellFormed) {
+  Trace trace("chrome");
+  {
+    Span root(&trace, "service.translate");
+    Span child(&trace, "tdqm", root.id());
+  }
+  std::string chrome = trace.ToChromeTraceJson();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos) << chrome;
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos) << chrome;
+  EXPECT_NE(chrome.find("\"name\":\"tdqm\""), std::string::npos) << chrome;
+  EXPECT_NE(chrome.find("\"dur\":"), std::string::npos) << chrome;
+}
+
+TEST(Trace, RecordTraceMetricsFoldsFinishedSpans) {
+  Trace trace("metrics");
+  {
+    Span root(&trace, "service.translate");
+    Span a(&trace, "cache.lookup", root.id());
+    a.End();
+    Span b(&trace, "cache.lookup", root.id());
+  }
+  MetricsRegistry registry;
+  RecordTraceMetrics(trace, &registry);
+  EXPECT_EQ(registry.histogram("qmap_span_cache_lookup_us").count(), 2u);
+  EXPECT_EQ(registry.histogram("qmap_span_service_translate_us").count(), 1u);
+}
+
+}  // namespace
+}  // namespace qmap

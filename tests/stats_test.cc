@@ -1,0 +1,66 @@
+#include "qmap/core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qmap {
+namespace {
+
+// The completeness contract of the X-macro field table: every field is
+// printed, merged, and visited. A counter added to TranslationStats but not
+// to QMAP_TRANSLATION_STATS_FIELDS never reaches these expansions — which is
+// why the struct comment sends you to the table, and these tests pin it.
+
+TEST(TranslationStats, ToStringMentionsEveryField) {
+  TranslationStats stats;
+  std::string text = stats.ToString();
+  for (const char* name : TranslationStats::FieldNames()) {
+    EXPECT_NE(text.find(std::string(name) + "="), std::string::npos)
+        << "ToString() is missing field '" << name << "': " << text;
+  }
+}
+
+TEST(TranslationStats, FieldNamesMatchForEachFieldOrder) {
+  TranslationStats stats;
+  std::vector<std::string> visited;
+  stats.ForEachField(
+      [&](const char* name, uint64_t) { visited.emplace_back(name); });
+  std::vector<const char*> names = TranslationStats::FieldNames();
+  ASSERT_EQ(visited.size(), names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(visited[i], names[i]) << "field order diverges at index " << i;
+  }
+}
+
+TEST(TranslationStats, MergeFromSumsEveryField) {
+  TranslationStats a;
+  TranslationStats b;
+  uint64_t i = 0;
+  a.ForEachFieldMutable([&](const char*, uint64_t& v) { v = ++i; });
+  uint64_t j = 0;
+  b.ForEachFieldMutable([&](const char*, uint64_t& v) { v = 100 * ++j; });
+  a.MergeFrom(b);
+  uint64_t k = 0;
+  a.ForEachField([&](const char* name, uint64_t v) {
+    ++k;
+    EXPECT_EQ(v, k + 100 * k) << "field '" << name << "' not summed";
+  });
+  EXPECT_EQ(k, TranslationStats::FieldNames().size());
+}
+
+TEST(TranslationStats, ToStringReflectsValues) {
+  TranslationStats stats;
+  stats.scm_calls = 7;
+  stats.match.pattern_attempts = 42;
+  stats.queue_wait_ns = 1234;
+  std::string text = stats.ToString();
+  EXPECT_NE(text.find("scm_calls=7"), std::string::npos) << text;
+  EXPECT_NE(text.find("pattern_attempts=42"), std::string::npos) << text;
+  EXPECT_NE(text.find("queue_wait_ns=1234"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace qmap
