@@ -110,6 +110,106 @@ BENCHMARK(MatchVsP_Ambiguous)->DenseRange(1, 4, 1);
 
 }  // namespace
 
+// B1c — wide-spec matching: R rules over a shared "hot" attribute plus
+// distinct per-rule attributes plus a wildcard rule, against a fixed
+// 16-constraint conjunction. The naive matcher sweeps all N constraints for
+// every head slot of every rule (cost ~ R·N); the rule index walks only the
+// (attribute, op) bucket per slot and skips rules with an empty bucket
+// outright, so its cost tracks the handful of rules the conjunction can
+// actually satisfy. Both series run from the same binary into one JSON, so a
+// single BENCH_bench_matching.json records the naive-vs-indexed
+// attempts/iter ratio (the ≥5× acceptance number) and both timings.
+
+namespace {
+
+// R/4 "hot pair" rules [hot = A]; [y<i> = B], R distinct rules [x<i> = V],
+// and one wildcard rule [A0 = N0] (matches any equality constraint — both
+// matchers must sweep it; it exercises the wildcard bucket).
+qmap::Result<qmap::MappingSpec> WideSpec(int r) {
+  std::string dsl;
+  for (int i = 0; i < r / 4; ++i) {
+    dsl += "rule H" + std::to_string(i) + ": [hot = A]; [y" +
+           std::to_string(i) + " = B] => emit true;";
+  }
+  for (int i = 0; i < r; ++i) {
+    dsl += "rule X" + std::to_string(i) + ": [x" + std::to_string(i) +
+           " = V] => emit true;";
+  }
+  dsl += "rule W0: [A0 = N0] => emit true;";
+  return ParseMappingSpec(dsl, "bench", Registry());
+}
+
+// [hot = 1] ∧ y0..y3 ∧ x0..x7 ∧ z0..z2: completes 4 of the hot-pair rules,
+// hits 8 of the distinct rules, and carries 3 attributes no literal head
+// mentions (only the wildcard rule touches them).
+std::vector<Constraint> WideConjunction() {
+  std::vector<Constraint> out;
+  out.push_back(MakeSel(Attr::Simple("hot"), Op::kEq, Value::Int(1)));
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(
+        MakeSel(Attr::Simple("y" + std::to_string(i)), Op::kEq, Value::Int(1)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(
+        MakeSel(Attr::Simple("x" + std::to_string(i)), Op::kEq, Value::Int(1)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    out.push_back(
+        MakeSel(Attr::Simple("z" + std::to_string(i)), Op::kEq, Value::Int(1)));
+  }
+  return out;
+}
+
+void MatchWide_Naive(benchmark::State& state) {
+  int r = static_cast<int>(state.range(0));
+  qmap::Result<qmap::MappingSpec> spec = WideSpec(r);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  std::vector<Constraint> conjunction = WideConjunction();
+  qmap::MatchCounters counters;
+  for (auto _ : state) {
+    std::vector<qmap::Matching> matchings =
+        MatchSpecNaive(*spec, conjunction, &counters);
+    benchmark::DoNotOptimize(matchings);
+  }
+  state.counters["R"] = r;
+  state.counters["attempts/iter"] = benchmark::Counter(
+      static_cast<double>(counters.pattern_attempts),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(MatchWide_Naive)->RangeMultiplier(2)->Range(16, 128);
+
+void MatchWide_Indexed(benchmark::State& state) {
+  int r = static_cast<int>(state.range(0));
+  qmap::Result<qmap::MappingSpec> spec = WideSpec(r);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  std::vector<Constraint> conjunction = WideConjunction();
+  qmap::MatchCounters counters;
+  for (auto _ : state) {
+    std::vector<qmap::Matching> matchings =
+        MatchSpec(*spec, conjunction, &counters);
+    benchmark::DoNotOptimize(matchings);
+  }
+  state.counters["R"] = r;
+  state.counters["attempts/iter"] = benchmark::Counter(
+      static_cast<double>(counters.pattern_attempts),
+      benchmark::Counter::kAvgIterations);
+  state.counters["saved/iter"] = benchmark::Counter(
+      static_cast<double>(counters.pattern_attempts_saved),
+      benchmark::Counter::kAvgIterations);
+  state.counters["index_hits/iter"] = benchmark::Counter(
+      static_cast<double>(counters.index_hits),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(MatchWide_Indexed)->RangeMultiplier(2)->Range(16, 128);
+
+}  // namespace
+
 #include "bench_util.h"
 
 QMAP_BENCH_MAIN(bench_matching)

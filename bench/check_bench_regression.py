@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Diff a google-benchmark JSON run against a committed baseline.
+
+Fails (exit 1) when any benchmark present in the baseline
+
+  * is missing from the current run,
+  * regressed by more than --tolerance in a pattern-attempt counter
+    (any user counter whose name contains "attempts", e.g. "attempts/iter"
+    or "pattern_attempts/iter" — these are deterministic, so any growth is a
+    real algorithmic regression), or
+  * regressed by more than --time-tolerance in real_time (ns/op).
+
+Improvements and new benchmarks never fail the check. Usage:
+
+    check_bench_regression.py CURRENT.json BASELINE.json \
+        [--tolerance 0.20] [--time-tolerance 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """name -> benchmark entry, aggregates and error runs skipped."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate" or "error_occurred" in bench:
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def attempt_counters(bench):
+    return {
+        key: value
+        for key, value in bench.items()
+        if "attempts" in key and isinstance(value, (int, float))
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed relative growth in pattern-attempt counters")
+    parser.add_argument(
+        "--time-tolerance", type=float, default=0.20,
+        help="allowed relative growth in real_time (ns/op)")
+    args = parser.parse_args()
+
+    current = load_benchmarks(args.current)
+    baseline = load_benchmarks(args.baseline)
+    if not baseline:
+        print(f"error: no benchmarks in baseline {args.baseline}")
+        return 1
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        for counter, base_value in attempt_counters(base).items():
+            cur_value = cur.get(counter)
+            if cur_value is None:
+                failures.append(f"{name}: counter {counter} disappeared")
+                continue
+            # Sub-attempt noise can't occur (counters are deterministic), but
+            # guard the ratio against a zero baseline.
+            limit = base_value * (1.0 + args.tolerance) + 0.5
+            status = "ok" if cur_value <= limit else "REGRESSED"
+            print(f"{name} {counter}: {base_value:g} -> {cur_value:g} "
+                  f"[{status}]")
+            if cur_value > limit:
+                failures.append(
+                    f"{name}: {counter} {base_value:g} -> {cur_value:g} "
+                    f"(> +{args.tolerance:.0%})")
+        base_time = base.get("real_time")
+        cur_time = cur.get("real_time")
+        if base_time and cur_time:
+            limit = base_time * (1.0 + args.time_tolerance)
+            status = "ok" if cur_time <= limit else "REGRESSED"
+            print(f"{name} real_time: {base_time:.0f} -> {cur_time:.0f} ns "
+                  f"[{status}]")
+            if cur_time > limit:
+                failures.append(
+                    f"{name}: real_time {base_time:.0f} -> {cur_time:.0f} ns "
+                    f"(> +{args.time_tolerance:.0%})")
+
+    if failures:
+        print(f"\n{len(failures)} perf regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(baseline)} benchmarks within tolerance "
+          f"(attempts +{args.tolerance:.0%}, time +{args.time_tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,8 @@
 namespace qmap {
 
 Result<Query> DnfMap(const Query& query, const MappingSpec& spec,
-                     TranslationStats* stats, ExactCoverage* coverage) {
+                     TranslationStats* stats, ExactCoverage* coverage,
+                     MatchMemo* memo) {
   // (1) global DNF conversion.
   std::vector<std::vector<Constraint>> disjuncts = DnfDisjuncts(query);
   if (stats != nullptr) stats->dnf_disjuncts += disjuncts.size();
@@ -12,7 +13,9 @@ Result<Query> DnfMap(const Query& query, const MappingSpec& spec,
   std::vector<Query> mapped;
   mapped.reserve(disjuncts.size());
   for (const std::vector<Constraint>& disjunct : disjuncts) {
-    Result<ScmResult> result = Scm(disjunct, spec, stats, coverage);
+    Result<ScmResult> result =
+        Scm(disjunct, spec, stats, coverage, /*trace=*/nullptr,
+            /*parent_span=*/0, memo);
     if (!result.ok()) return result.status();
     mapped.push_back(std::move(result->mapped));
   }

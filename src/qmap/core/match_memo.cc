@@ -1,0 +1,46 @@
+#include "qmap/core/match_memo.h"
+
+namespace qmap {
+
+std::string MatchMemo::KeyOf(const std::vector<Constraint>& conjunction) {
+  std::string key;
+  for (const Constraint& c : conjunction) {
+    key += c.ToString();
+    key += '\x1f';  // unit separator: cannot appear in a rendered constraint
+  }
+  return key;
+}
+
+std::vector<Matching> MatchMemo::Match(const std::vector<Constraint>& conjunction,
+                                       TranslationStats* stats) {
+  std::string key = KeyOf(conjunction);
+  {
+    std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+    if (thread_safe_) lock.lock();
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      if (stats != nullptr) ++stats->memo_hits;
+      return it->second;  // copy out under the lock
+    }
+  }
+  // Miss: match outside the lock (the expensive part), then insert. Two
+  // threads may race on the same key; both compute identical results, and
+  // try_emplace keeps whichever lands first.
+  if (stats != nullptr) ++stats->memo_misses;
+  std::vector<Matching> matchings =
+      MatchSpec(*spec_, conjunction, stats != nullptr ? &stats->match : nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+    if (thread_safe_) lock.lock();
+    cache_.try_emplace(std::move(key), matchings);
+  }
+  return matchings;
+}
+
+size_t MatchMemo::size() const {
+  std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+  if (thread_safe_) lock.lock();
+  return cache_.size();
+}
+
+}  // namespace qmap

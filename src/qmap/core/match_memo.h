@@ -1,0 +1,64 @@
+#ifndef QMAP_CORE_MATCH_MEMO_H_
+#define QMAP_CORE_MATCH_MEMO_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qmap/core/stats.h"
+#include "qmap/rules/matcher.h"
+
+namespace qmap {
+
+/// Memoizes MatchSpec results for one MappingSpec across the sub-conjunctions
+/// of a translation (Section 7.1.3 generalized): TDQM's Disjunctivize, the
+/// EDNF safety scan, and PSafe all re-derive matchings for overlapping
+/// constraint subsets of the same query; with a memo in scope each distinct
+/// subset is matched once.
+///
+/// The cache key is the canonical rendering of the conjunction (each
+/// constraint's ToString(), in input order, '\x1f'-separated). Order is part
+/// of the key on purpose: matchings carry indices into the conjunction, so
+/// two permutations of the same constraint set are distinct entries.
+///
+/// Matching::rule points into the spec the memo was built for, so a memo
+/// must not outlive its spec, and Match() refuses (falls through to a direct
+/// MatchSpec) if handed a different spec's conjunction via MatchFor.
+///
+/// Thread safety: pass thread_safe=true to guard the table with a mutex —
+/// required when one memo is shared across a TranslationService request
+/// whose per-source translations run on the pool. A single-threaded
+/// translation can skip the lock.
+class MatchMemo {
+ public:
+  explicit MatchMemo(const MappingSpec* spec, bool thread_safe = false)
+      : spec_(spec), thread_safe_(thread_safe) {}
+
+  MatchMemo(const MatchMemo&) = delete;
+  MatchMemo& operator=(const MatchMemo&) = delete;
+
+  const MappingSpec* spec() const { return spec_; }
+
+  /// M(Q̂, K) for `conjunction` against the memo's spec, from cache when the
+  /// same conjunction (same constraints, same order) was matched before.
+  /// Returns a copy — callers mutate matchings (move bindings, re-sort), so
+  /// the cached master stays pristine. Bumps stats->memo_hits/memo_misses;
+  /// the underlying match counters accrue only on misses (that is the point).
+  std::vector<Matching> Match(const std::vector<Constraint>& conjunction,
+                              TranslationStats* stats);
+
+  size_t size() const;
+
+ private:
+  static std::string KeyOf(const std::vector<Constraint>& conjunction);
+
+  const MappingSpec* spec_;
+  const bool thread_safe_;
+  mutable std::mutex mu_;  // held only when thread_safe_
+  std::unordered_map<std::string, std::vector<Matching>> cache_;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_CORE_MATCH_MEMO_H_

@@ -1,6 +1,7 @@
 #include "qmap/core/psafe.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -9,60 +10,92 @@
 #include "qmap/obs/trace.h"
 
 namespace qmap {
-namespace {
 
-// Subset enumeration below is exponential in the number of relevant sets
-// and — worse — `1 << n` is undefined once n reaches the mask width.
-// Beyond this cap, fall back to the single all-relevant cover: a sound
-// over-approximation (larger blocks are always safe, Theorem 6; the
-// partition merely loses minimality). 2^20 subset probes is already far
-// beyond anything the greedy set cover downstream can use interactively.
-constexpr size_t kMaxMinimalCoverSets = 20;
-
-// Enumerates all minimal covers of `target` using the sets in `parts`
-// restricted to indices in `relevant`; each cover is a sorted index vector.
-// A cover is minimal if no proper subset of it still covers `target`.
 void MinimalCovers(const ConstraintSet& target,
                    const std::vector<ConstraintSet>& parts,
                    const std::vector<int>& relevant,
                    std::vector<std::vector<int>>* out) {
-  size_t n = relevant.size();
+  const size_t n = relevant.size();
+  if (n == 0) return;
+  // Beyond the cap, `1 << n` would overflow the mask and the enumeration is
+  // hopeless anyway; fall back to the single all-relevant cover (already
+  // sorted ascending by construction).
   if (n > kMaxMinimalCoverSets) {
-    out->push_back(relevant);  // already sorted ascending by construction
+    out->push_back(relevant);
     return;
   }
-  // Relevant sets are those intersecting the target, so n is small (≤ |m|
-  // in practice); enumerate subsets by increasing popcount.
-  std::vector<uint64_t> candidates;
-  const uint64_t limit = uint64_t{1} << n;
-  for (uint64_t mask = 1; mask < limit; ++mask) {
-    ConstraintSet covered;
-    for (size_t i = 0; i < n; ++i) {
-      if ((mask >> i) & 1) {
-        covered = SetUnion(covered, parts[static_cast<size_t>(relevant[i])]);
+
+  // Coverage as bitsets over the *target's* elements: bit e of coverage[i]
+  // says parts[relevant[i]] contains target[e]. Unions and the covers-check
+  // then cost a word-op per 64 target elements instead of a merge of sorted
+  // int vectors per subset.
+  const size_t t = target.size();
+  const size_t words = (t + 63) / 64;
+  std::vector<uint64_t> full(words, 0);
+  for (size_t e = 0; e < t; ++e) full[e >> 6] |= uint64_t{1} << (e & 63);
+  std::vector<std::vector<uint64_t>> coverage(n,
+                                              std::vector<uint64_t>(words, 0));
+  for (size_t i = 0; i < n; ++i) {
+    const ConstraintSet& part = parts[static_cast<size_t>(relevant[i])];
+    for (size_t e = 0; e < t; ++e) {
+      if (std::binary_search(part.begin(), part.end(), target[e])) {
+        coverage[i][e >> 6] |= uint64_t{1} << (e & 63);
       }
     }
-    if (SetContains(covered, target)) candidates.push_back(mask);
   }
-  for (uint64_t mask : candidates) {
-    bool minimal = true;
-    for (uint64_t other : candidates) {
-      if (other != mask && (other & mask) == other) {
-        minimal = false;
-        break;
+
+  // Enumerate subsets in increasing popcount order (Gosper's hack within
+  // each popcount class). Minimality then needs no second scan: when a mask
+  // covers the target, every proper subset has a smaller popcount and was
+  // already visited — so the mask is minimal iff it is not a superset of a
+  // cover already found (distinct equal-popcount masks are never subsets of
+  // one another, so same-class covers cannot disqualify each other).
+  std::vector<uint32_t> found;  // masks of the minimal covers
+  std::vector<uint64_t> acc(words);
+  const uint32_t limit = uint32_t{1} << n;  // n <= 20: no overflow
+  for (size_t k = 1; k <= n; ++k) {
+    uint32_t mask = (uint32_t{1} << k) - 1;
+    while (mask < limit) {
+      bool superset_of_cover = false;
+      for (uint32_t f : found) {
+        if ((mask & f) == f) {
+          superset_of_cover = true;
+          break;
+        }
       }
-    }
-    if (minimal) {
-      std::vector<int> cover;
-      for (size_t i = 0; i < n; ++i) {
-        if ((mask >> i) & 1) cover.push_back(relevant[i]);
+      if (!superset_of_cover) {
+        std::fill(acc.begin(), acc.end(), 0);
+        for (uint32_t bits = mask; bits != 0; bits &= bits - 1) {
+          const std::vector<uint64_t>& c =
+              coverage[static_cast<size_t>(std::countr_zero(bits))];
+          for (size_t w = 0; w < words; ++w) acc[w] |= c[w];
+        }
+        bool covers = true;
+        for (size_t w = 0; w < words; ++w) {
+          if ((acc[w] & full[w]) != full[w]) {
+            covers = false;
+            break;
+          }
+        }
+        if (covers) {
+          found.push_back(mask);
+          std::vector<int> cover;
+          cover.reserve(k);
+          for (uint32_t bits = mask; bits != 0; bits &= bits - 1) {
+            cover.push_back(relevant[static_cast<size_t>(std::countr_zero(bits))]);
+          }
+          out->push_back(std::move(cover));
+        }
       }
-      out->push_back(std::move(cover));
+      // Gosper's hack: the next mask with the same popcount, ascending. The
+      // step after the class's largest in-range mask lands at or above
+      // `limit`, ending the while.
+      const uint32_t c = mask & (~mask + 1);
+      const uint32_t r = mask + c;
+      mask = (((r ^ mask) >> 2) / c) | r;
     }
   }
 }
-
-}  // namespace
 
 std::string PSafePartition::ToString() const {
   std::string out = "{";

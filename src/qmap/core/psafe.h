@@ -43,6 +43,25 @@ PSafePartition PSafe(const std::vector<Query>& conjuncts, const EdnfComputer& ed
                      TranslationStats* stats = nullptr, Trace* trace = nullptr,
                      uint64_t parent_span = 0);
 
+/// Cap on the subset enumeration inside MinimalCovers: beyond this many
+/// relevant sets the single all-relevant cover is returned instead — a sound
+/// over-approximation (larger blocks are always safe, Theorem 6; the
+/// partition merely loses minimality).
+inline constexpr size_t kMaxMinimalCoverSets = 20;
+
+/// All minimal covers of `target` using the sets of `parts` whose indices
+/// are in `relevant` (each part sorted ascending, as ConstraintSets are):
+/// every subset S of `relevant` such that ∪_{i∈S} parts[i] ⊇ target and no
+/// proper subset of S still covers. Each cover is appended to `out` as a
+/// sorted index vector; covers are emitted smallest-first (by set count).
+///
+/// Exposed from Algorithm PSafe step 1 for the pinned-cover regression tests
+/// (Figure 11's candidate blocks are exactly these covers).
+void MinimalCovers(const ConstraintSet& target,
+                   const std::vector<ConstraintSet>& parts,
+                   const std::vector<int>& relevant,
+                   std::vector<std::vector<int>>* out);
+
 }  // namespace qmap
 
 #endif  // QMAP_CORE_PSAFE_H_

@@ -19,6 +19,10 @@ namespace qmap {
 #define QMAP_TRANSLATION_STATS_FIELDS(X)            \
   X(pattern_attempts, match.pattern_attempts)       \
   X(matchings_found, match.matchings_found)         \
+  X(index_hits, match.index_hits)                   \
+  X(pattern_attempts_saved, match.pattern_attempts_saved) \
+  X(memo_hits, memo_hits)                           \
+  X(memo_misses, memo_misses)                       \
   X(scm_calls, scm_calls)                           \
   X(submatchings_removed, submatchings_removed)     \
   X(matchings_applied, matchings_applied)           \
@@ -41,6 +45,12 @@ namespace qmap {
 /// safety machinery (the 2^{ne} vs 2^{nk} comparison of Section 8).
 struct TranslationStats {
   MatchCounters match;
+
+  // Per-translation match memo (qmap/core/match_memo.h): conjunctions whose
+  // matchings were answered from / inserted into the memo. Zero when no memo
+  // is in scope.
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
 
   uint64_t scm_calls = 0;
   uint64_t submatchings_removed = 0;

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "qmap/core/match_memo.h"
 #include "qmap/core/psafe.h"
 #include "qmap/expr/dnf.h"
 #include "qmap/obs/trace.h"
@@ -18,6 +19,8 @@ struct TdqmContext {
   const EdnfComputer* shared_ednf;
   /// Per-query trace, or nullptr for the uninstrumented path.
   Trace* trace;
+  /// Per-translation match memo, or nullptr.
+  MatchMemo* memo;
 };
 
 Result<Query> Walk(const Query& query, TdqmContext& ctx, uint64_t parent_span) {
@@ -44,7 +47,7 @@ Result<Query> Walk(const Query& query, TdqmContext& ctx, uint64_t parent_span) {
       // original query); fall through to fresh matching.
     }
     Result<ScmResult> result = Scm(conjunction, ctx.spec, ctx.stats,
-                                   ctx.coverage, ctx.trace, node.id());
+                                   ctx.coverage, ctx.trace, node.id(), ctx.memo);
     if (!result.ok()) return result.status();
     return result->mapped;
   }
@@ -72,7 +75,7 @@ Result<Query> Walk(const Query& query, TdqmContext& ctx, uint64_t parent_span) {
   const EdnfComputer* ednf = ctx.shared_ednf;
   if (ednf == nullptr) {
     local = std::make_unique<EdnfComputer>(ctx.spec, query, ctx.stats, ctx.trace,
-                                           node.id());
+                                           node.id(), ctx.memo);
     ednf = local.get();
   }
   PSafePartition partition =
@@ -116,12 +119,12 @@ Result<Query> Walk(const Query& query, TdqmContext& ctx, uint64_t parent_span) {
 Result<Query> Tdqm(const Query& query, const MappingSpec& spec,
                    TranslationStats* stats, ExactCoverage* coverage,
                    const TdqmOptions& options) {
-  TdqmContext ctx{spec, stats, coverage, nullptr, options.trace};
+  TdqmContext ctx{spec, stats, coverage, nullptr, options.trace, options.memo};
   Span root(options.trace, "tdqm", options.parent_span);
   std::unique_ptr<EdnfComputer> shared;
   if (options.reuse_potential_matchings) {
-    shared =
-        std::make_unique<EdnfComputer>(spec, query, stats, options.trace, root.id());
+    shared = std::make_unique<EdnfComputer>(spec, query, stats, options.trace,
+                                            root.id(), options.memo);
     ctx.shared_ednf = shared.get();
   }
   return Walk(query, ctx, root.id());

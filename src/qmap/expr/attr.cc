@@ -1,6 +1,7 @@
 #include "qmap/expr/attr.h"
 
 #include <cstdlib>
+#include <mutex>
 
 #include "qmap/common/strings.h"
 
@@ -59,6 +60,40 @@ std::string Attr::ToString() const {
   if (view.empty()) return name;
   if (instance == 0) return view + "." + name;
   return view + "[" + std::to_string(instance) + "]." + name;
+}
+
+AttrNameTable& AttrNameTable::Global() {
+  static AttrNameTable* table = new AttrNameTable();
+  return *table;
+}
+
+int32_t AttrNameTable::Intern(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] =
+      index_.emplace(std::string(name), static_cast<int32_t>(names_.size()));
+  if (inserted) names_.push_back(&it->first);
+  return it->second;
+}
+
+int32_t AttrNameTable::Find(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& AttrNameTable::NameOf(int32_t id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return *names_[static_cast<size_t>(id)];
+}
+
+size_t AttrNameTable::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return names_.size();
 }
 
 }  // namespace qmap

@@ -23,6 +23,9 @@ enum class Op {
   kDuring,      // partial-date containment ("pdate during May/97")
 };
 
+/// Number of Op enumerators — sized for flat per-op tables (rule index).
+inline constexpr int kNumOps = 8;
+
 /// Canonical spelling of an operator, e.g. "=", "contains".
 std::string_view OpName(Op op);
 

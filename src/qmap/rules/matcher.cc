@@ -1,33 +1,87 @@
 #include "qmap/rules/matcher.h"
 
 #include <algorithm>
-#include <set>
+#include <cstdlib>
+#include <memory>
+#include <unordered_map>
+
+#include "qmap/rules/rule_index.h"
 
 namespace qmap {
 namespace {
 
+bool& MatchIndexFlag() {
+  static bool enabled = std::getenv("QMAP_DISABLE_MATCH_INDEX") == nullptr;
+  return enabled;
+}
+
+uint64_t HashIndices(const std::vector<int>& indices) {
+  uint64_t h = 1469598103934665603ull;
+  for (int i : indices) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(i));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Deduplicates one rule's matchings by (sorted constraint indices, bindings)
+// without rendering either to a string: candidates hash to a bucket and are
+// compared structurally against the matchings already emitted. The matcher
+// used to build a Matching::ToString() key per found matching and dedup
+// through a std::set<std::string>; this keeps the same first-wins semantics
+// with integer/term comparisons only.
+class MatchingDedup {
+ public:
+  explicit MatchingDedup(const std::vector<Matching>* out) : out_(out) {}
+
+  /// True when (indices, bindings) is new; records it as owning the next
+  /// slot of *out_ (the caller must then push exactly one matching).
+  bool Insert(const std::vector<int>& indices, const Bindings& bindings) {
+    const uint64_t h = HashIndices(indices) ^ bindings.Hash();
+    std::vector<size_t>& slot = seen_[h];
+    for (size_t idx : slot) {
+      const Matching& m = (*out_)[idx];
+      if (m.constraint_indices == indices && m.bindings.SameAs(bindings)) {
+        return false;
+      }
+    }
+    slot.push_back(out_->size());
+    return true;
+  }
+
+ private:
+  const std::vector<Matching>* out_;
+  std::unordered_map<uint64_t, std::vector<size_t>> seen_;
+};
+
+Matching MakeMatching(const Rule& rule, std::vector<int> sorted_indices,
+                      const Bindings& bindings) {
+  Matching m;
+  m.constraint_indices = std::move(sorted_indices);
+  m.bindings = bindings;
+  m.rule = &rule;
+  m.rule_name = rule.name;
+  m.rule_exact = rule.exact;
+  return m;
+}
+
 // Recursively assigns constraints to head patterns. `used` holds the
 // constraint indices already taken by earlier patterns; a matching uses
-// pairwise-distinct constraints.
+// pairwise-distinct constraints. This is the naive reference path: every
+// pattern position tries every remaining constraint, on a scratch copy of
+// the bindings per attempt.
 void MatchHead(const Rule& rule, const std::vector<Constraint>& constraints,
                const FunctionRegistry& registry, size_t pattern_index,
                std::vector<int>* used, const Bindings& bindings,
-               MatchCounters* counters, std::set<std::string>* seen,
+               MatchCounters* counters, MatchingDedup* dedup,
                std::vector<Matching>* out) {
   if (pattern_index == rule.head.size()) {
     if (!rule.ConditionsHold(bindings, registry)) return;
-    Matching m;
-    m.constraint_indices = *used;
-    std::sort(m.constraint_indices.begin(), m.constraint_indices.end());
-    m.bindings = bindings;
-    m.rule = &rule;
-    m.rule_name = rule.name;
-    m.rule_exact = rule.exact;
-    std::string key = m.ToString();
-    if (seen->insert(std::move(key)).second) {
-      if (counters != nullptr) ++counters->matchings_found;
-      out->push_back(std::move(m));
-    }
+    std::vector<int> sorted = *used;
+    std::sort(sorted.begin(), sorted.end());
+    if (!dedup->Insert(sorted, bindings)) return;
+    if (counters != nullptr) ++counters->matchings_found;
+    out->push_back(MakeMatching(rule, std::move(sorted), bindings));
     return;
   }
   const ConstraintPattern& pattern = rule.head[pattern_index];
@@ -38,12 +92,73 @@ void MatchHead(const Rule& rule, const std::vector<Constraint>& constraints,
     if (!pattern.Match(constraints[i], &extended)) continue;
     used->push_back(i);
     MatchHead(rule, constraints, registry, pattern_index + 1, used, extended,
-              counters, seen, out);
+              counters, dedup, out);
     used->pop_back();
   }
 }
 
+// The indexed recursion: pattern slots enumerate only their (attribute, op)
+// bucket, and all attempts share one Bindings object via the undo log.
+// Buckets preserve ascending constraint order, so the successful assignments
+// are visited in exactly the naive path's order — the two paths emit
+// byte-identical matching lists.
+struct IndexedCtx {
+  const Rule* rule = nullptr;
+  const std::vector<PatternKey>* keys = nullptr;
+  const std::vector<Constraint>* constraints = nullptr;
+  const FunctionRegistry* registry = nullptr;
+  const ConjunctionIndex* cindex = nullptr;
+  MatchCounters* counters = nullptr;
+  MatchingDedup* dedup = nullptr;
+  std::vector<Matching>* out = nullptr;
+  std::vector<int> used;
+  std::vector<char> used_mask;
+  Bindings bindings;
+};
+
+void MatchHeadIndexed(IndexedCtx& ctx, size_t pattern_index) {
+  if (pattern_index == ctx.rule->head.size()) {
+    if (!ctx.rule->ConditionsHold(ctx.bindings, *ctx.registry)) return;
+    std::vector<int> sorted = ctx.used;
+    std::sort(sorted.begin(), sorted.end());
+    if (!ctx.dedup->Insert(sorted, ctx.bindings)) return;
+    if (ctx.counters != nullptr) ++ctx.counters->matchings_found;
+    ctx.out->push_back(MakeMatching(*ctx.rule, std::move(sorted), ctx.bindings));
+    return;
+  }
+  const ConstraintPattern& pattern = ctx.rule->head[pattern_index];
+  const PatternKey& key = (*ctx.keys)[pattern_index];
+  const std::vector<int>& candidates = ctx.cindex->Candidates(key);
+  if (ctx.counters != nullptr && !key.is_wildcard()) ++ctx.counters->index_hits;
+  uint64_t tried = 0;
+  for (int i : candidates) {
+    if (ctx.used_mask[static_cast<size_t>(i)] != 0) continue;
+    ++tried;
+    if (ctx.counters != nullptr) ++ctx.counters->pattern_attempts;
+    const size_t mark = ctx.bindings.Mark();
+    if (!pattern.Match((*ctx.constraints)[static_cast<size_t>(i)],
+                       &ctx.bindings)) {
+      ctx.bindings.RollbackTo(mark);
+      continue;
+    }
+    ctx.used.push_back(i);
+    ctx.used_mask[static_cast<size_t>(i)] = 1;
+    MatchHeadIndexed(ctx, pattern_index + 1);
+    ctx.used.pop_back();
+    ctx.used_mask[static_cast<size_t>(i)] = 0;
+    ctx.bindings.RollbackTo(mark);
+  }
+  if (ctx.counters != nullptr) {
+    ctx.counters->pattern_attempts_saved +=
+        (ctx.constraints->size() - ctx.used.size()) - tried;
+  }
+}
+
 }  // namespace
+
+void SetMatchIndexEnabled(bool enabled) { MatchIndexFlag() = enabled; }
+
+bool MatchIndexEnabled() { return MatchIndexFlag(); }
 
 bool Matching::IsStrictSubsetOf(const Matching& other) const {
   if (constraint_indices.size() >= other.constraint_indices.size()) return false;
@@ -69,22 +184,69 @@ std::vector<Matching> MatchRule(const Rule& rule,
                                 const FunctionRegistry& registry,
                                 MatchCounters* counters) {
   std::vector<Matching> out;
+  MatchingDedup dedup(&out);
   std::vector<int> used;
-  std::set<std::string> seen;
+  used.reserve(rule.head.size());
   Bindings empty;
-  MatchHead(rule, constraints, registry, 0, &used, empty, counters, &seen, &out);
+  MatchHead(rule, constraints, registry, 0, &used, empty, counters, &dedup, &out);
+  return out;
+}
+
+std::vector<Matching> MatchSpecNaive(const MappingSpec& spec,
+                                     const std::vector<Constraint>& constraints,
+                                     MatchCounters* counters) {
+  std::vector<Matching> out;
+  out.reserve(spec.rules().size());
+  for (const Rule& rule : spec.rules()) {
+    MatchingDedup dedup(&out);
+    std::vector<int> used;
+    used.reserve(rule.head.size());
+    Bindings empty;
+    MatchHead(rule, constraints, spec.registry(), 0, &used, empty, counters,
+              &dedup, &out);
+  }
   return out;
 }
 
 std::vector<Matching> MatchSpec(const MappingSpec& spec,
                                 const std::vector<Constraint>& constraints,
                                 MatchCounters* counters) {
+  if (!MatchIndexEnabled()) return MatchSpecNaive(spec, constraints, counters);
+  std::shared_ptr<const RuleIndex> index = spec.rule_index();
+  ConjunctionIndex cindex(constraints);
   std::vector<Matching> out;
-  for (const Rule& rule : spec.rules()) {
-    std::vector<Matching> matched =
-        MatchRule(rule, constraints, spec.registry(), counters);
-    out.insert(out.end(), std::make_move_iterator(matched.begin()),
-               std::make_move_iterator(matched.end()));
+  out.reserve(spec.rules().size());
+  const std::vector<Rule>& rules = spec.rules();
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const std::vector<PatternKey>& keys = index->keys()[r];
+    // Rule-level pruning: if any pattern's bucket is empty, the rule cannot
+    // match at all — skip it without touching a single constraint.
+    bool feasible = true;
+    for (const PatternKey& key : keys) {
+      if (cindex.Candidates(key).empty()) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) {
+      if (counters != nullptr) {
+        counters->pattern_attempts_saved += constraints.size();
+      }
+      continue;
+    }
+    IndexedCtx ctx;
+    ctx.rule = &rules[r];
+    ctx.keys = &keys;
+    ctx.constraints = &constraints;
+    ctx.registry = &spec.registry();
+    ctx.cindex = &cindex;
+    ctx.counters = counters;
+    MatchingDedup dedup(&out);
+    ctx.dedup = &dedup;
+    ctx.out = &out;
+    ctx.used.reserve(keys.size());
+    ctx.used_mask.assign(constraints.size(), 0);
+    MatchHeadIndexed(ctx, 0);
   }
   return out;
 }

@@ -32,6 +32,15 @@ struct Matching {
 struct MatchCounters {
   uint64_t pattern_attempts = 0;  // pattern-vs-constraint match trials
   uint64_t matchings_found = 0;
+  /// Pattern-slot lookups answered from a literal (attribute, op) bucket of
+  /// the conjunction index (wildcard-bucket lookups are not counted).
+  uint64_t index_hits = 0;
+  /// Pattern trials the index avoided relative to the naive matcher: at each
+  /// visited pattern slot, the naive path would have tried every not-yet-used
+  /// constraint; the indexed path tries only the slot's bucket. Rules skipped
+  /// outright (some pattern's bucket is empty) count one naive slot-0 sweep —
+  /// a lower bound on the recursion the naive matcher would have done.
+  uint64_t pattern_attempts_saved = 0;
 };
 
 /// Finds M(Q̂, R): all matchings of `rule` in the conjunction `constraints`.
@@ -42,9 +51,30 @@ std::vector<Matching> MatchRule(const Rule& rule,
                                 MatchCounters* counters = nullptr);
 
 /// Finds M(Q̂, K) = ∪_R M(Q̂, R) over all rules of `spec`.
+///
+/// By default this runs the index-accelerated matcher: constraints are
+/// bucketed by (attribute, op) once per call, and each head pattern
+/// enumerates only its bucket (see qmap/rules/rule_index.h), with an undo-log
+/// on the shared Bindings instead of a copy per attempt. The output is
+/// byte-identical to MatchSpecNaive — same matchings, same order — verified
+/// by tests/matcher_equiv_test.cc. Set the QMAP_DISABLE_MATCH_INDEX
+/// environment variable (any value, checked once at first use) or call
+/// SetMatchIndexEnabled(false) to fall back to the naive path.
 std::vector<Matching> MatchSpec(const MappingSpec& spec,
                                 const std::vector<Constraint>& constraints,
                                 MatchCounters* counters = nullptr);
+
+/// The naive reference path: every rule tries every constraint at every
+/// pattern position. Kept callable directly for A/B benchmarks and the
+/// matcher equivalence suite.
+std::vector<Matching> MatchSpecNaive(const MappingSpec& spec,
+                                     const std::vector<Constraint>& constraints,
+                                     MatchCounters* counters = nullptr);
+
+/// Programmatic override of the QMAP_DISABLE_MATCH_INDEX toggle (tests and
+/// A/B benchmark runs). Not thread-safe against concurrent MatchSpec calls.
+void SetMatchIndexEnabled(bool enabled);
+bool MatchIndexEnabled();
 
 }  // namespace qmap
 

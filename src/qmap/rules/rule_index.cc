@@ -1,0 +1,47 @@
+#include "qmap/rules/rule_index.h"
+
+namespace qmap {
+
+PatternKey KeyForPattern(const ConstraintPattern& pattern) {
+  PatternKey key;
+  key.op = pattern.op;
+  const AttrExpr& lhs = pattern.lhs;
+  if (!lhs.is_whole_var() && !lhs.name_literal.empty()) {
+    // AttrExpr::Match requires attr.name == name_literal whether or not the
+    // pattern is view-qualified, so the name literal is always a sound
+    // bucket key; view/index parts are re-checked by Match itself.
+    key.name_id = AttrNameTable::Global().Intern(lhs.name_literal);
+  }
+  return key;
+}
+
+RuleIndex::RuleIndex(const std::vector<Rule>& rules) {
+  keys_.reserve(rules.size());
+  for (const Rule& rule : rules) {
+    std::vector<PatternKey> rule_keys;
+    rule_keys.reserve(rule.head.size());
+    for (const ConstraintPattern& pattern : rule.head) {
+      rule_keys.push_back(KeyForPattern(pattern));
+    }
+    keys_.push_back(std::move(rule_keys));
+  }
+}
+
+ConjunctionIndex::ConjunctionIndex(const std::vector<Constraint>& constraints) {
+  AttrNameTable& names = AttrNameTable::Global();
+  for (int i = 0; i < static_cast<int>(constraints.size()); ++i) {
+    const Constraint& c = constraints[static_cast<size_t>(i)];
+    const int op = static_cast<int>(c.op);
+    by_op_[static_cast<size_t>(op)].push_back(i);
+    by_op_name_[BucketKey(c.op, names.Intern(c.lhs.name))].push_back(i);
+  }
+}
+
+const std::vector<int>& ConjunctionIndex::Candidates(const PatternKey& key) const {
+  if (key.is_wildcard()) return by_op_[static_cast<size_t>(key.op)];
+  static const std::vector<int>* empty = new std::vector<int>();
+  auto it = by_op_name_.find(BucketKey(key.op, key.name_id));
+  return it == by_op_name_.end() ? *empty : it->second;
+}
+
+}  // namespace qmap

@@ -1,0 +1,75 @@
+#ifndef QMAP_RULES_RULE_INDEX_H_
+#define QMAP_RULES_RULE_INDEX_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "qmap/expr/constraint.h"
+#include "qmap/rules/rule.h"
+
+namespace qmap {
+
+/// The index signature of one head pattern: the constraint operator (always
+/// literal in a pattern) plus the interned attribute name when the pattern
+/// names one literally. A pattern whose attribute part is a variable (whole
+/// attribute, name variable, or bare) falls into the wildcard bucket: it can
+/// match any constraint with the right operator.
+struct PatternKey {
+  static constexpr int32_t kWildcardName = -1;
+
+  Op op = Op::kEq;
+  int32_t name_id = kWildcardName;  // AttrNameTable id, or kWildcardName
+
+  bool is_wildcard() const { return name_id == kWildcardName; }
+};
+
+/// Computes `pattern`'s index signature, interning its attribute-name
+/// literal (if any) in AttrNameTable::Global().
+PatternKey KeyForPattern(const ConstraintPattern& pattern);
+
+/// Per-spec acceleration structure: the precomputed PatternKey of every head
+/// pattern of every rule, in rule order. Holds no pointers into the rules,
+/// so it stays valid across copies/moves of the owning MappingSpec as long
+/// as the rule list itself is unchanged (MappingSpec invalidates it on
+/// AddRule). Immutable after construction — safe to share across threads.
+class RuleIndex {
+ public:
+  explicit RuleIndex(const std::vector<Rule>& rules);
+
+  /// keys()[r][p] is the signature of rule r's p-th head pattern.
+  const std::vector<std::vector<PatternKey>>& keys() const { return keys_; }
+
+ private:
+  std::vector<std::vector<PatternKey>> keys_;
+};
+
+/// Per-conjunction inverted index: buckets the constraints of one input
+/// conjunction by (op, attribute-name id), plus an all-constraints bucket
+/// per op for wildcard patterns. Built in one O(N) pass at the top of
+/// MatchSpec; bucket lists preserve ascending constraint order, so the
+/// indexed matcher enumerates candidates in exactly the order the naive
+/// matcher would have accepted them (byte-identical output).
+class ConjunctionIndex {
+ public:
+  explicit ConjunctionIndex(const std::vector<Constraint>& constraints);
+
+  /// Candidate constraint indices for `key`, ascending. For a literal key
+  /// this is the (op, name) bucket; for a wildcard key, every constraint
+  /// with the operator.
+  const std::vector<int>& Candidates(const PatternKey& key) const;
+
+ private:
+  static uint64_t BucketKey(Op op, int32_t name_id) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(op)) << 32) |
+           static_cast<uint32_t>(name_id);
+  }
+
+  std::array<std::vector<int>, kNumOps> by_op_;
+  std::unordered_map<uint64_t, std::vector<int>> by_op_name_;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_RULES_RULE_INDEX_H_

@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "qmap/rules/rule_index.h"
+
 namespace qmap {
 namespace {
 
@@ -74,6 +76,60 @@ Status CheckEmissionBound(const std::string& rule_name, const EmissionTemplate& 
 }
 
 }  // namespace
+
+MappingSpec::MappingSpec(const MappingSpec& other)
+    : target_name_(other.target_name_),
+      registry_(other.registry_),
+      rules_(other.rules_) {
+  std::lock_guard<std::mutex> lock(other.index_mu_);
+  rule_index_ = other.rule_index_;
+}
+
+MappingSpec& MappingSpec::operator=(const MappingSpec& other) {
+  if (this == &other) return *this;
+  target_name_ = other.target_name_;
+  registry_ = other.registry_;
+  rules_ = other.rules_;
+  std::shared_ptr<const RuleIndex> index;
+  {
+    std::lock_guard<std::mutex> lock(other.index_mu_);
+    index = other.rule_index_;
+  }
+  std::lock_guard<std::mutex> lock(index_mu_);
+  rule_index_ = std::move(index);
+  return *this;
+}
+
+MappingSpec::MappingSpec(MappingSpec&& other) noexcept
+    : target_name_(std::move(other.target_name_)),
+      registry_(std::move(other.registry_)),
+      rules_(std::move(other.rules_)) {
+  std::lock_guard<std::mutex> lock(other.index_mu_);
+  rule_index_ = std::move(other.rule_index_);
+}
+
+MappingSpec& MappingSpec::operator=(MappingSpec&& other) noexcept {
+  if (this == &other) return *this;
+  target_name_ = std::move(other.target_name_);
+  registry_ = std::move(other.registry_);
+  rules_ = std::move(other.rules_);
+  std::shared_ptr<const RuleIndex> index;
+  {
+    std::lock_guard<std::mutex> lock(other.index_mu_);
+    index = std::move(other.rule_index_);
+  }
+  std::lock_guard<std::mutex> lock(index_mu_);
+  rule_index_ = std::move(index);
+  return *this;
+}
+
+std::shared_ptr<const RuleIndex> MappingSpec::rule_index() const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (rule_index_ == nullptr) {
+    rule_index_ = std::make_shared<const RuleIndex>(rules_);
+  }
+  return rule_index_;
+}
 
 const Rule* MappingSpec::FindRule(const std::string& name) const {
   for (const Rule& rule : rules_) {

@@ -2,12 +2,15 @@
 #define QMAP_RULES_SPEC_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "qmap/rules/rule.h"
 
 namespace qmap {
+
+class RuleIndex;
 
 /// A mapping specification K: the set of mapping rules for one target
 /// context, together with the function registry its rules refer to
@@ -29,11 +32,29 @@ class MappingSpec {
   MappingSpec(std::string target_name, std::shared_ptr<const FunctionRegistry> registry)
       : target_name_(std::move(target_name)), registry_(std::move(registry)) {}
 
+  // The cached rule index rides along on copy/move (it holds no pointers
+  // into the rule list), but the mutex guarding it cannot, so all four
+  // operations are spelled out in spec.cc.
+  MappingSpec(const MappingSpec& other);
+  MappingSpec& operator=(const MappingSpec& other);
+  MappingSpec(MappingSpec&& other) noexcept;
+  MappingSpec& operator=(MappingSpec&& other) noexcept;
+
   const std::string& target_name() const { return target_name_; }
   const FunctionRegistry& registry() const { return *registry_; }
   const std::vector<Rule>& rules() const { return rules_; }
 
-  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+  void AddRule(Rule rule) {
+    rules_.push_back(std::move(rule));
+    std::lock_guard<std::mutex> lock(index_mu_);
+    rule_index_.reset();
+  }
+
+  /// The per-spec head-pattern index (see qmap/rules/rule_index.h), built
+  /// lazily on first use and cached until AddRule() invalidates it. Safe to
+  /// call from many threads under the class's immutable-once-translating
+  /// contract; the returned index stays valid independent of this spec.
+  std::shared_ptr<const RuleIndex> rule_index() const;
 
   /// Finds a rule by name; nullptr when absent.
   const Rule* FindRule(const std::string& name) const;
@@ -48,6 +69,8 @@ class MappingSpec {
   std::string target_name_;
   std::shared_ptr<const FunctionRegistry> registry_;
   std::vector<Rule> rules_;
+  mutable std::mutex index_mu_;
+  mutable std::shared_ptr<const RuleIndex> rule_index_;  // lazily built
 };
 
 }  // namespace qmap

@@ -25,6 +25,7 @@ bool Bindings::BindOrCheck(const std::string& var, const Term& term) {
   auto it = vars_.find(var);
   if (it == vars_.end()) {
     vars_.emplace(var, term);
+    log_.push_back(var);
     return true;
   }
   return TermEquals(it->second, term);
@@ -34,6 +35,38 @@ const Term* Bindings::Find(const std::string& var) const {
   auto it = vars_.find(var);
   if (it == vars_.end()) return nullptr;
   return &it->second;
+}
+
+void Bindings::RollbackTo(size_t mark) {
+  while (log_.size() > mark) {
+    vars_.erase(log_.back());
+    log_.pop_back();
+  }
+}
+
+bool Bindings::SameAs(const Bindings& other) const {
+  if (vars_.size() != other.vars_.size()) return false;
+  auto it = vars_.begin();
+  auto jt = other.vars_.begin();
+  for (; it != vars_.end(); ++it, ++jt) {
+    if (it->first != jt->first || !TermEquals(it->second, jt->second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t Bindings::Hash() const {
+  // vars_ iterates in sorted order, so the fold is deterministic. Terms hash
+  // via their canonical rendering: done once per *found* matching, not per
+  // pattern attempt, so the string cost is off the hot path.
+  size_t h = 0xcbf29ce484222325ull;
+  for (const auto& [var, term] : vars_) {
+    h ^= std::hash<std::string>{}(var) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= std::hash<std::string>{}(TermToString(term)) + 0x9e3779b97f4a7c15ull +
+         (h << 6) + (h >> 2);
+  }
+  return h;
 }
 
 std::string Bindings::ToString() const {

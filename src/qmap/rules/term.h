@@ -1,9 +1,11 @@
 #ifndef QMAP_RULES_TERM_H_
 #define QMAP_RULES_TERM_H_
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "qmap/expr/attr.h"
 #include "qmap/value/value.h"
@@ -28,19 +30,54 @@ bool TermEquals(const Term& a, const Term& b);
 
 /// Variable environment accumulated while matching a rule head and consumed
 /// when firing the rule's tail (Section 4.1).
+///
+/// Supports an undo log so backtracking matchers can reuse one Bindings
+/// object across pattern attempts (Mark/RollbackTo) instead of copying the
+/// whole environment per trial. Copies transfer the variable environment
+/// only — undo marks are local to the object they were taken on.
 class Bindings {
  public:
+  Bindings() = default;
+  Bindings(const Bindings& other) : vars_(other.vars_) {}
+  Bindings& operator=(const Bindings& other) {
+    if (this != &other) {
+      vars_ = other.vars_;
+      log_.clear();
+    }
+    return *this;
+  }
+  Bindings(Bindings&&) = default;
+  Bindings& operator=(Bindings&&) = default;
+
   /// Binds `var` to `term`; if already bound, succeeds iff the terms agree.
   bool BindOrCheck(const std::string& var, const Term& term);
 
   const Term* Find(const std::string& var) const;
 
-  /// Deterministic rendering (sorted by variable) used to deduplicate
-  /// matchings.
+  /// Undo-log checkpoint: RollbackTo(Mark()) removes every binding added in
+  /// between — including partial bindings left behind by a failed
+  /// ConstraintPattern::Match, which is exactly the cleanup a backtracking
+  /// matcher needs between attempts.
+  size_t Mark() const { return log_.size(); }
+  void RollbackTo(size_t mark);
+
+  /// The environment, sorted by variable name.
+  const std::map<std::string, Term>& vars() const { return vars_; }
+  size_t size() const { return vars_.size(); }
+
+  /// Structural equality: same variables bound to TermEquals-equal terms.
+  bool SameAs(const Bindings& other) const;
+
+  /// Hash consistent with SameAs (used to deduplicate matchings without
+  /// rendering them to strings).
+  size_t Hash() const;
+
+  /// Deterministic rendering (sorted by variable).
   std::string ToString() const;
 
  private:
   std::map<std::string, Term> vars_;
+  std::vector<std::string> log_;  // insertion order of variables added
 };
 
 }  // namespace qmap

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "qmap/core/filter.h"
+#include "qmap/core/match_memo.h"
 #include "qmap/expr/printer.h"
 #include "qmap/obs/metrics.h"
 #include "qmap/obs/trace.h"
@@ -62,6 +63,11 @@ TranslationService::TranslationService(ServiceOptions options)
     translate_counter_ = &metrics->counter("qmap_translate_total");
     slow_counter_ = &metrics->counter("qmap_slow_queries_total");
     latency_hist_ = &metrics->histogram("qmap_translate_latency_us");
+    match_attempts_counter_ =
+        &metrics->counter("qmap_match_pattern_attempts_total");
+    match_index_hits_counter_ = &metrics->counter("qmap_match_index_hits_total");
+    match_memo_hits_counter_ = &metrics->counter("qmap_match_memo_hits_total");
+    match_saved_counter_ = &metrics->counter("qmap_match_attempts_saved_total");
   }
 }
 
@@ -91,11 +97,24 @@ void TranslationService::SetViewConstraints(Query constraints) {
   cache_.Clear();
 }
 
+std::vector<std::unique_ptr<MatchMemo>> TranslationService::MakeMemoScope()
+    const {
+  std::vector<std::unique_ptr<MatchMemo>> memos;
+  if (!options_.translator.use_match_memo) return memos;
+  memos.reserve(sources_.size());
+  for (const SourceEntry& source : sources_) {
+    memos.push_back(std::make_unique<MatchMemo>(&source.translator.spec(),
+                                                /*thread_safe=*/true));
+  }
+  return memos;
+}
+
 Result<Translation> TranslationService::TranslateOne(
     const SourceEntry& source, const Query& full,
-    const std::string& query_text, Trace* trace, uint64_t parent_span) const {
+    const std::string& query_text, Trace* trace, uint64_t parent_span,
+    MatchMemo* memo) const {
   if (!options_.enable_cache) {
-    return source.translator.Translate(full, trace, parent_span);
+    return source.translator.Translate(full, trace, parent_span, memo);
   }
   std::string key = source.cache_prefix + query_text;
   {
@@ -111,7 +130,7 @@ Result<Translation> TranslationService::TranslateOne(
     if (lookup.enabled()) lookup.AddAttr("hit", "false");
   }
   Result<Translation> translation =
-      source.translator.Translate(full, trace, parent_span);
+      source.translator.Translate(full, trace, parent_span, memo);
   if (!translation.ok()) return translation;
   {
     Span insert(trace, "cache.insert", parent_span);
@@ -122,7 +141,8 @@ Result<Translation> TranslationService::TranslateOne(
 }
 
 Result<MediatorTranslation> TranslationService::TranslateFull(
-    const Query& full, const std::string& query_text, Trace* trace) const {
+    const Query& full, const std::string& query_text, Trace* trace,
+    const std::vector<std::unique_ptr<MatchMemo>>& memos) const {
   Span root(trace, "service.translate", 0);
   if (root.detail()) root.AddAttr("query", query_text);
   const uint64_t root_id = root.id();
@@ -139,7 +159,7 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
     for (size_t i = 0; i < n; ++i) {
       const int64_t submit_ns = trace != nullptr ? trace->NowNs() : 0;
       pool_->Submit([this, &full, &query_text, &outcomes, &done, trace,
-                     root_id, submit_ns, i] {
+                     &memos, root_id, submit_ns, i] {
         const int64_t start_ns = trace != nullptr ? trace->NowNs() : 0;
         Span source_span(trace, "source.translate", root_id);
         if (source_span.enabled()) {
@@ -147,13 +167,18 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
           trace->AddCompleteSpan("pool.wait", root_id, submit_ns, start_ns);
         }
         Result<Translation> translation = TranslateOne(
-            sources_[i], full, query_text, trace, source_span.id());
+            sources_[i], full, query_text, trace, source_span.id(),
+            memos.empty() ? nullptr : memos[i].get());
         if (translation.ok()) {
           translation->stats.queue_wait_ns +=
               static_cast<uint64_t>(start_ns - submit_ns);
           source_span.SetStats(translation->stats);
         }
         outcomes[i].emplace(std::move(translation));
+        // End the span before releasing the latch: count_down() lets the
+        // calling thread return and destroy the trace, so nothing in this
+        // task may touch it afterwards (the Span destructor would).
+        source_span.End();
         done.count_down();
       });
     }
@@ -164,7 +189,8 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
       Span source_span(trace, "source.translate", root_id);
       if (source_span.enabled()) source_span.AddAttr("source", sources_[i].name);
       Result<Translation> translation = TranslateOne(
-          sources_[i], full, query_text, trace, source_span.id());
+          sources_[i], full, query_text, trace, source_span.id(),
+          memos.empty() ? nullptr : memos[i].get());
       if (translation.ok()) source_span.SetStats(translation->stats);
       outcomes[i].emplace(std::move(translation));
     }
@@ -193,15 +219,22 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
     Span filter_span(trace, "filter", root_id);
     out.filter = ResidueFilter(full, merged);
   }
+  if (match_attempts_counter_ != nullptr) {
+    match_attempts_counter_->Inc(out.stats.match.pattern_attempts);
+    match_index_hits_counter_->Inc(out.stats.match.index_hits);
+    match_memo_hits_counter_->Inc(out.stats.memo_hits);
+    match_saved_counter_->Inc(out.stats.match.pattern_attempts_saved);
+  }
   root.SetStats(out.stats);
   return out;
 }
 
 Result<MediatorTranslation> TranslationService::TranslateObserved(
-    const Query& full, const std::string& query_text, Trace* trace) const {
+    const Query& full, const std::string& query_text, Trace* trace,
+    const std::vector<std::unique_ptr<MatchMemo>>& memos) const {
   const SlowQueryLogOptions& slow = options_.obs.slow_query;
   const bool want_obs = slow.enabled || latency_hist_ != nullptr;
-  if (!want_obs) return TranslateFull(full, query_text, trace);
+  if (!want_obs) return TranslateFull(full, query_text, trace, memos);
 
   // The slow-query log wants a trace of every query so the slow ones come
   // with their per-source spans attached, and the per-phase qmap_span_*
@@ -214,7 +247,7 @@ Result<MediatorTranslation> TranslationService::TranslateObserved(
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
-  Result<MediatorTranslation> out = TranslateFull(full, query_text, trace);
+  Result<MediatorTranslation> out = TranslateFull(full, query_text, trace, memos);
   const uint64_t total_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - wall_start)
@@ -258,7 +291,7 @@ Result<MediatorTranslation> TranslationService::Translate(const Query& query,
   if (translate_counter_ != nullptr) translate_counter_->Inc();
   Query full = query & view_constraints_;
   std::string text = ToParseableText(full);
-  return TranslateObserved(full, text, trace);
+  return TranslateObserved(full, text, trace, MakeMemoScope());
 }
 
 Result<std::vector<MediatorTranslation>> TranslationService::TranslateBatch(
@@ -284,11 +317,15 @@ Result<std::vector<MediatorTranslation>> TranslationService::TranslateBatch(
     slot_of[q] = it->second;
   }
 
+  // One memo scope for the whole batch: distinct queries against one source
+  // still share sub-conjunctions (hot root tables, common filters), so the
+  // per-source memos keep paying across the batch's unique queries.
+  std::vector<std::unique_ptr<MatchMemo>> memos = MakeMemoScope();
   std::vector<MediatorTranslation> unique_results;
   unique_results.reserve(unique_full.size());
   for (size_t u = 0; u < unique_full.size(); ++u) {
     Result<MediatorTranslation> translation =
-        TranslateObserved(unique_full[u], unique_text[u], nullptr);
+        TranslateObserved(unique_full[u], unique_text[u], nullptr, memos);
     if (!translation.ok()) return translation.status();
     unique_results.push_back(*std::move(translation));
   }

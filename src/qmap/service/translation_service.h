@@ -18,6 +18,7 @@ namespace qmap {
 
 class Counter;
 class Histogram;
+class MatchMemo;
 class MetricsRegistry;
 class Trace;
 
@@ -44,8 +45,10 @@ struct SlowQueryLogOptions {
 struct ObsOptions {
   /// When set, the service registers and updates counters/histograms here
   /// (qmap_translate_total, qmap_translate_latency_us, qmap_cache_*_total,
-  /// qmap_pool_*_us, qmap_slow_queries_total, and per-phase
-  /// qmap_span_*_us from traced runs). Must outlive the service.
+  /// qmap_pool_*_us, qmap_slow_queries_total, the rule-matching counters
+  /// qmap_match_pattern_attempts_total / qmap_match_index_hits_total /
+  /// qmap_match_memo_hits_total / qmap_match_attempts_saved_total, and
+  /// per-phase qmap_span_*_us from traced runs). Must outlive the service.
   MetricsRegistry* metrics = nullptr;
   SlowQueryLogOptions slow_query;
 };
@@ -165,24 +168,34 @@ class TranslationService {
     std::string cache_prefix;
   };
 
+  /// Per-request match-memo scope: one thread-safe MatchMemo per source (in
+  /// sources_ order), built for that source's spec. Created per Translate
+  /// call and per TranslateBatch call (shared across the batch's unique
+  /// queries), so memoized matchings never outlive the request that made
+  /// them. Empty when options_.translator.use_match_memo is off — the
+  /// per-source Translator then falls back to its own per-call memo.
+  std::vector<std::unique_ptr<MatchMemo>> MakeMemoScope() const;
+
   /// One per-source unit of work: cache lookup, else translate and fill.
   Result<Translation> TranslateOne(const SourceEntry& source, const Query& full,
                                    const std::string& query_text, Trace* trace,
-                                   uint64_t parent_span) const;
+                                   uint64_t parent_span,
+                                   MatchMemo* memo) const;
 
   /// The fan-out + deterministic join for one full query (view constraints
-  /// already conjoined, `query_text` its normalized printed form).
-  Result<MediatorTranslation> TranslateFull(const Query& full,
-                                            const std::string& query_text,
-                                            Trace* trace) const;
+  /// already conjoined, `query_text` its normalized printed form). `memos`
+  /// is the request's memo scope (may be empty).
+  Result<MediatorTranslation> TranslateFull(
+      const Query& full, const std::string& query_text, Trace* trace,
+      const std::vector<std::unique_ptr<MatchMemo>>& memos) const;
 
   /// TranslateFull plus the observability envelope: wall-clock timing, the
   /// latency histogram, folding trace spans into per-phase metrics, and
   /// slow-query capture. Creates an internal Trace when the caller passed
   /// none but metrics or the slow-query log need one.
-  Result<MediatorTranslation> TranslateObserved(const Query& full,
-                                                const std::string& query_text,
-                                                Trace* trace) const;
+  Result<MediatorTranslation> TranslateObserved(
+      const Query& full, const std::string& query_text, Trace* trace,
+      const std::vector<std::unique_ptr<MatchMemo>>& memos) const;
 
   ServiceOptions options_;
   std::vector<SourceEntry> sources_;  // sorted by name
@@ -205,6 +218,10 @@ class TranslationService {
   Counter* translate_counter_ = nullptr;
   Counter* slow_counter_ = nullptr;
   Histogram* latency_hist_ = nullptr;
+  Counter* match_attempts_counter_ = nullptr;
+  Counter* match_index_hits_counter_ = nullptr;
+  Counter* match_memo_hits_counter_ = nullptr;
+  Counter* match_saved_counter_ = nullptr;
 };
 
 }  // namespace qmap

@@ -1,0 +1,202 @@
+#include "qmap/core/match_memo.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qmap/contexts/amazon.h"
+#include "qmap/core/translator.h"
+#include "qmap/obs/metrics.h"
+#include "qmap/service/translation_service.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::C;
+using testing::Q;
+
+std::string Render(const std::vector<Matching>& matchings) {
+  std::string out;
+  for (const Matching& m : matchings) {
+    out += m.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(MatchMemo, FirstMissThenHitSameResults) {
+  MappingSpec spec = AmazonSpec();
+  MatchMemo memo(&spec);
+  std::vector<Constraint> conjunction = {C("[ln = \"Smith\"]"),
+                                         C("[pyear = 1997]"), C("[pmonth = 5]")};
+  TranslationStats stats;
+  std::vector<Matching> first = memo.Match(conjunction, &stats);
+  EXPECT_EQ(stats.memo_hits, 0u);
+  EXPECT_EQ(stats.memo_misses, 1u);
+  const uint64_t attempts_after_miss = stats.match.pattern_attempts;
+  EXPECT_GT(attempts_after_miss, 0u);
+
+  std::vector<Matching> second = memo.Match(conjunction, &stats);
+  EXPECT_EQ(stats.memo_hits, 1u);
+  EXPECT_EQ(stats.memo_misses, 1u);
+  // A hit does no matching work at all.
+  EXPECT_EQ(stats.match.pattern_attempts, attempts_after_miss);
+  EXPECT_EQ(Render(second), Render(first));
+  EXPECT_EQ(Render(first), Render(MatchSpec(spec, conjunction)));
+  EXPECT_EQ(memo.size(), 1u);
+}
+
+TEST(MatchMemo, OrderIsPartOfTheKey) {
+  // Matchings carry positional indices, so a permuted conjunction is a
+  // distinct entry — hitting across permutations would rebase wrongly.
+  MappingSpec spec = AmazonSpec();
+  MatchMemo memo(&spec);
+  std::vector<Constraint> ab = {C("[pyear = 1997]"), C("[pmonth = 5]")};
+  std::vector<Constraint> ba = {C("[pmonth = 5]"), C("[pyear = 1997]")};
+  TranslationStats stats;
+  memo.Match(ab, &stats);
+  memo.Match(ba, &stats);
+  EXPECT_EQ(stats.memo_misses, 2u);
+  EXPECT_EQ(stats.memo_hits, 0u);
+  EXPECT_EQ(memo.size(), 2u);
+}
+
+TEST(MatchMemo, ReturnsCopiesNotReferences) {
+  MappingSpec spec = AmazonSpec();
+  MatchMemo memo(&spec);
+  std::vector<Constraint> conjunction = {C("[pyear = 1997]"), C("[pmonth = 5]")};
+  TranslationStats stats;
+  std::vector<Matching> first = memo.Match(conjunction, &stats);
+  ASSERT_FALSE(first.empty());
+  const std::string pristine = Render(first);
+  // Clobber the returned copy; the cached master must be unaffected.
+  first[0].constraint_indices = {99};
+  first[0].rule_name = "CLOBBERED";
+  EXPECT_EQ(Render(memo.Match(conjunction, &stats)), pristine);
+}
+
+TEST(MatchMemo, ThreadSafeSharedAcrossThreads) {
+  MappingSpec spec = AmazonSpec();
+  MatchMemo memo(&spec, /*thread_safe=*/true);
+  const std::vector<std::vector<Constraint>> conjunctions = {
+      {C("[ln = \"Smith\"]")},
+      {C("[pyear = 1997]"), C("[pmonth = 5]")},
+      {C("[kwd contains \"www\"]")},
+  };
+  std::vector<std::string> expected;
+  for (const auto& conjunction : conjunctions) {
+    expected.push_back(Render(MatchSpec(spec, conjunction)));
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      TranslationStats stats;
+      for (int round = 0; round < 50; ++round) {
+        size_t pick = static_cast<size_t>((t + round) % 3);
+        if (Render(memo.Match(conjunctions[pick], &stats)) != expected[pick]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(memo.size(), 3u);
+}
+
+TEST(MatchMemo, TranslatorMemoHitsOnRepeatedSubconjunctions) {
+  // Two structurally different ∧ subtrees over the same constraint table
+  // {pyear, pmonth=5, pmonth=6}: with M_p reuse off, TDQM builds one
+  // EdnfComputer per subtree, and the second's table matching (plus the
+  // shared base conjunctions) comes out of the memo.
+  TranslatorOptions options;
+  options.reuse_potential_matchings = false;
+  options.use_match_memo = true;
+  Translator with_memo(AmazonSpec(), options);
+  options.use_match_memo = false;
+  Translator without_memo(AmazonSpec(), options);
+  Query query = Q(
+      "([pyear = 1997] and ([pmonth = 5] or [pmonth = 6])) or "
+      "(([pyear = 1997] or [pmonth = 5]) and [pmonth = 6])");
+
+  Result<Translation> memoized = with_memo.Translate(query);
+  Result<Translation> plain = without_memo.Translate(query);
+  ASSERT_TRUE(memoized.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(memoized->mapped.ToString(), plain->mapped.ToString());
+  EXPECT_EQ(memoized->filter.ToString(), plain->filter.ToString());
+  EXPECT_GT(memoized->stats.memo_hits, 0u);
+  EXPECT_EQ(plain->stats.memo_hits, 0u);
+  EXPECT_LT(memoized->stats.match.pattern_attempts,
+            plain->stats.match.pattern_attempts);
+}
+
+TEST(MatchMemo, ServiceBatchSharesMemoAcrossUniqueQueries) {
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.enable_cache = false;  // cache hits would mask the memo
+  TranslationService service(options);
+  service.AddSource("amazon", AmazonSpec());
+
+  // Distinct queries over the same constraint table: each translation's
+  // root EdnfComputer matches the same table conjunction, so the batch-wide
+  // memo scope answers all but the first from cache.
+  std::vector<Query> batch = {
+      Q("[pyear = 1997] and ([pmonth = 5] or [pmonth = 6])"),
+      Q("([pyear = 1997] and [pmonth = 5]) or [pmonth = 6]"),
+      Q("([pyear = 1997] or [pmonth = 5]) and [pmonth = 6]"),
+  };
+  Result<std::vector<MediatorTranslation>> results =
+      service.TranslateBatch(batch);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), batch.size());
+
+  uint64_t total_memo_hits = 0;
+  for (const MediatorTranslation& translation : *results) {
+    total_memo_hits += translation.stats.memo_hits;
+  }
+  EXPECT_GT(total_memo_hits, 0u);
+
+  // Byte-identical to the unbatched, memo-less service.
+  ServiceOptions plain_options;
+  plain_options.num_threads = 1;
+  plain_options.enable_cache = false;
+  plain_options.translator.use_match_memo = false;
+  TranslationService plain(plain_options);
+  plain.AddSource("amazon", AmazonSpec());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Result<MediatorTranslation> expected = plain.Translate(batch[i]);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ((*results)[i].filter.ToString(), expected->filter.ToString());
+    EXPECT_EQ((*results)[i].per_source.at("amazon").mapped.ToString(),
+              expected->per_source.at("amazon").mapped.ToString());
+  }
+}
+
+TEST(MatchMemo, ServiceExportsMatchCounters) {
+  MetricsRegistry registry;
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.obs.metrics = &registry;
+  // M_p reuse off so the query's twin same-table subtrees exercise the memo;
+  // the index counters fire on any non-trivial matching.
+  options.translator.reuse_potential_matchings = false;
+  TranslationService service(options);
+  service.AddSource("amazon", AmazonSpec());
+  Query query = Q(
+      "([pyear = 1997] and ([pmonth = 5] or [pmonth = 6])) or "
+      "(([pyear = 1997] or [pmonth = 5]) and [pmonth = 6])");
+  ASSERT_TRUE(service.Translate(query).ok());
+  EXPECT_GT(registry.counter("qmap_match_pattern_attempts_total").value(), 0u);
+  EXPECT_GT(registry.counter("qmap_match_index_hits_total").value(), 0u);
+  EXPECT_GT(registry.counter("qmap_match_memo_hits_total").value(), 0u);
+  EXPECT_GT(registry.counter("qmap_match_attempts_saved_total").value(), 0u);
+}
+
+}  // namespace
+}  // namespace qmap

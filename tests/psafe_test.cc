@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <random>
 
 #include "qmap/contexts/amazon.h"
 #include "qmap/rules/spec_parser.h"
@@ -123,6 +125,138 @@ TEST(PSafe, WideCrossMatchingBeyondMaskWidth) {
   EXPECT_EQ(partition.cross_matching_instances, 1);
   ASSERT_EQ(partition.blocks.size(), 1u);
   EXPECT_EQ(partition.blocks[0].size(), static_cast<size_t>(kWide));
+}
+
+// ---------------------------------------------------------------------------
+// Pinned MinimalCovers regressions. These nail the exact cover sets (and the
+// smallest-first emission order) of the bitset rewrite so a future change to
+// the enumeration can't silently drop or duplicate candidate blocks.
+
+// Reference implementation: enumerate every subset, keep those that cover,
+// then filter to the ones with no proper covering subset. Order-insensitive.
+std::vector<std::vector<int>> NaiveMinimalCovers(
+    const ConstraintSet& target, const std::vector<ConstraintSet>& parts,
+    const std::vector<int>& relevant) {
+  const size_t n = relevant.size();
+  std::vector<uint32_t> covering;
+  for (uint32_t mask = 1; mask < (uint32_t{1} << n); ++mask) {
+    ConstraintSet acc;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint32_t{1} << i)) {
+        acc = SetUnion(acc, parts[static_cast<size_t>(relevant[i])]);
+      }
+    }
+    if (SetContains(acc, target)) covering.push_back(mask);
+  }
+  std::vector<std::vector<int>> out;
+  for (uint32_t mask : covering) {
+    bool minimal = true;
+    for (uint32_t other : covering) {
+      if (other != mask && (mask & other) == other) {
+        minimal = false;
+        break;
+      }
+    }
+    if (!minimal) continue;
+    std::vector<int> cover;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint32_t{1} << i)) cover.push_back(relevant[i]);
+    }
+    out.push_back(std::move(cover));
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> SortedCovers(std::vector<std::vector<int>> covers) {
+  std::sort(covers.begin(), covers.end());
+  return covers;
+}
+
+TEST(MinimalCovers, PinsFigure11QaCandidateBlocks) {
+  // The Q_a scenario of Examples 13-14 reduced to sets: cross-matching
+  // m = {x, y} = {0, 1}; ingredient sets (x) = {0}, (y) = {1}, (yu) = {1, 2}.
+  // Candidate blocks: {C1,C2} and {C1,C3} — and nothing else ({C2,C3} misses
+  // x; any triple is a superset of a cover).
+  std::vector<std::vector<int>> covers;
+  MinimalCovers(/*target=*/{0, 1}, /*parts=*/{{0}, {1}, {1, 2}},
+                /*relevant=*/{0, 1, 2}, &covers);
+  EXPECT_EQ(covers,
+            (std::vector<std::vector<int>>{{0, 1}, {0, 2}}));
+}
+
+TEST(MinimalCovers, PinsFivePartCoverSetSmallestFirst) {
+  // target {0,1,2} over P0={0}, P1={1,2}, P2={0,1}, P3={2}, P4={0,1,2}.
+  // Emission is smallest-first: the singleton {P4} before the three pairs;
+  // every triple is a superset of one of those and must not appear.
+  std::vector<std::vector<int>> covers;
+  MinimalCovers({0, 1, 2}, {{0}, {1, 2}, {0, 1}, {2}, {0, 1, 2}},
+                {0, 1, 2, 3, 4}, &covers);
+  EXPECT_EQ(covers, (std::vector<std::vector<int>>{
+                        {4}, {0, 1}, {1, 2}, {2, 3}}));
+}
+
+TEST(MinimalCovers, MultiWordBitsetTargets) {
+  // 130 target elements span three 64-bit words; the high bits must not be
+  // dropped. A={0..63} alone looks complete if only word 0 is checked.
+  ConstraintSet target;
+  for (int e = 0; e < 130; ++e) target.push_back(e);
+  ConstraintSet low, high;
+  for (int e = 0; e < 64; ++e) low.push_back(e);
+  for (int e = 64; e < 130; ++e) high.push_back(e);
+  std::vector<std::vector<int>> covers;
+  MinimalCovers(target, {low, high, target}, {0, 1, 2}, &covers);
+  EXPECT_EQ(covers, (std::vector<std::vector<int>>{{2}, {0, 1}}));
+}
+
+TEST(MinimalCovers, FallsBackToAllRelevantBeyondCap) {
+  // 21 relevant singletons exceed kMaxMinimalCoverSets: the enumeration is
+  // skipped and the single all-relevant cover comes back.
+  ConstraintSet target;
+  std::vector<ConstraintSet> parts;
+  std::vector<int> relevant;
+  for (int i = 0; i <= static_cast<int>(kMaxMinimalCoverSets); ++i) {
+    target.push_back(i);
+    parts.push_back({i});
+    relevant.push_back(i);
+  }
+  ASSERT_GT(relevant.size(), kMaxMinimalCoverSets);
+  std::vector<std::vector<int>> covers;
+  MinimalCovers(target, parts, relevant, &covers);
+  EXPECT_EQ(covers, (std::vector<std::vector<int>>{relevant}));
+}
+
+TEST(MinimalCovers, EmptyRelevantYieldsNoCovers) {
+  std::vector<std::vector<int>> covers;
+  MinimalCovers({0, 1}, {{0}, {1}}, {}, &covers);
+  EXPECT_TRUE(covers.empty());
+}
+
+TEST(MinimalCovers, RandomizedAgainstBruteForce) {
+  std::mt19937 rng(20260806);
+  std::uniform_int_distribution<int> num_parts(1, 7);
+  std::uniform_int_distribution<int> num_elems(1, 6);
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int t = num_elems(rng);
+    ConstraintSet target;
+    for (int e = 0; e < t; ++e) target.push_back(e);
+    const int p = num_parts(rng);
+    std::vector<ConstraintSet> parts;
+    std::vector<int> relevant;
+    for (int i = 0; i < p; ++i) {
+      ConstraintSet part;
+      for (int e = 0; e < t; ++e) {
+        if (coin(rng)) part.push_back(e);
+      }
+      parts.push_back(std::move(part));
+      relevant.push_back(i);
+    }
+    std::vector<std::vector<int>> covers;
+    MinimalCovers(target, parts, relevant, &covers);
+    EXPECT_EQ(SortedCovers(covers),
+              SortedCovers(NaiveMinimalCovers(target, parts, relevant)))
+        << "trial " << trial;
+  }
 }
 
 }  // namespace
