@@ -12,9 +12,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
+#include "qmap/core/match_memo.h"
 #include "qmap/expr/constraint.h"
 #include "qmap/rules/matcher.h"
 #include "qmap/rules/spec_parser.h"
@@ -207,6 +210,62 @@ void MatchWide_Indexed(benchmark::State& state) {
       benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(MatchWide_Indexed)->RangeMultiplier(2)->Range(16, 128);
+
+}  // namespace
+
+// B1d — memo key schemes: what one MatchMemo probe costs under the legacy
+// string key (render every constraint, concatenate, hash the bytes) versus
+// the fingerprint key (fold precomputed 64-bit constraint fingerprints —
+// MatchMemo::KeyOf). Both series build the key for an N-constraint
+// conjunction and probe a warm table with it; key_bytes/iter records how
+// many bytes each scheme materializes per probe (N·|rendered constraint| vs
+// a constant 8).
+
+namespace {
+
+void MemoProbe_StringKey(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Constraint> conjunction = Conjunction(n);
+  auto render_key = [](const std::vector<Constraint>& cs) {
+    std::string key;
+    for (const Constraint& c : cs) {
+      key += c.ToString();
+      key += '\x1f';
+    }
+    return key;
+  };
+  std::unordered_map<std::string, int> memo;
+  memo.emplace(render_key(conjunction), 1);
+  uint64_t key_bytes = 0;
+  for (auto _ : state) {
+    std::string key = render_key(conjunction);
+    key_bytes += key.size();
+    auto it = memo.find(key);
+    benchmark::DoNotOptimize(it);
+  }
+  state.counters["N"] = n;
+  state.counters["key_bytes/iter"] = benchmark::Counter(
+      static_cast<double>(key_bytes), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(MemoProbe_StringKey)->RangeMultiplier(2)->Range(4, 16);
+
+void MemoProbe_FingerprintKey(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Constraint> conjunction = Conjunction(n);
+  std::unordered_map<uint64_t, int> memo;
+  memo.emplace(qmap::MatchMemo::KeyOf(conjunction), 1);
+  uint64_t key_bytes = 0;
+  for (auto _ : state) {
+    uint64_t key = qmap::MatchMemo::KeyOf(conjunction);
+    key_bytes += sizeof(key);
+    auto it = memo.find(key);
+    benchmark::DoNotOptimize(it);
+  }
+  state.counters["N"] = n;
+  state.counters["key_bytes/iter"] = benchmark::Counter(
+      static_cast<double>(key_bytes), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(MemoProbe_FingerprintKey)->RangeMultiplier(2)->Range(4, 16);
 
 }  // namespace
 

@@ -1,0 +1,50 @@
+#ifndef QMAP_COMMON_FNV_H_
+#define QMAP_COMMON_FNV_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace qmap {
+
+/// Incremental FNV-1a 64-bit hasher — the fingerprint primitive of the
+/// interned query IR (see DESIGN.md §9).  All canonical hashes in the
+/// library (Value/Attr::CanonicalHash, Constraint/Query fingerprints, memo
+/// and cache keys) are built from this one stream so that equal inputs hash
+/// equal across layers, processes, and the intern on/off toggle.
+class Fnv64 {
+ public:
+  static constexpr uint64_t kOffsetBasis = 1469598103934665603ull;
+  static constexpr uint64_t kPrime = 1099511628211ull;
+
+  Fnv64& AddByte(unsigned char c) {
+    h_ ^= c;
+    h_ *= kPrime;
+    return *this;
+  }
+
+  Fnv64& Add(std::string_view s) {
+    for (unsigned char c : s) AddByte(c);
+    return *this;
+  }
+
+  /// Folds a finished 64-bit hash (or any integer tag) into the stream as
+  /// eight little-endian bytes.  Used to combine sub-fingerprints (e.g. a
+  /// query node mixes its children's fingerprints) without re-hashing the
+  /// text they summarize.
+  Fnv64& AddU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) AddByte(static_cast<unsigned char>(v >> (8 * i)));
+    return *this;
+  }
+
+  uint64_t value() const { return h_; }
+
+ private:
+  uint64_t h_ = kOffsetBasis;
+};
+
+/// One-shot FNV-1a 64 of a byte string.
+inline uint64_t Fnv64Hash(std::string_view s) { return Fnv64().Add(s).value(); }
+
+}  // namespace qmap
+
+#endif  // QMAP_COMMON_FNV_H_

@@ -59,18 +59,21 @@ std::vector<ConstraintSet> CrossEdnfDisjuncts(
 }
 
 ConstraintTable::ConstraintTable(const Query& root) {
+  // AllConstraints already deduplicates, so each constraint gets a fresh id;
+  // the fingerprint index only needs appending.
   for (const Constraint& c : root.AllConstraints()) {
-    std::string key = c.ToString();
-    if (index_.find(key) == index_.end()) {
-      index_.emplace(std::move(key), static_cast<int>(constraints_.size()));
-      constraints_.push_back(c);
-    }
+    index_[c.Fingerprint()].push_back(static_cast<int>(constraints_.size()));
+    constraints_.push_back(c);
   }
 }
 
 int ConstraintTable::IdOf(const Constraint& c) const {
-  auto it = index_.find(c.ToString());
-  return it == index_.end() ? -1 : it->second;
+  auto it = index_.find(c.Fingerprint());
+  if (it == index_.end()) return -1;
+  for (int id : it->second) {
+    if (SamePrintedForm(constraints_[static_cast<size_t>(id)], c)) return id;
+  }
+  return -1;
 }
 
 std::vector<Constraint> ConstraintTable::Materialize(const ConstraintSet& set) const {

@@ -1,8 +1,9 @@
 #ifndef QMAP_CORE_EDNF_H_
 #define QMAP_CORE_EDNF_H_
 
-#include <map>
+#include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "qmap/core/stats.h"
@@ -48,7 +49,9 @@ class ConstraintTable {
 
  private:
   std::vector<Constraint> constraints_;
-  std::map<std::string, int> index_;
+  // Fingerprint-keyed index; the bucket (nearly always one id) is verified
+  // against constraints_ by printed form, so collisions cannot mis-number.
+  std::unordered_map<uint64_t, std::vector<int>> index_;
 };
 
 /// Procedure EDNF (Figure 10): computes the *essential DNF* annotations used

@@ -23,17 +23,12 @@ bool AllLeavesExact(const Query& q, const ExactCoverage& coverage) {
 }  // namespace
 
 void ExactCoverage::Record(const Constraint& c, bool exact) {
-  std::string key = c.ToString();
-  auto it = by_constraint_.find(key);
-  if (it == by_constraint_.end()) {
-    by_constraint_.emplace(std::move(key), exact);
-  } else {
-    it->second = it->second && exact;
-  }
+  auto [it, inserted] = by_constraint_.emplace(c.Fingerprint(), exact);
+  if (!inserted) it->second = it->second && exact;
 }
 
 bool ExactCoverage::IsExact(const Constraint& c) const {
-  auto it = by_constraint_.find(c.ToString());
+  auto it = by_constraint_.find(c.Fingerprint());
   return it != by_constraint_.end() && it->second;
 }
 

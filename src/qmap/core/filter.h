@@ -1,8 +1,8 @@
 #ifndef QMAP_CORE_FILTER_H_
 #define QMAP_CORE_FILTER_H_
 
-#include <map>
-#include <string>
+#include <cstdint>
+#include <unordered_map>
 
 #include "qmap/expr/query.h"
 
@@ -30,8 +30,11 @@ class ExactCoverage {
   void MergeAnySource(const ExactCoverage& other);
 
  private:
-  // value: true = exact so far; false = inexact somewhere.
-  std::map<std::string, bool> by_constraint_;
+  // Keyed by constraint fingerprint (printed-form identity without the
+  // rendering); value: true = exact so far, false = inexact somewhere.
+  // Fingerprints are trusted outright here — a ~2^-64 collision could only
+  // merge the coverage bits of two unrelated constraints.
+  std::unordered_map<uint64_t, bool> by_constraint_;
 };
 
 /// Computes the residue filter F for `original` (Eq. 2-3), given per-

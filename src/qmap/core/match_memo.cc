@@ -1,19 +1,20 @@
 #include "qmap/core/match_memo.h"
 
+#include "qmap/common/fnv.h"
+
 namespace qmap {
 
-std::string MatchMemo::KeyOf(const std::vector<Constraint>& conjunction) {
-  std::string key;
-  for (const Constraint& c : conjunction) {
-    key += c.ToString();
-    key += '\x1f';  // unit separator: cannot appear in a rendered constraint
-  }
-  return key;
+uint64_t MatchMemo::KeyOf(const std::vector<Constraint>& conjunction) {
+  // Folding per-constraint fingerprints in order keeps the key
+  // order-sensitive (AddU64 is not commutative across the FNV stream).
+  Fnv64 h;
+  for (const Constraint& c : conjunction) h.AddU64(c.Fingerprint());
+  return h.value();
 }
 
 std::vector<Matching> MatchMemo::Match(const std::vector<Constraint>& conjunction,
                                        TranslationStats* stats) {
-  std::string key = KeyOf(conjunction);
+  const uint64_t key = KeyOf(conjunction);
   {
     std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
     if (thread_safe_) lock.lock();
@@ -32,7 +33,7 @@ std::vector<Matching> MatchMemo::Match(const std::vector<Constraint>& conjunctio
   {
     std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
     if (thread_safe_) lock.lock();
-    cache_.try_emplace(std::move(key), matchings);
+    cache_.try_emplace(key, matchings);
   }
   return matchings;
 }

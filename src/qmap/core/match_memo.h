@@ -1,8 +1,8 @@
 #ifndef QMAP_CORE_MATCH_MEMO_H_
 #define QMAP_CORE_MATCH_MEMO_H_
 
+#include <cstdint>
 #include <mutex>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -17,10 +17,13 @@ namespace qmap {
 /// constraint subsets of the same query; with a memo in scope each distinct
 /// subset is matched once.
 ///
-/// The cache key is the canonical rendering of the conjunction (each
-/// constraint's ToString(), in input order, '\x1f'-separated). Order is part
-/// of the key on purpose: matchings carry indices into the conjunction, so
-/// two permutations of the same constraint set are distinct entries.
+/// The cache key is a 64-bit fingerprint folding each constraint's
+/// Constraint::Fingerprint() in input order — no strings are rendered to
+/// probe. Order is part of the key on purpose: matchings carry indices into
+/// the conjunction, so two permutations of the same constraint set are
+/// distinct entries. Fingerprints are trusted without verification (the
+/// collision policy of DESIGN.md §9): a ~2^-64 collision would return the
+/// matchings of a different conjunction.
 ///
 /// Matching::rule points into the spec the memo was built for, so a memo
 /// must not outlive its spec, and Match() refuses (falls through to a direct
@@ -50,13 +53,15 @@ class MatchMemo {
 
   size_t size() const;
 
- private:
-  static std::string KeyOf(const std::vector<Constraint>& conjunction);
+  /// The order-sensitive conjunction fingerprint used as the memo key;
+  /// exposed for the key-scheme A/B benchmarks (bench_matching).
+  static uint64_t KeyOf(const std::vector<Constraint>& conjunction);
 
+ private:
   const MappingSpec* spec_;
   const bool thread_safe_;
   mutable std::mutex mu_;  // held only when thread_safe_
-  std::unordered_map<std::string, std::vector<Matching>> cache_;
+  std::unordered_map<uint64_t, std::vector<Matching>> cache_;
 };
 
 }  // namespace qmap

@@ -1,8 +1,10 @@
 #include "qmap/expr/attr.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 
+#include "qmap/common/fnv.h"
 #include "qmap/common/strings.h"
 
 namespace qmap {
@@ -60,6 +62,20 @@ std::string Attr::ToString() const {
   if (view.empty()) return name;
   if (instance == 0) return view + "." + name;
   return view + "[" + std::to_string(instance) + "]." + name;
+}
+
+uint64_t Attr::CanonicalHash() const {
+  Fnv64 h;
+  if (!view.empty()) {
+    h.Add(view);
+    if (instance != 0) {
+      char buf[16];
+      int n = std::snprintf(buf, sizeof(buf), "[%d]", instance);
+      h.Add(std::string_view(buf, static_cast<size_t>(n)));
+    }
+    h.AddByte('.');
+  }
+  return h.Add(name).value();
 }
 
 AttrNameTable& AttrNameTable::Global() {

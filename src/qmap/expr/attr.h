@@ -42,6 +42,10 @@ struct Attr {
   /// Canonical rendering: `fac[1].ln`, `fac.ln`, or `ln`.
   std::string ToString() const;
 
+  /// FNV-1a 64 over the exact bytes of ToString(), computed without
+  /// materializing the string. Feeds constraint/query fingerprints.
+  uint64_t CanonicalHash() const;
+
   friend bool operator==(const Attr& a, const Attr& b) = default;
   friend auto operator<=>(const Attr& a, const Attr& b) = default;
 };

@@ -1,5 +1,7 @@
 #include "qmap/expr/constraint.h"
 
+#include "qmap/common/fnv.h"
+
 namespace qmap {
 
 std::string_view OpName(Op op) {
@@ -63,6 +65,36 @@ std::string OperandToString(const Operand& operand) {
 std::string Constraint::ToString() const {
   return "[" + lhs.ToString() + " " + std::string(OpName(op)) + " " +
          OperandToString(rhs) + "]";
+}
+
+uint64_t Constraint::Fingerprint() const {
+  // Combines the components' canonical hashes (each an FNV over that
+  // component's exact printed bytes). No Value-vs-Attr discriminator is
+  // mixed in: operator== is printed-form equality, and a Value and an Attr
+  // operand that render identically (e.g. the date `97` vs an attribute
+  // named `97`) must fingerprint identically too.
+  Fnv64 h;
+  h.AddU64(lhs.CanonicalHash());
+  h.Add(OpName(op));
+  if (std::holds_alternative<Value>(rhs)) {
+    h.AddU64(std::get<Value>(rhs).CanonicalHash());
+  } else {
+    h.AddU64(std::get<Attr>(rhs).CanonicalHash());
+  }
+  return h.value();
+}
+
+bool SamePrintedForm(const Constraint& a, const Constraint& b) {
+  if (a.op == b.op && a.lhs == b.lhs) {
+    // Exact component equality is sufficient (never necessary: distinct
+    // reps can still print alike, so a miss falls through to ToString).
+    if (a.is_join() && b.is_join() && a.rhs_attr() == b.rhs_attr()) return true;
+    if (!a.is_join() && !b.is_join() &&
+        a.rhs_value().IdenticalTo(b.rhs_value())) {
+      return true;
+    }
+  }
+  return a.ToString() == b.ToString();
 }
 
 Constraint Constraint::Normalized() const {

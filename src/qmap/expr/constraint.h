@@ -61,6 +61,13 @@ struct Constraint {
   /// bookkeeping (two constraints are the same iff they print the same).
   std::string ToString() const;
 
+  /// 64-bit FNV-1a fingerprint of the printed form, computed from the
+  /// component canonical hashes without materializing ToString(). Respects
+  /// operator== exactly: constraints that print the same fingerprint the
+  /// same (including cross-kind aliases such as `= 3` via Int(3) vs
+  /// Real(3.0)); distinct printed forms collide with probability ~2^-64.
+  uint64_t Fingerprint() const;
+
   /// Applies the operand-order normalization of Section 4.2: `<`/`<=` join
   /// constraints become `>`/`>=` with sides swapped, and symmetric-operator
   /// join constraints order their attributes lexicographically.
@@ -74,6 +81,12 @@ struct Constraint {
 /// Convenience factories.
 Constraint MakeSel(Attr attr, Op op, Value value);
 Constraint MakeJoin(Attr lhs, Op op, Attr rhs);
+
+/// Equivalent to `a == b` (printed-form equality) but with allocation-free
+/// fast paths: exact component equality is checked first and only on a miss
+/// does it fall back to comparing ToString() bytes. Used by the intern table
+/// to verify fingerprint bucket hits.
+bool SamePrintedForm(const Constraint& a, const Constraint& b);
 
 }  // namespace qmap
 

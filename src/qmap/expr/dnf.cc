@@ -15,17 +15,25 @@ void CrossDisjuncts(const std::vector<std::vector<std::vector<Constraint>>>& par
   std::vector<size_t> idx(parts.size(), 0);
   while (true) {
     std::vector<Constraint> combined;
+    // Fingerprints guard the duplicate scan so the common (all-distinct)
+    // case never renders a constraint; printed-form comparison confirms
+    // only on a fingerprint match.
+    std::vector<uint64_t> combined_fps;
     for (size_t i = 0; i < parts.size(); ++i) {
       const std::vector<Constraint>& part = parts[i][idx[i]];
       for (const Constraint& c : part) {
+        uint64_t fp = c.Fingerprint();
         bool duplicate = false;
-        for (const Constraint& existing : combined) {
-          if (existing == c) {
+        for (size_t k = 0; k < combined.size(); ++k) {
+          if (combined_fps[k] == fp && SamePrintedForm(combined[k], c)) {
             duplicate = true;
             break;
           }
         }
-        if (!duplicate) combined.push_back(c);
+        if (!duplicate) {
+          combined.push_back(c);
+          combined_fps.push_back(fp);
+        }
       }
     }
     out->push_back(std::move(combined));

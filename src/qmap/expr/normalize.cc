@@ -6,15 +6,27 @@ Query NormalizeQuery(const Query& query) {
   switch (query.kind()) {
     case NodeKind::kTrue:
       return query;
-    case NodeKind::kLeaf:
-      return Query::Leaf(query.constraint().Normalized());
+    case NodeKind::kLeaf: {
+      // Only join constraints are affected by operand-order normalization;
+      // shape normalization already happened in the Query constructors.
+      if (!query.constraint().is_join()) return query;
+      Constraint normalized = query.constraint().Normalized();
+      if (normalized.Fingerprint() == query.constraint().Fingerprint()) {
+        return query;
+      }
+      return Query::Leaf(std::move(normalized));
+    }
     case NodeKind::kAnd:
     case NodeKind::kOr: {
       std::vector<Query> children;
       children.reserve(query.children().size());
+      bool changed = false;
       for (const Query& child : query.children()) {
         children.push_back(NormalizeQuery(child));
+        changed = changed ||
+                  children.back().identity() != child.identity();
       }
+      if (!changed) return query;
       return query.kind() == NodeKind::kAnd ? Query::And(std::move(children))
                                             : Query::Or(std::move(children));
     }

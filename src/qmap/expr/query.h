@@ -1,6 +1,7 @@
 #ifndef QMAP_EXPR_QUERY_H_
 #define QMAP_EXPR_QUERY_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +24,13 @@ enum class NodeKind { kTrue, kLeaf, kAnd, kOr };
 /// collapsed, e.g. ∧{a, ∧{b,c}} = ∧{a,b,c}), `True` conjuncts are dropped,
 /// a `True` disjunct absorbs its disjunction, duplicate children are merged
 /// (idempotency), and single-child nodes collapse to the child.
+///
+/// Nodes are hash-consed (see qmap/expr/intern.h): unless interning is
+/// disabled, the constructors canonicalize against a process-wide table so
+/// structurally equal subtrees share one node, and every node carries a
+/// precomputed 64-bit fingerprint() of its structure. Identity-keyed layers
+/// (MatchMemo, the EDNF constraint table, residue-filter dedup, the
+/// translation cache) key on fingerprints instead of printed strings.
 class Query {
  public:
   /// The trivial query (no constraint; selects everything).
@@ -42,9 +50,18 @@ class Query {
   bool is_leaf() const { return kind() == NodeKind::kLeaf; }
 
   /// Leaf accessor; requires is_leaf().
-  const Constraint& constraint() const { return node_->constraint; }
+  const Constraint& constraint() const { return *node_->constraint; }
   /// Children of an ∧/∨ node (empty vector for leaves/True).
   const std::vector<Query>& children() const { return node_->children; }
+
+  /// 64-bit structural fingerprint, precomputed at construction. Structurally
+  /// equal queries always fingerprint equal; distinct structures collide with
+  /// probability ~2^-64. Memo/cache layers key on this directly.
+  uint64_t fingerprint() const { return node_->fingerprint; }
+
+  /// The address of the underlying shared node. When both queries were built
+  /// with interning enabled, equal identity() ⇔ StructurallyEquals.
+  const void* identity() const { return node_.get(); }
 
   /// True if the query is a *simple conjunction*: True, a leaf, or an ∧ node
   /// whose children are all leaves (the input shape of Algorithm SCM).
@@ -64,9 +81,11 @@ class Query {
   /// Maximum depth (True/leaf = 1).
   int Depth() const;
 
-  /// Structural equality (after normalization; ignores child order for the
-  /// purpose of equality? No — order-sensitive; use ToString for canonical
-  /// comparisons in tests).
+  /// Structural equality. Order-sensitive: ∧/∨ children are compared
+  /// pairwise in position, so `a ∧ b` and `b ∧ a` are NOT structurally
+  /// equal even though they are logically equivalent. With interning on
+  /// this is a pointer comparison; otherwise fingerprints short-circuit
+  /// inequality and a deep walk confirms equality.
   bool StructurallyEquals(const Query& other) const;
 
   /// Paper-style rendering, e.g. `([ln = "Clancy"] ∨ [ln = "Klancy"]) ∧
@@ -77,14 +96,32 @@ class Query {
     return a.StructurallyEquals(b);
   }
 
- private:
+  /// Implementation detail, public only so the intern table (query.cc) can
+  /// build and store nodes; not part of the supported API surface.
   struct Node {
     NodeKind kind = NodeKind::kTrue;
-    Constraint constraint;        // valid when kind == kLeaf
+    // Valid when kind == kLeaf; shared with the constraint intern table so
+    // every leaf over the same printed constraint aliases one object.
+    std::shared_ptr<const Constraint> constraint;
     std::vector<Query> children;  // valid when kind is kAnd/kOr
+    uint64_t fingerprint = 0;
+    // True when this node came out of the intern table — then it is THE
+    // canonical node for its structure and pointer inequality between two
+    // interned nodes implies structural inequality.
+    bool interned = false;
   };
 
+ private:
   explicit Query(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+  /// Interns an ∧/∨ node over already-normalized children (canonicalizing
+  /// each child first). Requires interning to be enabled.
+  static Query InternBranch(NodeKind kind, std::vector<Query> children);
+
+  /// Returns the canonical (interned) equivalent of `q`, re-interning
+  /// subtrees built while interning was off; pointer-check fast path when
+  /// `q` is already canonical.
+  static Query Canonical(const Query& q);
 
   std::shared_ptr<const Node> node_;
 };

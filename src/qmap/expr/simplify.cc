@@ -1,7 +1,7 @@
 #include "qmap/expr/simplify.h"
 
+#include <cstdint>
 #include <set>
-#include <string>
 #include <vector>
 
 #include "qmap/expr/dnf.h"
@@ -9,20 +9,23 @@
 namespace qmap {
 namespace {
 
-using ConstraintKeySet = std::set<std::string>;
+// Disjuncts are summarized as sets of constraint fingerprints rather than
+// printed strings — set containment over uint64s, no rendering. Fingerprint
+// collisions (~2^-64) could only make implication *more* permissive.
+using ConstraintKeySet = std::set<uint64_t>;
 
 std::vector<ConstraintKeySet> DnfKeySets(const Query& q) {
   std::vector<ConstraintKeySet> out;
   for (const std::vector<Constraint>& disjunct : DnfDisjuncts(q)) {
     ConstraintKeySet keys;
-    for (const Constraint& c : disjunct) keys.insert(c.ToString());
+    for (const Constraint& c : disjunct) keys.insert(c.Fingerprint());
     out.push_back(std::move(keys));
   }
   return out;
 }
 
 bool Contains(const ConstraintKeySet& super, const ConstraintKeySet& sub) {
-  for (const std::string& key : sub) {
+  for (uint64_t key : sub) {
     if (super.find(key) == super.end()) return false;
   }
   return true;
@@ -61,8 +64,10 @@ Query SimplifyQuery(const Query& query) {
 
   std::vector<Query> children;
   children.reserve(query.children().size());
+  bool changed = false;
   for (const Query& child : query.children()) {
     children.push_back(SimplifyQuery(child));
+    changed = changed || children.back().identity() != child.identity();
   }
   std::vector<std::vector<ConstraintKeySet>> dnfs;
   dnfs.reserve(children.size());
@@ -93,6 +98,9 @@ Query SimplifyQuery(const Query& query) {
   for (size_t i = 0; i < children.size(); ++i) {
     if (!dropped[i]) kept.push_back(children[i]);
   }
+  // Identity fast path: nothing absorbed and every child simplified to
+  // itself — the input node is already the result.
+  if (!changed && kept.size() == children.size()) return query;
   return query.kind() == NodeKind::kAnd ? Query::And(std::move(kept))
                                         : Query::Or(std::move(kept));
 }

@@ -58,13 +58,17 @@ bool Bindings::SameAs(const Bindings& other) const {
 
 size_t Bindings::Hash() const {
   // vars_ iterates in sorted order, so the fold is deterministic. Terms hash
-  // via their canonical rendering: done once per *found* matching, not per
-  // pattern attempt, so the string cost is off the hot path.
+  // via CanonicalHash — the FNV of their canonical rendering, computed
+  // without materializing the string (same equality relation TermToString
+  // gave, minus the allocations).
   size_t h = 0xcbf29ce484222325ull;
   for (const auto& [var, term] : vars_) {
     h ^= std::hash<std::string>{}(var) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-    h ^= std::hash<std::string>{}(TermToString(term)) + 0x9e3779b97f4a7c15ull +
-         (h << 6) + (h >> 2);
+    const uint64_t term_hash = TermIsValue(term)
+                                   ? TermValue(term).CanonicalHash()
+                                   : TermAttr(term).CanonicalHash();
+    h ^= static_cast<size_t>(term_hash) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
   }
   return h;
 }

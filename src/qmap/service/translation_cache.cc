@@ -1,8 +1,8 @@
 #include "qmap/service/translation_cache.h"
 
 #include <algorithm>
-#include <functional>
 
+#include "qmap/common/fnv.h"
 #include "qmap/obs/metrics.h"
 
 namespace qmap {
@@ -15,8 +15,16 @@ TranslationCache::TranslationCache(TranslationCacheOptions options) {
   for (size_t i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
 }
 
-TranslationCache::Shard& TranslationCache::ShardFor(const std::string& key) {
-  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+TranslationCacheKey TranslationCache::KeyOfString(const std::string& key) {
+  TranslationCacheKey out;
+  out.source = Fnv64().AddByte('s').Add(key).value();
+  out.query = Fnv64().AddByte('q').Add(key).value();
+  return out;
+}
+
+TranslationCache::Shard& TranslationCache::ShardFor(
+    const TranslationCacheKey& key) {
+  return *shards_[KeyHash{}(key) % shards_.size()];
 }
 
 void TranslationCache::AttachMetrics(MetricsRegistry* registry) {
@@ -31,7 +39,7 @@ void TranslationCache::AttachMetrics(MetricsRegistry* registry) {
   evictions_counter_ = &registry->counter("qmap_cache_evictions_total");
 }
 
-std::optional<Translation> TranslationCache::Get(const std::string& key) {
+std::optional<Translation> TranslationCache::Get(const TranslationCacheKey& key) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
@@ -46,7 +54,11 @@ std::optional<Translation> TranslationCache::Get(const std::string& key) {
   return it->second->value;
 }
 
-void TranslationCache::Put(const std::string& key, Translation value) {
+std::optional<Translation> TranslationCache::Get(const std::string& key) {
+  return Get(KeyOfString(key));
+}
+
+void TranslationCache::Put(const TranslationCacheKey& key, Translation value) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
@@ -65,6 +77,10 @@ void TranslationCache::Put(const std::string& key, Translation value) {
     ++shard.stats.evictions;
     if (evictions_counter_ != nullptr) evictions_counter_->Inc();
   }
+}
+
+void TranslationCache::Put(const std::string& key, Translation value) {
+  Put(KeyOfString(key), std::move(value));
 }
 
 TranslationCacheStats TranslationCache::stats() const {

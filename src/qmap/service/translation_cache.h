@@ -33,10 +33,24 @@ struct TranslationCacheStats {
   uint64_t evictions = 0;
 };
 
-/// A thread-safe sharded LRU map from cache-key strings to completed
-/// Translations. Keys are opaque here; TranslationService composes them from
-/// the source spec identity and the normalized printed query (see
-/// docs/ALGORITHMS.md, "The service layer").
+/// The typed cache key: a pair of 64-bit fingerprints identifying (a) the
+/// translation context — source name, spec fingerprint, option flags — and
+/// (b) the normalized query (Query::fingerprint()). TranslationService
+/// composes these without rendering any query text (see docs/ALGORITHMS.md,
+/// "The service layer"). 128 bits total; fingerprints are trusted without
+/// verification per the collision policy of DESIGN.md §9.
+struct TranslationCacheKey {
+  uint64_t source = 0;
+  uint64_t query = 0;
+
+  friend bool operator==(const TranslationCacheKey& a,
+                         const TranslationCacheKey& b) = default;
+};
+
+/// A thread-safe sharded LRU map from TranslationCacheKey to completed
+/// Translations. The legacy string-keyed Get/Put remain as wrappers that
+/// fold the string into a typed key (two independent FNV streams), so both
+/// key styles share one store, one budget, and one LRU order.
 ///
 /// Get/Put copy the Translation value. Translation holds Query trees behind
 /// shared immutable nodes with atomic refcounts, so copies handed to
@@ -56,10 +70,12 @@ class TranslationCache {
   void AttachMetrics(MetricsRegistry* registry);
 
   /// Returns a copy of the entry and refreshes its recency, or nullopt.
+  std::optional<Translation> Get(const TranslationCacheKey& key);
   std::optional<Translation> Get(const std::string& key);
 
   /// Inserts or overwrites `key`, making it the shard's most recent entry;
   /// evicts the shard's least recent entry when over budget.
+  void Put(const TranslationCacheKey& key, Translation value);
   void Put(const std::string& key, Translation value);
 
   /// Counters aggregated over all shards (a consistent-enough snapshot:
@@ -73,18 +89,31 @@ class TranslationCache {
   void Clear();
 
  private:
+  struct KeyHash {
+    size_t operator()(const TranslationCacheKey& k) const {
+      // The halves are already FNV outputs; mixing them is enough.
+      return static_cast<size_t>(k.source ^ (k.query * 0x9e3779b97f4a7c15ull));
+    }
+  };
   struct Entry {
-    std::string key;
+    TranslationCacheKey key;
     Translation value;
   };
   struct Shard {
     std::mutex mu;
     std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::unordered_map<TranslationCacheKey, std::list<Entry>::iterator, KeyHash>
+        index;
     TranslationCacheStats stats;
   };
 
-  Shard& ShardFor(const std::string& key);
+  /// Folds a legacy string key into the typed key space: the two halves are
+  /// independent FNV streams (distinguished by a leading tag byte), so a
+  /// string key colliding with a composed fingerprint key needs a 128-bit
+  /// coincidence.
+  static TranslationCacheKey KeyOfString(const std::string& key);
+
+  Shard& ShardFor(const TranslationCacheKey& key);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t per_shard_capacity_;

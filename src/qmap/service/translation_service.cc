@@ -3,29 +3,19 @@
 #include <algorithm>
 #include <chrono>
 #include <latch>
-#include <map>
+#include <unordered_map>
 #include <utility>
 
+#include "qmap/common/fnv.h"
 #include "qmap/core/filter.h"
 #include "qmap/core/match_memo.h"
+#include "qmap/expr/intern.h"
 #include "qmap/expr/printer.h"
 #include "qmap/obs/metrics.h"
 #include "qmap/obs/trace.h"
 
 namespace qmap {
 namespace {
-
-// FNV-1a 64-bit, used to fingerprint a spec's full rendering. The
-// fingerprint only disambiguates *within* one service (the source name is
-// also in the key), so a 64-bit digest is plenty.
-uint64_t Fingerprint(const std::string& text) {
-  uint64_t h = 1469598103934665603ull;
-  for (unsigned char c : text) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
 
 std::string OptionsTag(const TranslatorOptions& options) {
   std::string tag;
@@ -45,8 +35,9 @@ std::string OptionsTag(const TranslatorOptions& options) {
   return tag;
 }
 
-// Separator between cache-key fields; cannot occur in names, option tags,
-// or printed queries (ToParseableText emits printable ASCII only).
+// Separator between cache-key fields (the fields are hashed, but keeping a
+// separator byte in the stream prevents boundary ambiguity between the
+// source name and the options tag).
 constexpr char kKeySep = '\x1f';
 
 }  // namespace
@@ -59,6 +50,7 @@ TranslationService::TranslationService(ServiceOptions options)
   if (options_.obs.metrics != nullptr) {
     MetricsRegistry* metrics = options_.obs.metrics;
     cache_.AttachMetrics(metrics);
+    AttachInternMetrics(metrics);
     if (pool_ != nullptr) pool_->AttachMetrics(metrics);
     translate_counter_ = &metrics->counter("qmap_translate_total");
     slow_counter_ = &metrics->counter("qmap_slow_queries_total");
@@ -71,12 +63,26 @@ TranslationService::TranslationService(ServiceOptions options)
   }
 }
 
+TranslationService::~TranslationService() {
+  if (options_.obs.metrics != nullptr) {
+    DetachInternMetricsIf(options_.obs.metrics);
+  }
+}
+
 void TranslationService::AddSource(std::string name, MappingSpec spec) {
   SourceEntry entry;
-  entry.cache_prefix = name + kKeySep +
-                       std::to_string(Fingerprint(spec.target_name() + "\n" +
-                                                  spec.ToString())) +
-                       kKeySep + OptionsTag(options_.translator) + kKeySep;
+  // The context half of the typed cache key: source name, spec fingerprint
+  // (over target name + full spec rendering), and the option flags that
+  // change translation output. The query half comes per-call from
+  // Query::fingerprint().
+  entry.cache_key_prefix =
+      Fnv64()
+          .Add(name)
+          .AddByte(kKeySep)
+          .AddU64(Fnv64Hash(spec.target_name() + "\n" + spec.ToString()))
+          .AddByte(kKeySep)
+          .Add(OptionsTag(options_.translator))
+          .value();
   entry.name = std::move(name);
   entry.translator = Translator(std::move(spec), options_.translator);
   auto pos = std::lower_bound(
@@ -110,13 +116,12 @@ std::vector<std::unique_ptr<MatchMemo>> TranslationService::MakeMemoScope()
 }
 
 Result<Translation> TranslationService::TranslateOne(
-    const SourceEntry& source, const Query& full,
-    const std::string& query_text, Trace* trace, uint64_t parent_span,
-    MatchMemo* memo) const {
+    const SourceEntry& source, const Query& full, Trace* trace,
+    uint64_t parent_span, MatchMemo* memo) const {
   if (!options_.enable_cache) {
     return source.translator.Translate(full, trace, parent_span, memo);
   }
-  std::string key = source.cache_prefix + query_text;
+  const TranslationCacheKey key{source.cache_key_prefix, full.fingerprint()};
   {
     Span lookup(trace, "cache.lookup", parent_span);
     if (std::optional<Translation> hit = cache_.Get(key)) {
@@ -141,10 +146,12 @@ Result<Translation> TranslationService::TranslateOne(
 }
 
 Result<MediatorTranslation> TranslationService::TranslateFull(
-    const Query& full, const std::string& query_text, Trace* trace,
+    const Query& full, Trace* trace,
     const std::vector<std::unique_ptr<MatchMemo>>& memos) const {
   Span root(trace, "service.translate", 0);
-  if (root.detail()) root.AddAttr("query", query_text);
+  // Rendering is deferred to this detail-only path; the translation and
+  // cache machinery below works purely on fingerprints.
+  if (root.detail()) root.AddAttr("query", ToParseableText(full));
   const uint64_t root_id = root.id();
   const size_t n = sources_.size();
   const uint64_t evictions_before =
@@ -158,8 +165,8 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
     std::latch done(static_cast<ptrdiff_t>(n));
     for (size_t i = 0; i < n; ++i) {
       const int64_t submit_ns = trace != nullptr ? trace->NowNs() : 0;
-      pool_->Submit([this, &full, &query_text, &outcomes, &done, trace,
-                     &memos, root_id, submit_ns, i] {
+      pool_->Submit([this, &full, &outcomes, &done, trace, &memos, root_id,
+                     submit_ns, i] {
         const int64_t start_ns = trace != nullptr ? trace->NowNs() : 0;
         Span source_span(trace, "source.translate", root_id);
         if (source_span.enabled()) {
@@ -167,7 +174,7 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
           trace->AddCompleteSpan("pool.wait", root_id, submit_ns, start_ns);
         }
         Result<Translation> translation = TranslateOne(
-            sources_[i], full, query_text, trace, source_span.id(),
+            sources_[i], full, trace, source_span.id(),
             memos.empty() ? nullptr : memos[i].get());
         if (translation.ok()) {
           translation->stats.queue_wait_ns +=
@@ -189,7 +196,7 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
       Span source_span(trace, "source.translate", root_id);
       if (source_span.enabled()) source_span.AddAttr("source", sources_[i].name);
       Result<Translation> translation = TranslateOne(
-          sources_[i], full, query_text, trace, source_span.id(),
+          sources_[i], full, trace, source_span.id(),
           memos.empty() ? nullptr : memos[i].get());
       if (translation.ok()) source_span.SetStats(translation->stats);
       outcomes[i].emplace(std::move(translation));
@@ -230,11 +237,11 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
 }
 
 Result<MediatorTranslation> TranslationService::TranslateObserved(
-    const Query& full, const std::string& query_text, Trace* trace,
+    const Query& full, Trace* trace,
     const std::vector<std::unique_ptr<MatchMemo>>& memos) const {
   const SlowQueryLogOptions& slow = options_.obs.slow_query;
   const bool want_obs = slow.enabled || latency_hist_ != nullptr;
-  if (!want_obs) return TranslateFull(full, query_text, trace, memos);
+  if (!want_obs) return TranslateFull(full, trace, memos);
 
   // The slow-query log wants a trace of every query so the slow ones come
   // with their per-source spans attached, and the per-phase qmap_span_*
@@ -247,7 +254,7 @@ Result<MediatorTranslation> TranslationService::TranslateObserved(
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
-  Result<MediatorTranslation> out = TranslateFull(full, query_text, trace, memos);
+  Result<MediatorTranslation> out = TranslateFull(full, trace, memos);
   const uint64_t total_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - wall_start)
@@ -270,7 +277,8 @@ Result<MediatorTranslation> TranslationService::TranslateObserved(
   slow_queries_.fetch_add(1, std::memory_order_relaxed);
   if (slow_counter_ != nullptr) slow_counter_->Inc();
   SlowQueryRecord record;
-  record.query_text = query_text;
+  // The only rendering on the slow path — and only for captured queries.
+  record.query_text = ToParseableText(full);
   record.total_us = total_us;
   record.max_disjuncts = max_disjuncts;
   record.stats = out->stats.ToString();
@@ -290,8 +298,7 @@ Result<MediatorTranslation> TranslationService::Translate(const Query& query,
   translate_calls_.fetch_add(1, std::memory_order_relaxed);
   if (translate_counter_ != nullptr) translate_counter_->Inc();
   Query full = query & view_constraints_;
-  std::string text = ToParseableText(full);
-  return TranslateObserved(full, text, trace, MakeMemoScope());
+  return TranslateObserved(full, trace, MakeMemoScope());
 }
 
 Result<std::vector<MediatorTranslation>> TranslationService::TranslateBatch(
@@ -299,22 +306,29 @@ Result<std::vector<MediatorTranslation>> TranslationService::TranslateBatch(
   batch_calls_.fetch_add(1, std::memory_order_relaxed);
   batch_queries_.fetch_add(queries.size(), std::memory_order_relaxed);
 
-  // Intra-batch dedup: identical normalized printed forms translate once.
+  // Intra-batch dedup: structurally identical normalized queries translate
+  // once. Fingerprints bucket the candidates; StructurallyEquals confirms
+  // (pointer comparison when both nodes are interned).
   std::vector<Query> unique_full;
-  std::vector<std::string> unique_text;
-  std::map<std::string, size_t> slot_by_text;
+  std::unordered_map<uint64_t, std::vector<size_t>> slots_by_fp;
   std::vector<size_t> slot_of(queries.size());
   for (size_t q = 0; q < queries.size(); ++q) {
     Query full = queries[q] & view_constraints_;
-    std::string text = ToParseableText(full);
-    auto [it, inserted] = slot_by_text.emplace(std::move(text), unique_full.size());
-    if (inserted) {
+    std::vector<size_t>& bucket = slots_by_fp[full.fingerprint()];
+    size_t slot = unique_full.size();
+    for (size_t candidate : bucket) {
+      if (unique_full[candidate].StructurallyEquals(full)) {
+        slot = candidate;
+        break;
+      }
+    }
+    if (slot == unique_full.size()) {
+      bucket.push_back(slot);
       unique_full.push_back(std::move(full));
-      unique_text.push_back(it->first);
     } else {
       batch_duplicates_.fetch_add(1, std::memory_order_relaxed);
     }
-    slot_of[q] = it->second;
+    slot_of[q] = slot;
   }
 
   // One memo scope for the whole batch: distinct queries against one source
@@ -325,7 +339,7 @@ Result<std::vector<MediatorTranslation>> TranslationService::TranslateBatch(
   unique_results.reserve(unique_full.size());
   for (size_t u = 0; u < unique_full.size(); ++u) {
     Result<MediatorTranslation> translation =
-        TranslateObserved(unique_full[u], unique_text[u], nullptr, memos);
+        TranslateObserved(unique_full[u], nullptr, memos);
     if (!translation.ok()) return translation.status();
     unique_results.push_back(*std::move(translation));
   }

@@ -56,7 +56,8 @@ struct ObsOptions {
 /// One captured slow query (see SlowQueryLogOptions).
 struct SlowQueryRecord {
   /// The normalized printed form of the full query (view constraints
-  /// conjoined) — the same text used as the cache-key suffix.
+  /// conjoined), rendered lazily for the log — the translation path itself
+  /// keys caches by Query::fingerprint() and never prints.
   std::string query_text;
   uint64_t total_us = 0;
   /// Max dnf_disjuncts over the per-source translations.
@@ -116,6 +117,10 @@ class TranslationService {
  public:
   explicit TranslationService(ServiceOptions options = {});
 
+  /// Detaches the intern-metrics bridge if this service attached it (see
+  /// AttachInternMetrics), so the bridge never outlives the registry.
+  ~TranslationService();
+
   /// Registers one source's mapping specification under `name` (unique per
   /// service; also part of the cache key).
   void AddSource(std::string name, MappingSpec spec);
@@ -146,10 +151,11 @@ class TranslationService {
   Result<MediatorTranslation> Translate(const Query& query,
                                         Trace* trace = nullptr) const;
 
-  /// Translates a batch, deduplicating identical queries (by normalized
-  /// printed form) within the batch: duplicates are translated once and the
-  /// result replicated. Output order matches input order. The first failing
-  /// query's status fails the whole batch.
+  /// Translates a batch, deduplicating structurally identical normalized
+  /// queries within the batch (fingerprint probe, StructurallyEquals
+  /// confirm): duplicates are translated once and the result replicated.
+  /// Output order matches input order. The first failing query's status
+  /// fails the whole batch.
   Result<std::vector<MediatorTranslation>> TranslateBatch(
       std::span<const Query> queries) const;
 
@@ -163,9 +169,11 @@ class TranslationService {
   struct SourceEntry {
     std::string name;
     Translator translator;
-    /// Cache-key prefix: source name + spec fingerprint + translator
-    /// options tag (see docs/ALGORITHMS.md for the scheme).
-    std::string cache_prefix;
+    /// Context half of the typed cache key: one FNV-64 over the source
+    /// name, the spec fingerprint, and the translator options tag (see
+    /// docs/ALGORITHMS.md for the scheme). The query half is
+    /// Query::fingerprint().
+    uint64_t cache_key_prefix = 0;
   };
 
   /// Per-request match-memo scope: one thread-safe MatchMemo per source (in
@@ -176,25 +184,25 @@ class TranslationService {
   /// per-source Translator then falls back to its own per-call memo.
   std::vector<std::unique_ptr<MatchMemo>> MakeMemoScope() const;
 
-  /// One per-source unit of work: cache lookup, else translate and fill.
+  /// One per-source unit of work: cache lookup (typed fingerprint key),
+  /// else translate and fill.
   Result<Translation> TranslateOne(const SourceEntry& source, const Query& full,
-                                   const std::string& query_text, Trace* trace,
-                                   uint64_t parent_span,
+                                   Trace* trace, uint64_t parent_span,
                                    MatchMemo* memo) const;
 
   /// The fan-out + deterministic join for one full query (view constraints
-  /// already conjoined, `query_text` its normalized printed form). `memos`
-  /// is the request's memo scope (may be empty).
+  /// already conjoined). `memos` is the request's memo scope (may be empty).
   Result<MediatorTranslation> TranslateFull(
-      const Query& full, const std::string& query_text, Trace* trace,
+      const Query& full, Trace* trace,
       const std::vector<std::unique_ptr<MatchMemo>>& memos) const;
 
   /// TranslateFull plus the observability envelope: wall-clock timing, the
   /// latency histogram, folding trace spans into per-phase metrics, and
-  /// slow-query capture. Creates an internal Trace when the caller passed
-  /// none but metrics or the slow-query log need one.
+  /// slow-query capture (which renders the query text lazily). Creates an
+  /// internal Trace when the caller passed none but metrics or the
+  /// slow-query log need one.
   Result<MediatorTranslation> TranslateObserved(
-      const Query& full, const std::string& query_text, Trace* trace,
+      const Query& full, Trace* trace,
       const std::vector<std::unique_ptr<MatchMemo>>& memos) const;
 
   ServiceOptions options_;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "qmap/common/fnv.h"
+
 namespace qmap {
 namespace {
 
@@ -92,6 +94,39 @@ std::optional<int> Value::Compare(const Value& other) const {
     return ka < kb ? -1 : (ka > kb ? 1 : 0);
   }
   return std::nullopt;
+}
+
+uint64_t Value::CanonicalHash() const {
+  // Must hash the exact bytes ToString() would produce — fingerprint equality
+  // has to coincide with printed-form equality. Fast paths below reproduce the
+  // ToString rendering for the hot kinds without allocating.
+  Fnv64 h;
+  switch (kind()) {
+    case ValueKind::kNull:
+      return h.Add("null").value();
+    case ValueKind::kInt: {
+      char buf[32];
+      int n = std::snprintf(buf, sizeof(buf), "%lld",
+                            static_cast<long long>(AsInt()));
+      return h.Add(std::string_view(buf, static_cast<size_t>(n))).value();
+    }
+    case ValueKind::kDouble: {
+      double v = AsDouble();
+      char buf[64];
+      int n;
+      if (v == std::floor(v) && std::abs(v) < 1e15) {
+        n = std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+      } else {
+        n = std::snprintf(buf, sizeof(buf), "%g", v);
+      }
+      return h.Add(std::string_view(buf, static_cast<size_t>(n))).value();
+    }
+    case ValueKind::kString:
+      return h.AddByte('"').Add(AsString()).AddByte('"').value();
+    default:
+      // Dates, ranges and points are rare operands; the allocation is fine.
+      return h.Add(ToString()).value();
+  }
 }
 
 std::string Value::ToString() const {

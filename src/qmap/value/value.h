@@ -79,6 +79,20 @@ class Value {
   /// e.g. `"Clancy"`, `1997`, `May/97`, `(10:30)`, `(10,20)`.
   std::string ToString() const;
 
+  /// FNV-1a 64 over the exact bytes of ToString(). This is the value-level
+  /// building block of constraint/query fingerprints: two values hash equal
+  /// exactly when they print equal (the same relation Constraint::operator==
+  /// uses), so e.g. Int(3), Real(3.0) and Date{1903} all share a hash because
+  /// they all render as "3". Fast paths avoid the string allocation for the
+  /// common int/string/integral-double kinds.
+  uint64_t CanonicalHash() const;
+
+  /// Exact representation equality: same kind and same stored bits (no
+  /// cross-kind numeric coercion, unlike Equals). Int(3) is not IdenticalTo
+  /// Real(3.0). Used by intern-table verification as a cheap sufficient
+  /// check before falling back to printed-form comparison.
+  bool IdenticalTo(const Value& other) const { return rep_ == other.rep_; }
+
   friend bool operator==(const Value& a, const Value& b) { return a.Equals(b); }
 
  private:
