@@ -1,0 +1,128 @@
+// B10 — cost of the resilience layer on the translation-service fan-out, on
+// the same 6-source synthetic federation as B9.
+//
+//   TranslateUnguarded          — resilience layer not constructed at all
+//                                 (the pre-resilience fan-out path).
+//   TranslateWithSlowSources/N  — deadlines + retry + breaker armed, with N
+//                                 sources stall-injected past their per-source
+//                                 deadline every call (N = 0, 1, 2). N = 0
+//                                 measures pure guard overhead; N > 0 measures
+//                                 the degraded path: the stalled sources are
+//                                 dropped, the survivors compose a partial
+//                                 result, and the residue filter is merged
+//                                 from the survivors' coverage.
+//
+// Stalls run on a ManualClock, so a "slow source" costs zero wall time: the
+// numbers isolate the bookkeeping (budget checks, breaker, partial-result
+// composition), not sleeping. The partials/iter counter pins the degraded
+// path deterministically: it must equal 1 exactly when N > 0.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "qmap/contexts/synthetic.h"
+#include "qmap/service/fault_injection.h"
+#include "qmap/service/resilience.h"
+#include "qmap/service/translation_service.h"
+
+namespace {
+
+constexpr int kSources = 6;
+constexpr int kDistinctQueries = 16;
+
+std::vector<std::pair<std::string, qmap::MappingSpec>> Federation() {
+  std::vector<std::pair<std::string, qmap::MappingSpec>> out;
+  const std::vector<std::vector<std::pair<int, int>>> pair_sets = {
+      {}, {{0, 1}}, {{2, 3}}, {{4, 5}}, {{0, 2}, {4, 6}}, {{1, 3}, {5, 7}}};
+  for (int i = 0; i < kSources; ++i) {
+    qmap::SyntheticOptions options;
+    options.num_attrs = 8;
+    options.dependent_pairs = pair_sets[static_cast<size_t>(i)];
+    qmap::Result<qmap::MappingSpec> spec = qmap::MakeSyntheticSpec(options);
+    if (!spec.ok()) std::abort();
+    out.emplace_back("S" + std::to_string(i), *spec);
+  }
+  return out;
+}
+
+std::vector<qmap::Query> Workload() {
+  std::mt19937 rng(97);
+  qmap::RandomQueryOptions options;
+  options.num_attrs = 8;
+  options.max_depth = 3;
+  std::vector<qmap::Query> out;
+  for (int i = 0; i < kDistinctQueries; ++i) {
+    out.push_back(qmap::RandomQuery(rng, options));
+  }
+  return out;
+}
+
+std::unique_ptr<qmap::TranslationService> MakeService(
+    qmap::FaultInjector* injector, qmap::ResilienceClock* clock) {
+  qmap::ServiceOptions options;
+  options.num_threads = 4;
+  options.enable_cache = false;
+  if (injector != nullptr) {
+    options.resilience.enabled = true;
+    options.resilience.source_deadline_us = 2000;
+    options.fault_injector = injector;
+    options.clock = clock;
+  }
+  auto service = std::make_unique<qmap::TranslationService>(options);
+  for (auto& [name, spec] : Federation()) {
+    service->AddSource(name, spec);
+  }
+  return service;
+}
+
+void TranslateUnguarded(benchmark::State& state) {
+  auto service = MakeService(nullptr, nullptr);
+  std::vector<qmap::Query> workload = Workload();
+  size_t next = 0;
+  for (auto _ : state) {
+    qmap::Result<qmap::MediatorTranslation> t =
+        service->Translate(workload[next++ % workload.size()]);
+    benchmark::DoNotOptimize(t);
+    if (!t.ok()) state.SkipWithError("translate failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(TranslateUnguarded);
+
+void TranslateWithSlowSources(benchmark::State& state) {
+  const int slow = static_cast<int>(state.range(0));
+  qmap::ManualClock clock;
+  qmap::FaultInjector injector(1234);
+  // Stall past the 2 ms per-source deadline on every call: DeadlineExceeded
+  // is non-retryable, so the source is dropped after exactly one attempt.
+  for (int i = 0; i < slow; ++i) {
+    injector.SetStallRate("S" + std::to_string(i), 1.0, 5000);
+  }
+  auto service = MakeService(&injector, &clock);
+  std::vector<qmap::Query> workload = Workload();
+  size_t next = 0;
+  uint64_t partials = 0;
+  for (auto _ : state) {
+    qmap::Result<qmap::MediatorTranslation> t =
+        service->Translate(workload[next++ % workload.size()]);
+    benchmark::DoNotOptimize(t);
+    if (!t.ok()) state.SkipWithError("translate failed");
+    if (t.ok() && !t->partial.complete()) ++partials;
+  }
+  state.SetItemsProcessed(state.iterations());
+  // Deterministic: 1.0 when any source is injected, 0.0 otherwise.
+  state.counters["partials/iter"] = benchmark::Counter(
+      static_cast<double>(partials), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(TranslateWithSlowSources)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+#include "bench_util.h"
+
+QMAP_BENCH_MAIN(bench_resilience)

@@ -16,6 +16,12 @@ enum class StatusCode {
   kUnsupported,
   kParseError,
   kInternal,
+  // Resilience-category codes (qmap/service/resilience.h): transient
+  // per-source conditions a federated caller may retry or degrade around,
+  // as opposed to the permanent errors above.
+  kUnavailable,       // source down / circuit breaker open; retryable
+  kDeadlineExceeded,  // per-source or per-request budget exhausted
+  kCancelled,         // request cancelled (explicitly or by a parent budget)
 };
 
 /// Lightweight status object, modeled after the Status idiom used by
@@ -41,6 +47,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -108,6 +108,39 @@ Tuple ConvertSyntheticTuple(const Tuple& source, const SyntheticOptions& options
   return out;
 }
 
+SyntheticOptions SyntheticMemberOptions(const SyntheticFederationOptions& options,
+                                        int member) {
+  SyntheticOptions out;
+  out.num_attrs = options.num_attrs;
+  const int p = member % std::max(1, options.num_attrs - 1);
+  out.dependent_pairs = {{p, p + 1}};
+  out.partial_single_for_pair_first = (member % 2 == 0);
+  return out;
+}
+
+Result<FederatedCatalog> MakeSyntheticFederation(
+    const SyntheticFederationOptions& options) {
+  FederatedCatalog catalog;
+  std::mt19937 rng(static_cast<uint32_t>(options.seed));
+  for (int m = 0; m < options.num_members; ++m) {
+    const SyntheticOptions member_options = SyntheticMemberOptions(options, m);
+    Result<MappingSpec> spec = MakeSyntheticSpec(member_options);
+    if (!spec.ok()) return spec.status();
+    FederatedCatalog::Member member;
+    member.name = "S" + std::to_string(m);
+    member.translator = Translator(*std::move(spec), options.translator);
+    member.convert = [member_options](const Tuple& tuple) {
+      return ConvertSyntheticTuple(tuple, member_options);
+    };
+    for (int t = 0; t < options.tuples_per_member; ++t) {
+      member.data.push_back(
+          RandomSourceTuple(rng, options.num_attrs, options.num_values));
+    }
+    catalog.AddMember(std::move(member));
+  }
+  return catalog;
+}
+
 Query GridQuery(int conjuncts, int disjuncts, int num_attrs, int num_values) {
   std::vector<Query> conjunct_list;
   conjunct_list.reserve(static_cast<size_t>(conjuncts));

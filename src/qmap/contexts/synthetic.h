@@ -1,12 +1,14 @@
 #ifndef QMAP_CONTEXTS_SYNTHETIC_H_
 #define QMAP_CONTEXTS_SYNTHETIC_H_
 
+#include <cstdint>
 #include <memory>
 #include <random>
 #include <utility>
 #include <vector>
 
 #include "qmap/expr/eval.h"
+#include "qmap/mediator/federation.h"
 #include "qmap/rules/spec.h"
 
 namespace qmap {
@@ -53,6 +55,32 @@ Tuple RandomSourceTuple(std::mt19937& rng, int num_attrs, int num_values);
 /// The data-conversion direction: extends a source tuple with the target
 /// attributes (bI, dI, cI_J) consistent with the mapping rules.
 Tuple ConvertSyntheticTuple(const Tuple& source, const SyntheticOptions& options);
+
+/// Options for a synthetic *union* federation: `num_members` members, each
+/// with its own synthetic vocabulary (a different dependent pair per member,
+/// so members genuinely differ in what they can realize exactly), seeded
+/// random member data, and the data-conversion direction wired up. The
+/// substrate for fault-injection and randomized-subsumption testing: every
+/// member's behavior is a pure function of `seed`.
+struct SyntheticFederationOptions {
+  int num_members = 4;
+  int num_attrs = 6;
+  int num_values = 4;
+  int tuples_per_member = 32;
+  uint64_t seed = 42;
+  TranslatorOptions translator;
+};
+
+/// The per-member mapping vocabulary: member m depends on the attribute pair
+/// (p, p+1) with p = m mod (num_attrs - 1), and only even members get the
+/// partial single-attribute rule — so exact coverage varies across members.
+SyntheticOptions SyntheticMemberOptions(const SyntheticFederationOptions& options,
+                                        int member);
+
+/// Builds the federation with members "S0" .. "S{n-1}". Fails only if a
+/// generated spec fails to parse (a bug in the generator, not in `options`).
+Result<FederatedCatalog> MakeSyntheticFederation(
+    const SyntheticFederationOptions& options);
 
 /// Deterministic benchmark query: a conjunction of `conjuncts` disjunctions,
 /// each with `disjuncts` leaf constraints — the worst-case shape for DNF

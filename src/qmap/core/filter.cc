@@ -63,4 +63,35 @@ Query ResidueFilter(const Query& original, const ExactCoverage& coverage) {
   return original;
 }
 
+Query MergedResidueFilter(const Query& original,
+                          const std::vector<const ExactCoverage*>& coverages) {
+  switch (original.kind()) {
+    case NodeKind::kTrue:
+      return Query::True();
+    case NodeKind::kLeaf: {
+      for (const ExactCoverage* coverage : coverages) {
+        if (coverage->IsExact(original.constraint())) return Query::True();
+      }
+      return original;
+    }
+    case NodeKind::kAnd: {
+      std::vector<Query> parts;
+      parts.reserve(original.children().size());
+      for (const Query& child : original.children()) {
+        parts.push_back(MergedResidueFilter(child, coverages));
+      }
+      return Query::And(std::move(parts));
+    }
+    case NodeKind::kOr: {
+      // A single source must witness the whole disjunction: mixing leaves
+      // covered by different sources is unsound (see filter.h).
+      for (const ExactCoverage* coverage : coverages) {
+        if (AllLeavesExact(original, *coverage)) return Query::True();
+      }
+      return original;
+    }
+  }
+  return original;
+}
+
 }  // namespace qmap

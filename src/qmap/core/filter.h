@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "qmap/expr/query.h"
 
@@ -15,9 +16,11 @@ namespace qmap {
 /// only covered by a relaxation rule stays in the residue filter.
 ///
 /// When merging coverage across *sources* (Eq. 3: Q = F ∧ S_1(Q) ∧ ... ∧
-/// S_n(Q)), use MergeAnySource: a constraint fully realized at any one
-/// source need not be re-checked by the mediator (Example 3: [dept = cs] is
-/// handled entirely by source T2).
+/// S_n(Q)), a constraint in a conjunctive position that is fully realized
+/// at any one source need not be re-checked by the mediator (Example 3:
+/// [dept = cs] is handled entirely by source T2). For disjunctions the
+/// per-constraint OR-merge is NOT sound — use MergedResidueFilter, which
+/// demands a single witnessing source per ∨-node.
 class ExactCoverage {
  public:
   /// AND-accumulates coverage of `c` within one translation.
@@ -27,6 +30,8 @@ class ExactCoverage {
   bool IsExact(const Constraint& c) const;
 
   /// OR-merge across sources: `c` becomes exact if exact in either input.
+  /// Only sound for constraints in conjunctive positions (see
+  /// MergedResidueFilter for why); kept for leaf-level aggregation.
   void MergeAnySource(const ExactCoverage& other);
 
  private:
@@ -53,6 +58,25 @@ class ExactCoverage {
 /// The paper's Example 3 is reproduced: F = c (the `near` constraint), all
 /// other constraints being exactly realized at some source.
 Query ResidueFilter(const Query& original, const ExactCoverage& coverage);
+
+/// The cross-source residue filter for the Eq. 3 composition
+/// F ∧ S_1(Q) ∧ ... ∧ S_n(Q), given each surviving source's own coverage.
+///
+/// Dropping a node from F must be justified by a SINGLE source:
+///   leaf    — some source translated it exactly in every context, so that
+///             source's S_i(Q) enforces it (the leaf sits conjunctively in
+///             every crossed conjunct of S_i(Q));
+///   ∨ node  — some ONE source covers *all* leaves below exactly, so that
+///             source's per-source identity F_i ∧ S_i(Q) ≡ Q enforces the
+///             whole disjunction.
+/// OR-merging coverage per-constraint first (MergeAnySource) and asking
+/// AllLeavesExact of the blob is unsound for ∨ nodes: with a3 exact only at
+/// S3 and a4 exact only at S2, each source widened a *different* disjunct,
+/// and the conjunction of the widened translations can accept tuples the
+/// disjunction rejects. Found by the randomized subsumption harness
+/// (tests/subsumption_property_test.cc).
+Query MergedResidueFilter(const Query& original,
+                          const std::vector<const ExactCoverage*>& coverages);
 
 }  // namespace qmap
 

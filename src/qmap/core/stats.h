@@ -36,6 +36,11 @@ namespace qmap {
   X(cache_misses, cache_misses)                     \
   X(cache_evictions, cache_evictions)               \
   X(parallel_tasks, parallel_tasks)                 \
+  X(retries, retries)                               \
+  X(deadline_hits, deadline_hits)                   \
+  X(breaker_rejections, breaker_rejections)         \
+  X(degraded_sources, degraded_sources)             \
+  X(failed_sources, failed_sources)                 \
   X(translate_ns, translate_ns)                     \
   X(queue_wait_ns, queue_wait_ns)
 
@@ -71,6 +76,16 @@ struct TranslationStats {
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
   uint64_t parallel_tasks = 0;
+
+  // Resilience counters (qmap/service/resilience.h): retry attempts beyond
+  // the first, per-source deadline expiries, circuit-breaker fast
+  // rejections, and sources that answered degraded / were dropped into a
+  // PartialResult. All zero when resilience is off.
+  uint64_t retries = 0;
+  uint64_t deadline_hits = 0;
+  uint64_t breaker_rejections = 0;
+  uint64_t degraded_sources = 0;
+  uint64_t failed_sources = 0;
 
   // Timing (observability): wall time spent inside Translator::Translate,
   // and — when a TranslationService runs the per-source work on its pool

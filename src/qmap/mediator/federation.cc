@@ -1,13 +1,60 @@
 #include "qmap/mediator/federation.h"
 
+#include <algorithm>
+
 namespace qmap {
+
+void FederatedCatalog::SetResilience(const ResilienceOptions& options,
+                                     ResilienceClock* clock,
+                                     FaultInjector* injector,
+                                     MetricsRegistry* metrics) {
+  resilience_ =
+      std::make_shared<ResilienceManager>(options, clock, injector, metrics);
+}
 
 Result<FederatedCatalog::FederatedResult> FederatedCatalog::Query(
     const qmap::Query& query) const {
   FederatedResult out;
+  CancelToken token;
+  const CancelToken* cancel = nullptr;
+  if (resilience_ != nullptr &&
+      resilience_->options().request_deadline_us > 0) {
+    token.budget = DeadlineBudget{}.Narrowed(
+        resilience_->clock()->NowUs(),
+        resilience_->options().request_deadline_us);
+    cancel = &token;
+  }
   for (const Member& member : members_) {
-    Result<Translation> translation = member.translator.Translate(query);
-    if (!translation.ok()) return translation.status();
+    ResilienceManager::CallReport report;
+    Result<Translation> translation =
+        resilience_ != nullptr
+            ? resilience_->GuardedTranslate(
+                  member.name, query, cancel,
+                  [&] { return member.translator.Translate(query); }, &report)
+            : member.translator.Translate(query);
+    Status member_status = translation.status();
+    // The data-conversion direction is a source call too: a fault scripted
+    // under "<member>.convert" drops the member even though its translation
+    // succeeded (e.g. a conversion service being down).
+    if (member_status.ok() && resilience_ != nullptr &&
+        resilience_->injector() != nullptr) {
+      Fault fault = resilience_->injector()->Next(member.name + ".convert");
+      if (fault.kind == FaultKind::kFail) {
+        member_status = fault.status.ok()
+                            ? Status::Unavailable("injected conversion fault")
+                            : fault.status;
+      }
+    }
+    if (!member_status.ok()) {
+      if (resilience_ != nullptr && resilience_->options().allow_partial &&
+          IsSourceDropFailure(member_status.code())) {
+        out.partial.failed.push_back(
+            {member.name, member_status, report.attempts});
+        continue;
+      }
+      return member_status;
+    }
+    if (report.degraded) out.partial.degraded.push_back(member.name);
     MemberResult result;
     result.name = member.name;
     result.pushed = translation->mapped;
@@ -22,6 +69,16 @@ Result<FederatedCatalog::FederatedResult> FederatedCatalog::Query(
     result.tuples = Select(hits, translation->filter);
     out.combined = Union(out.combined, result.tuples);
     out.per_member.push_back(std::move(result));
+  }
+  if (resilience_ != nullptr && !out.partial.failed.empty()) {
+    const size_t survivors = members_.size() - out.partial.failed.size();
+    if (survivors < std::max<size_t>(1, resilience_->options().min_sources)) {
+      return Status::Unavailable(
+          "only " + std::to_string(survivors) + " of " +
+          std::to_string(members_.size()) +
+          " members available: " + out.partial.ToString());
+    }
+    resilience_->RecordPartialResult(out.partial.failed.size());
   }
   return out;
 }

@@ -2,11 +2,13 @@
 #define QMAP_MEDIATOR_FEDERATION_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "qmap/core/translator.h"
 #include "qmap/relalg/ops.h"
+#include "qmap/service/resilience.h"
 
 namespace qmap {
 
@@ -48,11 +50,30 @@ class FederatedCatalog {
   struct FederatedResult {
     std::vector<MemberResult> per_member;
     TupleSet combined;  // union of the filtered member results
+    /// Members dropped (their tuples are missing from `combined`) or
+    /// answering degraded (their tuples are complete: the widened pushed
+    /// query over-fetches and F_i filters the excess). Union integration
+    /// degrades gracefully: every surviving member's contribution is exact.
+    PartialResult partial;
   };
 
   /// Translates Q for every member, queries each (push S_i(Q) against the
   /// member's converted data, filter with F_i), and unions the results.
+  ///
+  /// With resilience enabled (SetResilience), each member's translate runs
+  /// under retry/breaker/deadline guards, and per-tuple data conversion is
+  /// fault-injectable under the key "<member>.convert"; failing members are
+  /// dropped into `partial` instead of failing the query.
   Result<FederatedResult> Query(const qmap::Query& query) const;
+
+  /// Enables graceful degradation for Query (see ResilienceOptions). Null
+  /// clock/injector/metrics mean system clock / no faults / no metrics;
+  /// non-null pointers must outlive the catalog.
+  void SetResilience(const ResilienceOptions& options,
+                     ResilienceClock* clock = nullptr,
+                     FaultInjector* injector = nullptr,
+                     MetricsRegistry* metrics = nullptr);
+  ResilienceManager* resilience() const { return resilience_.get(); }
 
   /// Ground truth: Q evaluated directly over the union of all member data
   /// in mediator vocabulary.  Query().combined must equal this (Eq. 3).
@@ -60,6 +81,7 @@ class FederatedCatalog {
 
  private:
   std::vector<Member> members_;
+  std::shared_ptr<ResilienceManager> resilience_;
 };
 
 }  // namespace qmap

@@ -24,28 +24,85 @@ void Mediator::SetViewConstraints(Query constraints) {
   view_constraints_ = std::move(constraints);
 }
 
+void Mediator::SetResilience(const ResilienceOptions& options,
+                             ResilienceClock* clock, FaultInjector* injector,
+                             MetricsRegistry* metrics) {
+  resilience_ =
+      std::make_shared<ResilienceManager>(options, clock, injector, metrics);
+}
+
 Result<MediatorTranslation> Mediator::Translate(const Query& query, Trace* trace,
                                                 uint64_t parent_span) const {
   Span root(trace, "mediator.translate", parent_span);
   Query full = query & view_constraints_;
   MediatorTranslation out;
-  ExactCoverage merged;
+  std::vector<const ExactCoverage*> coverages;
+  CancelToken token;
+  const CancelToken* cancel = nullptr;
+  if (resilience_ != nullptr &&
+      resilience_->options().request_deadline_us > 0) {
+    token.budget = DeadlineBudget{}.Narrowed(
+        resilience_->clock()->NowUs(),
+        resilience_->options().request_deadline_us);
+    cancel = &token;
+  }
   for (const SourceContext& source : sources_) {
     Span source_span(trace, "source.translate", root.id());
     if (source_span.enabled()) source_span.AddAttr("source", source.name());
     Translator translator(source.spec(), options_);
+    ResilienceManager::CallReport report;
     Result<Translation> translation =
-        translator.Translate(full, trace, source_span.id());
-    if (!translation.ok()) return translation.status();
+        resilience_ != nullptr
+            ? resilience_->GuardedTranslate(
+                  source.name(), full, cancel,
+                  [&] {
+                    return translator.Translate(full, trace, source_span.id());
+                  },
+                  &report, trace, source_span.id())
+            : translator.Translate(full, trace, source_span.id());
+    out.stats.retries += report.retries;
+    out.stats.deadline_hits += report.deadline_hit ? 1 : 0;
+    out.stats.breaker_rejections += report.breaker_rejected ? 1 : 0;
+    if (!translation.ok()) {
+      // With partial tolerance on, a transiently failing source is dropped
+      // into the PartialResult instead of failing the whole translation;
+      // its exact coverage never reaches `coverages`, so F keeps every
+      // constraint only that source would have realized.
+      if (resilience_ != nullptr && resilience_->options().allow_partial &&
+          IsSourceDropFailure(translation.status().code())) {
+        out.partial.failed.push_back(
+            {source.name(), translation.status(), report.attempts});
+        out.stats.failed_sources += 1;
+        continue;
+      }
+      return translation.status();
+    }
+    if (report.degraded) {
+      out.partial.degraded.push_back(source.name());
+      out.stats.degraded_sources += 1;
+    }
     source_span.SetStats(translation->stats);
-    merged.MergeAnySource(translation->coverage);
     out.stats.MergeFrom(translation->stats);
-    out.per_source.emplace(source.name(), *std::move(translation));
+    auto [slot, inserted] =
+        out.per_source.emplace(source.name(), *std::move(translation));
+    if (inserted) coverages.push_back(&slot->second.coverage);
   }
-  // A constraint stays in F unless *some* source covered it exactly.
+  if (resilience_ != nullptr && !out.partial.failed.empty()) {
+    const size_t survivors = sources_.size() - out.partial.failed.size();
+    if (survivors < std::max<size_t>(1, resilience_->options().min_sources)) {
+      return Status::Unavailable(
+          "only " + std::to_string(survivors) + " of " +
+          std::to_string(sources_.size()) +
+          " sources available: " + out.partial.ToString());
+    }
+    resilience_->RecordPartialResult(out.partial.failed.size());
+    if (root.enabled()) root.AddAttr("partial", out.partial.ToString());
+  }
+  // A constraint stays in F unless some source covered it exactly; a
+  // disjunction stays unless one single source covers all its leaves.
   {
     Span filter_span(trace, "filter", root.id());
-    out.filter = ResidueFilter(full, merged);
+    out.filter = MergedResidueFilter(full, coverages);
   }
   root.SetStats(out.stats);
   return out;
@@ -84,6 +141,13 @@ Result<TupleSet> Mediator::Execute(const Query& query) const {
 
 Result<TupleSet> Mediator::ExecuteTranslated(
     const MediatorTranslation& translation) const {
+  if (!translation.partial.complete()) {
+    // Eq. 2 crosses *every* source: with one missing there is no sound
+    // answer for a join integration (unlike FederatedCatalog's union).
+    return Status::Unavailable(
+        "partial translation cannot be executed by the join pipeline (" +
+        translation.partial.ToString() + ")");
+  }
   Result<TupleSet> converted = ConvertedCross(&translation);
   if (!converted.ok()) return converted;
   return Select(*converted, translation.filter, semantics_);

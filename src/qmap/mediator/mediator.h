@@ -2,24 +2,34 @@
 #define QMAP_MEDIATOR_MEDIATOR_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "qmap/core/translator.h"
 #include "qmap/mediator/source.h"
 #include "qmap/relalg/conversion.h"
+#include "qmap/service/resilience.h"
 
 namespace qmap {
 
 /// The mediator's answer to "translate Q for everyone" (Eq. 3):
 /// Q = F ∧ S_1(Q) ∧ ... ∧ S_n(Q).
 struct MediatorTranslation {
-  /// S_i(Q), keyed by source name.
+  /// S_i(Q), keyed by source name. Sources listed in `partial.failed` are
+  /// absent; sources in `partial.degraded` are present with a widened
+  /// (still subsuming) translation.
   std::map<std::string, Translation> per_source;
   /// The residue filter F: the original constraints not fully realized at
   /// any source (plus cross-source view constraints, which no single source
-  /// can evaluate).
+  /// can evaluate). Built from the *successful* sources' coverage only, so
+  /// a constraint that was exactly realized only at a failed or degraded
+  /// source moves back into F — that recomputation is what keeps partial
+  /// and degraded answers sound (Definition 1's subsumption guarantee).
   Query filter;
+  /// Which sources were dropped or answered degraded (empty/complete unless
+  /// resilience is enabled — see qmap/service/resilience.h).
+  PartialResult partial;
   /// Cost counters merged across all per-source translations (plus the
   /// service layer's cache/parallelism counters when produced by a
   /// TranslationService). Observability only: not part of the translation's
@@ -60,6 +70,18 @@ class Mediator {
   /// Optional custom constraint semantics used when executing queries.
   void SetSemantics(const ConstraintSemantics* semantics) { semantics_ = semantics; }
 
+  /// Enables graceful degradation for Translate: per-source retry/backoff,
+  /// circuit breaking, deadline budgets, and (with options.allow_partial)
+  /// partial translations that drop failed sources into
+  /// MediatorTranslation::partial instead of failing the call. `clock`,
+  /// `injector` and `metrics` may be null (system clock, no fault injection,
+  /// no metrics); non-null pointers must outlive the mediator.
+  void SetResilience(const ResilienceOptions& options,
+                     ResilienceClock* clock = nullptr,
+                     FaultInjector* injector = nullptr,
+                     MetricsRegistry* metrics = nullptr);
+  ResilienceManager* resilience() const { return resilience_.get(); }
+
   /// Translates `query` for every source and builds the combined filter:
   /// a constraint is dropped from F only if some source realizes it exactly.
   /// With a trace attached, records a "mediator.translate" span under
@@ -78,6 +100,10 @@ class Mediator {
   /// push-down selects, cross, conversions, then the residue filter.
   /// `translation` must cover every current source — if a source was added
   /// after the translation was computed, returns NotFound (it never throws).
+  /// A partial translation (translation.partial incomplete) is rejected
+  /// with Unavailable: the mediator's integration is a *join* (Eq. 2
+  /// crosses every source), so a missing source cannot be compensated —
+  /// only union integrations (FederatedCatalog) can serve partial answers.
   Result<TupleSet> ExecuteTranslated(const MediatorTranslation& translation) const;
 
   /// Ground truth via Eq. 1: cross everything unfiltered, convert, then
@@ -93,6 +119,9 @@ class Mediator {
   std::vector<ConversionFn> conversions_;
   Query view_constraints_ = Query::True();
   const ConstraintSemantics* semantics_ = nullptr;
+  // Shared (not unique) so Mediator stays copyable; copies share breaker
+  // state, which is the desired behavior for one logical federation.
+  std::shared_ptr<ResilienceManager> resilience_;
 };
 
 }  // namespace qmap

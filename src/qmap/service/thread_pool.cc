@@ -24,6 +24,11 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void ThreadPool::AttachMetrics(MetricsRegistry* registry) {
   if (registry == nullptr) {
     queue_wait_hist_ = run_hist_ = nullptr;

@@ -18,6 +18,15 @@ class MetricsRegistry;
 /// The destructor drains the queue: tasks already submitted run to
 /// completion before the workers join, so a caller blocked on a latch never
 /// deadlocks against pool teardown.
+///
+/// Cancellation contract: the pool has no preemption and no task removal —
+/// every submitted task runs exactly once. Cancellation is therefore
+/// *cooperative*: a caller that hands workers pointers into its own stack
+/// frame (the fan-out pattern in TranslationService::TranslateFull) must
+/// wait for all of its tasks to finish before returning, even when the
+/// request's deadline has already expired; tasks observe a CancelToken and
+/// return early instead of being abandoned. Dropping the wait would leave
+/// detached workers writing into a dead frame — see docs/ROBUSTNESS.md.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (clamped to at least 1).
@@ -28,6 +37,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Tasks submitted but not yet picked up by a worker. A point-in-time
+  /// reading (the queue moves concurrently); useful for load shedding and
+  /// for asserting in tests that a drained pool holds no stragglers.
+  size_t queue_depth() const;
 
   /// Records every task's queue-wait time (Submit → a worker picking it up)
   /// and run time into `registry` as the qmap_pool_queue_wait_us and
@@ -43,7 +57,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;  // guarded by mu_
   bool stopping_ = false;                    // guarded by mu_

@@ -47,6 +47,11 @@ TranslationService::TranslationService(ServiceOptions options)
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
+  if (options_.resilience.enabled || options_.fault_injector != nullptr) {
+    resilience_ = std::make_unique<ResilienceManager>(
+        options_.resilience, options_.clock, options_.fault_injector,
+        options_.obs.metrics);
+  }
   if (options_.obs.metrics != nullptr) {
     MetricsRegistry* metrics = options_.obs.metrics;
     cache_.AttachMetrics(metrics);
@@ -117,12 +122,22 @@ std::vector<std::unique_ptr<MatchMemo>> TranslationService::MakeMemoScope()
 
 Result<Translation> TranslationService::TranslateOne(
     const SourceEntry& source, const Query& full, Trace* trace,
-    uint64_t parent_span, MatchMemo* memo) const {
-  if (!options_.enable_cache) {
+    uint64_t parent_span, MatchMemo* memo, const CancelToken* cancel,
+    ResilienceManager::CallReport* report) const {
+  const auto attempt = [&]() {
     return source.translator.Translate(full, trace, parent_span, memo);
-  }
+  };
+  const auto guarded = [&]() -> Result<Translation> {
+    if (resilience_ == nullptr) return attempt();
+    return resilience_->GuardedTranslate(source.name, full, cancel, attempt,
+                                         report, trace, parent_span);
+  };
+  if (!options_.enable_cache) return guarded();
   const TranslationCacheKey key{source.cache_key_prefix, full.fingerprint()};
   {
+    // A hit never reaches the source, so the resilience guards — and any
+    // injected faults — do not apply: the cache is itself a degradation
+    // buffer (a source can be down and its cached translations still serve).
     Span lookup(trace, "cache.lookup", parent_span);
     if (std::optional<Translation> hit = cache_.Get(key)) {
       if (lookup.enabled()) lookup.AddAttr("hit", "true");
@@ -134,10 +149,11 @@ Result<Translation> TranslationService::TranslateOne(
     }
     if (lookup.enabled()) lookup.AddAttr("hit", "false");
   }
-  Result<Translation> translation =
-      source.translator.Translate(full, trace, parent_span, memo);
+  Result<Translation> translation = guarded();
   if (!translation.ok()) return translation;
-  {
+  if (report == nullptr || !report->degraded) {
+    // Degraded (widened) translations are never cached: a later healthy
+    // call must get the exact mapping back, not a poisoned wide one.
     Span insert(trace, "cache.insert", parent_span);
     cache_.Put(key, *translation);
   }
@@ -147,7 +163,8 @@ Result<Translation> TranslationService::TranslateOne(
 
 Result<MediatorTranslation> TranslationService::TranslateFull(
     const Query& full, Trace* trace,
-    const std::vector<std::unique_ptr<MatchMemo>>& memos) const {
+    const std::vector<std::unique_ptr<MatchMemo>>& memos,
+    const CancelToken* cancel) const {
   Span root(trace, "service.translate", 0);
   // Rendering is deferred to this detail-only path; the translation and
   // cache machinery below works purely on fingerprints.
@@ -157,6 +174,7 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
   const uint64_t evictions_before =
       options_.enable_cache ? cache_.stats().evictions : 0;
   std::vector<std::optional<Result<Translation>>> outcomes(n);
+  std::vector<ResilienceManager::CallReport> reports(n);
   if (pool_ != nullptr && n > 1) {
     parallel_tasks_.fetch_add(n, std::memory_order_relaxed);
     // Covers the whole fan-out window on the calling thread: submits, the
@@ -165,8 +183,8 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
     std::latch done(static_cast<ptrdiff_t>(n));
     for (size_t i = 0; i < n; ++i) {
       const int64_t submit_ns = trace != nullptr ? trace->NowNs() : 0;
-      pool_->Submit([this, &full, &outcomes, &done, trace, &memos, root_id,
-                     submit_ns, i] {
+      pool_->Submit([this, &full, &outcomes, &reports, &done, trace, &memos,
+                     root_id, submit_ns, cancel, i] {
         const int64_t start_ns = trace != nullptr ? trace->NowNs() : 0;
         Span source_span(trace, "source.translate", root_id);
         if (source_span.enabled()) {
@@ -175,7 +193,7 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
         }
         Result<Translation> translation = TranslateOne(
             sources_[i], full, trace, source_span.id(),
-            memos.empty() ? nullptr : memos[i].get());
+            memos.empty() ? nullptr : memos[i].get(), cancel, &reports[i]);
         if (translation.ok()) {
           translation->stats.queue_wait_ns +=
               static_cast<uint64_t>(start_ns - submit_ns);
@@ -189,6 +207,11 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
         done.count_down();
       });
     }
+    // ALWAYS wait, even when `cancel` has expired mid-fan-out: the workers
+    // write into this frame's `outcomes`/`reports`, so returning before the
+    // latch releases would leave detached tasks scribbling on a dead stack.
+    // Expiry makes the workers *finish fast* (the guard checks the token
+    // before each attempt), never makes the caller leave early.
     done.wait();
   } else {
     inline_tasks_.fetch_add(n, std::memory_order_relaxed);
@@ -197,7 +220,7 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
       if (source_span.enabled()) source_span.AddAttr("source", sources_[i].name);
       Result<Translation> translation = TranslateOne(
           sources_[i], full, trace, source_span.id(),
-          memos.empty() ? nullptr : memos[i].get());
+          memos.empty() ? nullptr : memos[i].get(), cancel, &reports[i]);
       if (translation.ok()) source_span.SetStats(translation->stats);
       outcomes[i].emplace(std::move(translation));
     }
@@ -207,13 +230,46 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
   // always runs in that order, independent of task completion order.
   Span join_span(trace, "join", root_id);
   MediatorTranslation out;
-  ExactCoverage merged;
+  std::vector<const ExactCoverage*> coverages;
+  const bool allow_partial =
+      resilience_ != nullptr && resilience_->options().allow_partial;
   for (size_t i = 0; i < n; ++i) {
+    const ResilienceManager::CallReport& report = reports[i];
+    out.stats.retries += report.retries;
+    out.stats.deadline_hits += report.deadline_hit ? 1 : 0;
+    out.stats.breaker_rejections += report.breaker_rejected ? 1 : 0;
     Result<Translation>& translation = *outcomes[i];
-    if (!translation.ok()) return translation.status();
-    merged.MergeAnySource(translation->coverage);
+    if (!translation.ok()) {
+      // Drop the failed source into the partial result: its coverage never
+      // reaches `coverages`, so MergedResidueFilter below regains every
+      // constraint only that source would have realized — the recomputation
+      // that keeps partial answers sound.
+      if (allow_partial && IsSourceDropFailure(translation.status().code())) {
+        out.partial.failed.push_back(
+            {sources_[i].name, translation.status(), report.attempts});
+        out.stats.failed_sources += 1;
+        continue;
+      }
+      return translation.status();
+    }
+    if (report.degraded) {
+      out.partial.degraded.push_back(sources_[i].name);
+      out.stats.degraded_sources += 1;
+    }
     out.stats.MergeFrom(translation->stats);
-    out.per_source.emplace(sources_[i].name, *std::move(translation));
+    auto [slot, inserted] =
+        out.per_source.emplace(sources_[i].name, *std::move(translation));
+    if (inserted) coverages.push_back(&slot->second.coverage);
+  }
+  if (resilience_ != nullptr && !out.partial.failed.empty()) {
+    const size_t survivors = n - out.partial.failed.size();
+    if (survivors < std::max<size_t>(1, resilience_->options().min_sources)) {
+      return Status::Unavailable(
+          "only " + std::to_string(survivors) + " of " + std::to_string(n) +
+          " sources available: " + out.partial.ToString());
+    }
+    resilience_->RecordPartialResult(out.partial.failed.size());
+    if (root.enabled()) root.AddAttr("partial", out.partial.ToString());
   }
   if (pool_ != nullptr && n > 1) out.stats.parallel_tasks += n;
   if (options_.enable_cache) {
@@ -224,7 +280,7 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
   join_span.End();
   {
     Span filter_span(trace, "filter", root_id);
-    out.filter = ResidueFilter(full, merged);
+    out.filter = MergedResidueFilter(full, coverages);
   }
   if (match_attempts_counter_ != nullptr) {
     match_attempts_counter_->Inc(out.stats.match.pattern_attempts);
@@ -238,10 +294,11 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
 
 Result<MediatorTranslation> TranslationService::TranslateObserved(
     const Query& full, Trace* trace,
-    const std::vector<std::unique_ptr<MatchMemo>>& memos) const {
+    const std::vector<std::unique_ptr<MatchMemo>>& memos,
+    const CancelToken* cancel) const {
   const SlowQueryLogOptions& slow = options_.obs.slow_query;
   const bool want_obs = slow.enabled || latency_hist_ != nullptr;
-  if (!want_obs) return TranslateFull(full, trace, memos);
+  if (!want_obs) return TranslateFull(full, trace, memos, cancel);
 
   // The slow-query log wants a trace of every query so the slow ones come
   // with their per-source spans attached, and the per-phase qmap_span_*
@@ -254,7 +311,7 @@ Result<MediatorTranslation> TranslationService::TranslateObserved(
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
-  Result<MediatorTranslation> out = TranslateFull(full, trace, memos);
+  Result<MediatorTranslation> out = TranslateFull(full, trace, memos, cancel);
   const uint64_t total_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - wall_start)
@@ -269,9 +326,11 @@ Result<MediatorTranslation> TranslationService::TranslateObserved(
   for (const auto& [name, translation] : out->per_source) {
     max_disjuncts = std::max(max_disjuncts, translation.stats.dnf_disjuncts);
   }
+  const bool is_partial = !out->partial.complete();
   const bool is_slow =
       total_us >= slow.latency_threshold_us ||
-      (slow.disjunct_threshold > 0 && max_disjuncts >= slow.disjunct_threshold);
+      (slow.disjunct_threshold > 0 && max_disjuncts >= slow.disjunct_threshold) ||
+      (slow.capture_partial && is_partial);
   if (!is_slow) return out;
 
   slow_queries_.fetch_add(1, std::memory_order_relaxed);
@@ -282,6 +341,7 @@ Result<MediatorTranslation> TranslationService::TranslateObserved(
   record.total_us = total_us;
   record.max_disjuncts = max_disjuncts;
   record.stats = out->stats.ToString();
+  if (is_partial) record.partial_summary = out->partial.ToString();
   if (trace != nullptr) record.trace_json = trace->ToJson();
   {
     std::lock_guard<std::mutex> lock(slow_mu_);
@@ -293,12 +353,26 @@ Result<MediatorTranslation> TranslationService::TranslateObserved(
   return out;
 }
 
+const CancelToken* TranslationService::MakeRequestToken(
+    CancelToken* storage) const {
+  if (resilience_ == nullptr ||
+      resilience_->options().request_deadline_us == 0) {
+    return nullptr;
+  }
+  storage->budget = DeadlineBudget{}.Narrowed(
+      resilience_->clock()->NowUs(),
+      resilience_->options().request_deadline_us);
+  return storage;
+}
+
 Result<MediatorTranslation> TranslationService::Translate(const Query& query,
                                                           Trace* trace) const {
   translate_calls_.fetch_add(1, std::memory_order_relaxed);
   if (translate_counter_ != nullptr) translate_counter_->Inc();
   Query full = query & view_constraints_;
-  return TranslateObserved(full, trace, MakeMemoScope());
+  CancelToken token;
+  return TranslateObserved(full, trace, MakeMemoScope(),
+                           MakeRequestToken(&token));
 }
 
 Result<std::vector<MediatorTranslation>> TranslationService::TranslateBatch(
@@ -335,11 +409,21 @@ Result<std::vector<MediatorTranslation>> TranslationService::TranslateBatch(
   // still share sub-conjunctions (hot root tables, common filters), so the
   // per-source memos keep paying across the batch's unique queries.
   std::vector<std::unique_ptr<MatchMemo>> memos = MakeMemoScope();
+  // One budget for the whole batch: the request deadline covers every query
+  // in it, so a stalled early query leaves less (possibly nothing) for the
+  // later ones — budget propagation, not per-query reset.
+  CancelToken token;
+  const CancelToken* cancel = MakeRequestToken(&token);
   std::vector<MediatorTranslation> unique_results;
   unique_results.reserve(unique_full.size());
   for (size_t u = 0; u < unique_full.size(); ++u) {
+    if (cancel != nullptr && cancel->Expired(resilience_->clock()->NowUs())) {
+      return Status::DeadlineExceeded(
+          "batch budget exhausted after " + std::to_string(u) + " of " +
+          std::to_string(unique_full.size()) + " unique queries");
+    }
     Result<MediatorTranslation> translation =
-        TranslateObserved(unique_full[u], nullptr, memos);
+        TranslateObserved(unique_full[u], nullptr, memos, cancel);
     if (!translation.ok()) return translation.status();
     unique_results.push_back(*std::move(translation));
   }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "qmap/mediator/mediator.h"
+#include "qmap/service/resilience.h"
 #include "qmap/service/thread_pool.h"
 #include "qmap/service/translation_cache.h"
 
@@ -37,6 +38,10 @@ struct SlowQueryLogOptions {
   /// Ring-buffer size: only the most recent `capacity` slow queries are
   /// kept (the qmap_slow_queries_total counter keeps the lifetime count).
   size_t capacity = 32;
+  /// Also capture every query that came back partial or degraded (see
+  /// MediatorTranslation::partial), regardless of latency — a dropped
+  /// source is worth a log entry even when the survivors answered fast.
+  bool capture_partial = true;
 };
 
 /// Observability wiring for the service. All of it defaults to off, in
@@ -64,6 +69,9 @@ struct SlowQueryRecord {
   uint64_t max_disjuncts = 0;
   /// TranslationStats::ToString() of the aggregated stats.
   std::string stats;
+  /// PartialResult::ToString() when the query came back partial or
+  /// degraded; empty for complete answers.
+  std::string partial_summary;
   /// Trace::ToJson() of the per-query trace (per-source spans, pool waits,
   /// cache lookups). Present even when the caller did not pass a Trace:
   /// the service records an internal trace whenever the slow-query log is
@@ -84,6 +92,17 @@ struct ServiceOptions {
   TranslationCacheOptions cache;
   /// Metrics and slow-query-log wiring; off by default.
   ObsOptions obs;
+  /// Graceful-degradation policy (retry/backoff, circuit breaking, deadline
+  /// budgets, partial results); off by default. See docs/ROBUSTNESS.md.
+  ResilienceOptions resilience;
+  /// Optional deterministic fault injector for tests/benchmarks; keys are
+  /// source names. Setting it activates the resilience layer even when
+  /// resilience.enabled is false (faults must pass through the guards to be
+  /// observed). Must outlive the service.
+  FaultInjector* fault_injector = nullptr;
+  /// Clock for deadlines/backoff/stalls; null uses the system clock. Tests
+  /// pass a ManualClock so stall and timeout scenarios never really sleep.
+  ResilienceClock* clock = nullptr;
 };
 
 /// Aggregate service counters (monotonic over the service lifetime).
@@ -165,6 +184,11 @@ class TranslationService {
   /// options.obs.slow_query.enabled.
   std::vector<SlowQueryRecord> slow_queries() const;
 
+  /// The resilience layer, or null when neither options.resilience.enabled
+  /// nor options.fault_injector was set. Exposes counters, breaker state
+  /// and the clock for tests and operators.
+  ResilienceManager* resilience() const { return resilience_.get(); }
+
  private:
   struct SourceEntry {
     std::string name;
@@ -185,16 +209,25 @@ class TranslationService {
   std::vector<std::unique_ptr<MatchMemo>> MakeMemoScope() const;
 
   /// One per-source unit of work: cache lookup (typed fingerprint key),
-  /// else translate and fill.
+  /// else translate (under the resilience guards when enabled) and fill.
+  /// Degraded translations are never cached — a cached entry must be the
+  /// exact mapping, not a widened one. `cancel` and `report` may be null.
   Result<Translation> TranslateOne(const SourceEntry& source, const Query& full,
                                    Trace* trace, uint64_t parent_span,
-                                   MatchMemo* memo) const;
+                                   MatchMemo* memo, const CancelToken* cancel,
+                                   ResilienceManager::CallReport* report) const;
 
   /// The fan-out + deterministic join for one full query (view constraints
   /// already conjoined). `memos` is the request's memo scope (may be empty).
+  ///
+  /// Cancellation/lifetime contract: workers write into stack-allocated
+  /// per-request state, so this function ALWAYS waits for every dispatched
+  /// task — even when `cancel` has already expired. Workers poll the token
+  /// and bail out fast instead of being abandoned (see docs/ROBUSTNESS.md).
   Result<MediatorTranslation> TranslateFull(
       const Query& full, Trace* trace,
-      const std::vector<std::unique_ptr<MatchMemo>>& memos) const;
+      const std::vector<std::unique_ptr<MatchMemo>>& memos,
+      const CancelToken* cancel) const;
 
   /// TranslateFull plus the observability envelope: wall-clock timing, the
   /// latency histogram, folding trace spans into per-phase metrics, and
@@ -203,12 +236,19 @@ class TranslationService {
   /// slow-query log need one.
   Result<MediatorTranslation> TranslateObserved(
       const Query& full, Trace* trace,
-      const std::vector<std::unique_ptr<MatchMemo>>& memos) const;
+      const std::vector<std::unique_ptr<MatchMemo>>& memos,
+      const CancelToken* cancel) const;
+
+  /// Builds the request-level cancel token when a request deadline is
+  /// configured; returns null (no token) otherwise.
+  const CancelToken* MakeRequestToken(CancelToken* storage) const;
 
   ServiceOptions options_;
   std::vector<SourceEntry> sources_;  // sorted by name
   Query view_constraints_ = Query::True();
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads <= 1
+  // Non-null when options_.resilience.enabled or a fault injector is set.
+  std::unique_ptr<ResilienceManager> resilience_;
   mutable TranslationCache cache_;
   mutable std::atomic<uint64_t> translate_calls_{0};
   mutable std::atomic<uint64_t> batch_calls_{0};

@@ -84,5 +84,48 @@ TEST(ResidueFilter, TrueStaysTrue) {
   EXPECT_TRUE(ResidueFilter(Query::True(), coverage).is_true());
 }
 
+TEST(MergedResidueFilter, LeafDroppedWhenAnySourceCoversIt) {
+  ExactCoverage s1;
+  ExactCoverage s2;
+  s1.Record(C("[a = 1]"), true);
+  s2.Record(C("[b = 2]"), true);
+  Query f = MergedResidueFilter(Q("[a = 1] and [b = 2]"), {&s1, &s2});
+  EXPECT_TRUE(f.is_true());
+}
+
+// The soundness pin for the cross-source ∨ rule: with [a = 1] exact only at
+// S1 and [b = 2] exact only at S2, each source widened a *different*
+// disjunct, so neither pushed query enforces the disjunction — F must keep
+// it. OR-merging coverage per constraint and filtering the blob would
+// wrongly return True here (the bug the subsumption harness found).
+TEST(MergedResidueFilter, DisjunctionNeedsASingleWitnessSource) {
+  ExactCoverage s1;
+  ExactCoverage s2;
+  s1.Record(C("[a = 1]"), true);
+  s1.Record(C("[b = 2]"), false);
+  s2.Record(C("[a = 1]"), false);
+  s2.Record(C("[b = 2]"), true);
+  Query q = Q("[a = 1] or [b = 2]");
+  EXPECT_EQ(MergedResidueFilter(q, {&s1, &s2}).ToString(),
+            "[a = 1] ∨ [b = 2]");
+
+  // The per-constraint OR-merge followed by the single-coverage filter is
+  // exactly the unsound shape.
+  ExactCoverage blob = s1;
+  blob.MergeAnySource(s2);
+  EXPECT_TRUE(ResidueFilter(q, blob).is_true());
+
+  // One source covering the whole disjunction is a valid witness.
+  ExactCoverage whole;
+  whole.Record(C("[a = 1]"), true);
+  whole.Record(C("[b = 2]"), true);
+  EXPECT_TRUE(MergedResidueFilter(q, {&s1, &whole}).is_true());
+}
+
+TEST(MergedResidueFilter, NoSourcesKeepsEverything) {
+  Query q = Q("[a = 1] and ([b = 2] or [c = 3])");
+  EXPECT_EQ(MergedResidueFilter(q, {}).ToString(), q.ToString());
+}
+
 }  // namespace
 }  // namespace qmap
