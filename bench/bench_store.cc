@@ -1,0 +1,234 @@
+// B10 — the persistent translation tier (qmap/store): steady-state put/get
+// cost on the record log, cold-boot recovery + warm-up replay scaling with
+// the number of live records, and the end-to-end restart story — a
+// TranslationService that reboots over a populated store should answer its
+// whole workload from the replayed RAM cache without a single cold
+// translation.
+//
+//   StorePut            — append a positive record (insert or supersede).
+//   StoreGet            — warm index probe + payload decode.
+//   ColdBootReplay/N    — Open (scan + index recovery) over N live records,
+//                         then ReplayInto a fresh TranslationCache.
+//   RestartHitRate      — boot a service over a populated store and run the
+//                         full workload. restart_translate_attempts counts
+//                         post-restart cold translations (RAM-cache misses);
+//                         the committed baseline pins it at exactly 0, so
+//                         any regression in fingerprint keying, replay
+//                         filtering, or byte-identical decode fails CI.
+//
+// Counters whose names contain "attempts" are treated as deterministic by
+// bench/check_bench_regression.py; times get the loose smoke tolerance.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qmap/contexts/synthetic.h"
+#include "qmap/expr/parser.h"
+#include "qmap/expr/printer.h"
+#include "qmap/service/translation_cache.h"
+#include "qmap/service/translation_service.h"
+#include "qmap/store/translation_store.h"
+
+namespace {
+
+// Scratch log path under the system temp dir; any leftover from a previous
+// (possibly aborted) run is removed so recovery always starts clean.
+std::string ScratchPath(const std::string& name) {
+  std::string path = (std::filesystem::temp_directory_path() /
+                      ("qmap_bench_store_" + name + ".log"))
+                         .string();
+  std::remove(path.c_str());
+  std::remove((path + ".compacting").c_str());
+  return path;
+}
+
+qmap::Query Q(const std::string& text) {
+  qmap::Result<qmap::Query> q = qmap::ParseQuery(text);
+  if (!q.ok()) std::abort();
+  return *q;
+}
+
+// A representative positive record: a small mapped conjunction, a residue
+// filter, and a two-entry coverage map (the shape TranslateOne persists).
+qmap::Translation SampleTranslation(uint64_t seed) {
+  qmap::Translation t;
+  t.mapped = Q("[a = " + std::to_string(seed % 97) + "] and [b = " +
+               std::to_string(seed % 89) + "]");
+  t.filter = Q("[residue = " + std::to_string(seed % 7) + "]");
+  t.coverage.RestoreEntry(0x1000 + seed % 13, true);
+  t.coverage.RestoreEntry(0x2000 + seed % 11, (seed & 1) != 0);
+  return t;
+}
+
+std::unique_ptr<qmap::TranslationStore> OpenStore(const std::string& path) {
+  qmap::StoreOptions options;
+  options.path = path;
+  auto store = qmap::TranslationStore::Open(std::move(options));
+  if (!store.ok()) std::abort();
+  return std::move(*store);
+}
+
+// Populates `path` with `n` live positive records (fresh file each call).
+void PopulateStore(const std::string& path, uint64_t n) {
+  std::remove(path.c_str());
+  auto store = OpenStore(path);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!store->Put({1, 1, i}, SampleTranslation(i)).ok()) std::abort();
+  }
+}
+
+void StorePut(benchmark::State& state) {
+  const std::string path = ScratchPath("put");
+  auto store = OpenStore(path);
+  // Rotate over a bounded key set so the workload mixes first-time inserts
+  // with supersedes (the steady-state shape once the hot set is resident).
+  constexpr uint64_t kKeySpace = 1024;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    qmap::Status s =
+        store->Put({1, 1, i % kKeySpace}, SampleTranslation(i));
+    benchmark::DoNotOptimize(s);
+    if (!s.ok()) state.SkipWithError("put failed");
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  qmap::StoreStats stats = store->stats();
+  state.counters["log_mb"] =
+      static_cast<double>(stats.log_bytes) / (1024.0 * 1024.0);
+  state.counters["compactions"] = static_cast<double>(stats.compactions);
+}
+BENCHMARK(StorePut);
+
+void StoreGet(benchmark::State& state) {
+  const std::string path = ScratchPath("get");
+  constexpr uint64_t kEntries = 1024;
+  PopulateStore(path, kEntries);
+  auto store = OpenStore(path);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    auto hit = store->Get({1, 1, i++ % kEntries});
+    benchmark::DoNotOptimize(hit);
+    if (!hit.has_value() || !hit->ok()) state.SkipWithError("get missed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(StoreGet);
+
+void ColdBootReplay(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  const std::string path = ScratchPath("replay_" + std::to_string(n));
+  PopulateStore(path, n);
+  uint64_t replayed = 0;
+  uint64_t recovery_ns = 0;
+  for (auto _ : state) {
+    // The measured region is the whole cold-boot path: open the log, scan
+    // and index every frame (checksums included), then decode every live
+    // record into a fresh RAM cache.
+    auto store = OpenStore(path);
+    qmap::TranslationCache cache(qmap::TranslationCacheOptions{});
+    replayed += store->ReplayInto(cache);
+    recovery_ns += store->stats().recovery_ns;
+    benchmark::DoNotOptimize(cache);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.counters["replayed/iter"] = benchmark::Counter(
+      static_cast<double>(replayed), benchmark::Counter::kAvgIterations);
+  state.counters["recovery_us/iter"] = benchmark::Counter(
+      static_cast<double>(recovery_ns) / 1e3, benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(ColdBootReplay)->Arg(256)->Arg(1024)->Arg(4096);
+
+// ---------------------------------------------------------------------------
+// Service-level restart: the 4-source synthetic federation from
+// bench_service.cc's workload shape, with the disk tier enabled.
+
+std::vector<std::pair<std::string, qmap::MappingSpec>> Federation() {
+  std::vector<std::pair<std::string, qmap::MappingSpec>> out;
+  const std::vector<std::vector<std::pair<int, int>>> pair_sets = {
+      {}, {{0, 1}}, {{2, 3}, {4, 5}}, {{0, 2}, {1, 3}, {4, 6}}};
+  for (const auto& pairs : pair_sets) {
+    qmap::SyntheticOptions options;
+    options.num_attrs = 8;
+    options.dependent_pairs = pairs;
+    qmap::Result<qmap::MappingSpec> spec = qmap::MakeSyntheticSpec(options);
+    if (!spec.ok()) std::abort();
+    out.emplace_back("S" + std::to_string(out.size()), *spec);
+  }
+  return out;
+}
+
+std::vector<qmap::Query> Workload() {
+  std::mt19937 rng(20260808);
+  qmap::RandomQueryOptions options;
+  options.num_attrs = 8;
+  options.max_depth = 3;
+  std::vector<qmap::Query> out;
+  for (int i = 0; i < 16; ++i) out.push_back(qmap::RandomQuery(rng, options));
+  return out;
+}
+
+std::unique_ptr<qmap::TranslationService> MakeStoreService(
+    const std::string& store_path) {
+  qmap::ServiceOptions options;
+  options.num_threads = 1;
+  options.enable_cache = true;
+  options.store.path = store_path;
+  auto service = std::make_unique<qmap::TranslationService>(options);
+  for (auto& [name, spec] : Federation()) {
+    service->AddSource(name, spec);
+  }
+  return service;
+}
+
+void RestartHitRate(benchmark::State& state) {
+  const std::string path = ScratchPath("restart");
+  const std::vector<qmap::Query> workload = Workload();
+  {
+    // Cold run populates the store, then "crashes" (service dtor).
+    auto cold = MakeStoreService(path);
+    for (const qmap::Query& q : workload) {
+      auto r = cold->Translate(q);
+      if (!r.ok()) { state.SkipWithError("cold translate failed"); return; }
+    }
+  }
+  uint64_t cold_attempts = 0;  // post-restart RAM-cache misses
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    // Each iteration is one restart: boot the service over the populated
+    // store (warm-up replay included) and run the full workload.
+    auto service = MakeStoreService(path);
+    for (const qmap::Query& q : workload) {
+      auto r = service->Translate(q);
+      benchmark::DoNotOptimize(r);
+      if (!r.ok()) { state.SkipWithError("translate failed"); return; }
+    }
+    qmap::ServiceStats stats = service->stats();
+    cold_attempts += stats.cache.misses;
+    hits += stats.cache.hits;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.size()));
+  // Deterministic: every post-restart lookup must be a replayed RAM hit.
+  // The baseline pins this at 0 — see the header comment.
+  state.counters["restart_translate_attempts"] =
+      static_cast<double>(cold_attempts);
+  state.counters["restart_hit_rate"] =
+      hits + cold_attempts == 0
+          ? 0.0
+          : static_cast<double>(hits) /
+                static_cast<double>(hits + cold_attempts);
+}
+BENCHMARK(RestartHitRate);
+
+}  // namespace
+
+#include "bench_util.h"
+QMAP_BENCH_MAIN(bench_store)

@@ -82,15 +82,22 @@ def main():
                     f"(> +{args.tolerance:.0%})")
         base_time = base.get("real_time")
         cur_time = cur.get("real_time")
-        if base_time and cur_time:
-            limit = base_time * (1.0 + args.time_tolerance)
-            status = "ok" if cur_time <= limit else "REGRESSED"
-            print(f"{name} real_time: {base_time:.0f} -> {cur_time:.0f} ns "
-                  f"[{status}]")
-            if cur_time > limit:
-                failures.append(
-                    f"{name}: real_time {base_time:.0f} -> {cur_time:.0f} ns "
-                    f"(> +{args.time_tolerance:.0%})")
+        # `is not None`, not truthiness: a 0.0 baseline (possible for
+        # counter-only benches) must not silently skip the check, and a
+        # benchmark whose real_time field disappeared is a failure, not a
+        # pass.
+        if base_time is not None:
+            if cur_time is None:
+                failures.append(f"{name}: real_time disappeared from current run")
+            else:
+                limit = base_time * (1.0 + args.time_tolerance)
+                status = "ok" if cur_time <= limit else "REGRESSED"
+                print(f"{name} real_time: {base_time:.0f} -> {cur_time:.0f} ns "
+                      f"[{status}]")
+                if cur_time > limit:
+                    failures.append(
+                        f"{name}: real_time {base_time:.0f} -> {cur_time:.0f} ns "
+                        f"(> +{args.time_tolerance:.0%})")
 
     if failures:
         print(f"\n{len(failures)} perf regression(s):", file=sys.stderr)

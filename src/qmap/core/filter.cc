@@ -1,5 +1,7 @@
 #include "qmap/core/filter.h"
 
+#include <algorithm>
+
 namespace qmap {
 namespace {
 
@@ -30,6 +32,18 @@ void ExactCoverage::Record(const Constraint& c, bool exact) {
 bool ExactCoverage::IsExact(const Constraint& c) const {
   auto it = by_constraint_.find(c.Fingerprint());
   return it != by_constraint_.end() && it->second;
+}
+
+std::vector<std::pair<uint64_t, bool>> ExactCoverage::Entries() const {
+  std::vector<std::pair<uint64_t, bool>> out(by_constraint_.begin(),
+                                             by_constraint_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ExactCoverage::RestoreEntry(uint64_t constraint_fingerprint, bool exact) {
+  auto [it, inserted] = by_constraint_.emplace(constraint_fingerprint, exact);
+  if (!inserted) it->second = it->second && exact;
 }
 
 void ExactCoverage::MergeAnySource(const ExactCoverage& other) {

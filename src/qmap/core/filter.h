@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "qmap/expr/query.h"
@@ -33,6 +34,16 @@ class ExactCoverage {
   /// Only sound for constraints in conjunctive positions (see
   /// MergedResidueFilter for why); kept for leaf-level aggregation.
   void MergeAnySource(const ExactCoverage& other);
+
+  /// The raw (constraint-fingerprint, exact) entries, sorted by fingerprint
+  /// for a canonical order. Serialization hook for the persistent store
+  /// (qmap/store): fingerprints are already the identity this class keys
+  /// on, so coverage round-trips without the constraints themselves.
+  std::vector<std::pair<uint64_t, bool>> Entries() const;
+
+  /// Re-adds one serialized entry, AND-accumulating like Record() so a
+  /// replayed record merges exactly as the original sequence did.
+  void RestoreEntry(uint64_t constraint_fingerprint, bool exact);
 
  private:
   // Keyed by constraint fingerprint (printed-form identity without the

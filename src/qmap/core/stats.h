@@ -34,6 +34,7 @@ namespace qmap {
   X(candidate_blocks, candidate_blocks)             \
   X(cache_hits, cache_hits)                         \
   X(cache_misses, cache_misses)                     \
+  X(store_hits, store_hits)                         \
   X(cache_evictions, cache_evictions)               \
   X(parallel_tasks, parallel_tasks)                 \
   X(retries, retries)                               \
@@ -69,11 +70,13 @@ struct TranslationStats {
   uint64_t candidate_blocks = 0;
 
   // Service-layer counters (qmap/service): per-source translations answered
-  // from / missed by the shared translation cache, evictions observed while
-  // answering, and per-source tasks fanned out to the thread pool. All zero
-  // for a bare Translator/Mediator run.
+  // from / missed by the shared translation cache, answered from the
+  // persistent store tier (qmap/store) after a RAM miss, evictions observed
+  // while answering, and per-source tasks fanned out to the thread pool. All
+  // zero for a bare Translator/Mediator run.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  uint64_t store_hits = 0;
   uint64_t cache_evictions = 0;
   uint64_t parallel_tasks = 0;
 

@@ -1,5 +1,7 @@
 #include "qmap/mediator/capabilities.h"
 
+#include "qmap/common/fnv.h"
+
 namespace qmap {
 
 void SourceCapabilities::Allow(const std::string& attr_name, Op op) {
@@ -20,6 +22,16 @@ std::vector<Constraint> SourceCapabilities::UnsupportedIn(const Query& query) co
     if (!Supports(c)) out.push_back(c);
   }
   return out;
+}
+
+uint64_t SourceCapabilities::Fingerprint() const {
+  // std::set iteration is sorted, so the stream is canonical: insertion
+  // order never changes the fingerprint, only membership does.
+  Fnv64 fp;
+  for (const auto& [attr, op] : allowed_) {
+    fp.Add(attr).AddByte('\x1f').AddU64(static_cast<uint64_t>(op)).AddByte('\x1e');
+  }
+  return fp.value();
 }
 
 }  // namespace qmap

@@ -33,6 +33,14 @@ class SourceCapabilities {
   /// The unsupported constraints of `query`, for diagnostics.
   std::vector<Constraint> UnsupportedIn(const Query& query) const;
 
+  /// Canonical FNV-1a fingerprint of the declared capability set (the
+  /// (attr, op) pairs in their sorted set order, field-separated). Two
+  /// capability sets fingerprint equal iff they allow exactly the same
+  /// pairs. Mixed into TranslationCacheKey::rule_set alongside
+  /// MappingSpec::fingerprint(), so changing what a source can express
+  /// invalidates its cached translations just like changing its rules.
+  uint64_t Fingerprint() const;
+
  private:
   std::set<std::pair<std::string, Op>> allowed_;
 };

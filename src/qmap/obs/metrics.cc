@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <cstdio>
 #include <mutex>
 
 namespace qmap {
@@ -62,24 +63,27 @@ void Histogram::Record(uint64_t v) {
   sum_.fetch_add(v, std::memory_order_relaxed);
 }
 
-double Histogram::Quantile(double q) const {
-  // Snapshot the buckets once (relaxed loads: a consistent-enough view).
-  std::array<uint64_t, kNumBuckets> counts;
-  uint64_t total = 0;
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
   for (int b = 0; b < kNumBuckets; ++b) {
-    counts[static_cast<size_t>(b)] = bucket_count(b);
-    total += counts[static_cast<size_t>(b)];
+    snap.buckets[static_cast<size_t>(b)] = bucket_count(b);
+    snap.total += snap.buckets[static_cast<size_t>(b)];
   }
-  if (total == 0) return 0.0;
+  snap.sum = sum();
+  return snap;
+}
+
+double Histogram::QuantileOf(const Snapshot& snap, double q) {
+  if (snap.total == 0) return 0.0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
   // Rank of the target sample, 1-based; ceil so Quantile(1.0) = max bucket.
-  double rank = q * static_cast<double>(total);
+  double rank = q * static_cast<double>(snap.total);
   uint64_t target = static_cast<uint64_t>(std::ceil(rank));
   if (target == 0) target = 1;
   uint64_t cumulative = 0;
   for (int b = 0; b < kNumBuckets; ++b) {
-    uint64_t in_bucket = counts[static_cast<size_t>(b)];
+    uint64_t in_bucket = snap.buckets[static_cast<size_t>(b)];
     if (in_bucket == 0) continue;
     if (cumulative + in_bucket >= target) {
       // Linear interpolation inside [lower, upper] of this bucket.
@@ -94,6 +98,8 @@ double Histogram::Quantile(double q) const {
   }
   return static_cast<double>(BucketUpperBound(kNumBuckets - 1));
 }
+
+double Histogram::Quantile(double q) const { return QuantileOf(TakeSnapshot(), q); }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
   {
@@ -143,16 +149,20 @@ std::string MetricsRegistry::ToJson() const {
   for (const auto& [name, hist] : histograms_) {
     if (!first) out += ',';
     first = false;
+    // One snapshot per histogram: count, quantiles and buckets are all
+    // derived from the same bucket read, so a concurrent Record() can never
+    // produce a count that disagrees with the bucket list.
+    const Histogram::Snapshot snap = hist->TakeSnapshot();
     out += '"' + JsonEscape(name) + "\":{";
-    out += "\"count\":" + std::to_string(hist->count());
-    out += ",\"sum\":" + std::to_string(hist->sum());
-    out += ",\"p50\":" + FormatDouble(hist->Quantile(0.5));
-    out += ",\"p95\":" + FormatDouble(hist->Quantile(0.95));
-    out += ",\"p99\":" + FormatDouble(hist->Quantile(0.99));
+    out += "\"count\":" + std::to_string(snap.total);
+    out += ",\"sum\":" + std::to_string(snap.sum);
+    out += ",\"p50\":" + FormatDouble(Histogram::QuantileOf(snap, 0.5));
+    out += ",\"p95\":" + FormatDouble(Histogram::QuantileOf(snap, 0.95));
+    out += ",\"p99\":" + FormatDouble(Histogram::QuantileOf(snap, 0.99));
     out += ",\"buckets\":[";
     bool first_bucket = true;
     for (int b = 0; b < Histogram::kNumBuckets; ++b) {
-      uint64_t n = hist->bucket_count(b);
+      uint64_t n = snap.buckets[static_cast<size_t>(b)];
       if (n == 0) continue;
       if (!first_bucket) out += ',';
       first_bucket = false;
@@ -176,9 +186,15 @@ std::string MetricsRegistry::ToPrometheusText() const {
   for (const auto& [name, hist] : histograms_) {
     std::string prom = Sanitize(name);
     out += "# TYPE " + prom + " histogram\n";
+    // One snapshot per histogram. Re-reading the atomics per line (as this
+    // used to do) let a concurrent Record() land between the last _bucket
+    // line and +Inf/_count, yielding a non-monotone exposition that
+    // Prometheus rejects; deriving every line from the snapshot makes
+    // cumulative counts monotone and +Inf == _count by construction.
+    const Histogram::Snapshot snap = hist->TakeSnapshot();
     uint64_t cumulative = 0;
     for (int b = 0; b < Histogram::kNumBuckets; ++b) {
-      uint64_t n = hist->bucket_count(b);
+      uint64_t n = snap.buckets[static_cast<size_t>(b)];
       cumulative += n;
       // Emit only buckets that advance the cumulative count (plus +Inf),
       // keeping the exposition compact without losing any sample.
@@ -187,9 +203,9 @@ std::string MetricsRegistry::ToPrometheusText() const {
              std::to_string(Histogram::BucketUpperBound(b)) + "\"} " +
              std::to_string(cumulative) + "\n";
     }
-    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(hist->count()) + "\n";
-    out += prom + "_sum " + std::to_string(hist->sum()) + "\n";
-    out += prom + "_count " + std::to_string(hist->count()) + "\n";
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(snap.total) + "\n";
+    out += prom + "_sum " + std::to_string(snap.sum) + "\n";
+    out += prom + "_count " + std::to_string(snap.total) + "\n";
   }
   return out;
 }

@@ -51,8 +51,26 @@ class Histogram {
     return buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
   }
 
+  /// A point-in-time copy of the bucket array. `total` is derived from the
+  /// copied buckets (not from the separate count_ atomic), so any view
+  /// computed from one Snapshot is internally consistent: cumulative bucket
+  /// counts are monotone and their grand total equals `total` by
+  /// construction, even while other threads keep calling Record(). `sum` is
+  /// read from its own atomic and may run slightly ahead of or behind the
+  /// buckets; it is never used to cross-check them.
+  struct Snapshot {
+    std::array<uint64_t, kNumBuckets> buckets{};
+    uint64_t total = 0;
+    uint64_t sum = 0;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// The quantile estimate computed over one consistent Snapshot.
+  static double QuantileOf(const Snapshot& snap, double q);
+
   /// Estimated q-quantile (q in [0, 1]) of the recorded samples; 0 when the
   /// histogram is empty. Quantile(0.5) = p50, Quantile(0.99) = p99.
+  /// Equivalent to QuantileOf(TakeSnapshot(), q).
   double Quantile(double q) const;
 
  private:

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "qmap/common/fnv.h"
 #include "qmap/rules/rule_index.h"
 
 namespace qmap {
@@ -83,6 +84,8 @@ MappingSpec::MappingSpec(const MappingSpec& other)
       rules_(other.rules_) {
   std::lock_guard<std::mutex> lock(other.index_mu_);
   rule_index_ = other.rule_index_;
+  fingerprint_ = other.fingerprint_;
+  fingerprint_valid_ = other.fingerprint_valid_;
 }
 
 MappingSpec& MappingSpec::operator=(const MappingSpec& other) {
@@ -91,12 +94,18 @@ MappingSpec& MappingSpec::operator=(const MappingSpec& other) {
   registry_ = other.registry_;
   rules_ = other.rules_;
   std::shared_ptr<const RuleIndex> index;
+  uint64_t fingerprint = 0;
+  bool fingerprint_valid = false;
   {
     std::lock_guard<std::mutex> lock(other.index_mu_);
     index = other.rule_index_;
+    fingerprint = other.fingerprint_;
+    fingerprint_valid = other.fingerprint_valid_;
   }
   std::lock_guard<std::mutex> lock(index_mu_);
   rule_index_ = std::move(index);
+  fingerprint_ = fingerprint;
+  fingerprint_valid_ = fingerprint_valid;
   return *this;
 }
 
@@ -106,6 +115,8 @@ MappingSpec::MappingSpec(MappingSpec&& other) noexcept
       rules_(std::move(other.rules_)) {
   std::lock_guard<std::mutex> lock(other.index_mu_);
   rule_index_ = std::move(other.rule_index_);
+  fingerprint_ = other.fingerprint_;
+  fingerprint_valid_ = other.fingerprint_valid_;
 }
 
 MappingSpec& MappingSpec::operator=(MappingSpec&& other) noexcept {
@@ -114,13 +125,33 @@ MappingSpec& MappingSpec::operator=(MappingSpec&& other) noexcept {
   registry_ = std::move(other.registry_);
   rules_ = std::move(other.rules_);
   std::shared_ptr<const RuleIndex> index;
+  uint64_t fingerprint = 0;
+  bool fingerprint_valid = false;
   {
     std::lock_guard<std::mutex> lock(other.index_mu_);
     index = std::move(other.rule_index_);
+    fingerprint = other.fingerprint_;
+    fingerprint_valid = other.fingerprint_valid_;
   }
   std::lock_guard<std::mutex> lock(index_mu_);
   rule_index_ = std::move(index);
+  fingerprint_ = fingerprint;
+  fingerprint_valid_ = fingerprint_valid;
   return *this;
+}
+
+uint64_t MappingSpec::fingerprint() const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (!fingerprint_valid_) {
+    // Field-separated so "ab" + "c" and "a" + "bc" cannot collide; rule
+    // renderings are canonical (the same text the spec parser accepts).
+    Fnv64 fp;
+    fp.Add(target_name_).AddByte('\x1f');
+    for (const Rule& rule : rules_) fp.Add(rule.ToString()).AddByte('\x1f');
+    fingerprint_ = fp.value();
+    fingerprint_valid_ = true;
+  }
+  return fingerprint_;
 }
 
 std::shared_ptr<const RuleIndex> MappingSpec::rule_index() const {

@@ -48,7 +48,19 @@ class MappingSpec {
     rules_.push_back(std::move(rule));
     std::lock_guard<std::mutex> lock(index_mu_);
     rule_index_.reset();
+    fingerprint_valid_ = false;
   }
+
+  /// The rule-set fingerprint: FNV-1a over the target name and every rule's
+  /// canonical rendering, in rule order. Computed once when the spec is
+  /// complete (first call after the last AddRule) and cached; any AddRule
+  /// invalidates it, so two specs differing in any rule — added, removed,
+  /// reordered, or edited — fingerprint differently. This is the version
+  /// half of the translation-cache key (TranslationCacheKey::rule_set):
+  /// cached translations, RAM and persistent alike, are only reachable
+  /// under the exact rule set that produced them (DESIGN.md §10). Safe to
+  /// call from many threads under the immutable-once-translating contract.
+  uint64_t fingerprint() const;
 
   /// The per-spec head-pattern index (see qmap/rules/rule_index.h), built
   /// lazily on first use and cached until AddRule() invalidates it. Safe to
@@ -71,6 +83,9 @@ class MappingSpec {
   std::vector<Rule> rules_;
   mutable std::mutex index_mu_;
   mutable std::shared_ptr<const RuleIndex> rule_index_;  // lazily built
+  // Cached rule-set fingerprint (guarded by index_mu_ like the index).
+  mutable uint64_t fingerprint_ = 0;
+  mutable bool fingerprint_valid_ = false;
 };
 
 }  // namespace qmap

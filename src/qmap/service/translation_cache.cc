@@ -18,25 +18,34 @@ TranslationCache::TranslationCache(TranslationCacheOptions options) {
 TranslationCacheKey TranslationCache::KeyOfString(const std::string& key) {
   TranslationCacheKey out;
   out.source = Fnv64().AddByte('s').Add(key).value();
+  out.rule_set = Fnv64().AddByte('r').Add(key).value();
   out.query = Fnv64().AddByte('q').Add(key).value();
   return out;
 }
 
 TranslationCache::Shard& TranslationCache::ShardFor(
     const TranslationCacheKey& key) {
-  return *shards_[KeyHash{}(key) % shards_.size()];
+  return *shards_[TranslationCacheKeyHash{}(key) % shards_.size()];
 }
 
 void TranslationCache::AttachMetrics(MetricsRegistry* registry) {
+  attached_registry_ = registry;
   if (registry == nullptr) {
-    hits_counter_ = misses_counter_ = insertions_counter_ = evictions_counter_ =
-        nullptr;
+    hits_counter_ = misses_counter_ = insertions_counter_ = updates_counter_ =
+        evictions_counter_ = nullptr;
     return;
   }
   hits_counter_ = &registry->counter("qmap_cache_hits_total");
   misses_counter_ = &registry->counter("qmap_cache_misses_total");
   insertions_counter_ = &registry->counter("qmap_cache_insertions_total");
+  updates_counter_ = &registry->counter("qmap_cache_updates_total");
   evictions_counter_ = &registry->counter("qmap_cache_evictions_total");
+}
+
+void TranslationCache::DetachMetricsIf(MetricsRegistry* registry) {
+  if (registry != nullptr && attached_registry_ == registry) {
+    AttachMetrics(nullptr);
+  }
 }
 
 std::optional<Translation> TranslationCache::Get(const TranslationCacheKey& key) {
@@ -65,6 +74,8 @@ void TranslationCache::Put(const TranslationCacheKey& key, Translation value) {
   if (it != shard.index.end()) {
     it->second->value = std::move(value);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.stats.updates;
+    if (updates_counter_ != nullptr) updates_counter_->Inc();
     return;
   }
   shard.lru.push_front(Entry{key, std::move(value)});
@@ -90,6 +101,7 @@ TranslationCacheStats TranslationCache::stats() const {
     out.hits += shard->stats.hits;
     out.misses += shard->stats.misses;
     out.insertions += shard->stats.insertions;
+    out.updates += shard->stats.updates;
     out.evictions += shard->stats.evictions;
   }
   return out;

@@ -30,21 +30,41 @@ struct TranslationCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t insertions = 0;
+  uint64_t updates = 0;  // Puts that overwrote an existing key
   uint64_t evictions = 0;
 };
 
-/// The typed cache key: a pair of 64-bit fingerprints identifying (a) the
-/// translation context — source name, spec fingerprint, option flags — and
-/// (b) the normalized query (Query::fingerprint()). TranslationService
-/// composes these without rendering any query text (see docs/ALGORITHMS.md,
-/// "The service layer"). 128 bits total; fingerprints are trusted without
-/// verification per the collision policy of DESIGN.md §9.
+/// The typed cache key: three 64-bit fingerprints identifying (a) the
+/// translation context — source name and option flags, (b) the **rule-set
+/// version** — the source's MappingSpec::fingerprint() mixed with its
+/// SourceCapabilities::Fingerprint(), and (c) the normalized query
+/// (Query::fingerprint()). TranslationService composes these without
+/// rendering any query text (see docs/ALGORITHMS.md, "The service layer").
+///
+/// The rule-set half is what makes cached translations version-safe: when a
+/// source's rules or capabilities change, every key minted under the old
+/// mapping differs in `rule_set`, so stale entries — in this RAM tier and in
+/// the persistent qmap/store tier, which shares this key — become
+/// unreachable rather than being served (see DESIGN.md §10). 192 bits
+/// total; fingerprints are trusted without verification per the collision
+/// policy of DESIGN.md §9.
 struct TranslationCacheKey {
   uint64_t source = 0;
+  uint64_t rule_set = 0;
   uint64_t query = 0;
 
   friend bool operator==(const TranslationCacheKey& a,
                          const TranslationCacheKey& b) = default;
+};
+
+/// Hash functor shared by the RAM cache shards and the persistent store's
+/// in-memory index. The halves are already FNV outputs; mixing is enough.
+struct TranslationCacheKeyHash {
+  size_t operator()(const TranslationCacheKey& k) const {
+    uint64_t h = k.source ^ (k.rule_set * 0xff51afd7ed558ccdull) ^
+                 (k.query * 0x9e3779b97f4a7c15ull);
+    return static_cast<size_t>(h ^ (h >> 29));
+  }
 };
 
 /// A thread-safe sharded LRU map from TranslationCacheKey to completed
@@ -62,12 +82,23 @@ class TranslationCache {
   TranslationCache(const TranslationCache&) = delete;
   TranslationCache& operator=(const TranslationCache&) = delete;
 
-  /// Mirrors hit/miss/insertion/eviction counts into `registry` as the
-  /// qmap_cache_*_total counters, in addition to the internal stats().
-  /// Setup-phase only: not thread-safe against concurrent Get/Put; the
-  /// registry must outlive the cache. Null detaches (the default, no-cost
-  /// path: a single pointer check per operation).
+  /// Mirrors hit/miss/insertion/update/eviction counts into `registry` as
+  /// the qmap_cache_*_total counters, in addition to the internal stats().
+  /// Setup-phase only: not thread-safe against concurrent Get/Put. Null
+  /// detaches (the default, no-cost path: a single pointer check per
+  /// operation).
+  ///
+  /// Lifetime: the registry must outlive either the cache or the
+  /// attachment. An owner destroying the registry first must sever the
+  /// bridge with DetachMetricsIf(&registry) beforehand — the same
+  /// detach-on-dtor discipline the intern tables use (see
+  /// qmap/expr/intern.h); TranslationService does this for the registry it
+  /// is configured with.
   void AttachMetrics(MetricsRegistry* registry);
+
+  /// Detaches the metric bridge only if `registry` is the currently
+  /// attached one, so a stale owner cannot clobber a newer attachment.
+  void DetachMetricsIf(MetricsRegistry* registry);
 
   /// Returns a copy of the entry and refreshes its recency, or nullopt.
   std::optional<Translation> Get(const TranslationCacheKey& key);
@@ -89,12 +120,6 @@ class TranslationCache {
   void Clear();
 
  private:
-  struct KeyHash {
-    size_t operator()(const TranslationCacheKey& k) const {
-      // The halves are already FNV outputs; mixing them is enough.
-      return static_cast<size_t>(k.source ^ (k.query * 0x9e3779b97f4a7c15ull));
-    }
-  };
   struct Entry {
     TranslationCacheKey key;
     Translation value;
@@ -102,14 +127,15 @@ class TranslationCache {
   struct Shard {
     std::mutex mu;
     std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<TranslationCacheKey, std::list<Entry>::iterator, KeyHash>
+    std::unordered_map<TranslationCacheKey, std::list<Entry>::iterator,
+                       TranslationCacheKeyHash>
         index;
     TranslationCacheStats stats;
   };
 
-  /// Folds a legacy string key into the typed key space: the two halves are
-  /// independent FNV streams (distinguished by a leading tag byte), so a
-  /// string key colliding with a composed fingerprint key needs a 128-bit
+  /// Folds a legacy string key into the typed key space: the three halves
+  /// are independent FNV streams (distinguished by a leading tag byte), so a
+  /// string key colliding with a composed fingerprint key needs a 192-bit
   /// coincidence.
   static TranslationCacheKey KeyOfString(const std::string& key);
 
@@ -119,9 +145,11 @@ class TranslationCache {
   size_t per_shard_capacity_;
 
   // Optional metric bridges (see AttachMetrics); null when detached.
+  MetricsRegistry* attached_registry_ = nullptr;
   Counter* hits_counter_ = nullptr;
   Counter* misses_counter_ = nullptr;
   Counter* insertions_counter_ = nullptr;
+  Counter* updates_counter_ = nullptr;
   Counter* evictions_counter_ = nullptr;
 };
 

@@ -40,6 +40,22 @@ std::string OptionsTag(const TranslatorOptions& options) {
 // source name and the options tag).
 constexpr char kKeySep = '\x1f';
 
+// Failures worth a negative store record: permanent properties of (query,
+// rule set) that will recur identically until the rules change. Transient
+// resilience-category failures (unavailable, deadline, cancelled, internal)
+// must never be persisted — the next attempt may succeed.
+bool IsPermanentFailure(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kUnsupported:
+    case StatusCode::kParseError:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 TranslationService::TranslationService(ServiceOptions options)
@@ -52,9 +68,20 @@ TranslationService::TranslationService(ServiceOptions options)
         options_.resilience, options_.clock, options_.fault_injector,
         options_.obs.metrics);
   }
+  if (options_.enable_cache && !options_.store.path.empty()) {
+    auto store = TranslationStore::Open(options_.store);
+    if (store.ok()) {
+      store_ = std::move(store).value();
+    } else {
+      // Cache-only degradation: a service that cannot reach its disk tier
+      // still translates correctly, just without restart warmth.
+      store_open_status_ = store.status();
+    }
+  }
   if (options_.obs.metrics != nullptr) {
     MetricsRegistry* metrics = options_.obs.metrics;
     cache_.AttachMetrics(metrics);
+    if (store_ != nullptr) store_->AttachMetrics(metrics);
     AttachInternMetrics(metrics);
     if (pool_ != nullptr) pool_->AttachMetrics(metrics);
     translate_counter_ = &metrics->counter("qmap_translate_total");
@@ -71,23 +98,36 @@ TranslationService::TranslationService(ServiceOptions options)
 TranslationService::~TranslationService() {
   if (options_.obs.metrics != nullptr) {
     DetachInternMetricsIf(options_.obs.metrics);
+    cache_.DetachMetricsIf(options_.obs.metrics);
+    if (store_ != nullptr) store_->DetachMetricsIf(options_.obs.metrics);
   }
 }
 
 void TranslationService::AddSource(std::string name, MappingSpec spec) {
+  AddSource(std::move(name), std::move(spec), SourceCapabilities());
+}
+
+void TranslationService::AddSource(std::string name, MappingSpec spec,
+                                   const SourceCapabilities& capabilities) {
   SourceEntry entry;
-  // The context half of the typed cache key: source name, spec fingerprint
-  // (over target name + full spec rendering), and the option flags that
-  // change translation output. The query half comes per-call from
-  // Query::fingerprint().
-  entry.cache_key_prefix =
-      Fnv64()
-          .Add(name)
-          .AddByte(kKeySep)
-          .AddU64(Fnv64Hash(spec.target_name() + "\n" + spec.ToString()))
-          .AddByte(kKeySep)
-          .Add(OptionsTag(options_.translator))
-          .value();
+  // The context third of the typed cache key: source name plus the option
+  // flags that change translation output. The query third comes per-call
+  // from Query::fingerprint().
+  entry.cache_key_prefix = Fnv64()
+                               .Add(name)
+                               .AddByte(kKeySep)
+                               .Add(OptionsTag(options_.translator))
+                               .value();
+  // The rule-set-version third: what the source *is*, separated from what
+  // it is *called*. Cached entries — RAM and disk — minted under a
+  // different rule set or capability declaration differ here and become
+  // unreachable, which is the staleness guarantee the persistent store
+  // relies on (DESIGN.md §10).
+  entry.rule_set_fp = Fnv64()
+                          .AddU64(spec.fingerprint())
+                          .AddByte(kKeySep)
+                          .AddU64(capabilities.Fingerprint())
+                          .value();
   entry.name = std::move(name);
   entry.translator = Translator(std::move(spec), options_.translator);
   auto pos = std::lower_bound(
@@ -98,7 +138,7 @@ void TranslationService::AddSource(std::string name, MappingSpec spec) {
 
 void TranslationService::AddSourcesFrom(const Mediator& mediator) {
   for (const SourceContext& source : mediator.sources()) {
-    AddSource(source.name(), source.spec());
+    AddSource(source.name(), source.spec(), source.capabilities());
   }
   SetViewConstraints(mediator.view_constraints());
 }
@@ -133,7 +173,8 @@ Result<Translation> TranslationService::TranslateOne(
                                          report, trace, parent_span);
   };
   if (!options_.enable_cache) return guarded();
-  const TranslationCacheKey key{source.cache_key_prefix, full.fingerprint()};
+  const TranslationCacheKey key{source.cache_key_prefix, source.rule_set_fp,
+                                full.fingerprint()};
   {
     // A hit never reaches the source, so the resilience guards — and any
     // injected faults — do not apply: the cache is itself a degradation
@@ -149,13 +190,37 @@ Result<Translation> TranslationService::TranslateOne(
     }
     if (lookup.enabled()) lookup.AddAttr("hit", "false");
   }
+  if (store_ != nullptr) {
+    // RAM miss: fall through to the persistent tier. A disk hit is promoted
+    // into the RAM cache so the next lookup stops there.
+    Span lookup(trace, "store.lookup", parent_span);
+    if (std::optional<Result<Translation>> stored = store_->Get(key)) {
+      if (lookup.enabled()) lookup.AddAttr("hit", "true");
+      if (!stored->ok()) return stored->status();  // stored negative result
+      Translation hit = *std::move(*stored);
+      hit.stats = TranslationStats{};
+      hit.stats.store_hits = 1;
+      cache_.Put(key, hit);
+      return hit;
+    }
+    if (lookup.enabled()) lookup.AddAttr("hit", "false");
+  }
   Result<Translation> translation = guarded();
-  if (!translation.ok()) return translation;
+  if (!translation.ok()) {
+    if (store_ != nullptr && options_.store.cache_negatives &&
+        IsPermanentFailure(translation.status().code())) {
+      store_->PutNegative(key, translation.status()).ok();
+    }
+    return translation;
+  }
   if (report == nullptr || !report->degraded) {
-    // Degraded (widened) translations are never cached: a later healthy
-    // call must get the exact mapping back, not a poisoned wide one.
+    // Degraded (widened) translations are never cached or persisted: a
+    // later healthy call must get the exact mapping back, not a poisoned
+    // wide one — and a store record outlives the process, so persisting a
+    // widened mapping would poison every future boot (docs/ROBUSTNESS.md).
     Span insert(trace, "cache.insert", parent_span);
     cache_.Put(key, *translation);
+    if (store_ != nullptr) store_->Put(key, *translation).ok();
   }
   translation->stats.cache_misses = 1;
   return translation;
@@ -353,6 +418,23 @@ Result<MediatorTranslation> TranslationService::TranslateObserved(
   return out;
 }
 
+void TranslationService::WarmUpFromStoreOnce() const {
+  if (store_ == nullptr || !options_.store.replay_on_boot) return;
+  std::call_once(warmup_once_, [this] {
+    // Only entries belonging to a registered source under its *current*
+    // rule-set fingerprint are replayed; everything else on disk is either
+    // another service's data or a stale version, and stays dead.
+    std::unordered_map<uint64_t, uint64_t> live;
+    for (const SourceEntry& source : sources_) {
+      live.emplace(source.cache_key_prefix, source.rule_set_fp);
+    }
+    store_->ReplayInto(cache_, [&live](const TranslationCacheKey& key) {
+      auto it = live.find(key.source);
+      return it != live.end() && it->second == key.rule_set;
+    });
+  });
+}
+
 const CancelToken* TranslationService::MakeRequestToken(
     CancelToken* storage) const {
   if (resilience_ == nullptr ||
@@ -369,6 +451,7 @@ Result<MediatorTranslation> TranslationService::Translate(const Query& query,
                                                           Trace* trace) const {
   translate_calls_.fetch_add(1, std::memory_order_relaxed);
   if (translate_counter_ != nullptr) translate_counter_->Inc();
+  WarmUpFromStoreOnce();
   Query full = query & view_constraints_;
   CancelToken token;
   return TranslateObserved(full, trace, MakeMemoScope(),
@@ -379,6 +462,7 @@ Result<std::vector<MediatorTranslation>> TranslationService::TranslateBatch(
     std::span<const Query> queries) const {
   batch_calls_.fetch_add(1, std::memory_order_relaxed);
   batch_queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+  WarmUpFromStoreOnce();
 
   // Intra-batch dedup: structurally identical normalized queries translate
   // once. Fingerprints bucket the candidates; StructurallyEquals confirms
@@ -439,6 +523,7 @@ Result<std::vector<MediatorTranslation>> TranslationService::TranslateBatch(
 ServiceStats TranslationService::stats() const {
   ServiceStats out;
   out.cache = cache_.stats();
+  if (store_ != nullptr) out.store = store_->stats();
   out.translate_calls = translate_calls_.load(std::memory_order_relaxed);
   out.batch_calls = batch_calls_.load(std::memory_order_relaxed);
   out.batch_queries = batch_queries_.load(std::memory_order_relaxed);

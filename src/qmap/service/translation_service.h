@@ -14,6 +14,7 @@
 #include "qmap/service/resilience.h"
 #include "qmap/service/thread_pool.h"
 #include "qmap/service/translation_cache.h"
+#include "qmap/store/translation_store.h"
 
 namespace qmap {
 
@@ -95,6 +96,15 @@ struct ServiceOptions {
   /// Graceful-degradation policy (retry/backoff, circuit breaking, deadline
   /// budgets, partial results); off by default. See docs/ROBUSTNESS.md.
   ResilienceOptions resilience;
+  /// Persistent translation store under the RAM cache (qmap/store): misses
+  /// fall through to disk, completed translations are persisted, and on the
+  /// first Translate the store's live entries for the registered sources are
+  /// replayed into the RAM cache (store.replay_on_boot) so a restarted
+  /// service comes back warm. Disabled when store.path is empty (the
+  /// default) or when enable_cache is false. An Open failure (corrupt
+  /// directory, permissions) degrades to cache-only operation rather than
+  /// failing construction; see store_open_status().
+  StoreOptions store;
   /// Optional deterministic fault injector for tests/benchmarks; keys are
   /// source names. Setting it activates the resilience layer even when
   /// resilience.enabled is false (faults must pass through the guards to be
@@ -108,6 +118,8 @@ struct ServiceOptions {
 /// Aggregate service counters (monotonic over the service lifetime).
 struct ServiceStats {
   TranslationCacheStats cache;
+  /// Persistent-tier counters; all zero when no store is configured.
+  StoreStats store;
   uint64_t translate_calls = 0;
   uint64_t batch_calls = 0;
   uint64_t batch_queries = 0;     // queries received across all batches
@@ -141,11 +153,15 @@ class TranslationService {
   ~TranslationService();
 
   /// Registers one source's mapping specification under `name` (unique per
-  /// service; also part of the cache key).
+  /// service; also part of the cache key). The no-capabilities overload
+  /// registers an empty capability set.
   void AddSource(std::string name, MappingSpec spec);
+  void AddSource(std::string name, MappingSpec spec,
+                 const SourceCapabilities& capabilities);
 
-  /// Copies every source spec and the view constraints out of `mediator`,
-  /// so the service translates exactly as the mediator does.
+  /// Copies every source spec, its declared capabilities, and the view
+  /// constraints out of `mediator`, so the service translates exactly as
+  /// the mediator does.
   void AddSourcesFrom(const Mediator& mediator);
 
   /// See Mediator::SetViewConstraints. Invalidates cached entries (the
@@ -189,15 +205,26 @@ class TranslationService {
   /// and the clock for tests and operators.
   ResilienceManager* resilience() const { return resilience_.get(); }
 
+  /// The persistent tier, or null when options.store.path was empty /
+  /// enable_cache was off / the store failed to open.
+  TranslationStore* store() const { return store_.get(); }
+
+  /// Ok unless a configured store failed to open (the service then runs
+  /// cache-only; the error is kept here for operators).
+  const Status& store_open_status() const { return store_open_status_; }
+
  private:
   struct SourceEntry {
     std::string name;
     Translator translator;
-    /// Context half of the typed cache key: one FNV-64 over the source
-    /// name, the spec fingerprint, and the translator options tag (see
-    /// docs/ALGORITHMS.md for the scheme). The query half is
-    /// Query::fingerprint().
+    /// Context third of the typed cache key: one FNV-64 over the source
+    /// name and the translator options tag (see docs/ALGORITHMS.md for the
+    /// scheme). The query third is Query::fingerprint().
     uint64_t cache_key_prefix = 0;
+    /// Rule-set-version third: the spec fingerprint mixed with the declared
+    /// capability fingerprint. Changing either changes this value, making
+    /// every cache/store entry minted under the old mapping unreachable.
+    uint64_t rule_set_fp = 0;
   };
 
   /// Per-request match-memo scope: one thread-safe MatchMemo per source (in
@@ -243,6 +270,13 @@ class TranslationService {
   /// configured; returns null (no token) otherwise.
   const CancelToken* MakeRequestToken(CancelToken* storage) const;
 
+  /// One-time warm-up replay (options_.store.replay_on_boot): runs on the
+  /// first Translate, after setup, so every registered source's
+  /// (context, rule-set) pair is known. Only entries matching a currently
+  /// registered pair are replayed — entries from removed sources or old
+  /// rule-set versions stay on disk for compaction to reclaim.
+  void WarmUpFromStoreOnce() const;
+
   ServiceOptions options_;
   std::vector<SourceEntry> sources_;  // sorted by name
   Query view_constraints_ = Query::True();
@@ -250,6 +284,11 @@ class TranslationService {
   // Non-null when options_.resilience.enabled or a fault injector is set.
   std::unique_ptr<ResilienceManager> resilience_;
   mutable TranslationCache cache_;
+  // Non-null when options_.store.path is set, the cache is enabled, and the
+  // store opened cleanly.
+  std::unique_ptr<TranslationStore> store_;
+  Status store_open_status_;
+  mutable std::once_flag warmup_once_;
   mutable std::atomic<uint64_t> translate_calls_{0};
   mutable std::atomic<uint64_t> batch_calls_{0};
   mutable std::atomic<uint64_t> batch_queries_{0};

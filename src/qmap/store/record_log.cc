@@ -1,0 +1,212 @@
+#include "qmap/store/record_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "qmap/common/fnv.h"
+
+namespace qmap {
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+// Loops a positional read until `len` bytes arrived, EOF, or error.
+ssize_t PReadFull(int fd, void* buf, size_t len, uint64_t offset) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pread(fd, static_cast<char*>(buf) + done, len - done,
+                        static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) break;  // EOF
+    done += static_cast<size_t>(n);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+Status PWriteFull(int fd, const void* buf, size_t len, uint64_t offset,
+                  const std::string& path) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pwrite(fd, static_cast<const char*>(buf) + done, len - done,
+                         static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RecordLog>> RecordLog::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoStatus("open", path);
+
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    Status s = ErrnoStatus("lseek", path);
+    ::close(fd);
+    return s;
+  }
+
+  std::string header;
+  header.append(kMagic, sizeof(kMagic));
+  PutU32(&header, kFormatVersion);
+
+  if (static_cast<uint64_t>(size) < kHeaderBytes) {
+    // New file, or a crash beat the header write: (re)initialize in place.
+    if (::ftruncate(fd, 0) != 0) {
+      Status s = ErrnoStatus("ftruncate", path);
+      ::close(fd);
+      return s;
+    }
+    Status s = PWriteFull(fd, header.data(), header.size(), 0, path);
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
+    size = static_cast<off_t>(kHeaderBytes);
+  } else {
+    char found[kHeaderBytes];
+    if (PReadFull(fd, found, kHeaderBytes, 0) !=
+            static_cast<ssize_t>(kHeaderBytes) ||
+        std::memcmp(found, header.data(), kHeaderBytes) != 0) {
+      ::close(fd);
+      return Status::InvalidArgument(
+          path + " is not a qmap store log (bad magic or format version); "
+                 "refusing to overwrite it");
+    }
+  }
+  return std::unique_ptr<RecordLog>(
+      new RecordLog(path, fd, static_cast<uint64_t>(size)));
+}
+
+RecordLog::~RecordLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<RecordLog::ScanResult> RecordLog::ScanAndRepair(
+    uint64_t from,
+    const std::function<void(uint64_t, std::string_view)>& fn) {
+  ScanResult out;
+  uint64_t offset = from;
+  std::vector<char> buf;
+  while (offset < end_offset_) {
+    const uint64_t remaining = end_offset_ - offset;
+    unsigned char frame_header[kFrameOverhead];
+    bool intact = false;
+    uint32_t len = 0;
+    if (remaining >= kFrameOverhead) {
+      if (PReadFull(fd_, frame_header, kFrameOverhead, offset) !=
+          static_cast<ssize_t>(kFrameOverhead)) {
+        return ErrnoStatus("read", path_);
+      }
+      len = GetU32(frame_header);
+      if (len <= kMaxPayloadBytes && remaining - kFrameOverhead >= len) {
+        buf.resize(len);
+        if (len > 0 && PReadFull(fd_, buf.data(), len, offset + kFrameOverhead) !=
+                           static_cast<ssize_t>(len)) {
+          return ErrnoStatus("read", path_);
+        }
+        const uint64_t checksum = GetU64(frame_header + 4);
+        intact = Fnv64Hash(std::string_view(buf.data(), len)) == checksum;
+      }
+    }
+    if (!intact) {
+      // Torn tail: cut the file back to the last intact record. Everything
+      // before `offset` re-verified clean, so the repair loses only the
+      // record(s) a crash interrupted.
+      out.truncated_bytes = end_offset_ - offset;
+      if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+        return ErrnoStatus("ftruncate", path_);
+      }
+      end_offset_ = offset;
+      return out;
+    }
+    if (fn) fn(offset, std::string_view(buf.data(), len));
+    ++out.records;
+    offset += kFrameOverhead + len;
+  }
+  return out;
+}
+
+Result<uint64_t> RecordLog::Append(std::string_view payload) {
+  if (payload.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument("record payload exceeds kMaxPayloadBytes");
+  }
+  std::string frame;
+  frame.reserve(kFrameOverhead + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU64(&frame, Fnv64Hash(payload));
+  frame.append(payload);
+  const uint64_t offset = end_offset_;
+  Status s = PWriteFull(fd_, frame.data(), frame.size(), offset, path_);
+  if (!s.ok()) return s;
+  end_offset_ += frame.size();
+  return offset;
+}
+
+Result<std::string> RecordLog::ReadAt(uint64_t offset) const {
+  unsigned char frame_header[kFrameOverhead];
+  if (offset + kFrameOverhead > end_offset_ ||
+      PReadFull(fd_, frame_header, kFrameOverhead, offset) !=
+          static_cast<ssize_t>(kFrameOverhead)) {
+    return Status::Internal(path_ + ": record header read failed at offset " +
+                            std::to_string(offset));
+  }
+  const uint32_t len = GetU32(frame_header);
+  const uint64_t checksum = GetU64(frame_header + 4);
+  if (len > kMaxPayloadBytes || offset + kFrameOverhead + len > end_offset_) {
+    return Status::Internal(path_ + ": implausible record length at offset " +
+                            std::to_string(offset));
+  }
+  std::string payload(len, '\0');
+  if (len > 0 && PReadFull(fd_, payload.data(), len, offset + kFrameOverhead) !=
+                     static_cast<ssize_t>(len)) {
+    return Status::Internal(path_ + ": record payload read failed at offset " +
+                            std::to_string(offset));
+  }
+  if (Fnv64Hash(payload) != checksum) {
+    return Status::Internal(path_ + ": record checksum mismatch at offset " +
+                            std::to_string(offset));
+  }
+  return payload;
+}
+
+Status RecordLog::Sync() {
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+  return Status::Ok();
+}
+
+}  // namespace qmap

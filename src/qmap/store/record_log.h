@@ -1,0 +1,99 @@
+#ifndef QMAP_STORE_RECORD_LOG_H_
+#define QMAP_STORE_RECORD_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "qmap/common/status.h"
+
+namespace qmap {
+
+/// A crash-safe append-only record file — the disk primitive under the
+/// persistent translation store (DESIGN.md §10), following the
+/// tree→dump→merge idiom of production search-engine stores: the RAM tier
+/// absorbs writes, this log is the dump target, and compaction merges it
+/// back down to its live records.
+///
+/// On-disk layout:
+///
+///   header:  "QMST" magic (4 bytes) | u32 LE format version (currently 1)
+///   record:  u32 LE payload length | u64 LE FNV-1a of payload | payload
+///
+/// Appends are a single positional write of one fully-assembled frame, so a
+/// crash can only ever leave a *suffix* of the file torn: either a partial
+/// frame (short length/checksum/payload) or a frame whose checksum does not
+/// match. ScanAndRepair() detects the first such frame and truncates the
+/// file back to the last intact record — the recovery contract the store's
+/// kill-mid-append tests pin.
+///
+/// Thread safety: Append/ScanAndRepair/TruncateTo are exclusive-writer
+/// operations (the owning store serializes them under its mutex). ReadAt is
+/// a positional pread and is safe concurrently with appends for any record
+/// that was already committed when the read started — committed bytes are
+/// immutable, which is also what lets compaction stream the live prefix
+/// without blocking writers.
+class RecordLog {
+ public:
+  static constexpr char kMagic[4] = {'Q', 'M', 'S', 'T'};
+  static constexpr uint32_t kFormatVersion = 1;
+  static constexpr uint64_t kHeaderBytes = 8;
+  static constexpr uint64_t kFrameOverhead = 12;  // u32 length + u64 checksum
+  /// Upper bound on a single payload; anything larger in a length prefix is
+  /// treated as corruption (a translation record is a few hundred bytes).
+  static constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+
+  /// Opens (creating if absent) the log at `path`. A file shorter than the
+  /// header is re-initialized in place (a crash between create and header
+  /// write); an existing file with a foreign magic or version is refused —
+  /// never silently clobbered.
+  static Result<std::unique_ptr<RecordLog>> Open(const std::string& path);
+
+  ~RecordLog();
+  RecordLog(const RecordLog&) = delete;
+  RecordLog& operator=(const RecordLog&) = delete;
+
+  struct ScanResult {
+    uint64_t records = 0;          // intact records visited
+    uint64_t truncated_bytes = 0;  // torn/corrupt tail bytes cut off
+  };
+
+  /// Walks every record from the head, calling fn(offset, payload) for each
+  /// intact one. At the first torn or corrupt frame the file is truncated
+  /// back to the end of the last intact record and the scan stops. With a
+  /// null fn this is a pure verify-and-repair pass. `from` must be a record
+  /// boundary (kHeaderBytes or an offset previously returned by Append).
+  Result<ScanResult> ScanAndRepair(
+      uint64_t from,
+      const std::function<void(uint64_t offset, std::string_view payload)>& fn);
+
+  /// Appends one record; returns the offset its frame starts at.
+  Result<uint64_t> Append(std::string_view payload);
+
+  /// Reads back the payload of the record whose frame starts at `offset`,
+  /// re-verifying its checksum (latent on-disk corruption surfaces here as
+  /// an Internal error rather than as garbage data).
+  Result<std::string> ReadAt(uint64_t offset) const;
+
+  /// Flushes appended records to stable storage (fsync).
+  Status Sync();
+
+  /// One past the last committed byte (== current file size).
+  uint64_t end_offset() const { return end_offset_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  RecordLog(std::string path, int fd, uint64_t end_offset)
+      : path_(std::move(path)), fd_(fd), end_offset_(end_offset) {}
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t end_offset_ = 0;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_STORE_RECORD_LOG_H_

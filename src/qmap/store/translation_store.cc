@@ -1,0 +1,602 @@
+#include "qmap/store/translation_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "qmap/expr/parser.h"
+#include "qmap/expr/printer.h"
+#include "qmap/obs/metrics.h"
+
+namespace qmap {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Payload codec. A record payload is self-describing enough to rebuild the
+// index on recovery (the key rides inside) and to restore a Translation
+// byte-identical to the cold-run original (queries round-trip through
+// ToParseableText/ParseQuery; coverage through its fingerprint entries).
+//
+//   payload     := type(u8) key body
+//   key         := source(u64) rule_set(u64) query(u64)        -- all LE
+//   body(pos)   := str(mapped) str(filter) u32 n  n * (u64 fp, u8 exact)
+//   body(neg)   := u32 status_code  str(message)
+//   str         := u32 length | bytes
+// ---------------------------------------------------------------------------
+
+constexpr uint8_t kPositiveRecord = 1;
+constexpr uint8_t kNegativeRecord = 2;
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutStr(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// Bounds-checked little-endian reader over a record payload.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  bool ReadU8(uint8_t* out) {
+    if (pos_ + 1 > data_.size()) return false;
+    *out = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool ReadU32(uint32_t* out) {
+    if (pos_ + 4 > data_.size()) return false;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+  bool ReadU64(uint64_t* out) {
+    if (pos_ + 8 > data_.size()) return false;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return true;
+  }
+  bool ReadStr(std::string_view* out) {
+    uint32_t len = 0;
+    if (!ReadU32(&len) || pos_ + len > data_.size()) return false;
+    *out = data_.substr(pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+void EncodeKey(std::string* out, const TranslationCacheKey& key) {
+  PutU64(out, key.source);
+  PutU64(out, key.rule_set);
+  PutU64(out, key.query);
+}
+
+std::string EncodePositive(const TranslationCacheKey& key,
+                           const Translation& value) {
+  std::string out;
+  PutU8(&out, kPositiveRecord);
+  EncodeKey(&out, key);
+  PutStr(&out, ToParseableText(value.mapped));
+  PutStr(&out, ToParseableText(value.filter));
+  const auto entries = value.coverage.Entries();
+  PutU32(&out, static_cast<uint32_t>(entries.size()));
+  for (const auto& [fp, exact] : entries) {
+    PutU64(&out, fp);
+    PutU8(&out, exact ? 1 : 0);
+  }
+  return out;
+}
+
+std::string EncodeNegative(const TranslationCacheKey& key,
+                           const Status& failure) {
+  std::string out;
+  PutU8(&out, kNegativeRecord);
+  EncodeKey(&out, key);
+  PutU32(&out, static_cast<uint32_t>(failure.code()));
+  PutStr(&out, failure.message());
+  return out;
+}
+
+/// Decodes just the record prelude (type + key), used by the recovery scan
+/// and compaction, which index records without materializing Translations.
+bool DecodePrelude(std::string_view payload, uint8_t* type,
+                   TranslationCacheKey* key) {
+  PayloadReader r(payload);
+  return r.ReadU8(type) &&
+         (*type == kPositiveRecord || *type == kNegativeRecord) &&
+         r.ReadU64(&key->source) && r.ReadU64(&key->rule_set) &&
+         r.ReadU64(&key->query);
+}
+
+/// Full decode into the Get()/ReplayInto() result shape.
+Result<Result<Translation>> DecodeBody(std::string_view payload) {
+  PayloadReader r(payload);
+  uint8_t type = 0;
+  TranslationCacheKey key;
+  if (!r.ReadU8(&type) || !r.ReadU64(&key.source) ||
+      !r.ReadU64(&key.rule_set) || !r.ReadU64(&key.query)) {
+    return Status::Internal("store record: truncated prelude");
+  }
+  if (type == kNegativeRecord) {
+    uint32_t code = 0;
+    std::string_view message;
+    if (!r.ReadU32(&code) || !r.ReadStr(&message) || !r.AtEnd() ||
+        code > static_cast<uint32_t>(StatusCode::kCancelled)) {
+      return Status::Internal("store record: malformed negative body");
+    }
+    return Result<Translation>(
+        Status(static_cast<StatusCode>(code), std::string(message)));
+  }
+  if (type != kPositiveRecord) {
+    return Status::Internal("store record: unknown record type");
+  }
+  std::string_view mapped_text;
+  std::string_view filter_text;
+  uint32_t n = 0;
+  if (!r.ReadStr(&mapped_text) || !r.ReadStr(&filter_text) || !r.ReadU32(&n)) {
+    return Status::Internal("store record: malformed positive body");
+  }
+  Translation value;
+  Result<Query> mapped = ParseQuery(mapped_text);
+  if (!mapped.ok()) return mapped.status();
+  Result<Query> filter = ParseQuery(filter_text);
+  if (!filter.ok()) return filter.status();
+  value.mapped = std::move(mapped).value();
+  value.filter = std::move(filter).value();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t fp = 0;
+    uint8_t exact = 0;
+    if (!r.ReadU64(&fp) || !r.ReadU8(&exact)) {
+      return Status::Internal("store record: malformed coverage entry");
+    }
+    value.coverage.RestoreEntry(fp, exact != 0);
+  }
+  if (!r.AtEnd()) {
+    return Status::Internal("store record: trailing bytes in positive body");
+  }
+  return Result<Translation>(std::move(value));
+}
+
+std::string CompactingPath(const std::string& path) {
+  return path + ".compacting";
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TranslationStore>> TranslationStore::Open(
+    StoreOptions options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("StoreOptions.path must be non-empty");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // A .compacting file is a compaction that never reached its rename — the
+  // real log is still complete, so the temp is garbage. Discard it.
+  ::unlink(CompactingPath(options.path).c_str());
+
+  auto log = RecordLog::Open(options.path);
+  if (!log.ok()) return log.status();
+
+  std::unique_ptr<TranslationStore> store(
+      new TranslationStore(std::move(options)));
+  store->log_ = std::move(log).value();
+
+  auto scan = store->log_->ScanAndRepair(
+      RecordLog::kHeaderBytes,
+      [&store](uint64_t offset, std::string_view payload) {
+        uint8_t type = 0;
+        TranslationCacheKey key;
+        if (!DecodePrelude(payload, &type, &key)) {
+          // Checksum-valid but undecodable: a foreign or future-format
+          // record. Count it and leave it as dead weight for compaction.
+          ++store->stats_.dropped_records;
+          return;
+        }
+        store->IndexRecordLocked(key, type == kNegativeRecord, offset,
+                                 RecordLog::kFrameOverhead + payload.size());
+        ++store->stats_.recovered_records;
+      });
+  if (!scan.ok()) return scan.status();
+  store->stats_.truncated_bytes = scan->truncated_bytes;
+  store->stats_.recovery_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+
+  if (store->options_.background_compaction) {
+    store->compactor_ = std::thread([raw = store.get()] { raw->CompactorLoop(); });
+  }
+  return store;
+}
+
+TranslationStore::~TranslationStore() {
+  if (compactor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(bg_mu_);
+      bg_stop_ = true;
+    }
+    bg_cv_.notify_all();
+    compactor_.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log_ != nullptr) log_->Sync().ok();
+}
+
+void TranslationStore::AttachMetrics(MetricsRegistry* registry) {
+  attached_registry_ = registry;
+  if (registry == nullptr) {
+    hits_counter_ = nullptr;
+    negative_hits_counter_ = nullptr;
+    misses_counter_ = nullptr;
+    puts_counter_ = nullptr;
+    negative_puts_counter_ = nullptr;
+    replay_counter_ = nullptr;
+    compactions_counter_ = nullptr;
+    compaction_bytes_counter_ = nullptr;
+    return;
+  }
+  hits_counter_ = &registry->counter("qmap_store_hits_total");
+  negative_hits_counter_ =
+      &registry->counter("qmap_store_negative_hits_total");
+  misses_counter_ = &registry->counter("qmap_store_misses_total");
+  puts_counter_ = &registry->counter("qmap_store_puts_total");
+  negative_puts_counter_ =
+      &registry->counter("qmap_store_negative_puts_total");
+  replay_counter_ = &registry->counter("qmap_store_replayed_total");
+  compactions_counter_ = &registry->counter("qmap_store_compactions_total");
+  compaction_bytes_counter_ =
+      &registry->counter("qmap_store_compaction_bytes_reclaimed_total");
+  // Recovery happened inside Open(), before any registry existed to observe
+  // it; backfill so a scrape right after boot sees the boot.
+  std::lock_guard<std::mutex> lock(mu_);
+  registry->counter("qmap_store_recovered_records_total")
+      .Inc(stats_.recovered_records);
+  registry->counter("qmap_store_truncated_bytes_total")
+      .Inc(stats_.truncated_bytes);
+  registry->histogram("qmap_store_recovery_ns").Record(stats_.recovery_ns);
+}
+
+void TranslationStore::DetachMetricsIf(MetricsRegistry* registry) {
+  if (registry != nullptr && attached_registry_ == registry) {
+    AttachMetrics(nullptr);
+  }
+}
+
+std::optional<Result<Translation>> TranslationStore::Get(
+    const TranslationCacheKey& key) {
+  std::string payload;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      if (misses_counter_ != nullptr) misses_counter_->Inc();
+      return std::nullopt;
+    }
+    auto read = log_->ReadAt(it->second.offset);
+    if (!read.ok()) {
+      // Latent on-disk corruption under a checksum that passed at recovery
+      // time; treat as a miss so the caller re-translates and overwrites.
+      ++stats_.misses;
+      if (misses_counter_ != nullptr) misses_counter_->Inc();
+      return std::nullopt;
+    }
+    if (it->second.negative) {
+      ++stats_.negative_hits;
+      if (negative_hits_counter_ != nullptr) negative_hits_counter_->Inc();
+    } else {
+      ++stats_.hits;
+      if (hits_counter_ != nullptr) hits_counter_->Inc();
+    }
+    payload = std::move(read).value();
+  }
+  // Parse outside the lock: decoding re-builds Query trees, which is the
+  // expensive part.
+  auto decoded = DecodeBody(payload);
+  if (!decoded.ok()) return std::nullopt;
+  return std::move(decoded).value();
+}
+
+Status TranslationStore::Put(const TranslationCacheKey& key,
+                             const Translation& value) {
+  const std::string payload = EncodePositive(key, value);
+  Status s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = AppendLocked(key, /*negative=*/false, payload);
+  }
+  MaybeCompactInline();
+  return s;
+}
+
+Status TranslationStore::PutNegative(const TranslationCacheKey& key,
+                                     const Status& failure) {
+  if (failure.ok()) {
+    return Status::InvalidArgument("PutNegative requires a failure status");
+  }
+  const std::string payload = EncodeNegative(key, failure);
+  Status s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = AppendLocked(key, /*negative=*/true, payload);
+  }
+  MaybeCompactInline();
+  return s;
+}
+
+size_t TranslationStore::ReplayInto(
+    TranslationCache& cache,
+    const std::function<bool(const TranslationCacheKey&)>& filter) {
+  // Snapshot the live positive locations, then decode/insert off-lock.
+  // Oldest offsets first so the newest entries end up most recent in the
+  // LRU — a capacity-limited cache keeps the freshest work.
+  std::vector<std::pair<uint64_t, TranslationCacheKey>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live.reserve(index_.size());
+    for (const auto& [key, loc] : index_) {
+      if (loc.negative) continue;
+      if (filter && !filter(key)) continue;
+      live.emplace_back(loc.offset, key);
+    }
+  }
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  size_t replayed = 0;
+  for (const auto& [offset, key] : live) {
+    std::string payload;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Compaction may have moved the record since the snapshot; re-resolve.
+      auto it = index_.find(key);
+      if (it == index_.end() || it->second.negative) continue;
+      auto read = log_->ReadAt(it->second.offset);
+      if (!read.ok()) continue;
+      payload = std::move(read).value();
+    }
+    auto decoded = DecodeBody(payload);
+    if (!decoded.ok() || !decoded->ok()) continue;
+    cache.Put(key, std::move(*decoded).value());
+    ++replayed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.replayed_records += replayed;
+  }
+  if (replay_counter_ != nullptr) replay_counter_->Inc(replayed);
+  return replayed;
+}
+
+Status TranslationStore::CompactNow() {
+  // One compaction at a time; Put/Get stay serviceable throughout because
+  // the streaming phase below only holds mu_ in short critical sections.
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+
+  const std::string tmp_path = CompactingPath(options_.path);
+  ::unlink(tmp_path.c_str());
+  auto tmp = RecordLog::Open(tmp_path);
+  if (!tmp.ok()) return tmp.status();
+  std::unique_ptr<RecordLog> out = std::move(tmp).value();
+
+  // Phase 1: snapshot the live set (key -> source offset), oldest first so
+  // relative record order — and thus replay order — survives compaction.
+  std::vector<std::pair<uint64_t, TranslationCacheKey>> live;
+  uint64_t snapshot_end = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live.reserve(index_.size());
+    for (const auto& [key, loc] : index_) live.emplace_back(loc.offset, key);
+    snapshot_end = log_->end_offset();
+  }
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Phase 2: stream snapshot records into the temp log. Committed bytes are
+  // immutable, so ReadAt needs mu_ only to re-resolve the location (the
+  // record may have been superseded since the snapshot — skip it then; the
+  // catch-up scan in phase 3 picks up the newer version).
+  Index new_index;
+  for (const auto& [snap_offset, key] : live) {
+    std::string payload;
+    bool negative = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = index_.find(key);
+      if (it == index_.end() || it->second.offset != snap_offset) continue;
+      auto read = log_->ReadAt(it->second.offset);
+      if (!read.ok()) continue;  // lost to latent corruption; drop it
+      payload = std::move(read).value();
+      negative = it->second.negative;
+    }
+    auto appended = out->Append(payload);
+    if (!appended.ok()) return appended.status();
+    new_index[key] =
+        Location{*appended,
+                 static_cast<uint32_t>(RecordLog::kFrameOverhead + payload.size()),
+                 negative};
+  }
+
+  // Phase 3: under the lock, copy over whatever was appended after the
+  // snapshot, fsync, rename over the old log, and swap the index. Rename is
+  // atomic, so a crash anywhere before it leaves the original intact (a
+  // leftover .compacting is discarded at next Open).
+  std::lock_guard<std::mutex> lock(mu_);
+  Status tail_error = Status::Ok();
+  auto tail = log_->ScanAndRepair(
+      snapshot_end, [&](uint64_t, std::string_view payload) {
+        if (!tail_error.ok()) return;
+        uint8_t type = 0;
+        TranslationCacheKey key;
+        if (!DecodePrelude(payload, &type, &key)) return;
+        auto appended = out->Append(payload);
+        if (!appended.ok()) {
+          tail_error = appended.status();
+          return;
+        }
+        new_index.insert_or_assign(
+            key, Location{*appended,
+                          static_cast<uint32_t>(RecordLog::kFrameOverhead +
+                                                payload.size()),
+                          type == kNegativeRecord});
+      });
+  if (!tail.ok()) return tail.status();
+  if (!tail_error.ok()) return tail_error;
+
+  Status sync = out->Sync();
+  if (!sync.ok()) return sync;
+  if (::rename(tmp_path.c_str(), options_.path.c_str()) != 0) {
+    return Status::Internal("rename " + tmp_path + " -> " + options_.path +
+                            " failed");
+  }
+  const uint64_t old_bytes = log_->end_offset();
+  const uint64_t new_bytes = out->end_offset();
+  // The old RecordLog's fd now points at the unlinked inode; dropping it
+  // releases the disk space.
+  log_ = std::move(out);
+  index_ = std::move(new_index);
+  dead_bytes_ = 0;
+  ++stats_.compactions;
+  const uint64_t reclaimed = old_bytes > new_bytes ? old_bytes - new_bytes : 0;
+  stats_.compaction_bytes_reclaimed += reclaimed;
+  if (compactions_counter_ != nullptr) compactions_counter_->Inc();
+  if (compaction_bytes_counter_ != nullptr) {
+    compaction_bytes_counter_->Inc(reclaimed);
+  }
+  return Status::Ok();
+}
+
+void TranslationStore::WaitForIdleCompaction() {
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  bg_cv_.wait(lock, [this] { return !bg_kick_ && !bg_busy_; });
+}
+
+StoreStats TranslationStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StoreStats out = stats_;
+  out.live_records = index_.size();
+  out.log_bytes = log_ != nullptr ? log_->end_offset() : 0;
+  out.dead_bytes = dead_bytes_;
+  return out;
+}
+
+size_t TranslationStore::num_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+void TranslationStore::IndexRecordLocked(const TranslationCacheKey& key,
+                                         bool negative, uint64_t offset,
+                                         uint64_t frame_bytes) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Last record wins; the superseded version is dead weight in the log.
+    dead_bytes_ += it->second.frame_bytes;
+    it->second = Location{offset, static_cast<uint32_t>(frame_bytes), negative};
+  } else {
+    index_.emplace(key,
+                   Location{offset, static_cast<uint32_t>(frame_bytes), negative});
+  }
+}
+
+Status TranslationStore::AppendLocked(const TranslationCacheKey& key,
+                                      bool negative,
+                                      const std::string& payload) {
+  auto appended = log_->Append(payload);
+  if (!appended.ok()) return appended.status();
+  const uint64_t frame_bytes = RecordLog::kFrameOverhead + payload.size();
+  auto it = index_.find(key);
+  const bool existed = it != index_.end();
+  if (existed) dead_bytes_ += it->second.frame_bytes;
+  index_[key] = Location{*appended, static_cast<uint32_t>(frame_bytes), negative};
+  if (negative) {
+    ++stats_.negative_puts;
+    if (negative_puts_counter_ != nullptr) negative_puts_counter_->Inc();
+  } else if (existed) {
+    ++stats_.updates;
+  } else {
+    ++stats_.puts;
+    if (puts_counter_ != nullptr) puts_counter_->Inc();
+  }
+  if (options_.sync_each_put) {
+    Status s = log_->Sync();
+    if (!s.ok()) return s;
+  }
+  if (options_.background_compaction && WantsCompactionLocked()) {
+    KickCompaction();
+  }
+  return Status::Ok();
+}
+
+void TranslationStore::MaybeCompactInline() {
+  if (options_.background_compaction) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!WantsCompactionLocked()) return;
+  }
+  CompactNow().ok();  // best-effort, same as the background path
+}
+
+bool TranslationStore::WantsCompactionLocked() const {
+  if (log_ == nullptr) return false;
+  const uint64_t total = log_->end_offset();
+  if (total < options_.compaction_min_bytes) return false;
+  return static_cast<double>(dead_bytes_) >
+         options_.compaction_waste * static_cast<double>(total);
+}
+
+void TranslationStore::KickCompaction() {
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    if (bg_stop_) return;
+    bg_kick_ = true;
+  }
+  bg_cv_.notify_all();
+}
+
+void TranslationStore::CompactorLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(bg_mu_);
+      bg_cv_.wait(lock, [this] { return bg_kick_ || bg_stop_; });
+      if (bg_stop_) return;
+      bg_kick_ = false;
+      bg_busy_ = true;
+    }
+    CompactNow().ok();  // best-effort: a failed compaction leaves the log as-is
+    {
+      std::lock_guard<std::mutex> lock(bg_mu_);
+      bg_busy_ = false;
+    }
+    bg_cv_.notify_all();
+  }
+}
+
+}  // namespace qmap

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <latch>
 #include <limits>
@@ -166,6 +167,102 @@ TEST(MetricsRegistry, ConcurrentUpdatesUnderThreadPoolAreExact) {
     bucket_total += hist.bucket_count(b);
   }
   EXPECT_EQ(bucket_total, hist.count());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram snapshots and torn-exposition regression
+
+TEST(Histogram, SnapshotTotalsDeriveFromBuckets) {
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(100);
+  Histogram::Snapshot snap = h.TakeSnapshot();
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(snap.total, 3u);
+  EXPECT_EQ(snap.total, bucket_total);
+  EXPECT_EQ(snap.sum, 101u);
+  EXPECT_EQ(Histogram::QuantileOf(snap, 0.5), h.Quantile(0.5));
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram h;
+  // q = 0 of an empty histogram.
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
+  // Single sample: every quantile is that sample's bucket.
+  h.Record(7);
+  EXPECT_EQ(h.Quantile(0.0), h.Quantile(1.0));
+  EXPECT_GE(h.Quantile(0.5), 4.0);   // bucket [4, 7]
+  EXPECT_LE(h.Quantile(0.5), 7.0);
+  // All samples in bucket 0 (the value 0): quantiles collapse to 0.
+  Histogram zeros;
+  for (int i = 0; i < 100; ++i) zeros.Record(0);
+  EXPECT_EQ(zeros.Quantile(0.0), 0.0);
+  EXPECT_EQ(zeros.Quantile(0.5), 0.0);
+  EXPECT_EQ(zeros.Quantile(1.0), 0.0);
+}
+
+// Extracts the cumulative bucket counts and the _count line of one
+// histogram from a Prometheus exposition.
+void ParseExposition(const std::string& prom, const std::string& name,
+                     std::vector<uint64_t>* cumulative, uint64_t* count) {
+  cumulative->clear();
+  *count = 0;
+  size_t pos = 0;
+  const std::string bucket_prefix = name + "_bucket{le=\"";
+  const std::string count_prefix = name + "_count ";
+  while ((pos = prom.find('\n', pos)) != std::string::npos) {
+    ++pos;
+    if (prom.compare(pos, bucket_prefix.size(), bucket_prefix) == 0) {
+      size_t value_at = prom.find("} ", pos);
+      ASSERT_NE(value_at, std::string::npos);
+      cumulative->push_back(std::stoull(prom.substr(value_at + 2)));
+    } else if (prom.compare(pos, count_prefix.size(), count_prefix) == 0) {
+      *count = std::stoull(prom.substr(pos + count_prefix.size()));
+    }
+  }
+}
+
+TEST(MetricsRegistry, PrometheusExpositionStaysMonotoneUnderConcurrentRecords) {
+  // Regression for the torn-histogram-snapshot bug: the exporter used to
+  // re-read the bucket atomics per output line, so a Record() landing
+  // between two lines could make the cumulative series dip — an exposition
+  // Prometheus rejects. Hammer Record() while exporting and require every
+  // exposition to be internally consistent.
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("hammered_us");
+  std::atomic<bool> stop{false};
+  ThreadPool pool(4);
+  std::latch done(4);
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit([&, t] {
+      uint64_t v = static_cast<uint64_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Spread samples across many buckets so a torn read is likely to
+        // land between two bucket lines.
+        hist.Record(v);
+        v = v * 2654435761u + 1;
+        v &= (1u << 20) - 1;
+      }
+      done.count_down();
+    });
+  }
+  for (int round = 0; round < 200; ++round) {
+    std::string prom = registry.ToPrometheusText();
+    std::vector<uint64_t> cumulative;
+    uint64_t count = 0;
+    ParseExposition(prom, "hammered_us", &cumulative, &count);
+    ASSERT_FALSE(cumulative.empty());
+    for (size_t i = 1; i < cumulative.size(); ++i) {
+      ASSERT_GE(cumulative[i], cumulative[i - 1])
+          << "non-monotone exposition in round " << round << ":\n" << prom;
+    }
+    // The +Inf bucket (last) must equal _count exactly.
+    ASSERT_EQ(cumulative.back(), count) << "round " << round << ":\n" << prom;
+  }
+  stop.store(true);
+  done.wait();
 }
 
 // ---------------------------------------------------------------------------

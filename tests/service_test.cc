@@ -11,6 +11,7 @@
 #include "qmap/contexts/faculty.h"
 #include "qmap/contexts/synthetic.h"
 #include "qmap/expr/printer.h"
+#include "qmap/obs/metrics.h"
 #include "qmap/service/thread_pool.h"
 #include "qmap/service/translation_cache.h"
 #include "test_util.h"
@@ -102,6 +103,37 @@ TEST(TranslationCache, PutOverwritesExistingKey) {
   std::optional<Translation> hit = cache.Get("k");
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->mapped.ToString(), "[x = \"new\"]");
+}
+
+TEST(TranslationCache, CountsExistingKeyUpdatesSeparately) {
+  TranslationCache cache({.capacity = 4, .shards = 1});
+  MetricsRegistry registry;
+  cache.AttachMetrics(&registry);
+  cache.Put("k", DummyTranslation("v1"));
+  cache.Put("k", DummyTranslation("v2"));
+  cache.Put("other", DummyTranslation("x"));
+  TranslationCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 2u);
+  EXPECT_EQ(stats.updates, 1u);
+  EXPECT_EQ(registry.counter("qmap_cache_insertions_total").value(), 2u);
+  EXPECT_EQ(registry.counter("qmap_cache_updates_total").value(), 1u);
+  cache.DetachMetricsIf(&registry);
+}
+
+TEST(TranslationCache, DetachMetricsIfOnlySeversTheAttachedRegistry) {
+  TranslationCache cache({.capacity = 4, .shards = 1});
+  MetricsRegistry current;
+  MetricsRegistry stale;
+  cache.AttachMetrics(&current);
+  // A stale owner's detach must not clobber the live attachment...
+  cache.DetachMetricsIf(&stale);
+  cache.Put("k", DummyTranslation("v"));
+  EXPECT_EQ(current.counter("qmap_cache_insertions_total").value(), 1u);
+  // ...while the real owner's detach severs it before the registry dies.
+  cache.DetachMetricsIf(&current);
+  cache.Put("k2", DummyTranslation("v2"));
+  EXPECT_EQ(current.counter("qmap_cache_insertions_total").value(), 1u);
+  EXPECT_EQ(cache.stats().insertions, 2u);
 }
 
 TEST(TranslationCache, ClearDropsEntriesKeepsCounters) {

@@ -1,0 +1,597 @@
+#include "qmap/store/translation_store.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qmap/contexts/synthetic.h"
+#include "qmap/expr/printer.h"
+#include "qmap/service/fault_injection.h"
+#include "qmap/service/translation_service.h"
+#include "qmap/store/record_log.h"
+#include "test_util.h"
+
+namespace qmap {
+namespace {
+
+using testing::Q;
+
+// Per-test scratch path under gtest's temp dir; removed up-front so a
+// leftover from an aborted previous run never leaks into this one.
+std::string ScratchPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "qmap_store_" + name + ".log";
+  std::remove(path.c_str());
+  std::remove((path + ".compacting").c_str());
+  return path;
+}
+
+// Appends raw bytes to a file, simulating a crash that tore the log tail.
+void AppendRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::app);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+uint64_t FileSize(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  return static_cast<uint64_t>(f.tellg());
+}
+
+// ---------------------------------------------------------------------------
+// RecordLog
+
+TEST(RecordLog, AppendsSurviveReopen) {
+  const std::string path = ScratchPath("roundtrip");
+  std::vector<std::string> payloads = {"alpha", "", "gamma gamma gamma"};
+  std::vector<uint64_t> offsets;
+  {
+    auto log = RecordLog::Open(path);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    for (const std::string& p : payloads) {
+      auto off = (*log)->Append(p);
+      ASSERT_TRUE(off.ok());
+      offsets.push_back(*off);
+    }
+    // ReadAt round-trips while the log is live.
+    for (size_t i = 0; i < payloads.size(); ++i) {
+      auto back = (*log)->ReadAt(offsets[i]);
+      ASSERT_TRUE(back.ok());
+      EXPECT_EQ(*back, payloads[i]);
+    }
+  }
+  auto log = RecordLog::Open(path);
+  ASSERT_TRUE(log.ok());
+  std::vector<std::string> scanned;
+  auto scan = (*log)->ScanAndRepair(
+      RecordLog::kHeaderBytes,
+      [&](uint64_t, std::string_view p) { scanned.emplace_back(p); });
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->records, payloads.size());
+  EXPECT_EQ(scan->truncated_bytes, 0u);
+  EXPECT_EQ(scanned, payloads);
+}
+
+TEST(RecordLog, TornTailIsTruncatedAndLogStaysAppendable) {
+  const std::string path = ScratchPath("torntail");
+  uint64_t intact_end = 0;
+  {
+    auto log = RecordLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append("first").ok());
+    ASSERT_TRUE((*log)->Append("second").ok());
+    intact_end = (*log)->end_offset();
+  }
+  // A crash mid-append leaves a partial frame: a length prefix promising
+  // more bytes than exist.
+  AppendRaw(path, std::string("\x40\x00\x00\x00 torn", 9));
+  {
+    auto log = RecordLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    std::vector<std::string> scanned;
+    auto scan = (*log)->ScanAndRepair(
+        RecordLog::kHeaderBytes,
+        [&](uint64_t, std::string_view p) { scanned.emplace_back(p); });
+    ASSERT_TRUE(scan.ok());
+    EXPECT_EQ(scan->records, 2u);
+    EXPECT_EQ(scan->truncated_bytes, 9u);
+    EXPECT_EQ((*log)->end_offset(), intact_end);
+    EXPECT_EQ(scanned, (std::vector<std::string>{"first", "second"}));
+    // The repaired log accepts new appends at the truncation point.
+    ASSERT_TRUE((*log)->Append("third").ok());
+  }
+  EXPECT_EQ(FileSize(path), intact_end + RecordLog::kFrameOverhead + 5);
+}
+
+TEST(RecordLog, CorruptChecksumTruncatesFromThatRecord) {
+  const std::string path = ScratchPath("badsum");
+  uint64_t second_offset = 0;
+  {
+    auto log = RecordLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append("keep me").ok());
+    auto off = (*log)->Append("flip me");
+    ASSERT_TRUE(off.ok());
+    second_offset = *off;
+    ASSERT_TRUE((*log)->Append("after the corruption").ok());
+  }
+  {
+    // Flip one payload byte of the middle record.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(second_offset + RecordLog::kFrameOverhead));
+    f.put('X');
+  }
+  auto log = RecordLog::Open(path);
+  ASSERT_TRUE(log.ok());
+  std::vector<std::string> scanned;
+  auto scan = (*log)->ScanAndRepair(
+      RecordLog::kHeaderBytes,
+      [&](uint64_t, std::string_view p) { scanned.emplace_back(p); });
+  ASSERT_TRUE(scan.ok());
+  // The corrupt record and everything after it are gone; the prefix stays.
+  EXPECT_EQ(scanned, std::vector<std::string>{"keep me"});
+  EXPECT_GT(scan->truncated_bytes, 0u);
+}
+
+TEST(RecordLog, RefusesForeignFile) {
+  const std::string path = ScratchPath("foreign");
+  AppendRaw(path, "not a qmap store log at all");
+  auto log = RecordLog::Open(path);
+  ASSERT_FALSE(log.ok());
+  EXPECT_EQ(log.status().code(), StatusCode::kInvalidArgument);
+  // The foreign file was not clobbered.
+  EXPECT_EQ(FileSize(path), 27u);
+}
+
+// ---------------------------------------------------------------------------
+// TranslationStore
+
+Translation SampleTranslation(const std::string& text) {
+  Translation t;
+  t.mapped = Q(text);
+  t.filter = Q("[residue = 1]");
+  t.coverage.RestoreEntry(0x1111, true);
+  t.coverage.RestoreEntry(0x2222, false);
+  return t;
+}
+
+void ExpectSameTranslation(const Translation& a, const Translation& b) {
+  EXPECT_EQ(ToParseableText(a.mapped), ToParseableText(b.mapped));
+  EXPECT_EQ(ToParseableText(a.filter), ToParseableText(b.filter));
+  EXPECT_EQ(a.coverage.Entries(), b.coverage.Entries());
+}
+
+TEST(TranslationStore, PutGetRoundTripsAcrossReopen) {
+  StoreOptions options;
+  options.path = ScratchPath("store_roundtrip");
+  const TranslationCacheKey k1{1, 2, 3};
+  const TranslationCacheKey k2{1, 2, 4};
+  {
+    auto store = TranslationStore::Open(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->Put(k1, SampleTranslation("[a = 1] and [b = 2]")).ok());
+    ASSERT_TRUE((*store)->Put(k2, SampleTranslation("[c = 3] or [d = 4]")).ok());
+    auto hit = (*store)->Get(k1);
+    ASSERT_TRUE(hit.has_value());
+    ASSERT_TRUE(hit->ok());
+    ExpectSameTranslation(**hit, SampleTranslation("[a = 1] and [b = 2]"));
+    EXPECT_FALSE((*store)->Get({9, 9, 9}).has_value());
+    StoreStats stats = (*store)->stats();
+    EXPECT_EQ(stats.puts, 2u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+  }
+  auto store = TranslationStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->num_entries(), 2u);
+  EXPECT_EQ((*store)->stats().recovered_records, 2u);
+  auto hit = (*store)->Get(k2);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit->ok());
+  ExpectSameTranslation(**hit, SampleTranslation("[c = 3] or [d = 4]"));
+}
+
+TEST(TranslationStore, NegativeRecordsRoundTrip) {
+  StoreOptions options;
+  options.path = ScratchPath("store_negative");
+  const TranslationCacheKey key{5, 6, 7};
+  {
+    auto store = TranslationStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(
+        (*store)->PutNegative(key, Status::Unsupported("no joins here")).ok());
+    // Putting an Ok status as a negative is rejected.
+    EXPECT_FALSE((*store)->PutNegative(key, Status::Ok()).ok());
+  }
+  auto store = TranslationStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  auto hit = (*store)->Get(key);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_FALSE(hit->ok());
+  EXPECT_EQ(hit->status().code(), StatusCode::kUnsupported);
+  EXPECT_EQ(hit->status().message(), "no joins here");
+  EXPECT_EQ((*store)->stats().negative_hits, 1u);
+}
+
+TEST(TranslationStore, CrashMidAppendRecoversIntactPrefix) {
+  StoreOptions options;
+  options.path = ScratchPath("store_crash");
+  {
+    auto store = TranslationStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*store)
+                      ->Put({1, 1, static_cast<uint64_t>(i)},
+                            SampleTranslation("[a = " + std::to_string(i) + "]"))
+                      .ok());
+    }
+  }
+  // Kill mid-append: a frame header promising a payload that never landed.
+  AppendRaw(options.path, std::string("\xff\x00\x00\x00", 4));
+  auto store = TranslationStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  StoreStats stats = (*store)->stats();
+  EXPECT_EQ(stats.recovered_records, 3u);
+  EXPECT_EQ(stats.truncated_bytes, 4u);
+  EXPECT_GT(stats.recovery_ns, 0u);
+  for (int i = 0; i < 3; ++i) {
+    auto hit = (*store)->Get({1, 1, static_cast<uint64_t>(i)});
+    ASSERT_TRUE(hit.has_value() && hit->ok()) << "entry " << i;
+    EXPECT_EQ(ToParseableText((**hit).mapped), "[a = " + std::to_string(i) + "]");
+  }
+  // The repaired log keeps working: a fresh put lands and survives reopen.
+  ASSERT_TRUE((*store)->Put({1, 1, 99}, SampleTranslation("[z = 9]")).ok());
+}
+
+TEST(TranslationStore, StaleCompactingTempIsDiscardedOnOpen) {
+  StoreOptions options;
+  options.path = ScratchPath("store_staletemp");
+  {
+    auto store = TranslationStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put({1, 1, 1}, SampleTranslation("[a = 1]")).ok());
+  }
+  AppendRaw(options.path + ".compacting", "half-written compaction output");
+  auto store = TranslationStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->num_entries(), 1u);
+  std::ifstream stale(options.path + ".compacting");
+  EXPECT_FALSE(stale.good());
+}
+
+TEST(TranslationStore, CompactionReclaimsSupersededVersions) {
+  StoreOptions options;
+  options.path = ScratchPath("store_compact");
+  options.background_compaction = false;  // deterministic inline compaction
+  options.compaction_min_bytes = 1;       // trip on waste alone
+  options.compaction_waste = 0.5;
+  auto store = TranslationStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  // Rewrite the same key many times: all but the last version are dead.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*store)
+                    ->Put({1, 1, 1},
+                          SampleTranslation("[v = " + std::to_string(i) + "]"))
+                    .ok());
+  }
+  ASSERT_TRUE((*store)->Put({1, 1, 2}, SampleTranslation("[w = 1]")).ok());
+  StoreStats stats = (*store)->stats();
+  EXPECT_GT(stats.compactions, 0u);
+  EXPECT_GT(stats.compaction_bytes_reclaimed, 0u);
+  EXPECT_EQ(stats.live_records, 2u);
+  // Latest versions survive compaction, in the live log and across reopen.
+  auto hit = (*store)->Get({1, 1, 1});
+  ASSERT_TRUE(hit.has_value() && hit->ok());
+  EXPECT_EQ(ToParseableText((**hit).mapped), "[v = 49]");
+  store->reset();
+  auto reopened = TranslationStore::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->num_entries(), 2u);
+  auto hit2 = (*reopened)->Get({1, 1, 1});
+  ASSERT_TRUE(hit2.has_value() && hit2->ok());
+  EXPECT_EQ(ToParseableText((**hit2).mapped), "[v = 49]");
+}
+
+TEST(TranslationStore, ReplayIntoHonorsFilterAndLruOrder) {
+  StoreOptions options;
+  options.path = ScratchPath("store_replay");
+  auto store = TranslationStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put({1, 10, 1}, SampleTranslation("[a = 1]")).ok());
+  ASSERT_TRUE((*store)->Put({1, 10, 2}, SampleTranslation("[a = 2]")).ok());
+  ASSERT_TRUE((*store)->Put({1, 99, 3}, SampleTranslation("[a = 3]")).ok());
+  ASSERT_TRUE(
+      (*store)->PutNegative({1, 10, 4}, Status::NotFound("nope")).ok());
+
+  TranslationCache cache({.capacity = 16, .shards = 1});
+  // Filter keeps only rule-set 10; negatives are never replayed.
+  size_t replayed = (*store)->ReplayInto(
+      cache, [](const TranslationCacheKey& k) { return k.rule_set == 10; });
+  EXPECT_EQ(replayed, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Get(TranslationCacheKey{1, 10, 1}).has_value());
+  EXPECT_TRUE(cache.Get(TranslationCacheKey{1, 10, 2}).has_value());
+  EXPECT_FALSE(cache.Get(TranslationCacheKey{1, 99, 3}).has_value());
+  EXPECT_FALSE(cache.Get(TranslationCacheKey{1, 10, 4}).has_value());
+}
+
+TEST(StoreConcurrency, ConcurrentPutsGetsAndBackgroundCompaction) {
+  StoreOptions options;
+  options.path = ScratchPath("store_concurrent");
+  options.background_compaction = true;
+  options.compaction_min_bytes = 1024;  // compact eagerly under the churn
+  options.compaction_waste = 0.3;
+  auto opened = TranslationStore::Open(options);
+  ASSERT_TRUE(opened.ok());
+  TranslationStore* store = opened->get();
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([store, t] {
+      std::mt19937 rng(static_cast<unsigned>(t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // Shared hot keys force supersede churn (dead bytes → compactions)
+        // while per-thread keys exercise concurrent inserts.
+        const uint64_t q = (i % 3 == 0) ? static_cast<uint64_t>(i % 7)
+                                        : 1000u + static_cast<uint64_t>(t) * 1000u +
+                                              static_cast<uint64_t>(i);
+        const TranslationCacheKey key{7, 7, q};
+        if (rng() % 4 == 0) {
+          auto hit = store->Get(key);
+          if (hit.has_value() && hit->ok()) {
+            EXPECT_FALSE(ToParseableText((**hit).mapped).empty());
+          }
+        } else {
+          EXPECT_TRUE(
+              store->Put(key, SampleTranslation("[t = " + std::to_string(t) +
+                                                "] and [i = " +
+                                                std::to_string(i) + "]"))
+                  .ok());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  store->WaitForIdleCompaction();
+  StoreStats stats = store->stats();
+  EXPECT_GT(stats.puts, 0u);
+  EXPECT_GT(stats.updates, 0u);
+  // Every live entry is still readable after the churn.
+  EXPECT_EQ(stats.live_records, store->num_entries());
+  const size_t live_at_close = store->num_entries();
+  opened->reset();
+  auto reopened = TranslationStore::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  // Recovery indexes every intact record, so supersedes that landed after
+  // the last compaction make recovered_records exceed the live count; the
+  // live set itself must survive the reopen exactly.
+  EXPECT_EQ((*reopened)->num_entries(), live_at_close);
+  EXPECT_GE((*reopened)->stats().recovered_records, (*reopened)->num_entries());
+}
+
+// ---------------------------------------------------------------------------
+// Service integration: warm restarts, versioned invalidation, degraded
+// entries. Mirrors the SyntheticFederation setup of service_test.cc.
+
+std::string Render(const MediatorTranslation& t) {
+  std::string out;
+  for (const auto& [name, translation] : t.per_source) {
+    out += name + ": " + ToParseableText(translation.mapped) + " / " +
+           ToParseableText(translation.filter) + "\n";
+  }
+  out += "F: " + ToParseableText(t.filter) + "\n";
+  return out;
+}
+
+std::vector<std::pair<std::string, MappingSpec>> SyntheticFederation() {
+  std::vector<std::pair<std::string, MappingSpec>> out;
+  SyntheticOptions base;
+  base.num_attrs = 8;
+  const std::vector<std::vector<std::pair<int, int>>> pair_sets = {
+      {}, {{0, 1}}, {{2, 3}, {4, 5}}, {{0, 2}, {1, 3}, {4, 6}}};
+  for (size_t i = 0; i < pair_sets.size(); ++i) {
+    SyntheticOptions options = base;
+    options.dependent_pairs = pair_sets[i];
+    Result<MappingSpec> spec = MakeSyntheticSpec(options);
+    EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+    out.emplace_back("S" + std::to_string(i), *spec);
+  }
+  return out;
+}
+
+std::unique_ptr<TranslationService> MakeStoreService(
+    const std::string& store_path, FaultInjector* injector = nullptr) {
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.enable_cache = true;
+  options.store.path = store_path;
+  options.fault_injector = injector;
+  if (injector != nullptr) options.resilience.enabled = true;
+  auto service = std::make_unique<TranslationService>(options);
+  for (auto& [name, spec] : SyntheticFederation()) {
+    service->AddSource(name, spec);
+  }
+  return service;
+}
+
+std::vector<Query> StoreTestQueries(int count) {
+  std::mt19937 rng(20260808);
+  RandomQueryOptions options;
+  options.num_attrs = 8;
+  options.max_depth = 3;
+  std::vector<Query> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(RandomQuery(rng, options));
+  return out;
+}
+
+TEST(ServiceStore, RestartComesBackWarmWithByteIdenticalTranslations) {
+  const std::string path = ScratchPath("service_restart");
+  const std::vector<Query> queries = StoreTestQueries(12);
+  std::vector<std::string> cold_renders;
+  uint64_t cold_puts = 0;
+
+  {
+    auto service = MakeStoreService(path);
+    ASSERT_TRUE(service->store_open_status().ok())
+        << service->store_open_status().ToString();
+    ASSERT_NE(service->store(), nullptr);
+    for (const Query& q : queries) {
+      Result<MediatorTranslation> r = service->Translate(q);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      cold_renders.push_back(Render(*r));
+    }
+    // One store record per (unique query, source); structurally duplicate
+    // random queries are absorbed by the RAM cache before reaching the
+    // store, so pin a lower bound rather than an exact product.
+    cold_puts = service->stats().store.puts;
+    EXPECT_GT(cold_puts, 0u);
+    EXPECT_LE(cold_puts, queries.size() * service->num_sources());
+  }  // service dtor: restart boundary
+
+  auto restarted = MakeStoreService(path);
+  ASSERT_NE(restarted->store(), nullptr);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Result<MediatorTranslation> r = restarted->Translate(queries[i]);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // Replayed translations are byte-identical to the cold run's.
+    EXPECT_EQ(Render(*r), cold_renders[i]) << "query " << i;
+  }
+  ServiceStats stats = restarted->stats();
+  // The warm-up replay restored every persisted entry into the RAM cache
+  // before the first lookup, so every per-source translation was answered
+  // without touching a matcher.
+  EXPECT_EQ(stats.store.replayed_records, cold_puts);
+  EXPECT_EQ(stats.cache.hits, queries.size() * restarted->num_sources());
+  EXPECT_EQ(stats.cache.misses, 0u);
+}
+
+TEST(ServiceStore, RuleSetChangeMakesBothTiersUnreachable) {
+  const std::string path = ScratchPath("service_ruleset");
+  const Query q = Q("[a0 = 1] and [a1 = 2]");
+
+  SyntheticOptions v1;
+  v1.num_attrs = 8;
+  SyntheticOptions v2 = v1;
+  v2.dependent_pairs = {{0, 1}};  // different rules => different translations
+  Result<MappingSpec> spec_v1 = MakeSyntheticSpec(v1);
+  Result<MappingSpec> spec_v2 = MakeSyntheticSpec(v2);
+  ASSERT_TRUE(spec_v1.ok() && spec_v2.ok());
+
+  auto make_service = [&](const MappingSpec& spec,
+                          const SourceCapabilities& caps) {
+    ServiceOptions options;
+    options.num_threads = 1;
+    options.store.path = path;
+    auto service = std::make_unique<TranslationService>(options);
+    service->AddSource("S", spec, caps);
+    return service;
+  };
+
+  std::string v1_render;
+  {
+    auto service = make_service(*spec_v1, SourceCapabilities());
+    Result<MediatorTranslation> r = service->Translate(q);
+    ASSERT_TRUE(r.ok());
+    v1_render = Render(*r);
+    EXPECT_EQ(service->stats().store.puts, 1u);
+  }
+
+  // Same store, new rule set: the v1 entry differs in the rule_set third of
+  // the key, so neither the replay filter nor the disk lookup can reach it.
+  {
+    auto service = make_service(*spec_v2, SourceCapabilities());
+    Result<MediatorTranslation> r = service->Translate(q);
+    ASSERT_TRUE(r.ok());
+    ServiceStats stats = service->stats();
+    EXPECT_EQ(stats.store.replayed_records, 0u);
+    EXPECT_EQ(stats.store.hits, 0u);
+    EXPECT_EQ(stats.cache.hits, 0u);
+    // The answer matches a fresh no-store service running v2 — freshly
+    // translated, not v1's stale entry.
+    ServiceOptions fresh_options;
+    fresh_options.num_threads = 1;
+    TranslationService fresh(fresh_options);
+    fresh.AddSource("S", *spec_v2);
+    Result<MediatorTranslation> want = fresh.Translate(q);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(Render(*r), Render(*want));
+    EXPECT_NE(Render(*r), v1_render);
+  }
+
+  // A capability change alone also rotates the version third of the key.
+  {
+    SourceCapabilities caps;
+    caps.Allow("a0", Op::kEq);
+    auto service = make_service(*spec_v2, caps);
+    Result<MediatorTranslation> r = service->Translate(q);
+    ASSERT_TRUE(r.ok());
+    ServiceStats stats = service->stats();
+    EXPECT_EQ(stats.store.replayed_records, 0u);
+    EXPECT_EQ(stats.store.hits, 0u);
+  }
+
+  // Same spec AND same capabilities: the entry is reachable again.
+  {
+    SourceCapabilities caps;
+    caps.Allow("a0", Op::kEq);
+    auto service = make_service(*spec_v2, caps);
+    Result<MediatorTranslation> r = service->Translate(q);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(service->stats().store.replayed_records, 1u);
+    EXPECT_EQ(service->stats().cache.hits, 1u);
+  }
+}
+
+TEST(ServiceStore, DegradedTranslationsAreNeverPersisted) {
+  const std::string path = ScratchPath("service_degraded");
+  const Query q = Q("[a0 = 1] and [a1 = 2] and [a2 = 3]");
+
+  FaultInjector injector(7);
+  injector.DegradeNext("S0", 1);
+  {
+    auto service = MakeStoreService(path, &injector);
+    Result<MediatorTranslation> degraded = service->Translate(q);
+    ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+    ASSERT_EQ(degraded->partial.degraded, std::vector<std::string>{"S0"});
+    // S0's widened translation must not be on disk; the three healthy
+    // sources' exact translations are.
+    EXPECT_EQ(service->stats().store.puts, service->num_sources() - 1);
+  }
+
+  // After a restart, S0 misses both tiers and re-translates exactly; the
+  // result must match a never-faulted service.
+  auto healthy = MakeStoreService(path);
+  Result<MediatorTranslation> warm = healthy->Translate(q);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->partial.complete());
+
+  const std::string fresh_path = ScratchPath("service_degraded_fresh");
+  auto fresh = MakeStoreService(fresh_path);
+  Result<MediatorTranslation> want = fresh->Translate(q);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(Render(*warm), Render(*want));
+}
+
+TEST(ServiceStore, OpenFailureDegradesToCacheOnly) {
+  ServiceOptions options;
+  options.num_threads = 1;
+  // A directory that does not exist: the store cannot open its log there.
+  options.store.path = ::testing::TempDir() + "no_such_dir_qmap/store.log";
+  auto service = std::make_unique<TranslationService>(options);
+  for (auto& [name, spec] : SyntheticFederation()) {
+    service->AddSource(name, spec);
+  }
+  EXPECT_EQ(service->store(), nullptr);
+  EXPECT_FALSE(service->store_open_status().ok());
+  Result<MediatorTranslation> r = service->Translate(Q("[a0 = 1]"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();  // cache-only still answers
+}
+
+}  // namespace
+}  // namespace qmap
