@@ -21,12 +21,28 @@ import json
 import sys
 
 
-def load_benchmarks(path):
-    """name -> benchmark entry, aggregates and error runs skipped."""
-    with open(path) as f:
-        doc = json.load(f)
+def load_benchmarks(path, role):
+    """name -> benchmark entry, aggregates and error runs skipped.
+
+    Exits loudly (not with a KeyError/zero-entry pass) when the file is
+    unreadable, is not JSON, or parses but has no "benchmarks" section — the
+    classic symptom of a bench binary that crashed mid-run and left a
+    truncated BENCH_*.json behind.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"error: cannot read {role} file {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {role} file {path} is not valid JSON ({e}); "
+                 "was the benchmark run truncated?")
+    if "benchmarks" not in doc:
+        sys.exit(f"error: {role} file {path} parses as JSON but has no "
+                 "\"benchmarks\" section; was the benchmark run truncated "
+                 "or the wrong file passed?")
     out = {}
-    for bench in doc.get("benchmarks", []):
+    for bench in doc["benchmarks"]:
         if bench.get("run_type") == "aggregate" or "error_occurred" in bench:
             continue
         out[bench["name"]] = bench
@@ -53,10 +69,18 @@ def main():
         help="allowed relative growth in real_time (ns/op)")
     args = parser.parse_args()
 
-    current = load_benchmarks(args.current)
-    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current, "current-run")
+    baseline = load_benchmarks(args.baseline, "baseline")
     if not baseline:
         print(f"error: no benchmarks in baseline {args.baseline}")
+        return 1
+    # One aggregated loud failure, instead of a per-benchmark "missing from
+    # current run" wall, when the fresh run produced nothing at all.
+    if not current:
+        print(f"error: baseline {args.baseline} has {len(baseline)} "
+              f"benchmark(s) but current run {args.current} has none — "
+              "the bench binary likely crashed or was filtered to nothing",
+              file=sys.stderr)
         return 1
 
     failures = []

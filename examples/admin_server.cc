@@ -1,0 +1,93 @@
+// Runs a TranslationService with the whole observability plane switched on
+// and serves the admin endpoints over HTTP — the quickest way to poke at
+// /statusz, /metrics and /tracez with curl or a browser:
+//
+//   ./admin_server --port=8080 --duration-s=600
+//   curl http://127.0.0.1:8080/statusz
+//   curl http://127.0.0.1:8080/tracez | python3 -m json.tool
+//
+// With --port=0 (the default) the kernel picks a free port; the chosen one
+// is printed on stdout. The CI admin-smoke job drives exactly this binary.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qmap/contexts/faculty.h"
+#include "qmap/expr/parser.h"
+#include "qmap/obs/metrics.h"
+#include "qmap/service/translation_service.h"
+
+namespace {
+
+int ParseIntFlag(const char* arg, const char* name, int fallback) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return fallback;
+  return std::atoi(arg + len + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  int duration_s = 30;
+  for (int i = 1; i < argc; ++i) {
+    port = ParseIntFlag(argv[i], "--port", port);
+    duration_s = ParseIntFlag(argv[i], "--duration-s", duration_s);
+  }
+
+  qmap::MetricsRegistry registry;
+  qmap::ServiceOptions options;
+  options.num_threads = 4;
+  options.obs.metrics = &registry;
+  options.obs.slow_query.enabled = true;
+  options.obs.slow_query.latency_threshold_us = 1000;  // 1 ms
+  options.obs.trace_ring.enabled = true;
+  options.obs.trace_ring.sample_every = 4;
+
+  qmap::TranslationService service(options);
+  service.AddSourcesFrom(qmap::MakeFacultyMediator());
+
+  // Put some traffic through the plane so every endpoint has something to
+  // show the moment the port opens.
+  const std::vector<std::string> workload = {
+      "[fac.dept = \"cs\"] and [fac.bib contains \"mining\"]",
+      "[fac.dept = \"ee\"]",
+      "[fac.dept = \"physics\"] or [fac.dept = \"math\"]",
+      "[fac.bib contains \"query(near)mapping\"]",
+  };
+  for (const std::string& text : workload) {
+    qmap::Result<qmap::Query> query = qmap::ParseQuery(text);
+    if (!query.ok()) {
+      std::fprintf(stderr, "bad workload query '%s': %s\n", text.c_str(),
+                   query.status().ToString().c_str());
+      return 1;
+    }
+    auto result = service.Translate(*query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "translate failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  qmap::AdminOptions admin;
+  admin.http.port = static_cast<uint16_t>(port);
+  qmap::Status status = service.StartAdmin(admin);
+  if (!status.ok()) {
+    std::fprintf(stderr, "StartAdmin: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("admin server listening on http://127.0.0.1:%u\n",
+              service.admin_server()->port());
+  std::fflush(stdout);
+
+  std::this_thread::sleep_for(std::chrono::seconds(duration_s));
+  service.StopAdmin();
+  std::printf("done after %d s\n", duration_s);
+  return 0;
+}

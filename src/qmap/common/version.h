@@ -1,0 +1,13 @@
+#ifndef QMAP_COMMON_VERSION_H_
+#define QMAP_COMMON_VERSION_H_
+
+namespace qmap {
+
+/// The library version, surfaced by the qmap_build_info metric and the admin
+/// server so a scrape can identify which binary it is talking to. Bumped
+/// when the observable surface changes (new endpoints, new metric families).
+inline constexpr char kQmapVersion[] = "0.7.0";
+
+}  // namespace qmap
+
+#endif  // QMAP_COMMON_VERSION_H_

@@ -1,0 +1,124 @@
+#ifndef QMAP_OBS_ADMIN_HTTP_H_
+#define QMAP_OBS_ADMIN_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "qmap/common/status.h"
+
+namespace qmap {
+
+struct AdminHttpOptions {
+  /// Interface to bind. The default is loopback-only: the admin plane
+  /// exposes internals (queries, latencies, config) and is not meant to be
+  /// reachable from off the host.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Concurrent connection bound. Excess connections are accepted and
+  /// immediately closed (counted in stats().rejected_connections).
+  int max_connections = 32;
+  /// Request-head size limit; longer requests get 431 and a close.
+  size_t max_request_bytes = 8192;
+  /// Per-connection wall-clock budget from accept to response completion;
+  /// connections that idle past it are dropped.
+  int io_timeout_ms = 5000;
+  /// poll() tick used to re-check the stop flag and connection deadlines.
+  int poll_interval_ms = 50;
+};
+
+/// What a handler returns. `content_type` defaults to plain text; handlers
+/// serving JSON or Prometheus expositions override it.
+struct AdminResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Handler for one exact path. `query` is the raw part after '?' (no URL
+/// decoding — admin query strings are simple key=value pairs).
+using AdminHandler = std::function<AdminResponse(std::string_view query)>;
+
+/// Counters describing server activity since Start().
+struct AdminHttpStats {
+  uint64_t accepted = 0;              // connections accepted and served
+  uint64_t served = 0;                // responses fully written
+  uint64_t rejected_connections = 0;  // closed immediately: at max_connections
+  uint64_t bad_requests = 0;          // unparsable request heads (400/431/405)
+  uint64_t not_found = 0;             // 404s
+  uint64_t timeouts = 0;              // connections dropped at io_timeout_ms
+};
+
+/// A minimal, dependency-free HTTP/1.1 server for the admin/introspection
+/// plane: /healthz, /varz, /metrics, /tracez and friends. One background
+/// thread runs a non-blocking poll() loop over the listener plus at most
+/// max_connections sockets; there are no worker threads to size and no
+/// allocation beyond the per-connection buffers.
+///
+/// Scope is deliberately narrow — this is an *admin* server, not a web
+/// server: GET/HEAD only, "Connection: close" on every response, no TLS, no
+/// keep-alive, no chunked encoding, bounded request size. Handlers run on
+/// the server thread, so they must be fast and must not block; every
+/// built-in qmap handler only snapshots in-memory state.
+///
+/// Lifecycle: register handlers with Handle() (not thread-safe; before
+/// Start() only), then Start(), then Stop() (idempotent; also run by the
+/// destructor). Stop() wakes the poll loop via a self-pipe and joins the
+/// thread, so it is safe to destroy the handler targets afterwards.
+class AdminHttpServer {
+ public:
+  explicit AdminHttpServer(AdminHttpOptions options = {});
+  ~AdminHttpServer();
+
+  AdminHttpServer(const AdminHttpServer&) = delete;
+  AdminHttpServer& operator=(const AdminHttpServer&) = delete;
+
+  /// Registers `handler` for exact-match `path` (e.g. "/healthz"). Must be
+  /// called before Start().
+  void Handle(std::string path, AdminHandler handler);
+
+  /// Binds, listens and spawns the serving thread. Fails (without spawning)
+  /// if the socket can't be bound or the server is already running.
+  Status Start();
+
+  /// Stops the serving thread and closes all sockets. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound TCP port (useful with options.port = 0). 0 until Start().
+  uint16_t port() const { return port_; }
+
+  const AdminHttpOptions& options() const { return options_; }
+
+  AdminHttpStats stats() const;
+
+ private:
+  void Serve();
+
+  const AdminHttpOptions options_;
+  std::map<std::string, AdminHandler, std::less<>> handlers_;
+
+  int listen_fd_ = -1;
+  int wake_fd_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written by Stop()
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> bad_requests_{0};
+  std::atomic<uint64_t> not_found_{0};
+  std::atomic<uint64_t> timeouts_{0};
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_OBS_ADMIN_HTTP_H_

@@ -1,0 +1,49 @@
+#ifndef QMAP_OBS_JSON_H_
+#define QMAP_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "qmap/common/status.h"
+
+namespace qmap {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes,
+/// backslashes, and control characters; everything else passes through).
+/// The inverse of the escape handling in ParseJson.
+std::string JsonEscape(std::string_view s);
+
+/// A parsed JSON value — the minimal model the observability plane needs
+/// (objects, arrays, strings, unsigned integers, booleans, null). Shared by
+/// the trace round-trip parser, the admin-endpoint tests, and any tool that
+/// wants to read the documents qmap emits without a JSON dependency.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  uint64_t number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses a complete JSON document (trailing characters are an error).
+/// Accepts exactly what the qmap emitters produce: strings with the escapes
+/// JsonEscape writes, numbers (sign/fraction/exponent consumed, `number`
+/// keeps the integer magnitude), true/false/null, arrays, objects.
+/// Recursive descent over the in-memory buffer.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace qmap
+
+#endif  // QMAP_OBS_JSON_H_

@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <mutex>
 
+#include "qmap/common/version.h"
+#include "qmap/obs/json.h"
+
 namespace qmap {
 namespace {
 
@@ -14,29 +17,6 @@ std::string Sanitize(std::string_view name) {
     bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
               (c >= '0' && c <= '9') || c == '_';
     if (!ok) c = '_';
-  }
-  return out;
-}
-
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
   }
   return out;
 }
@@ -63,10 +43,19 @@ void Histogram::Record(uint64_t v) {
   sum_.fetch_add(v, std::memory_order_relaxed);
 }
 
+void Histogram::RecordWithExemplar(uint64_t v, uint64_t trace_serial) {
+  if (trace_serial != 0) {
+    exemplars_[static_cast<size_t>(BucketFor(v))].store(
+        trace_serial, std::memory_order_relaxed);
+  }
+  Record(v);
+}
+
 Histogram::Snapshot Histogram::TakeSnapshot() const {
   Snapshot snap;
   for (int b = 0; b < kNumBuckets; ++b) {
     snap.buckets[static_cast<size_t>(b)] = bucket_count(b);
+    snap.exemplars[static_cast<size_t>(b)] = exemplar(b);
     snap.total += snap.buckets[static_cast<size_t>(b)];
   }
   snap.sum = sum();
@@ -101,25 +90,54 @@ double Histogram::QuantileOf(const Snapshot& snap, double q) {
 
 double Histogram::Quantile(double q) const { return QuantileOf(TakeSnapshot(), q); }
 
-Counter& MetricsRegistry::counter(std::string_view name) {
-  {
+void MetricsRegistry::SetHelpLocked(std::string_view name,
+                                    std::string_view help) {
+  if (help.empty()) return;
+  auto [it, inserted] = help_.try_emplace(std::string(name), std::string(help));
+  (void)it;
+  (void)inserted;  // first non-empty description wins
+}
+
+std::string_view MetricsRegistry::HelpLocked(const std::string& name) const {
+  auto it = help_.find(name);
+  return it == help_.end() ? std::string_view() : std::string_view(it->second);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help) {
+  if (help.empty()) {
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = counters_.find(name);
     if (it != counters_.end()) return *it->second;
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
+  SetHelpLocked(name, help);
   auto [it, inserted] = counters_.try_emplace(std::string(name), nullptr);
   if (inserted) it->second = std::make_unique<Counter>();
   return *it->second;
 }
 
-Histogram& MetricsRegistry::histogram(std::string_view name) {
-  {
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  if (help.empty()) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  SetHelpLocked(name, help);
+  auto [it, inserted] = gauges_.try_emplace(std::string(name), nullptr);
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help) {
+  if (help.empty()) {
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = histograms_.find(name);
     if (it != histograms_.end()) return *it->second;
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
+  SetHelpLocked(name, help);
   auto [it, inserted] = histograms_.try_emplace(std::string(name), nullptr);
   if (inserted) it->second = std::make_unique<Histogram>();
   return *it->second;
@@ -130,6 +148,11 @@ size_t MetricsRegistry::num_counters() const {
   return counters_.size();
 }
 
+size_t MetricsRegistry::num_gauges() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return gauges_.size();
+}
+
 size_t MetricsRegistry::num_histograms() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return histograms_.size();
@@ -137,12 +160,21 @@ size_t MetricsRegistry::num_histograms() const {
 
 std::string MetricsRegistry::ToJson() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  std::string out = "{\"counters\":{";
+  std::string out = "{\"build_info\":{\"version\":\"";
+  out += JsonEscape(kQmapVersion);
+  out += "\"},\"counters\":{";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
     if (!first) out += ',';
     first = false;
     out += '"' + JsonEscape(name) + "\":" + std::to_string(counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + std::to_string(gauge->value());
   }
   out += "},\"histograms\":{";
   first = true;
@@ -167,7 +199,10 @@ std::string MetricsRegistry::ToJson() const {
       if (!first_bucket) out += ',';
       first_bucket = false;
       out += "{\"le\":" + std::to_string(Histogram::BucketUpperBound(b)) +
-             ",\"count\":" + std::to_string(n) + '}';
+             ",\"count\":" + std::to_string(n);
+      uint64_t ex = snap.exemplars[static_cast<size_t>(b)];
+      if (ex != 0) out += ",\"exemplar\":\"qt" + std::to_string(ex) + "\"";
+      out += '}';
     }
     out += "]}";
   }
@@ -178,13 +213,33 @@ std::string MetricsRegistry::ToJson() const {
 std::string MetricsRegistry::ToPrometheusText() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   std::string out;
+  // Build identity first, so even an otherwise-empty scrape names the
+  // binary it came from.
+  out += "# HELP qmap_build_info Build/version identity of this binary.\n";
+  out += "# TYPE qmap_build_info gauge\n";
+  out += std::string("qmap_build_info{version=\"") + kQmapVersion + "\"} 1\n";
+  const auto append_help = [&](const std::string& name,
+                               const std::string& prom) {
+    std::string_view help = HelpLocked(name);
+    if (!help.empty()) {
+      out += "# HELP " + prom + " " + std::string(help) + "\n";
+    }
+  };
   for (const auto& [name, counter] : counters_) {
     std::string prom = Sanitize(name);
+    append_help(name, prom);
     out += "# TYPE " + prom + " counter\n";
     out += prom + " " + std::to_string(counter->value()) + "\n";
   }
+  for (const auto& [name, gauge] : gauges_) {
+    std::string prom = Sanitize(name);
+    append_help(name, prom);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(gauge->value()) + "\n";
+  }
   for (const auto& [name, hist] : histograms_) {
     std::string prom = Sanitize(name);
+    append_help(name, prom);
     out += "# TYPE " + prom + " histogram\n";
     // One snapshot per histogram. Re-reading the atomics per line (as this
     // used to do) let a concurrent Record() land between the last _bucket

@@ -3,35 +3,13 @@
 #include <atomic>
 #include <cstdio>
 
+#include "qmap/obs/json.h"
 #include "qmap/obs/metrics.h"
 
 namespace qmap {
 namespace {
 
 std::atomic<uint64_t> g_next_trace_serial{1};
-
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 void AppendSpanJson(const SpanRecord& span, std::string* out) {
   *out += "{\"id\":" + std::to_string(span.id);
@@ -77,199 +55,6 @@ std::string TraceJson(const std::string& trace_id, const std::string& label,
   out += "]}";
   return out;
 }
-
-// ---------------------------------------------------------------------------
-// Minimal JSON reader — just enough for the documents this module emits
-// (objects, arrays, strings with the escapes JsonEscape produces, unsigned
-// integers, true/false/null). Recursive descent over an in-memory buffer.
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  uint64_t number = 0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* Find(std::string_view key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text) : text_(text) {}
-
-  Result<JsonValue> Parse() {
-    Result<JsonValue> value = ParseValue();
-    if (!value.ok()) return value;
-    SkipSpace();
-    if (pos_ != text_.size()) return Fail("trailing characters");
-    return value;
-  }
-
- private:
-  Status Fail(const std::string& why) const {
-    return Status::ParseError("trace JSON: " + why + " at offset " +
-                              std::to_string(pos_));
-  }
-
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  Result<JsonValue> ParseValue() {
-    SkipSpace();
-    if (pos_ >= text_.size()) return Fail("unexpected end of input");
-    char c = text_[pos_];
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
-    if (c == '"') return ParseString();
-    if (c == 't' || c == 'f') return ParseBool();
-    if (c == 'n') return ParseNull();
-    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
-    return Fail(std::string("unexpected character '") + c + "'");
-  }
-
-  Result<JsonValue> ParseObject() {
-    ++pos_;  // '{'
-    JsonValue out;
-    out.kind = JsonValue::Kind::kObject;
-    if (Consume('}')) return out;
-    while (true) {
-      Result<JsonValue> key = ParseString();
-      if (!key.ok()) return key;
-      if (!Consume(':')) return Fail("expected ':'");
-      Result<JsonValue> value = ParseValue();
-      if (!value.ok()) return value;
-      out.object.emplace_back(std::move(key->string), *std::move(value));
-      if (Consume(',')) continue;
-      if (Consume('}')) return out;
-      return Fail("expected ',' or '}'");
-    }
-  }
-
-  Result<JsonValue> ParseArray() {
-    ++pos_;  // '['
-    JsonValue out;
-    out.kind = JsonValue::Kind::kArray;
-    if (Consume(']')) return out;
-    while (true) {
-      Result<JsonValue> value = ParseValue();
-      if (!value.ok()) return value;
-      out.array.push_back(*std::move(value));
-      if (Consume(',')) continue;
-      if (Consume(']')) return out;
-      return Fail("expected ',' or ']'");
-    }
-  }
-
-  Result<JsonValue> ParseString() {
-    SkipSpace();
-    if (pos_ >= text_.size() || text_[pos_] != '"') return Fail("expected string");
-    ++pos_;
-    JsonValue out;
-    out.kind = JsonValue::Kind::kString;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c != '\\') {
-        out.string += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) return Fail("dangling escape");
-      char e = text_[pos_++];
-      switch (e) {
-        case '"': out.string += '"'; break;
-        case '\\': out.string += '\\'; break;
-        case '/': out.string += '/'; break;
-        case 'n': out.string += '\n'; break;
-        case 't': out.string += '\t'; break;
-        case 'r': out.string += '\r'; break;
-        case 'b': out.string += '\b'; break;
-        case 'f': out.string += '\f'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return Fail("short \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return Fail("bad \\u escape");
-          }
-          // The emitter only produces \u00XX control escapes.
-          out.string += static_cast<char>(code & 0xff);
-          break;
-        }
-        default:
-          return Fail("unknown escape");
-      }
-    }
-    if (pos_ >= text_.size()) return Fail("unterminated string");
-    ++pos_;  // closing quote
-    return out;
-  }
-
-  Result<JsonValue> ParseBool() {
-    JsonValue out;
-    out.kind = JsonValue::Kind::kBool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      out.boolean = true;
-      pos_ += 4;
-      return out;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      out.boolean = false;
-      pos_ += 5;
-      return out;
-    }
-    return Fail("expected boolean");
-  }
-
-  Result<JsonValue> ParseNull() {
-    if (text_.compare(pos_, 4, "null") == 0) {
-      pos_ += 4;
-      return JsonValue{};
-    }
-    return Fail("expected null");
-  }
-
-  Result<JsonValue> ParseNumber() {
-    JsonValue out;
-    out.kind = JsonValue::Kind::kNumber;
-    if (text_[pos_] == '-') return Fail("negative numbers not expected here");
-    uint64_t value = 0;
-    size_t start = pos_;
-    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
-      value = value * 10 + static_cast<uint64_t>(text_[pos_] - '0');
-      ++pos_;
-    }
-    if (pos_ == start) return Fail("expected digits");
-    out.number = value;
-    return out;
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
 
 Result<SpanRecord> SpanFromJson(const JsonValue& value) {
   if (value.kind != JsonValue::Kind::kObject) {
@@ -400,6 +185,15 @@ std::string Trace::ToJson() const {
   return TraceJson(trace_id(), label_, capture_detail_, spans());
 }
 
+ParsedTrace Trace::ToParsed() const {
+  ParsedTrace out;
+  out.trace_id = trace_id();
+  out.label = label_;
+  out.capture_detail = capture_detail_;
+  out.spans = spans();
+  return out;
+}
+
 std::string ParsedTrace::ToJson() const {
   return TraceJson(trace_id, label, capture_detail, spans);
 }
@@ -437,8 +231,7 @@ std::string Trace::ToChromeTraceJson() const {
 }
 
 Result<ParsedTrace> ParseTraceJson(const std::string& json) {
-  JsonReader reader(json);
-  Result<JsonValue> root = reader.Parse();
+  Result<JsonValue> root = ParseJson(json);
   if (!root.ok()) return root.status();
   if (root->kind != JsonValue::Kind::kObject) {
     return Status::ParseError("trace JSON: root is not an object");

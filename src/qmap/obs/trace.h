@@ -73,6 +73,9 @@ class Trace {
   const std::string& label() const { return label_; }
   /// Process-unique trace id, e.g. "qt17".
   std::string trace_id() const;
+  /// The numeric part of trace_id(). Histogram exemplars store this serial
+  /// (an atomic 64-bit slot per bucket) instead of the id string.
+  uint64_t serial() const { return serial_; }
   bool capture_detail() const { return capture_detail_; }
 
   /// Nanoseconds elapsed since the trace was created.
@@ -87,6 +90,11 @@ class Trace {
   /// Snapshot of all spans recorded so far.
   std::vector<SpanRecord> spans() const;
   size_t num_spans() const;
+
+  /// Snapshot of the whole trace as plain data — identical to parsing
+  /// ToJson() back, without the serialization round trip. This is what the
+  /// trace-retention ring stores.
+  ParsedTrace ToParsed() const;
 
   std::string ToJson() const;
   std::string ToChromeTraceJson() const;

@@ -1,0 +1,71 @@
+#include "qmap/obs/trace_ring.h"
+
+#include <utility>
+
+namespace qmap {
+
+TraceRing::TraceRing(TraceRingOptions options) : options_([&] {
+  if (options.sample_every == 0) options.sample_every = 1;
+  return options;
+}()) {}
+
+bool TraceRing::ShouldSample() {
+  uint64_t n = seen_.fetch_add(1, std::memory_order_relaxed);
+  return n % options_.sample_every == 0;
+}
+
+void TraceRing::InsertLocked(std::deque<ParsedTrace>& ring, size_t capacity,
+                             ParsedTrace&& trace) {
+  if (capacity == 0) {
+    evicted_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  while (ring.size() >= capacity) {
+    ring.pop_front();
+    evicted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring.push_back(std::move(trace));
+}
+
+void TraceRing::Insert(ParsedTrace trace, bool outlier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (outlier) {
+    outliers_.fetch_add(1, std::memory_order_relaxed);
+    InsertLocked(outlier_ring_, options_.outlier_capacity, std::move(trace));
+  } else {
+    sampled_.fetch_add(1, std::memory_order_relaxed);
+    InsertLocked(sampled_ring_, options_.capacity, std::move(trace));
+  }
+}
+
+std::vector<ParsedTrace> TraceRing::SampledSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<ParsedTrace>(sampled_ring_.rbegin(), sampled_ring_.rend());
+}
+
+std::vector<ParsedTrace> TraceRing::OutlierSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<ParsedTrace>(outlier_ring_.rbegin(), outlier_ring_.rend());
+}
+
+std::optional<ParsedTrace> TraceRing::Find(std::string_view trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = outlier_ring_.rbegin(); it != outlier_ring_.rend(); ++it) {
+    if (it->trace_id == trace_id) return *it;
+  }
+  for (auto it = sampled_ring_.rbegin(); it != sampled_ring_.rend(); ++it) {
+    if (it->trace_id == trace_id) return *it;
+  }
+  return std::nullopt;
+}
+
+TraceRingStats TraceRing::stats() const {
+  TraceRingStats out;
+  out.seen = seen_.load(std::memory_order_relaxed);
+  out.sampled = sampled_.load(std::memory_order_relaxed);
+  out.outliers = outliers_.load(std::memory_order_relaxed);
+  out.evicted = evicted_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace qmap

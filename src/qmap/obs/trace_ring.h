@@ -1,0 +1,95 @@
+#ifndef QMAP_OBS_TRACE_RING_H_
+#define QMAP_OBS_TRACE_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "qmap/obs/trace.h"
+
+namespace qmap {
+
+struct TraceRingOptions {
+  /// Master switch. When off the service skips trace construction for
+  /// unsampled queries entirely — ShouldSample() is never consulted.
+  bool enabled = false;
+  /// How many head-sampled traces to retain (oldest evicted first).
+  size_t capacity = 64;
+  /// How many latency outliers to retain. Outliers live in their own ring so
+  /// a burst of ordinary sampled traffic can never evict the interesting
+  /// slow ones.
+  size_t outlier_capacity = 32;
+  /// Head sampling rate: every Nth query (per ShouldSample() call) is
+  /// traced and retained. 1 = every query. Must be >= 1.
+  uint32_t sample_every = 16;
+};
+
+/// Point-in-time counters describing the ring's behaviour since creation.
+struct TraceRingStats {
+  uint64_t seen = 0;      // ShouldSample() calls (queries considered)
+  uint64_t sampled = 0;   // traces retained via head sampling
+  uint64_t outliers = 0;  // traces retained via the outlier path
+  uint64_t evicted = 0;   // traces dropped to respect the capacity bounds
+};
+
+/// Always-on sampled trace retention: a bounded ring of completed
+/// ParsedTraces. Two retention paths feed it:
+///
+///   - head sampling: every `sample_every`-th query is traced regardless of
+///     how it turns out, giving an unbiased picture of normal traffic;
+///   - outlier retention: queries the service classifies as slow (the
+///     slow-query-log criteria) are *always* retained, in a separate ring,
+///     so p99 investigations have concrete traces to look at even when the
+///     sampler happened to skip them.
+///
+/// The hot path touches one relaxed atomic (ShouldSample). Insert copies the
+/// finished trace under a short mutex — it runs only for the sampled /
+/// outlier minority. Snapshots copy out, so readers (the admin server's
+/// /tracez) never block the insert path for long.
+class TraceRing {
+ public:
+  explicit TraceRing(TraceRingOptions options = {});
+
+  const TraceRingOptions& options() const { return options_; }
+
+  /// Decides head sampling for the next query; cheap enough to call per
+  /// query. Counts the query as seen either way.
+  bool ShouldSample();
+
+  /// Retains a completed trace. `outlier` routes it to the outlier ring
+  /// (guaranteed retention, own capacity); otherwise it joins the sampled
+  /// ring. Oldest entry is evicted when the target ring is full.
+  void Insert(ParsedTrace trace, bool outlier);
+
+  /// Newest-first copies of the retained traces.
+  std::vector<ParsedTrace> SampledSnapshot() const;
+  std::vector<ParsedTrace> OutlierSnapshot() const;
+
+  /// Looks a retained trace up by id (e.g. "qt17"), searching outliers then
+  /// sampled, newest first. Empty when the trace was never retained or has
+  /// been evicted since.
+  std::optional<ParsedTrace> Find(std::string_view trace_id) const;
+
+  TraceRingStats stats() const;
+
+ private:
+  void InsertLocked(std::deque<ParsedTrace>& ring, size_t capacity,
+                    ParsedTrace&& trace);
+
+  const TraceRingOptions options_;
+  std::atomic<uint64_t> seen_{0};
+  std::atomic<uint64_t> sampled_{0};
+  std::atomic<uint64_t> outliers_{0};
+  std::atomic<uint64_t> evicted_{0};
+  mutable std::mutex mu_;
+  std::deque<ParsedTrace> sampled_ring_;  // guarded by mu_, oldest at front
+  std::deque<ParsedTrace> outlier_ring_;  // guarded by mu_, oldest at front
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_OBS_TRACE_RING_H_

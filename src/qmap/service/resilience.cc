@@ -419,12 +419,32 @@ Result<Translation> ResilienceManager::GuardedTranslate(
   }
 }
 
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
 CircuitBreaker::State ResilienceManager::breaker_state(
     const std::string& source) const {
   std::lock_guard<std::mutex> lock(breakers_mu_);
   auto it = breakers_.find(source);
   if (it == breakers_.end()) return CircuitBreaker::State::kClosed;
   return it->second->state();
+}
+
+std::vector<std::pair<std::string, CircuitBreaker::State>>
+ResilienceManager::breaker_states() const {
+  std::lock_guard<std::mutex> lock(breakers_mu_);
+  std::vector<std::pair<std::string, CircuitBreaker::State>> out;
+  out.reserve(breakers_.size());
+  for (const auto& [source, breaker] : breakers_) {
+    out.emplace_back(source, breaker->state());
+  }
+  return out;
 }
 
 void ResilienceManager::RecordPartialResult(size_t) {

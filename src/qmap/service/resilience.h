@@ -161,6 +161,10 @@ class CircuitBreaker {
   State state() const;
   uint64_t rejections() const;
 
+  /// Human-readable FSM state name: "closed" / "open" / "half_open". Used
+  /// by the admin plane (/statusz, the qmap_breaker_state_* gauges' docs).
+  static const char* StateName(State state);
+
  private:
   void ResetWindowLocked();
 
@@ -294,6 +298,12 @@ class ResilienceManager {
 
   /// Breaker state for `source` (kClosed if never called).
   CircuitBreaker::State breaker_state(const std::string& source) const;
+
+  /// All breakers instantiated so far, as (source, state) pairs in source
+  /// order. Sources never guarded yet have no breaker and do not appear —
+  /// callers that want the full federation view default those to kClosed.
+  std::vector<std::pair<std::string, CircuitBreaker::State>> breaker_states()
+      const;
 
   /// Counts one partial result served (the per-failed-source counting
   /// happens inside GuardedTranslate's callers via the report).

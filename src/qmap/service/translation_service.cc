@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <latch>
 #include <unordered_map>
 #include <utility>
 
 #include "qmap/common/fnv.h"
+#include "qmap/common/version.h"
 #include "qmap/core/filter.h"
 #include "qmap/core/match_memo.h"
 #include "qmap/expr/intern.h"
 #include "qmap/expr/printer.h"
+#include "qmap/obs/json.h"
 #include "qmap/obs/metrics.h"
 #include "qmap/obs/trace.h"
 
@@ -78,15 +81,23 @@ TranslationService::TranslationService(ServiceOptions options)
       store_open_status_ = store.status();
     }
   }
+  if (options_.obs.trace_ring.enabled) {
+    trace_ring_ = std::make_unique<TraceRing>(options_.obs.trace_ring);
+  }
   if (options_.obs.metrics != nullptr) {
     MetricsRegistry* metrics = options_.obs.metrics;
     cache_.AttachMetrics(metrics);
     if (store_ != nullptr) store_->AttachMetrics(metrics);
     AttachInternMetrics(metrics);
     if (pool_ != nullptr) pool_->AttachMetrics(metrics);
-    translate_counter_ = &metrics->counter("qmap_translate_total");
-    slow_counter_ = &metrics->counter("qmap_slow_queries_total");
-    latency_hist_ = &metrics->histogram("qmap_translate_latency_us");
+    translate_counter_ = &metrics->counter(
+        "qmap_translate_total", "Translate calls received by the service.");
+    slow_counter_ = &metrics->counter(
+        "qmap_slow_queries_total",
+        "Queries captured by the slow-query log (lifetime, not ring size).");
+    latency_hist_ = &metrics->histogram(
+        "qmap_translate_latency_us",
+        "End-to-end Translate wall time in microseconds.");
     match_attempts_counter_ =
         &metrics->counter("qmap_match_pattern_attempts_total");
     match_index_hits_counter_ = &metrics->counter("qmap_match_index_hits_total");
@@ -96,6 +107,9 @@ TranslationService::TranslationService(ServiceOptions options)
 }
 
 TranslationService::~TranslationService() {
+  // Admin handlers capture `this`; stop serving before anything else of the
+  // service is torn down.
+  StopAdmin();
   if (options_.obs.metrics != nullptr) {
     DetachInternMetricsIf(options_.obs.metrics);
     cache_.DetachMetricsIf(options_.obs.metrics);
@@ -130,6 +144,7 @@ void TranslationService::AddSource(std::string name, MappingSpec spec,
                           .value();
   entry.name = std::move(name);
   entry.translator = Translator(std::move(spec), options_.translator);
+  entry.runtime = std::make_unique<SourceRuntime>();
   auto pos = std::lower_bound(
       sources_.begin(), sources_.end(), entry,
       [](const SourceEntry& a, const SourceEntry& b) { return a.name < b.name; });
@@ -168,9 +183,22 @@ Result<Translation> TranslationService::TranslateOne(
     return source.translator.Translate(full, trace, parent_span, memo);
   };
   const auto guarded = [&]() -> Result<Translation> {
-    if (resilience_ == nullptr) return attempt();
-    return resilience_->GuardedTranslate(source.name, full, cancel, attempt,
-                                         report, trace, parent_span);
+    // Scoreboard accounting: only real source work counts as a call (cache
+    // and store hits return before this point), and in_flight brackets the
+    // whole guarded window including retries and backoff.
+    SourceRuntime& runtime = *source.runtime;
+    runtime.calls.fetch_add(1, std::memory_order_relaxed);
+    runtime.in_flight.fetch_add(1, std::memory_order_relaxed);
+    Result<Translation> result =
+        resilience_ == nullptr
+            ? attempt()
+            : resilience_->GuardedTranslate(source.name, full, cancel, attempt,
+                                            report, trace, parent_span);
+    runtime.in_flight.fetch_sub(1, std::memory_order_relaxed);
+    if (!result.ok()) {
+      runtime.failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
   };
   if (!options_.enable_cache) return guarded();
   const TranslationCacheKey key{source.cache_key_prefix, source.rule_set_fp,
@@ -300,6 +328,10 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
       resilience_ != nullptr && resilience_->options().allow_partial;
   for (size_t i = 0; i < n; ++i) {
     const ResilienceManager::CallReport& report = reports[i];
+    if (report.retries > 0) {
+      sources_[i].runtime->retries.fetch_add(report.retries,
+                                             std::memory_order_relaxed);
+    }
     out.stats.retries += report.retries;
     out.stats.deadline_hits += report.deadline_hit ? 1 : 0;
     out.stats.breaker_rejections += report.breaker_rejected ? 1 : 0;
@@ -362,15 +394,21 @@ Result<MediatorTranslation> TranslationService::TranslateObserved(
     const std::vector<std::unique_ptr<MatchMemo>>& memos,
     const CancelToken* cancel) const {
   const SlowQueryLogOptions& slow = options_.obs.slow_query;
-  const bool want_obs = slow.enabled || latency_hist_ != nullptr;
+  // Head-sampling decision up front: the sampler counts every query it sees
+  // (sampled or not), and a sampled query gets a trace even when the slow
+  // log and metrics are off — the ring is its own consumer.
+  const bool sampled = trace_ring_ != nullptr && trace_ring_->ShouldSample();
+  const bool want_obs = slow.enabled || latency_hist_ != nullptr || sampled;
   if (!want_obs) return TranslateFull(full, trace, memos, cancel);
 
   // The slow-query log wants a trace of every query so the slow ones come
-  // with their per-source spans attached, and the per-phase qmap_span_*
-  // histograms are fed from trace spans; record a trace internally when the
-  // caller did not supply one and either consumer is active.
+  // with their per-source spans attached, the per-phase qmap_span_*
+  // histograms are fed from trace spans, and the retention ring stores
+  // completed traces; record a trace internally when the caller did not
+  // supply one and any of those consumers is active.
   std::unique_ptr<Trace> local_trace;
-  if (trace == nullptr && (slow.enabled || options_.obs.metrics != nullptr)) {
+  if (trace == nullptr &&
+      (slow.enabled || sampled || options_.obs.metrics != nullptr)) {
     local_trace = std::make_unique<Trace>("service", /*capture_detail=*/false);
     trace = local_trace.get();
   }
@@ -381,22 +419,45 @@ Result<MediatorTranslation> TranslationService::TranslateObserved(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - wall_start)
           .count());
-  if (latency_hist_ != nullptr) latency_hist_->Record(total_us);
+
+  // Slow-query classification (ok results only — failures have no
+  // per-source stats to inspect).
+  uint64_t max_disjuncts = 0;
+  bool is_partial = false;
+  bool is_slow = false;
+  if (out.ok() && slow.enabled) {
+    for (const auto& [name, translation] : out->per_source) {
+      max_disjuncts = std::max(max_disjuncts, translation.stats.dnf_disjuncts);
+    }
+    is_partial = !out->partial.complete();
+    is_slow = total_us >= slow.latency_threshold_us ||
+              (slow.disjunct_threshold > 0 &&
+               max_disjuncts >= slow.disjunct_threshold) ||
+              (slow.capture_partial && is_partial);
+  }
+
+  // Trace retention: head-sampled traces always (even for failed
+  // translations — those are the interesting ones); slow outliers go to the
+  // guaranteed ring. Retention happens before the latency record below so
+  // an exemplar written into a histogram bucket always resolves via
+  // /tracez — the ring holds the trace by the time the bucket names it.
+  bool retained = false;
+  if (trace_ring_ != nullptr && trace != nullptr && (sampled || is_slow)) {
+    trace_ring_->Insert(trace->ToParsed(), /*outlier=*/is_slow);
+    retained = true;
+  }
+
+  if (latency_hist_ != nullptr) {
+    if (retained) {
+      latency_hist_->RecordWithExemplar(total_us, trace->serial());
+    } else {
+      latency_hist_->Record(total_us);
+    }
+  }
   if (trace != nullptr && options_.obs.metrics != nullptr) {
     RecordTraceMetrics(*trace, options_.obs.metrics);
   }
-  if (!out.ok() || !slow.enabled) return out;
-
-  uint64_t max_disjuncts = 0;
-  for (const auto& [name, translation] : out->per_source) {
-    max_disjuncts = std::max(max_disjuncts, translation.stats.dnf_disjuncts);
-  }
-  const bool is_partial = !out->partial.complete();
-  const bool is_slow =
-      total_us >= slow.latency_threshold_us ||
-      (slow.disjunct_threshold > 0 && max_disjuncts >= slow.disjunct_threshold) ||
-      (slow.capture_partial && is_partial);
-  if (!is_slow) return out;
+  if (!out.ok() || !is_slow) return out;
 
   slow_queries_.fetch_add(1, std::memory_order_relaxed);
   if (slow_counter_ != nullptr) slow_counter_->Inc();
@@ -432,6 +493,7 @@ void TranslationService::WarmUpFromStoreOnce() const {
       auto it = live.find(key.source);
       return it != live.end() && it->second == key.rule_set;
     });
+    warmed_up_.store(true, std::memory_order_release);
   });
 }
 
@@ -537,6 +599,387 @@ ServiceStats TranslationService::stats() const {
 std::vector<SlowQueryRecord> TranslationService::slow_queries() const {
   std::lock_guard<std::mutex> lock(slow_mu_);
   return std::vector<SlowQueryRecord>(slow_log_.begin(), slow_log_.end());
+}
+
+// ---------------------------------------------------------------------------
+// Admin / introspection plane
+
+namespace {
+
+/// The value of `key` in a raw query string ("a=1&b=2"), or "".
+std::string_view QueryParam(std::string_view query, std::string_view key) {
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t amp = query.find('&', pos);
+    size_t end = amp == std::string_view::npos ? query.size() : amp;
+    std::string_view pair = query.substr(pos, end - pos);
+    if (pair.size() > key.size() && pair.substr(0, key.size()) == key &&
+        pair[key.size()] == '=') {
+      return pair.substr(key.size() + 1);
+    }
+    if (amp == std::string_view::npos) break;
+    pos = amp + 1;
+  }
+  return {};
+}
+
+/// Strict non-negative integer parse; -1 on anything else.
+int ParseNonNegativeInt(std::string_view text) {
+  if (text.empty() || text.size() > 9) return -1;
+  int value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+std::string TracesJsonArray(const std::vector<ParsedTrace>& traces) {
+  std::string out = "[";
+  for (size_t i = 0; i < traces.size(); ++i) {
+    if (i > 0) out += ',';
+    out += traces[i].ToJson();
+  }
+  out += "]";
+  return out;
+}
+
+std::string StatusJson(const ServiceStatus& s) {
+  const auto b = [](bool v) { return v ? "true" : "false"; };
+  std::string out = "{\"version\":\"";
+  out += kQmapVersion;
+  out += "\",\"ready\":";
+  out += b(s.ready);
+  out += ",\"store\":{\"configured\":";
+  out += b(s.store_configured);
+  out += ",\"ok\":";
+  out += b(s.store_ok);
+  out += ",\"warmed_up\":";
+  out += b(s.warmed_up);
+  out += ",\"live_records\":" + std::to_string(s.stats.store.live_records);
+  out += ",\"hits\":" + std::to_string(s.stats.store.hits);
+  out += ",\"misses\":" + std::to_string(s.stats.store.misses) + "}";
+  out += ",\"cache\":{\"entries\":" + std::to_string(s.cache_entries);
+  out += ",\"hits\":" + std::to_string(s.stats.cache.hits);
+  out += ",\"misses\":" + std::to_string(s.stats.cache.misses);
+  out += ",\"evictions\":" + std::to_string(s.stats.cache.evictions) + "}";
+  out += ",\"pool\":{\"threads\":" + std::to_string(s.pool_threads);
+  out += ",\"queue_depth\":" + std::to_string(s.pool_queue_depth) + "}";
+  out += ",\"service\":{\"translate_calls\":" +
+         std::to_string(s.stats.translate_calls);
+  out += ",\"batch_calls\":" + std::to_string(s.stats.batch_calls);
+  out += ",\"slow_queries\":" + std::to_string(s.stats.slow_queries) + "}";
+  out += ",\"sources\":[";
+  for (size_t i = 0; i < s.sources.size(); ++i) {
+    const SourceStatus& source = s.sources[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":\"" + JsonEscape(source.name) + "\"";
+    out += std::string(",\"breaker\":\"") +
+           CircuitBreaker::StateName(source.breaker) + "\"";
+    out += ",\"in_flight\":" + std::to_string(source.in_flight);
+    out += ",\"calls\":" + std::to_string(source.calls);
+    out += ",\"failures\":" + std::to_string(source.failures);
+    out += ",\"retries\":" + std::to_string(source.retries) + "}";
+  }
+  out += "]";
+  out += ",\"resilience\":{\"enabled\":";
+  out += b(s.resilience_enabled);
+  out += ",\"retries\":" + std::to_string(s.resilience.retries);
+  out += ",\"breaker_rejections\":" +
+         std::to_string(s.resilience.breaker_rejections);
+  out += ",\"partial_results\":" +
+         std::to_string(s.resilience.partial_results) + "}";
+  out += ",\"trace_ring\":{\"enabled\":";
+  out += b(s.trace_ring_enabled);
+  out += ",\"seen\":" + std::to_string(s.trace_ring.seen);
+  out += ",\"sampled\":" + std::to_string(s.trace_ring.sampled);
+  out += ",\"outliers\":" + std::to_string(s.trace_ring.outliers);
+  out += ",\"evicted\":" + std::to_string(s.trace_ring.evicted) + "}";
+  out += "}";
+  return out;
+}
+
+/// "87.5%" hit-rate rendering for /statusz ("-" when there were no lookups).
+std::string HitRate(uint64_t hits, uint64_t misses) {
+  uint64_t total = hits + misses;
+  if (total == 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%",
+                100.0 * static_cast<double>(hits) / static_cast<double>(total));
+  return buf;
+}
+
+}  // namespace
+
+ServiceStatus TranslationService::StatusSnapshot() const {
+  ServiceStatus out;
+  out.store_configured = options_.enable_cache && !options_.store.path.empty();
+  out.store_ok = !out.store_configured || store_open_status_.ok();
+  out.warmed_up = warmed_up_.load(std::memory_order_acquire);
+  out.ready = out.store_ok && (store_ == nullptr ||
+                               !options_.store.replay_on_boot || out.warmed_up);
+  out.stats = stats();
+  out.cache_entries = options_.enable_cache ? cache_.size() : 0;
+  out.pool_threads = pool_ != nullptr ? static_cast<size_t>(pool_->size()) : 0;
+  out.pool_queue_depth = pool_ != nullptr ? pool_->queue_depth() : 0;
+  out.sources.reserve(sources_.size());
+  for (const SourceEntry& source : sources_) {
+    SourceStatus status;
+    status.name = source.name;
+    if (resilience_ != nullptr) {
+      status.breaker = resilience_->breaker_state(source.name);
+    }
+    const SourceRuntime& runtime = *source.runtime;
+    status.in_flight = runtime.in_flight.load(std::memory_order_relaxed);
+    status.calls = runtime.calls.load(std::memory_order_relaxed);
+    status.failures = runtime.failures.load(std::memory_order_relaxed);
+    status.retries = runtime.retries.load(std::memory_order_relaxed);
+    out.sources.push_back(std::move(status));
+  }
+  out.resilience_enabled = resilience_ != nullptr;
+  if (resilience_ != nullptr) out.resilience = resilience_->counters();
+  out.trace_ring_enabled = trace_ring_ != nullptr;
+  if (trace_ring_ != nullptr) out.trace_ring = trace_ring_->stats();
+  return out;
+}
+
+void TranslationService::UpdateGauges() const {
+  MetricsRegistry* metrics = options_.obs.metrics;
+  if (metrics == nullptr) return;
+  metrics
+      ->gauge("qmap_pool_queue_depth",
+              "Tasks waiting in the worker pool's queue.")
+      .Set(pool_ != nullptr ? static_cast<int64_t>(pool_->queue_depth()) : 0);
+  metrics
+      ->gauge("qmap_cache_entries",
+              "Entries resident in the RAM translation cache.")
+      .Set(options_.enable_cache ? static_cast<int64_t>(cache_.size()) : 0);
+  metrics
+      ->gauge("qmap_store_live_records",
+              "Live records indexed by the persistent translation store.")
+      .Set(store_ != nullptr ? static_cast<int64_t>(store_->num_entries()) : 0);
+  for (const SourceEntry& source : sources_) {
+    CircuitBreaker::State state =
+        resilience_ != nullptr ? resilience_->breaker_state(source.name)
+                               : CircuitBreaker::State::kClosed;
+    int64_t value = 0;
+    switch (state) {
+      case CircuitBreaker::State::kClosed: value = 0; break;
+      case CircuitBreaker::State::kHalfOpen: value = 1; break;
+      case CircuitBreaker::State::kOpen: value = 2; break;
+    }
+    metrics
+        ->gauge("qmap_breaker_state_" + source.name,
+                "Circuit breaker FSM state: 0=closed, 1=half_open, 2=open.")
+        .Set(value);
+  }
+}
+
+Status TranslationService::StartAdmin(const AdminOptions& options) {
+  if (admin_ != nullptr) {
+    return Status::InvalidArgument("admin server already started");
+  }
+  // Run the boot warm-up now so /readyz is meaningful the moment the port
+  // opens, instead of flipping on the first Translate.
+  WarmUpFromStoreOnce();
+  auto server = std::make_unique<AdminHttpServer>(options.http);
+  RegisterAdminHandlers(server.get());
+  Status status = server->Start();
+  if (!status.ok()) return status;
+  admin_ = std::move(server);
+  return Status::Ok();
+}
+
+void TranslationService::StopAdmin() {
+  if (admin_ != nullptr) {
+    admin_->Stop();
+    admin_.reset();
+  }
+}
+
+void TranslationService::RegisterAdminHandlers(AdminHttpServer* server) {
+  server->Handle("/healthz", [](std::string_view) {
+    AdminResponse response;
+    response.body = "ok\n";
+    return response;
+  });
+
+  server->Handle("/readyz", [this](std::string_view) {
+    ServiceStatus status = StatusSnapshot();
+    AdminResponse response;
+    if (status.ready) {
+      response.body = "ready\n";
+    } else {
+      response.status = 503;
+      response.body = "not ready: ";
+      response.body += !status.store_ok
+                           ? "store failed to open (" +
+                                 store_open_status_.ToString() + ")"
+                           : "store warm-up has not run";
+      response.body += "\n";
+    }
+    return response;
+  });
+
+  server->Handle("/varz", [this](std::string_view) {
+    UpdateGauges();
+    AdminResponse response;
+    response.content_type = "application/json; charset=utf-8";
+    response.body = "{\"status\":" + StatusJson(StatusSnapshot()) +
+                    ",\"metrics\":";
+    response.body += options_.obs.metrics != nullptr
+                         ? options_.obs.metrics->ToJson()
+                         : "null";
+    response.body += "}";
+    return response;
+  });
+
+  server->Handle("/metrics", [this](std::string_view) {
+    AdminResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    if (options_.obs.metrics == nullptr) {
+      response.body = "# no MetricsRegistry attached to this service\n";
+      return response;
+    }
+    UpdateGauges();
+    response.body = options_.obs.metrics->ToPrometheusText();
+    return response;
+  });
+
+  server->Handle("/statusz", [this](std::string_view) {
+    ServiceStatus s = StatusSnapshot();
+    AdminResponse response;
+    std::string& out = response.body;
+    out += std::string("qmap translation service ") + kQmapVersion + "\n";
+    out += std::string("ready: ") + (s.ready ? "yes" : "no") + "\n";
+    out += std::string("store: configured=") + (s.store_configured ? "yes" : "no") +
+           " ok=" + (s.store_ok ? "yes" : "no") +
+           " warmed_up=" + (s.warmed_up ? "yes" : "no") +
+           " live_records=" + std::to_string(s.stats.store.live_records) +
+           " hit_rate=" + HitRate(s.stats.store.hits, s.stats.store.misses) +
+           "\n";
+    out += "cache: entries=" + std::to_string(s.cache_entries) +
+           " hits=" + std::to_string(s.stats.cache.hits) +
+           " misses=" + std::to_string(s.stats.cache.misses) +
+           " hit_rate=" + HitRate(s.stats.cache.hits, s.stats.cache.misses) +
+           "\n";
+    out += "pool: threads=" + std::to_string(s.pool_threads) +
+           " queue_depth=" + std::to_string(s.pool_queue_depth) + "\n";
+    out += "service: translate_calls=" + std::to_string(s.stats.translate_calls) +
+           " batch_calls=" + std::to_string(s.stats.batch_calls) +
+           " slow_queries=" + std::to_string(s.stats.slow_queries) + "\n";
+    out += std::string("resilience: enabled=") +
+           (s.resilience_enabled ? "yes" : "no") +
+           " retries=" + std::to_string(s.resilience.retries) +
+           " breaker_rejections=" +
+           std::to_string(s.resilience.breaker_rejections) +
+           " partial_results=" + std::to_string(s.resilience.partial_results) +
+           "\n";
+    out += std::string("trace_ring: enabled=") +
+           (s.trace_ring_enabled ? "yes" : "no") +
+           " seen=" + std::to_string(s.trace_ring.seen) +
+           " sampled=" + std::to_string(s.trace_ring.sampled) +
+           " outliers=" + std::to_string(s.trace_ring.outliers) +
+           " evicted=" + std::to_string(s.trace_ring.evicted) + "\n";
+    out += "\nsource scoreboard:\n";
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %-24s %-10s %9s %9s %9s %9s\n",
+                  "source", "breaker", "in_flight", "calls", "failures",
+                  "retries");
+    out += line;
+    for (const SourceStatus& source : s.sources) {
+      std::snprintf(line, sizeof(line),
+                    "  %-24s %-10s %9llu %9llu %9llu %9llu\n",
+                    source.name.c_str(),
+                    CircuitBreaker::StateName(source.breaker),
+                    static_cast<unsigned long long>(source.in_flight),
+                    static_cast<unsigned long long>(source.calls),
+                    static_cast<unsigned long long>(source.failures),
+                    static_cast<unsigned long long>(source.retries));
+      out += line;
+    }
+    return response;
+  });
+
+  server->Handle("/tracez", [this](std::string_view query) {
+    AdminResponse response;
+    response.content_type = "application/json; charset=utf-8";
+    if (trace_ring_ == nullptr) {
+      response.status = 404;
+      response.body =
+          "{\"error\":\"trace ring not enabled "
+          "(ServiceOptions::obs.trace_ring)\"}";
+      return response;
+    }
+    std::string target(QueryParam(query, "id"));
+    std::string_view bucket = QueryParam(query, "bucket");
+    if (target.empty() && !bucket.empty()) {
+      // Exemplar jump: latency-histogram bucket index → retained trace.
+      int b = ParseNonNegativeInt(bucket);
+      if (b < 0 || b >= Histogram::kNumBuckets) {
+        response.status = 400;
+        response.body = "{\"error\":\"bad bucket index\"}";
+        return response;
+      }
+      uint64_t serial =
+          latency_hist_ != nullptr ? latency_hist_->exemplar(b) : 0;
+      if (serial == 0) {
+        response.status = 404;
+        response.body =
+            "{\"error\":\"no exemplar recorded for bucket " +
+            std::to_string(b) + "\"}";
+        return response;
+      }
+      target = "qt" + std::to_string(serial);
+    }
+    if (!target.empty()) {
+      std::optional<ParsedTrace> trace = trace_ring_->Find(target);
+      if (!trace.has_value()) {
+        response.status = 404;
+        response.body =
+            "{\"error\":\"trace " + JsonEscape(target) + " not retained\"}";
+        return response;
+      }
+      response.body = trace->ToJson();
+      return response;
+    }
+    TraceRingStats stats = trace_ring_->stats();
+    response.body = "{\"stats\":{\"seen\":" + std::to_string(stats.seen);
+    response.body += ",\"sampled\":" + std::to_string(stats.sampled);
+    response.body += ",\"outliers\":" + std::to_string(stats.outliers);
+    response.body += ",\"evicted\":" + std::to_string(stats.evicted) + "}";
+    response.body +=
+        ",\"outliers\":" + TracesJsonArray(trace_ring_->OutlierSnapshot());
+    response.body +=
+        ",\"sampled\":" + TracesJsonArray(trace_ring_->SampledSnapshot());
+    response.body += "}";
+    return response;
+  });
+
+  server->Handle("/slowlogz", [this](std::string_view) {
+    AdminResponse response;
+    response.content_type = "application/json; charset=utf-8";
+    std::vector<SlowQueryRecord> records = slow_queries();
+    std::string& out = response.body;
+    out = "[";
+    for (size_t i = 0; i < records.size(); ++i) {
+      const SlowQueryRecord& record = records[i];
+      if (i > 0) out += ',';
+      out += "{\"query\":\"" + JsonEscape(record.query_text) + "\"";
+      out += ",\"total_us\":" + std::to_string(record.total_us);
+      out += ",\"max_disjuncts\":" + std::to_string(record.max_disjuncts);
+      out += ",\"stats\":\"" + JsonEscape(record.stats) + "\"";
+      if (!record.partial_summary.empty()) {
+        out += ",\"partial\":\"" + JsonEscape(record.partial_summary) + "\"";
+      }
+      // trace_json is itself a JSON document; embed it verbatim.
+      out += ",\"trace\":";
+      out += record.trace_json.empty() ? "null" : record.trace_json;
+      out += "}";
+    }
+    out += "]";
+    return response;
+  });
 }
 
 }  // namespace qmap

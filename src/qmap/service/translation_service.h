@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "qmap/mediator/mediator.h"
+#include "qmap/obs/admin_http.h"
+#include "qmap/obs/trace_ring.h"
 #include "qmap/service/resilience.h"
 #include "qmap/service/thread_pool.h"
 #include "qmap/service/translation_cache.h"
@@ -57,6 +59,12 @@ struct ObsOptions {
   /// per-phase qmap_span_*_us from traced runs). Must outlive the service.
   MetricsRegistry* metrics = nullptr;
   SlowQueryLogOptions slow_query;
+  /// Sampled trace retention (see qmap/obs/trace_ring.h): every Nth query
+  /// is traced and kept in a bounded ring, latency outliers (the slow-query
+  /// criteria) are always kept, and the latency histogram's buckets remember
+  /// the retained traces as exemplars. Off by default; when enabled the
+  /// admin server's /tracez serves the ring.
+  TraceRingOptions trace_ring;
 };
 
 /// One captured slow query (see SlowQueryLogOptions).
@@ -127,6 +135,41 @@ struct ServiceStats {
   uint64_t parallel_tasks = 0;    // per-source tasks dispatched to the pool
   uint64_t inline_tasks = 0;      // per-source tasks run on the calling thread
   uint64_t slow_queries = 0;      // queries captured by the slow-query log
+};
+
+/// Per-source operational state for the admin plane's /statusz scoreboard.
+struct SourceStatus {
+  std::string name;
+  CircuitBreaker::State breaker = CircuitBreaker::State::kClosed;
+  uint64_t in_flight = 0;  // guarded calls currently running
+  uint64_t calls = 0;      // per-source translations attempted (cache misses)
+  uint64_t failures = 0;   // attempts that returned a non-ok status
+  uint64_t retries = 0;    // resilience-layer retries spent on this source
+};
+
+/// One coherent status snapshot of the whole service, for /varz, /readyz
+/// and /statusz. `ready` is the load-balancer signal: the configured store
+/// opened cleanly (or none is configured) and the boot-replay warm-up has
+/// run (or is not configured).
+struct ServiceStatus {
+  bool ready = false;
+  bool store_configured = false;
+  bool store_ok = false;   // true when no store is configured
+  bool warmed_up = false;  // boot replay completed (false when not configured)
+  ServiceStats stats;
+  size_t cache_entries = 0;
+  size_t pool_threads = 0;      // 0 = inline (serial) mode
+  size_t pool_queue_depth = 0;
+  std::vector<SourceStatus> sources;
+  bool resilience_enabled = false;
+  ResilienceCounters resilience;
+  bool trace_ring_enabled = false;
+  TraceRingStats trace_ring;
+};
+
+/// Configuration for the service's admin/introspection HTTP server.
+struct AdminOptions {
+  AdminHttpOptions http;
 };
 
 /// A reusable, thread-safe translation service over a fixed federation: the
@@ -213,10 +256,45 @@ class TranslationService {
   /// cache-only; the error is kept here for operators).
   const Status& store_open_status() const { return store_open_status_; }
 
+  /// The trace-retention ring, or null when options.obs.trace_ring.enabled
+  /// was off. See /tracez and docs/OBSERVABILITY.md.
+  TraceRing* trace_ring() const { return trace_ring_.get(); }
+
+  /// One coherent snapshot of the service's operational state (readiness,
+  /// per-source scoreboard, cache/store/pool/resilience/trace-ring
+  /// counters). This is what the admin endpoints serve; also useful
+  /// directly in tests and embedding processes.
+  ServiceStatus StatusSnapshot() const;
+
+  /// Starts the admin/introspection HTTP server (see qmap/obs/admin_http.h)
+  /// with handlers for /healthz, /readyz, /varz, /metrics, /statusz,
+  /// /tracez and /slowlogz. Runs the store warm-up first so readiness is
+  /// meaningful the moment the port is open. Fails if already started or
+  /// the port cannot be bound. The server is stopped by StopAdmin() or the
+  /// service destructor.
+  Status StartAdmin(const AdminOptions& options = {});
+
+  /// Stops the admin server if running. Idempotent.
+  void StopAdmin();
+
+  /// The running admin server (for its port and stats), or null.
+  AdminHttpServer* admin_server() const { return admin_.get(); }
+
  private:
+  /// Per-source operational counters, updated lock-free on the translation
+  /// path and snapshotted by StatusSnapshot(). Heap-allocated per entry so
+  /// SourceEntry stays movable (atomics are not).
+  struct SourceRuntime {
+    std::atomic<uint64_t> in_flight{0};
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<uint64_t> retries{0};
+  };
+
   struct SourceEntry {
     std::string name;
     Translator translator;
+    std::unique_ptr<SourceRuntime> runtime;
     /// Context third of the typed cache key: one FNV-64 over the source
     /// name and the translator options tag (see docs/ALGORITHMS.md for the
     /// scheme). The query third is Query::fingerprint().
@@ -270,6 +348,16 @@ class TranslationService {
   /// configured; returns null (no token) otherwise.
   const CancelToken* MakeRequestToken(CancelToken* storage) const;
 
+  /// Refreshes the point-in-time gauges (pool queue depth, cache entries,
+  /// store live records, per-source breaker state) in the attached registry.
+  /// Called by the admin handlers just before exporting, so scrapes always
+  /// see current values without the translation path paying for gauge
+  /// updates. No-op without a registry.
+  void UpdateGauges() const;
+
+  /// Registers the /healthz .. /slowlogz handlers on `server`.
+  void RegisterAdminHandlers(AdminHttpServer* server);
+
   /// One-time warm-up replay (options_.store.replay_on_boot): runs on the
   /// first Translate, after setup, so every registered source's
   /// (context, rule-set) pair is known. Only entries matching a currently
@@ -288,7 +376,12 @@ class TranslationService {
   // store opened cleanly.
   std::unique_ptr<TranslationStore> store_;
   Status store_open_status_;
+  // Non-null when options_.obs.trace_ring.enabled.
+  std::unique_ptr<TraceRing> trace_ring_;
+  // Non-null between StartAdmin() and StopAdmin()/destruction.
+  std::unique_ptr<AdminHttpServer> admin_;
   mutable std::once_flag warmup_once_;
+  mutable std::atomic<bool> warmed_up_{false};
   mutable std::atomic<uint64_t> translate_calls_{0};
   mutable std::atomic<uint64_t> batch_calls_{0};
   mutable std::atomic<uint64_t> batch_queries_{0};

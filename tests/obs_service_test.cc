@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "qmap/contexts/faculty.h"
@@ -227,6 +228,169 @@ TEST(ObsService, BatchQueriesFlowThroughTheSlowQueryLog) {
   ASSERT_TRUE(out.ok());
   // Dedup means 2 unique translations, hence 2 log entries.
   EXPECT_EQ(service->slow_queries().size(), 2u);
+}
+
+
+TEST(ObsService, SlowLogWraparoundKeepsNewestUnderChurn) {
+  ServiceOptions options;
+  options.obs.slow_query.enabled = true;
+  options.obs.slow_query.latency_threshold_us = 0;  // capture everything
+  options.obs.slow_query.capacity = 3;
+  auto service = MakeFacultyService(options);
+  const std::vector<std::string> depts = {"cs", "ee", "math", "physics"};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        service->Translate(Q("[fac.dept = \"" + depts[i % 4] + "\"]")).ok());
+  }
+  std::vector<SlowQueryRecord> slow = service->slow_queries();
+  ASSERT_EQ(slow.size(), 3u);
+  EXPECT_EQ(service->stats().slow_queries, 10u);
+  // The survivors are exactly the last three captures, oldest first:
+  // i = 7, 8, 9 -> physics, cs, ee.
+  EXPECT_NE(slow[0].query_text.find("physics"), std::string::npos);
+  EXPECT_NE(slow[1].query_text.find("cs"), std::string::npos);
+  EXPECT_NE(slow[2].query_text.find("ee"), std::string::npos);
+}
+
+TEST(ObsService, ConcurrentSlowLogCaptureStaysBoundedAndUntorn) {
+  ServiceOptions options;
+  options.num_threads = 1;  // hammer concurrency comes from the callers
+  options.obs.slow_query.enabled = true;
+  options.obs.slow_query.latency_threshold_us = 0;
+  options.obs.slow_query.capacity = 4;
+  auto service = MakeFacultyService(options);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  const std::vector<std::string> depts = {"cs", "ee", "math", "physics"};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&service, &depts, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Query query = Q("[fac.dept = \"" + depts[(t + i) % 4] + "\"]");
+        ASSERT_TRUE(service->Translate(query).ok());
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  // The ring respects its bound, the lifetime counter saw every capture,
+  // and no record is torn: each one has a query, stats, and a trace whose
+  // JSON parses back with the service root span intact.
+  std::vector<SlowQueryRecord> slow = service->slow_queries();
+  ASSERT_EQ(slow.size(), 4u);
+  EXPECT_EQ(service->stats().slow_queries,
+            static_cast<uint64_t>(kThreads * kPerThread));
+  for (const SlowQueryRecord& record : slow) {
+    EXPECT_NE(record.query_text.find("fac.dept"), std::string::npos);
+    EXPECT_FALSE(record.stats.empty());
+    Result<ParsedTrace> parsed = ParseTraceJson(record.trace_json);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    ASSERT_FALSE(parsed->spans.empty());
+    EXPECT_EQ(parsed->spans[0].name, "service.translate");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace-retention ring
+
+TEST(ObsService, TraceRingRetainsSampledTranslations) {
+  ServiceOptions options;
+  options.obs.trace_ring.enabled = true;
+  options.obs.trace_ring.sample_every = 1;  // every query
+  auto service = MakeFacultyService(options);
+  ASSERT_NE(service->trace_ring(), nullptr);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service->Translate(FacultyQuery()).ok());
+  }
+  EXPECT_EQ(service->trace_ring()->stats().seen, 3u);
+  std::vector<ParsedTrace> sampled = service->trace_ring()->SampledSnapshot();
+  ASSERT_EQ(sampled.size(), 3u);
+  // Each retained trace is a full service trace, findable by its id.
+  ASSERT_FALSE(sampled[0].spans.empty());
+  EXPECT_EQ(sampled[0].spans[0].name, "service.translate");
+  EXPECT_TRUE(service->trace_ring()->Find(sampled[0].trace_id).has_value());
+}
+
+TEST(ObsService, SlowOutliersAreRetainedEvenWhenTheSamplerSkips) {
+  ServiceOptions options;
+  options.obs.trace_ring.enabled = true;
+  options.obs.trace_ring.sample_every = 1000000;  // effectively never
+  options.obs.slow_query.enabled = true;
+  options.obs.slow_query.latency_threshold_us = 0;  // everything is "slow"
+  auto service = MakeFacultyService(options);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service->Translate(FacultyQuery()).ok());
+  }
+  // All three went to the guaranteed outlier ring (the first was also
+  // head-sampled, but outlier classification wins the routing).
+  EXPECT_EQ(service->trace_ring()->OutlierSnapshot().size(), 3u);
+  EXPECT_TRUE(service->trace_ring()->SampledSnapshot().empty());
+}
+
+TEST(ObsService, ExemplarFromLatencyBucketResolvesToRetainedTrace) {
+  MetricsRegistry registry;
+  ServiceOptions options;
+  options.obs.metrics = &registry;
+  options.obs.trace_ring.enabled = true;
+  options.obs.trace_ring.sample_every = 1;
+  auto service = MakeFacultyService(options);
+  ASSERT_TRUE(service->Translate(FacultyQuery()).ok());
+
+  Histogram& latency = registry.histogram("qmap_translate_latency_us");
+  ASSERT_EQ(latency.count(), 1u);
+  uint64_t serial = 0;
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    if (latency.bucket_count(b) > 0) serial = latency.exemplar(b);
+  }
+  ASSERT_NE(serial, 0u) << "the occupied latency bucket has no exemplar";
+  // The exemplar names exactly the trace the ring retained for this query.
+  auto trace = service->trace_ring()->Find("qt" + std::to_string(serial));
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->spans[0].name, "service.translate");
+}
+
+TEST(ObsService, TraceRingDoesNotChangeResults) {
+  auto bare = MakeFacultyService({});
+  ServiceOptions options;
+  options.obs.trace_ring.enabled = true;
+  options.obs.trace_ring.sample_every = 1;
+  auto ringed = MakeFacultyService(options);
+  Result<MediatorTranslation> a = bare->Translate(FacultyQuery());
+  Result<MediatorTranslation> b = ringed->Translate(FacultyQuery());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(Render(*a), Render(*b));
+}
+
+// ---------------------------------------------------------------------------
+// Status snapshot
+
+TEST(ObsService, StatusSnapshotReportsReadinessAndSources) {
+  ServiceOptions options;
+  options.num_threads = 4;
+  auto service = MakeFacultyService(options);
+  ServiceStatus before = service->StatusSnapshot();
+  EXPECT_TRUE(before.ready);  // no store configured -> nothing to wait for
+  EXPECT_FALSE(before.store_configured);
+  ASSERT_EQ(before.sources.size(), service->num_sources());
+  for (const SourceStatus& source : before.sources) {
+    EXPECT_EQ(source.breaker, CircuitBreaker::State::kClosed);
+    EXPECT_EQ(source.calls, 0u);
+    EXPECT_EQ(source.in_flight, 0u);
+  }
+
+  ASSERT_TRUE(service->Translate(FacultyQuery()).ok());
+  ASSERT_TRUE(service->Translate(FacultyQuery()).ok());  // cache hit
+  ServiceStatus after = service->StatusSnapshot();
+  EXPECT_EQ(after.stats.translate_calls, 2u);
+  EXPECT_EQ(after.pool_threads, 4u);
+  EXPECT_GT(after.cache_entries, 0u);
+  for (const SourceStatus& source : after.sources) {
+    // Exactly one real translation per source: the second call hit the cache.
+    EXPECT_EQ(source.calls, 1u) << source.name;
+    EXPECT_EQ(source.failures, 0u) << source.name;
+    EXPECT_EQ(source.in_flight, 0u) << source.name;
+  }
 }
 
 }  // namespace

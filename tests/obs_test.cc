@@ -7,8 +7,11 @@
 #include <string>
 #include <vector>
 
+#include "qmap/common/version.h"
+#include "qmap/obs/json.h"
 #include "qmap/obs/metrics.h"
 #include "qmap/obs/trace.h"
+#include "qmap/obs/trace_ring.h"
 #include "qmap/service/thread_pool.h"
 
 namespace qmap {
@@ -375,6 +378,168 @@ TEST(Trace, RecordTraceMetricsFoldsFinishedSpans) {
   RecordTraceMetrics(trace, &registry);
   EXPECT_EQ(registry.histogram("qmap_span_cache_lookup_us").count(), 2u);
   EXPECT_EQ(registry.histogram("qmap_span_service_translate_us").count(), 1u);
+}
+
+
+// ---------------------------------------------------------------------------
+// Gauges, help lines and build info
+
+TEST(Gauge, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0);
+  gauge.Set(42);
+  EXPECT_EQ(gauge.value(), 42);
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.value(), 32);
+  gauge.Set(7);  // Set overwrites, it does not accumulate
+  EXPECT_EQ(gauge.value(), 7);
+}
+
+TEST(MetricsRegistry, GaugesAreRegisteredAndExported) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("queue.depth");  // '.' gets sanitized
+  gauge.Set(5);
+  EXPECT_EQ(&registry.gauge("queue.depth"), &gauge);
+  EXPECT_EQ(registry.num_gauges(), 1u);
+
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"gauges\":{\"queue.depth\":5}"), std::string::npos)
+      << json;
+
+  std::string prom = registry.ToPrometheusText();
+  EXPECT_NE(prom.find("# TYPE queue_depth gauge"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("queue_depth 5"), std::string::npos) << prom;
+}
+
+TEST(MetricsRegistry, HelpLinesComeFromRegistration) {
+  MetricsRegistry registry;
+  registry.counter("foo_total", "Counts foos.").Inc();
+  registry.gauge("bar_depth", "Current bar depth.").Set(1);
+  registry.histogram("baz_us", "Baz latency.").Record(10);
+  registry.counter("silent_total").Inc();  // no description, no HELP line
+
+  std::string prom = registry.ToPrometheusText();
+  EXPECT_NE(prom.find("# HELP foo_total Counts foos.\n"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# HELP bar_depth Current bar depth.\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# HELP baz_us Baz latency.\n"), std::string::npos)
+      << prom;
+  EXPECT_EQ(prom.find("# HELP silent_total"), std::string::npos) << prom;
+  // A later lookup without a description keeps the registered one.
+  registry.counter("foo_total").Inc();
+  EXPECT_NE(registry.ToPrometheusText().find("# HELP foo_total Counts foos."),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, BuildInfoIsAlwaysExported) {
+  MetricsRegistry registry;
+  std::string prom = registry.ToPrometheusText();
+  std::string expected =
+      std::string("qmap_build_info{version=\"") + kQmapVersion + "\"} 1";
+  EXPECT_NE(prom.find("# TYPE qmap_build_info gauge"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find(expected), std::string::npos) << prom;
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find(std::string("\"build_info\":{\"version\":\"") +
+                      kQmapVersion + "\"}"),
+            std::string::npos)
+      << json;
+  // The whole export is parseable JSON.
+  EXPECT_TRUE(ParseJson(json).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram exemplars
+
+TEST(Histogram, ExemplarRemembersMostRecentTraceSerial) {
+  Histogram hist;
+  hist.RecordWithExemplar(100, 7);
+  hist.RecordWithExemplar(100, 9);  // same bucket: most recent wins
+  hist.RecordWithExemplar(5000, 21);
+  hist.Record(100);  // plain Record leaves the exemplar untouched
+  hist.RecordWithExemplar(100, 0);  // serial 0 means "none", kept out
+
+  EXPECT_EQ(hist.exemplar(Histogram::BucketFor(100)), 9u);
+  EXPECT_EQ(hist.exemplar(Histogram::BucketFor(5000)), 21u);
+  EXPECT_EQ(hist.exemplar(Histogram::BucketFor(0)), 0u);
+
+  Histogram::Snapshot snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.exemplars[static_cast<size_t>(Histogram::BucketFor(100))], 9u);
+  EXPECT_EQ(snap.total, 5u);
+}
+
+TEST(MetricsRegistry, ExemplarsAppearInJsonButNotPrometheus) {
+  MetricsRegistry registry;
+  registry.histogram("lat_us").RecordWithExemplar(100, 17);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"exemplar\":\"qt17\""), std::string::npos) << json;
+  // The classic Prometheus text format has no exemplar syntax; the scrape
+  // parser in tools/check_metrics_exposition.py would reject one.
+  std::string prom = registry.ToPrometheusText();
+  EXPECT_EQ(prom.find("qt17"), std::string::npos) << prom;
+}
+
+// ---------------------------------------------------------------------------
+// TraceRing: sampled retention plus guaranteed outliers
+
+ParsedTrace MakeTrace(const std::string& id) {
+  ParsedTrace trace;
+  trace.trace_id = id;
+  trace.label = "test";
+  SpanRecord span;
+  span.id = 1;
+  span.name = "service.translate";
+  span.dur_ns = 1000;
+  trace.spans.push_back(span);
+  return trace;
+}
+
+TEST(TraceRing, HeadSamplingFollowsTheConfiguredCadence) {
+  TraceRingOptions options;
+  options.enabled = true;
+  options.sample_every = 4;
+  TraceRing ring(options);
+  std::vector<bool> decisions;
+  for (int i = 0; i < 8; ++i) decisions.push_back(ring.ShouldSample());
+  EXPECT_EQ(decisions, (std::vector<bool>{true, false, false, false, true,
+                                          false, false, false}));
+  EXPECT_EQ(ring.stats().seen, 8u);
+}
+
+TEST(TraceRing, CapacityBoundsEvictOldestFirst) {
+  TraceRingOptions options;
+  options.capacity = 2;
+  TraceRing ring(options);
+  ring.Insert(MakeTrace("qt1"), /*outlier=*/false);
+  ring.Insert(MakeTrace("qt2"), /*outlier=*/false);
+  ring.Insert(MakeTrace("qt3"), /*outlier=*/false);
+  std::vector<ParsedTrace> sampled = ring.SampledSnapshot();
+  ASSERT_EQ(sampled.size(), 2u);
+  EXPECT_EQ(sampled[0].trace_id, "qt3");  // newest first
+  EXPECT_EQ(sampled[1].trace_id, "qt2");
+  EXPECT_EQ(ring.stats().sampled, 3u);
+  EXPECT_EQ(ring.stats().evicted, 1u);
+  EXPECT_FALSE(ring.Find("qt1").has_value());  // evicted
+}
+
+TEST(TraceRing, OutliersSurviveSampledChurn) {
+  TraceRingOptions options;
+  options.capacity = 2;
+  options.outlier_capacity = 4;
+  TraceRing ring(options);
+  ring.Insert(MakeTrace("qt100"), /*outlier=*/true);
+  for (int i = 0; i < 10; ++i) {
+    ring.Insert(MakeTrace("qt" + std::to_string(i)), /*outlier=*/false);
+  }
+  // The sampled ring churned through 10 inserts; the outlier is untouched.
+  EXPECT_EQ(ring.SampledSnapshot().size(), 2u);
+  ASSERT_EQ(ring.OutlierSnapshot().size(), 1u);
+  EXPECT_EQ(ring.OutlierSnapshot()[0].trace_id, "qt100");
+  ASSERT_TRUE(ring.Find("qt100").has_value());
+  EXPECT_EQ(ring.Find("qt100")->spans.size(), 1u);
+  EXPECT_FALSE(ring.Find("qt999").has_value());
 }
 
 }  // namespace

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition (format 0.0.4) scraped from /metrics.
+
+Checks, failing loudly (exit 1) on the first violation:
+
+  * every non-comment line parses as `name[{labels}] value`;
+  * every `# TYPE` names a known type (counter / gauge / histogram);
+  * each histogram's cumulative `_bucket` series is monotonically
+    non-decreasing in emission order, ends with an le="+Inf" bucket, and
+    that +Inf count equals the histogram's `_count`;
+  * the qmap_build_info gauge is present with value 1.
+
+Usage:
+    check_metrics_exposition.py [FILE]     # or reads stdin
+"""
+
+import re
+import sys
+
+LINE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?P<labels>\{[^}]*\})?'
+    r' (?P<value>-?[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?|[+-]?Inf|NaN)$')
+TYPE_RE = re.compile(r'^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (\w+)$')
+LE_RE = re.compile(r'le="([^"]*)"')
+
+
+def fail(line_no, line, why):
+    sys.exit(f"error: line {line_no}: {why}\n  {line}")
+
+
+def main():
+    if len(sys.argv) > 2:
+        sys.exit(__doc__)
+    text = (open(sys.argv[1]).read() if len(sys.argv) == 2
+            else sys.stdin.read())
+    if not text.strip():
+        sys.exit("error: empty exposition")
+
+    types = {}
+    # name -> list of (le, value) in emission order
+    buckets = {}
+    counts = {}
+    samples = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if m:
+                if m.group(2) not in ("counter", "gauge", "histogram"):
+                    fail(line_no, line, f"unknown metric type {m.group(2)}")
+                types[m.group(1)] = m.group(2)
+            elif not line.startswith("# HELP") and not line.startswith("# "):
+                fail(line_no, line, "malformed comment line")
+            continue
+        m = LINE_RE.match(line)
+        if not m:
+            fail(line_no, line, "unparseable sample line")
+        name, labels, value = m.group("name"), m.group("labels") or "", \
+            m.group("value")
+        samples[name + labels] = value
+        if name.endswith("_bucket"):
+            le = LE_RE.search(labels)
+            if not le:
+                fail(line_no, line, "_bucket series without an le label")
+            buckets.setdefault(name[:-len("_bucket")], []).append(
+                (le.group(1), float(value)))
+        elif name.endswith("_count"):
+            counts[name[:-len("_count")]] = float(value)
+
+    if not samples:
+        sys.exit("error: exposition contains no samples")
+
+    build_info = [v for k, v in samples.items()
+                  if k.startswith("qmap_build_info{")]
+    if build_info != ["1"]:
+        sys.exit(f"error: expected exactly one qmap_build_info sample with "
+                 f"value 1, got {build_info}")
+
+    for name, series in sorted(buckets.items()):
+        previous = -1.0
+        for le, value in series:
+            if value < previous:
+                sys.exit(f"error: {name} cumulative buckets not monotone: "
+                         f"le={le} has {value:g} after {previous:g}")
+            previous = value
+        if series[-1][0] != "+Inf":
+            sys.exit(f"error: {name} bucket series does not end with +Inf")
+        if name not in counts:
+            sys.exit(f"error: {name} has buckets but no _count sample")
+        if series[-1][1] != counts[name]:
+            sys.exit(f"error: {name} +Inf bucket ({series[-1][1]:g}) != "
+                     f"_count ({counts[name]:g})")
+
+    print(f"OK: {len(samples)} samples, {len(buckets)} histogram(s) "
+          f"monotone with +Inf == _count, build_info present")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
