@@ -10,6 +10,12 @@
 //     adversarial case): cost grows as N^P, bounded by tiny P in practice
 //     (the paper's rules use P <= 2-3).
 
+// This TU defines the binary's replaceable operator new (bench_util.h) so
+// every series can report allocs_per_iter; the compiled-engine series pins
+// steady-state allocations at zero.
+#define QMAP_BENCH_COUNT_ALLOCS
+#include "bench_util.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -19,7 +25,9 @@
 
 #include "qmap/core/match_memo.h"
 #include "qmap/expr/constraint.h"
+#include "qmap/rules/compiled_matcher.h"
 #include "qmap/rules/matcher.h"
+#include "qmap/rules/rule_program.h"
 #include "qmap/rules/spec_parser.h"
 
 namespace {
@@ -80,7 +88,7 @@ void MatchVsP_Distinct(benchmark::State& state) {
   qmap::MatchCounters counters;
   for (auto _ : state) {
     std::vector<qmap::Matching> matchings =
-        MatchSpec(*spec, conjunction, &counters);
+        MatchSpecIndexed(*spec, conjunction, &counters);
     benchmark::DoNotOptimize(matchings);
   }
   state.counters["P"] = p;
@@ -101,7 +109,7 @@ void MatchVsP_Ambiguous(benchmark::State& state) {
   qmap::MatchCounters counters;
   for (auto _ : state) {
     std::vector<qmap::Matching> matchings =
-        MatchSpec(*spec, conjunction, &counters);
+        MatchSpecIndexed(*spec, conjunction, &counters);
     benchmark::DoNotOptimize(matchings);
   }
   state.counters["P"] = p;
@@ -115,13 +123,22 @@ BENCHMARK(MatchVsP_Ambiguous)->DenseRange(1, 4, 1);
 
 // B1c — wide-spec matching: R rules over a shared "hot" attribute plus
 // distinct per-rule attributes plus a wildcard rule, against a fixed
-// 16-constraint conjunction. The naive matcher sweeps all N constraints for
-// every head slot of every rule (cost ~ R·N); the rule index walks only the
-// (attribute, op) bucket per slot and skips rules with an empty bucket
-// outright, so its cost tracks the handful of rules the conjunction can
-// actually satisfy. Both series run from the same binary into one JSON, so a
-// single BENCH_bench_matching.json records the naive-vs-indexed
-// attempts/iter ratio (the ≥5× acceptance number) and both timings.
+// 16-constraint conjunction. Three engines over the same spec/conjunction:
+//   naive     sweeps all N constraints for every head slot of every rule
+//             (cost ~ R·N);
+//   indexed   walks only the (attribute, op) bucket per slot and skips rules
+//             with an empty bucket outright, but still re-runs the
+//             interpreter per rule and allocates per-rule contexts, dedup
+//             maps and std::map binding nodes on every call;
+//   compiled  runs the discrimination DAG (qmap/rules/compiled_matcher.h):
+//             shared head-pattern prefixes tested once per conjunction,
+//             empty-bucket edges skipping whole rule subtrees in O(1), and —
+//             with a reused scratch — zero allocations in steady state.
+// All series run from the same binary into one JSON, so a single
+// BENCH_bench_matching.json records the naive/indexed/compiled timing
+// ratios (the ≥10× compiled-vs-indexed acceptance number at R=64), the
+// attempts/iter counters, and allocs_per_iter, which
+// bench/check_bench_regression.py pins (compiled raw path: ≤ 2).
 
 namespace {
 
@@ -172,6 +189,7 @@ void MatchWide_Naive(benchmark::State& state) {
   }
   std::vector<Constraint> conjunction = WideConjunction();
   qmap::MatchCounters counters;
+  uint64_t allocs_before = qmap_bench::AllocCount();
   for (auto _ : state) {
     std::vector<qmap::Matching> matchings =
         MatchSpecNaive(*spec, conjunction, &counters);
@@ -181,8 +199,11 @@ void MatchWide_Naive(benchmark::State& state) {
   state.counters["attempts/iter"] = benchmark::Counter(
       static_cast<double>(counters.pattern_attempts),
       benchmark::Counter::kAvgIterations);
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(qmap_bench::AllocCount() - allocs_before),
+      benchmark::Counter::kAvgIterations);
 }
-BENCHMARK(MatchWide_Naive)->RangeMultiplier(2)->Range(16, 128);
+BENCHMARK(MatchWide_Naive)->RangeMultiplier(8)->Range(8, 256);
 
 void MatchWide_Indexed(benchmark::State& state) {
   int r = static_cast<int>(state.range(0));
@@ -193,9 +214,10 @@ void MatchWide_Indexed(benchmark::State& state) {
   }
   std::vector<Constraint> conjunction = WideConjunction();
   qmap::MatchCounters counters;
+  uint64_t allocs_before = qmap_bench::AllocCount();
   for (auto _ : state) {
     std::vector<qmap::Matching> matchings =
-        MatchSpec(*spec, conjunction, &counters);
+        MatchSpecIndexed(*spec, conjunction, &counters);
     benchmark::DoNotOptimize(matchings);
   }
   state.counters["R"] = r;
@@ -208,8 +230,96 @@ void MatchWide_Indexed(benchmark::State& state) {
   state.counters["index_hits/iter"] = benchmark::Counter(
       static_cast<double>(counters.index_hits),
       benchmark::Counter::kAvgIterations);
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(qmap_bench::AllocCount() - allocs_before),
+      benchmark::Counter::kAvgIterations);
 }
-BENCHMARK(MatchWide_Indexed)->RangeMultiplier(2)->Range(16, 128);
+BENCHMARK(MatchWide_Indexed)->RangeMultiplier(8)->Range(8, 256);
+
+// The raw compiled engine: plan prebuilt, scratch reused across iterations
+// (exactly how MatchSpecCompiled's thread-local scratch behaves in steady
+// state), no Matching materialization. allocs_per_iter is the acceptance
+// gate: after the first warm-up run sizes the buffers, the loop must not
+// allocate (the checker pins ≤ 2 to absorb one-off libc noise).
+void MatchWide_Compiled(benchmark::State& state) {
+  int r = static_cast<int>(state.range(0));
+  qmap::Result<qmap::MappingSpec> spec = WideSpec(r);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  std::vector<Constraint> conjunction = WideConjunction();
+  std::shared_ptr<const qmap::CompiledRulePlan> plan = spec->compiled_plan();
+  qmap::CompiledMatchScratch scratch;
+  qmap::MatchCounters counters;
+  RunCompiled(*plan, *spec, conjunction, &scratch, &counters);  // warm buffers
+  uint64_t allocs_before = qmap_bench::AllocCount();
+  for (auto _ : state) {
+    size_t found = RunCompiled(*plan, *spec, conjunction, &scratch, &counters);
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["R"] = r;
+  state.counters["attempts/iter"] = benchmark::Counter(
+      static_cast<double>(counters.pattern_attempts),
+      benchmark::Counter::kAvgIterations);
+  state.counters["plan_nodes"] = static_cast<double>(plan->num_nodes());
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(qmap_bench::AllocCount() - allocs_before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(MatchWide_Compiled)->RangeMultiplier(8)->Range(8, 256);
+
+// The compiled engine as SCM/TDQM actually consume it: MatchSpecCompiled,
+// including materializing std::vector<Matching> (whose Bindings maps must
+// allocate — that cost is inherent to the public return type, which is why
+// it is a separate series from the raw-engine one above).
+void MatchWide_CompiledMaterialized(benchmark::State& state) {
+  int r = static_cast<int>(state.range(0));
+  qmap::Result<qmap::MappingSpec> spec = WideSpec(r);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  std::vector<Constraint> conjunction = WideConjunction();
+  spec->compiled_plan();  // build outside the timed loop
+  qmap::MatchCounters counters;
+  uint64_t allocs_before = qmap_bench::AllocCount();
+  for (auto _ : state) {
+    std::vector<qmap::Matching> matchings =
+        MatchSpecCompiled(*spec, conjunction, &counters);
+    benchmark::DoNotOptimize(matchings);
+  }
+  state.counters["R"] = r;
+  state.counters["attempts/iter"] = benchmark::Counter(
+      static_cast<double>(counters.pattern_attempts),
+      benchmark::Counter::kAvgIterations);
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(qmap_bench::AllocCount() - allocs_before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(MatchWide_CompiledMaterialized)->RangeMultiplier(8)->Range(8, 256);
+
+// One-time plan build cost (amortized over every translation that shares
+// the spec): CompileRulePlan over the same R-rule specs the match series
+// use. plan_nodes records the DAG size prefix sharing achieves.
+void CompilePlan(benchmark::State& state) {
+  int r = static_cast<int>(state.range(0));
+  qmap::Result<qmap::MappingSpec> spec = WideSpec(r);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  size_t nodes = 0;
+  for (auto _ : state) {
+    std::shared_ptr<const qmap::CompiledRulePlan> plan =
+        CompileRulePlan(spec->rules());
+    nodes = plan->num_nodes();
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["R"] = r;
+  state.counters["plan_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(CompilePlan)->RangeMultiplier(8)->Range(8, 256);
 
 }  // namespace
 
@@ -268,7 +378,5 @@ void MemoProbe_FingerprintKey(benchmark::State& state) {
 BENCHMARK(MemoProbe_FingerprintKey)->RangeMultiplier(2)->Range(4, 16);
 
 }  // namespace
-
-#include "bench_util.h"
 
 QMAP_BENCH_MAIN(bench_matching)

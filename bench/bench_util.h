@@ -3,12 +3,30 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <new>
 #include <string>
 #include <vector>
 
 namespace qmap_bench {
+
+/// Process-wide count of global operator new calls. Always callable; it only
+/// ever advances when exactly one translation unit of the binary defined
+/// QMAP_BENCH_COUNT_ALLOCS before including this header (which emits the
+/// replaceable allocation functions below). Benches read it before and after
+/// their timed loop and report the delta as an allocs_per_iter counter —
+/// bench/check_bench_regression.py pins those like attempt counts, so an
+/// accidental allocation on a hot path that promises none fails CI.
+inline std::atomic<uint64_t>& AllocCounterRef() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+inline uint64_t AllocCount() {
+  return AllocCounterRef().load(std::memory_order_relaxed);
+}
 
 /// Runs the google-benchmark main loop with two additions over the stock
 /// benchmark_main:
@@ -46,6 +64,28 @@ inline int BenchMain(const char* name, int argc, char** argv) {
 }
 
 }  // namespace qmap_bench
+
+#ifdef QMAP_BENCH_COUNT_ALLOCS
+// Replaceable global allocation functions (define QMAP_BENCH_COUNT_ALLOCS in
+// exactly ONE translation unit of a bench binary — they are non-inline, so a
+// second definition is a link error by design). Counting happens on new only;
+// delete is forwarded straight to free, keeping the hot-path overhead to one
+// relaxed fetch_add per allocation.
+void* operator new(std::size_t size) {
+  qmap_bench::AllocCounterRef().fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  qmap_bench::AllocCounterRef().fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // QMAP_BENCH_COUNT_ALLOCS
 
 /// Expands to a main() that forwards to BenchMain with this bench's name
 /// (used for the BENCH_<name>.json output path).

@@ -4,16 +4,25 @@
 Fails (exit 1) when any benchmark present in the baseline
 
   * is missing from the current run,
-  * regressed by more than --tolerance in a pattern-attempt counter
-    (any user counter whose name contains "attempts", e.g. "attempts/iter"
-    or "pattern_attempts/iter" — these are deterministic, so any growth is a
-    real algorithmic regression), or
+  * regressed by more than --tolerance in a pinned counter (any user counter
+    whose name contains "attempts" or "allocs", e.g. "attempts/iter" or
+    "allocs_per_iter" — these are deterministic, so any growth is a real
+    algorithmic regression: more pattern attempts, or a hot path that
+    promised zero allocations starting to allocate), or
   * regressed by more than --time-tolerance in real_time (ns/op).
+
+Additionally, --max-ratio CUR:REF:FRAC (repeatable) asserts a speed ratio
+*within the current run*: benchmark CUR's real_time must be at most FRAC of
+benchmark REF's. Being run-internal, it is immune to runner speed — it is
+how CI pins "the compiled matcher is >=10x the indexed one" as
+
+    --max-ratio 'MatchWide_Compiled/64:MatchWide_Indexed/64:0.1'
 
 Improvements and new benchmarks never fail the check. Usage:
 
     check_bench_regression.py CURRENT.json BASELINE.json \
-        [--tolerance 0.20] [--time-tolerance 0.20]
+        [--tolerance 0.20] [--time-tolerance 0.20] \
+        [--max-ratio CUR:REF:FRAC]...
 """
 
 import argparse
@@ -49,11 +58,12 @@ def load_benchmarks(path, role):
     return out
 
 
-def attempt_counters(bench):
+def pinned_counters(bench):
     return {
         key: value
         for key, value in bench.items()
-        if "attempts" in key and isinstance(value, (int, float))
+        if ("attempts" in key or "allocs" in key)
+        and isinstance(value, (int, float))
     }
 
 
@@ -67,6 +77,10 @@ def main():
     parser.add_argument(
         "--time-tolerance", type=float, default=0.20,
         help="allowed relative growth in real_time (ns/op)")
+    parser.add_argument(
+        "--max-ratio", action="append", default=[], metavar="CUR:REF:FRAC",
+        help="assert current-run real_time(CUR) <= FRAC * real_time(REF); "
+             "repeatable")
     args = parser.parse_args()
 
     current = load_benchmarks(args.current, "current-run")
@@ -89,7 +103,7 @@ def main():
         if cur is None:
             failures.append(f"{name}: missing from current run")
             continue
-        for counter, base_value in attempt_counters(base).items():
+        for counter, base_value in pinned_counters(base).items():
             cur_value = cur.get(counter)
             if cur_value is None:
                 failures.append(f"{name}: counter {counter} disappeared")
@@ -122,6 +136,36 @@ def main():
                     failures.append(
                         f"{name}: real_time {base_time:.0f} -> {cur_time:.0f} ns "
                         f"(> +{args.time_tolerance:.0%})")
+
+    for spec in args.max_ratio:
+        parts = spec.rsplit(":", 1)
+        names = parts[0].split(":") if len(parts) == 2 else []
+        if len(parts) != 2 or len(names) != 2:
+            sys.exit(f"error: bad --max-ratio spec {spec!r} "
+                     "(expected CUR:REF:FRAC)")
+        cur_name, ref_name = names
+        try:
+            frac = float(parts[1])
+        except ValueError:
+            sys.exit(f"error: bad --max-ratio fraction in {spec!r}")
+        cur = current.get(cur_name)
+        ref = current.get(ref_name)
+        if cur is None or ref is None:
+            missing = cur_name if cur is None else ref_name
+            failures.append(f"--max-ratio {spec}: {missing} missing from "
+                            "current run")
+            continue
+        cur_time, ref_time = cur.get("real_time"), ref.get("real_time")
+        if not cur_time or not ref_time:
+            failures.append(f"--max-ratio {spec}: real_time missing/zero")
+            continue
+        ratio = cur_time / ref_time
+        status = "ok" if ratio <= frac else "REGRESSED"
+        print(f"ratio {cur_name} / {ref_name}: {ratio:.3f} "
+              f"(limit {frac:g}) [{status}]")
+        if ratio > frac:
+            failures.append(
+                f"{cur_name} is {ratio:.2f}x of {ref_name} (limit {frac:g})")
 
     if failures:
         print(f"\n{len(failures)} perf regression(s):", file=sys.stderr)

@@ -21,6 +21,7 @@ namespace qmap {
   X(matchings_found, match.matchings_found)         \
   X(index_hits, match.index_hits)                   \
   X(pattern_attempts_saved, match.pattern_attempts_saved) \
+  X(compiled_hits, match.compiled_hits)             \
   X(memo_hits, memo_hits)                           \
   X(memo_misses, memo_misses)                       \
   X(scm_calls, scm_calls)                           \

@@ -2,17 +2,19 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 
+#include "qmap/rules/compiled_matcher.h"
 #include "qmap/rules/rule_index.h"
 
 namespace qmap {
 namespace {
 
-bool& MatchIndexFlag() {
-  static bool enabled = std::getenv("QMAP_DISABLE_MATCH_INDEX") == nullptr;
-  return enabled;
+MatchEngine& EngineFlag() {
+  static MatchEngine engine = MatchEngineFromEnv();
+  return engine;
 }
 
 uint64_t HashIndices(const std::vector<int>& indices) {
@@ -156,9 +158,42 @@ void MatchHeadIndexed(IndexedCtx& ctx, size_t pattern_index) {
 
 }  // namespace
 
-void SetMatchIndexEnabled(bool enabled) { MatchIndexFlag() = enabled; }
+const char* MatchEngineName(MatchEngine engine) {
+  switch (engine) {
+    case MatchEngine::kNaive:
+      return "naive";
+    case MatchEngine::kIndexed:
+      return "indexed";
+    case MatchEngine::kCompiled:
+      return "compiled";
+  }
+  return "unknown";
+}
 
-bool MatchIndexEnabled() { return MatchIndexFlag(); }
+MatchEngine MatchEngineFromEnv() {
+  if (const char* v = std::getenv("QMAP_MATCH_ENGINE")) {
+    if (std::strcmp(v, "naive") == 0) return MatchEngine::kNaive;
+    if (std::strcmp(v, "indexed") == 0) return MatchEngine::kIndexed;
+    if (std::strcmp(v, "compiled") == 0) return MatchEngine::kCompiled;
+    // Unrecognized values (including "") fall through to the default rather
+    // than silently picking a slow path.
+    return MatchEngine::kCompiled;
+  }
+  if (std::getenv("QMAP_DISABLE_MATCH_INDEX") != nullptr) {
+    return MatchEngine::kNaive;
+  }
+  return MatchEngine::kCompiled;
+}
+
+MatchEngine CurrentMatchEngine() { return EngineFlag(); }
+
+void SetMatchEngine(MatchEngine engine) { EngineFlag() = engine; }
+
+void SetMatchIndexEnabled(bool enabled) {
+  SetMatchEngine(enabled ? MatchEngine::kIndexed : MatchEngine::kNaive);
+}
+
+bool MatchIndexEnabled() { return CurrentMatchEngine() != MatchEngine::kNaive; }
 
 bool Matching::IsStrictSubsetOf(const Matching& other) const {
   if (constraint_indices.size() >= other.constraint_indices.size()) return false;
@@ -211,7 +246,20 @@ std::vector<Matching> MatchSpecNaive(const MappingSpec& spec,
 std::vector<Matching> MatchSpec(const MappingSpec& spec,
                                 const std::vector<Constraint>& constraints,
                                 MatchCounters* counters) {
-  if (!MatchIndexEnabled()) return MatchSpecNaive(spec, constraints, counters);
+  switch (CurrentMatchEngine()) {
+    case MatchEngine::kNaive:
+      return MatchSpecNaive(spec, constraints, counters);
+    case MatchEngine::kCompiled:
+      return MatchSpecCompiled(spec, constraints, counters);
+    case MatchEngine::kIndexed:
+      break;
+  }
+  return MatchSpecIndexed(spec, constraints, counters);
+}
+
+std::vector<Matching> MatchSpecIndexed(const MappingSpec& spec,
+                                       const std::vector<Constraint>& constraints,
+                                       MatchCounters* counters) {
   std::shared_ptr<const RuleIndex> index = spec.rule_index();
   ConjunctionIndex cindex(constraints);
   std::vector<Matching> out;

@@ -33,7 +33,9 @@ struct MatchCounters {
   uint64_t pattern_attempts = 0;  // pattern-vs-constraint match trials
   uint64_t matchings_found = 0;
   /// Pattern-slot lookups answered from a literal (attribute, op) bucket of
-  /// the conjunction index (wildcard-bucket lookups are not counted).
+  /// the conjunction index (wildcard-bucket lookups are not counted). In the
+  /// compiled engine a shared prefix edge counts once per conjunction, not
+  /// once per rule sharing it.
   uint64_t index_hits = 0;
   /// Pattern trials the index avoided relative to the naive matcher: at each
   /// visited pattern slot, the naive path would have tried every not-yet-used
@@ -41,7 +43,37 @@ struct MatchCounters {
   /// outright (some pattern's bucket is empty) count one naive slot-0 sweep —
   /// a lower bound on the recursion the naive matcher would have done.
   uint64_t pattern_attempts_saved = 0;
+  /// Conjunctions answered by the compiled discrimination-DAG engine.
+  uint64_t compiled_hits = 0;
 };
+
+/// The three implementations of MatchSpec, selectable at runtime. All emit
+/// byte-identical matchings in byte-identical order; they differ only in
+/// cost (tests/matcher_equiv_test.cc, tests/compiled_matcher_test.cc).
+enum class MatchEngine {
+  kNaive,     // every rule tries every constraint at every pattern slot
+  kIndexed,   // per-conjunction (attribute, op) buckets per rule (PR 3)
+  kCompiled,  // the spec's compiled discrimination DAG (rule_program.h)
+};
+
+/// Canonical lowercase name: "naive" / "indexed" / "compiled".
+const char* MatchEngineName(MatchEngine engine);
+
+/// The single decode of the engine environment toggles — every consumer
+/// (matcher dispatch, benches, service status pages) goes through this:
+///   QMAP_MATCH_ENGINE=naive|indexed|compiled  picks a path explicitly;
+///   QMAP_DISABLE_MATCH_INDEX (any value)      deprecated alias for =naive;
+///   neither                                   kCompiled.
+/// Pure: reads the environment on every call (the process-wide engine is
+/// initialized from it once, at first use).
+MatchEngine MatchEngineFromEnv();
+
+/// The engine MatchSpec currently dispatches to (initialized from
+/// MatchEngineFromEnv at first use) / programmatic override of it. The
+/// setter is for tests and A/B benchmark runs; it is not thread-safe
+/// against concurrent MatchSpec calls.
+MatchEngine CurrentMatchEngine();
+void SetMatchEngine(MatchEngine engine);
 
 /// Finds M(Q̂, R): all matchings of `rule` in the conjunction `constraints`.
 /// Matchings are deduplicated by (constraint set, bindings).
@@ -52,14 +84,12 @@ std::vector<Matching> MatchRule(const Rule& rule,
 
 /// Finds M(Q̂, K) = ∪_R M(Q̂, R) over all rules of `spec`.
 ///
-/// By default this runs the index-accelerated matcher: constraints are
-/// bucketed by (attribute, op) once per call, and each head pattern
-/// enumerates only its bucket (see qmap/rules/rule_index.h), with an undo-log
-/// on the shared Bindings instead of a copy per attempt. The output is
-/// byte-identical to MatchSpecNaive — same matchings, same order — verified
-/// by tests/matcher_equiv_test.cc. Set the QMAP_DISABLE_MATCH_INDEX
-/// environment variable (any value, checked once at first use) or call
-/// SetMatchIndexEnabled(false) to fall back to the naive path.
+/// Dispatches to CurrentMatchEngine(): by default the compiled
+/// discrimination DAG (spec.compiled_plan(); see qmap/rules/rule_program.h),
+/// with the PR 3 indexed interpreter and the naive reference selectable via
+/// QMAP_MATCH_ENGINE / SetMatchEngine. All three produce byte-identical
+/// matchings in byte-identical order, verified by
+/// tests/matcher_equiv_test.cc and tests/compiled_matcher_test.cc.
 std::vector<Matching> MatchSpec(const MappingSpec& spec,
                                 const std::vector<Constraint>& constraints,
                                 MatchCounters* counters = nullptr);
@@ -71,8 +101,18 @@ std::vector<Matching> MatchSpecNaive(const MappingSpec& spec,
                                      const std::vector<Constraint>& constraints,
                                      MatchCounters* counters = nullptr);
 
-/// Programmatic override of the QMAP_DISABLE_MATCH_INDEX toggle (tests and
-/// A/B benchmark runs). Not thread-safe against concurrent MatchSpec calls.
+/// The PR 3 indexed interpreter, callable directly (A/B benchmarks and the
+/// equivalence suites) regardless of the process-wide engine: constraints
+/// are bucketed by (attribute, op) once per call and each head pattern
+/// enumerates only its bucket, with an undo-log on one shared Bindings.
+std::vector<Matching> MatchSpecIndexed(const MappingSpec& spec,
+                                       const std::vector<Constraint>& constraints,
+                                       MatchCounters* counters = nullptr);
+
+/// Deprecated pre-PR 8 toggle, kept for callers that predate MatchEngine:
+/// SetMatchIndexEnabled(false) selects kNaive, (true) selects kIndexed, and
+/// MatchIndexEnabled() reports engine != kNaive. New code should use
+/// SetMatchEngine / CurrentMatchEngine.
 void SetMatchIndexEnabled(bool enabled);
 bool MatchIndexEnabled();
 

@@ -13,12 +13,11 @@ std::string ViewRefString(const std::string& view, int instance) {
   return view + "[" + std::to_string(instance) + "]";
 }
 
-// Hidden binding carrying the instance matched by an *unindexed* view
-// literal ("fac.bib is an abbreviation for fac[i].bib", Section 4.2): all
-// unindexed references to the same view within one rule share the instance,
-// and emissions resolve to it.  '$' cannot appear in DSL identifiers, so
-// the name cannot collide with user variables.
-std::string ImplicitIndexVar(const std::string& view) { return "$idx$" + view; }
+// All unindexed references to the same view within one rule share the
+// instance (via ImplicitIndexVarName), and emissions resolve to it.
+std::string ImplicitIndexVar(const std::string& view) {
+  return ImplicitIndexVarName(view);
+}
 
 // Decodes ViewRefString back into (view, instance).
 void ParseViewRef(const std::string& ref, std::string* view, int* instance) {
@@ -36,6 +35,10 @@ void ParseViewRef(const std::string& ref, std::string* view, int* instance) {
 
 bool IsVariableName(std::string_view name) {
   return !name.empty() && std::isupper(static_cast<unsigned char>(name[0]));
+}
+
+std::string ImplicitIndexVarName(const std::string& view) {
+  return "$idx$" + view;
 }
 
 bool AttrExpr::Match(const Attr& attr, Bindings* bindings) const {

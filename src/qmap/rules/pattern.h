@@ -85,6 +85,13 @@ struct ConstraintPattern {
 /// (leading uppercase letter).
 bool IsVariableName(std::string_view name);
 
+/// The hidden binding carrying the instance matched by an *unindexed* view
+/// literal ("fac.bib is an abbreviation for fac[i].bib", Section 4.2). '$'
+/// cannot appear in DSL identifiers, so the name cannot collide with user
+/// variables. Exposed so the compiled matcher (qmap/rules/rule_program.*)
+/// produces byte-identical bindings to AttrExpr::Match.
+std::string ImplicitIndexVarName(const std::string& view);
+
 }  // namespace qmap
 
 #endif  // QMAP_RULES_PATTERN_H_

@@ -4,6 +4,7 @@
 
 #include "qmap/common/fnv.h"
 #include "qmap/rules/rule_index.h"
+#include "qmap/rules/rule_program.h"
 
 namespace qmap {
 namespace {
@@ -82,8 +83,9 @@ MappingSpec::MappingSpec(const MappingSpec& other)
     : target_name_(other.target_name_),
       registry_(other.registry_),
       rules_(other.rules_) {
-  std::lock_guard<std::mutex> lock(other.index_mu_);
-  rule_index_ = other.rule_index_;
+  rule_index_.Set(other.rule_index_.Peek());
+  compiled_plan_.Set(other.compiled_plan_.Peek());
+  std::lock_guard<std::mutex> lock(other.fingerprint_mu_);
   fingerprint_ = other.fingerprint_;
   fingerprint_valid_ = other.fingerprint_valid_;
 }
@@ -93,17 +95,16 @@ MappingSpec& MappingSpec::operator=(const MappingSpec& other) {
   target_name_ = other.target_name_;
   registry_ = other.registry_;
   rules_ = other.rules_;
-  std::shared_ptr<const RuleIndex> index;
+  rule_index_.Set(other.rule_index_.Peek());
+  compiled_plan_.Set(other.compiled_plan_.Peek());
   uint64_t fingerprint = 0;
   bool fingerprint_valid = false;
   {
-    std::lock_guard<std::mutex> lock(other.index_mu_);
-    index = other.rule_index_;
+    std::lock_guard<std::mutex> lock(other.fingerprint_mu_);
     fingerprint = other.fingerprint_;
     fingerprint_valid = other.fingerprint_valid_;
   }
-  std::lock_guard<std::mutex> lock(index_mu_);
-  rule_index_ = std::move(index);
+  std::lock_guard<std::mutex> lock(fingerprint_mu_);
   fingerprint_ = fingerprint;
   fingerprint_valid_ = fingerprint_valid;
   return *this;
@@ -113,8 +114,9 @@ MappingSpec::MappingSpec(MappingSpec&& other) noexcept
     : target_name_(std::move(other.target_name_)),
       registry_(std::move(other.registry_)),
       rules_(std::move(other.rules_)) {
-  std::lock_guard<std::mutex> lock(other.index_mu_);
-  rule_index_ = std::move(other.rule_index_);
+  rule_index_.Set(other.rule_index_.Peek());
+  compiled_plan_.Set(other.compiled_plan_.Peek());
+  std::lock_guard<std::mutex> lock(other.fingerprint_mu_);
   fingerprint_ = other.fingerprint_;
   fingerprint_valid_ = other.fingerprint_valid_;
 }
@@ -124,24 +126,23 @@ MappingSpec& MappingSpec::operator=(MappingSpec&& other) noexcept {
   target_name_ = std::move(other.target_name_);
   registry_ = std::move(other.registry_);
   rules_ = std::move(other.rules_);
-  std::shared_ptr<const RuleIndex> index;
+  rule_index_.Set(other.rule_index_.Peek());
+  compiled_plan_.Set(other.compiled_plan_.Peek());
   uint64_t fingerprint = 0;
   bool fingerprint_valid = false;
   {
-    std::lock_guard<std::mutex> lock(other.index_mu_);
-    index = std::move(other.rule_index_);
+    std::lock_guard<std::mutex> lock(other.fingerprint_mu_);
     fingerprint = other.fingerprint_;
     fingerprint_valid = other.fingerprint_valid_;
   }
-  std::lock_guard<std::mutex> lock(index_mu_);
-  rule_index_ = std::move(index);
+  std::lock_guard<std::mutex> lock(fingerprint_mu_);
   fingerprint_ = fingerprint;
   fingerprint_valid_ = fingerprint_valid;
   return *this;
 }
 
 uint64_t MappingSpec::fingerprint() const {
-  std::lock_guard<std::mutex> lock(index_mu_);
+  std::lock_guard<std::mutex> lock(fingerprint_mu_);
   if (!fingerprint_valid_) {
     // Field-separated so "ab" + "c" and "a" + "bc" cannot collide; rule
     // renderings are canonical (the same text the spec parser accepts).
@@ -155,11 +156,12 @@ uint64_t MappingSpec::fingerprint() const {
 }
 
 std::shared_ptr<const RuleIndex> MappingSpec::rule_index() const {
-  std::lock_guard<std::mutex> lock(index_mu_);
-  if (rule_index_ == nullptr) {
-    rule_index_ = std::make_shared<const RuleIndex>(rules_);
-  }
-  return rule_index_;
+  return rule_index_.GetOrBuild(
+      [this] { return std::make_shared<const RuleIndex>(rules_); });
+}
+
+std::shared_ptr<const CompiledRulePlan> MappingSpec::compiled_plan() const {
+  return compiled_plan_.GetOrBuild([this] { return CompileRulePlan(rules_); });
 }
 
 const Rule* MappingSpec::FindRule(const std::string& name) const {

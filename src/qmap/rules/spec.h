@@ -6,11 +6,13 @@
 #include <string>
 #include <vector>
 
+#include "qmap/common/lazy_shared.h"
 #include "qmap/rules/rule.h"
 
 namespace qmap {
 
 class RuleIndex;
+class CompiledRulePlan;
 
 /// A mapping specification K: the set of mapping rules for one target
 /// context, together with the function registry its rules refer to
@@ -32,9 +34,10 @@ class MappingSpec {
   MappingSpec(std::string target_name, std::shared_ptr<const FunctionRegistry> registry)
       : target_name_(std::move(target_name)), registry_(std::move(registry)) {}
 
-  // The cached rule index rides along on copy/move (it holds no pointers
-  // into the rule list), but the mutex guarding it cannot, so all four
-  // operations are spelled out in spec.cc.
+  // The cached derived artifacts (rule index, compiled plan, fingerprint)
+  // ride along on copy/move — none holds pointers into the rule list — but
+  // their synchronization state cannot, so all four operations are spelled
+  // out in spec.cc.
   MappingSpec(const MappingSpec& other);
   MappingSpec& operator=(const MappingSpec& other);
   MappingSpec(MappingSpec&& other) noexcept;
@@ -46,8 +49,9 @@ class MappingSpec {
 
   void AddRule(Rule rule) {
     rules_.push_back(std::move(rule));
-    std::lock_guard<std::mutex> lock(index_mu_);
-    rule_index_.reset();
+    rule_index_.Invalidate();
+    compiled_plan_.Invalidate();
+    std::lock_guard<std::mutex> lock(fingerprint_mu_);
     fingerprint_valid_ = false;
   }
 
@@ -63,10 +67,19 @@ class MappingSpec {
   uint64_t fingerprint() const;
 
   /// The per-spec head-pattern index (see qmap/rules/rule_index.h), built
-  /// lazily on first use and cached until AddRule() invalidates it. Safe to
-  /// call from many threads under the class's immutable-once-translating
-  /// contract; the returned index stays valid independent of this spec.
+  /// lazily on first use and cached until AddRule() invalidates it.
+  /// Published via LazyShared (double-checked atomic shared_ptr): readers
+  /// race-free from any thread at any time, the build runs at most once per
+  /// published value, and the returned index stays valid independent of
+  /// this spec.
   std::shared_ptr<const RuleIndex> rule_index() const;
+
+  /// The spec's compiled matching automaton (see qmap/rules/rule_program.h),
+  /// built lazily on first use under the same LazyShared publication
+  /// discipline as rule_index(). Replacing the rule set swaps plans with one
+  /// atomic pointer store — in-flight matches keep their plan alive through
+  /// the shared_ptr.
+  std::shared_ptr<const CompiledRulePlan> compiled_plan() const;
 
   /// Finds a rule by name; nullptr when absent.
   const Rule* FindRule(const std::string& name) const;
@@ -81,9 +94,10 @@ class MappingSpec {
   std::string target_name_;
   std::shared_ptr<const FunctionRegistry> registry_;
   std::vector<Rule> rules_;
-  mutable std::mutex index_mu_;
-  mutable std::shared_ptr<const RuleIndex> rule_index_;  // lazily built
-  // Cached rule-set fingerprint (guarded by index_mu_ like the index).
+  mutable LazyShared<RuleIndex> rule_index_;
+  mutable LazyShared<CompiledRulePlan> compiled_plan_;
+  // Cached rule-set fingerprint (not a shared_ptr, so it keeps its own lock).
+  mutable std::mutex fingerprint_mu_;
   mutable uint64_t fingerprint_ = 0;
   mutable bool fingerprint_valid_ = false;
 };

@@ -16,6 +16,8 @@
 #include "qmap/obs/json.h"
 #include "qmap/obs/metrics.h"
 #include "qmap/obs/trace.h"
+#include "qmap/rules/matcher.h"
+#include "qmap/rules/rule_program.h"
 
 namespace qmap {
 namespace {
@@ -103,6 +105,15 @@ TranslationService::TranslationService(ServiceOptions options)
     match_index_hits_counter_ = &metrics->counter("qmap_match_index_hits_total");
     match_memo_hits_counter_ = &metrics->counter("qmap_match_memo_hits_total");
     match_saved_counter_ = &metrics->counter("qmap_match_attempts_saved_total");
+    match_compiled_hits_counter_ = &metrics->counter(
+        "qmap_match_compiled_hits",
+        "Conjunctions answered by the compiled discrimination-DAG engine.");
+    match_compile_ns_counter_ = &metrics->counter(
+        "qmap_match_compile_ns",
+        "Wall time spent compiling rule plans, process-wide (CompileRulePlan).");
+    match_plan_nodes_counter_ = &metrics->counter(
+        "qmap_match_plan_nodes",
+        "DAG nodes across all rule plans compiled so far, process-wide.");
   }
 }
 
@@ -384,6 +395,8 @@ Result<MediatorTranslation> TranslationService::TranslateFull(
     match_index_hits_counter_->Inc(out.stats.match.index_hits);
     match_memo_hits_counter_->Inc(out.stats.memo_hits);
     match_saved_counter_->Inc(out.stats.match.pattern_attempts_saved);
+    match_compiled_hits_counter_->Inc(out.stats.match.compiled_hits);
+    BridgeCompileStats();
   }
   root.SetStats(out.stats);
   return out;
@@ -668,7 +681,8 @@ std::string StatusJson(const ServiceStatus& s) {
   out += ",\"service\":{\"translate_calls\":" +
          std::to_string(s.stats.translate_calls);
   out += ",\"batch_calls\":" + std::to_string(s.stats.batch_calls);
-  out += ",\"slow_queries\":" + std::to_string(s.stats.slow_queries) + "}";
+  out += ",\"slow_queries\":" + std::to_string(s.stats.slow_queries);
+  out += ",\"match_engine\":\"" + JsonEscape(s.match_engine) + "\"}";
   out += ",\"sources\":[";
   for (size_t i = 0; i < s.sources.size(); ++i) {
     const SourceStatus& source = s.sources[i];
@@ -718,6 +732,7 @@ ServiceStatus TranslationService::StatusSnapshot() const {
   out.warmed_up = warmed_up_.load(std::memory_order_acquire);
   out.ready = out.store_ok && (store_ == nullptr ||
                                !options_.store.replay_on_boot || out.warmed_up);
+  out.match_engine = MatchEngineName(CurrentMatchEngine());
   out.stats = stats();
   out.cache_entries = options_.enable_cache ? cache_.size() : 0;
   out.pool_threads = pool_ != nullptr ? static_cast<size_t>(pool_->size()) : 0;
@@ -743,7 +758,23 @@ ServiceStatus TranslationService::StatusSnapshot() const {
   return out;
 }
 
+void TranslationService::BridgeCompileStats() const {
+  if (match_compile_ns_counter_ == nullptr) return;
+  const CompiledPlanBuildStats global = CompiledPlanGlobalStats();
+  // exchange() makes each delta claimed by exactly one bridging thread, so
+  // concurrent calls never double-count a compile.
+  const uint64_t prev_ns = bridged_compile_ns_.exchange(global.compile_ns);
+  if (global.compile_ns > prev_ns) {
+    match_compile_ns_counter_->Inc(global.compile_ns - prev_ns);
+  }
+  const uint64_t prev_nodes = bridged_plan_nodes_.exchange(global.plan_nodes);
+  if (global.plan_nodes > prev_nodes) {
+    match_plan_nodes_counter_->Inc(global.plan_nodes - prev_nodes);
+  }
+}
+
 void TranslationService::UpdateGauges() const {
+  BridgeCompileStats();
   MetricsRegistry* metrics = options_.obs.metrics;
   if (metrics == nullptr) return;
   metrics
@@ -867,7 +898,8 @@ void TranslationService::RegisterAdminHandlers(AdminHttpServer* server) {
            " queue_depth=" + std::to_string(s.pool_queue_depth) + "\n";
     out += "service: translate_calls=" + std::to_string(s.stats.translate_calls) +
            " batch_calls=" + std::to_string(s.stats.batch_calls) +
-           " slow_queries=" + std::to_string(s.stats.slow_queries) + "\n";
+           " slow_queries=" + std::to_string(s.stats.slow_queries) +
+           " match_engine=" + s.match_engine + "\n";
     out += std::string("resilience: enabled=") +
            (s.resilience_enabled ? "yes" : "no") +
            " retries=" + std::to_string(s.resilience.retries) +

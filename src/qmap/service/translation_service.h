@@ -156,6 +156,9 @@ struct ServiceStatus {
   bool store_configured = false;
   bool store_ok = false;   // true when no store is configured
   bool warmed_up = false;  // boot replay completed (false when not configured)
+  /// Active rule-matching engine (MatchEngineName of CurrentMatchEngine):
+  /// "naive", "indexed", or "compiled".
+  std::string match_engine;
   ServiceStats stats;
   size_t cache_entries = 0;
   size_t pool_threads = 0;      // 0 = inline (serial) mode
@@ -355,6 +358,11 @@ class TranslationService {
   /// updates. No-op without a registry.
   void UpdateGauges() const;
 
+  /// Folds the process-wide plan-compile telemetry (CompiledPlanGlobalStats)
+  /// into qmap_match_compile_ns / qmap_match_plan_nodes as deltas against
+  /// the bridged high-water marks. No-op without a registry.
+  void BridgeCompileStats() const;
+
   /// Registers the /healthz .. /slowlogz handlers on `server`.
   void RegisterAdminHandlers(AdminHttpServer* server);
 
@@ -402,6 +410,14 @@ class TranslationService {
   Counter* match_index_hits_counter_ = nullptr;
   Counter* match_memo_hits_counter_ = nullptr;
   Counter* match_saved_counter_ = nullptr;
+  Counter* match_compiled_hits_counter_ = nullptr;
+  Counter* match_compile_ns_counter_ = nullptr;
+  Counter* match_plan_nodes_counter_ = nullptr;
+  // High-water marks of the process-wide CompiledPlanGlobalStats() already
+  // bridged into the registry counters above (delta bridging — the global
+  // stats aggregate over every spec in the process, not just this service).
+  mutable std::atomic<uint64_t> bridged_compile_ns_{0};
+  mutable std::atomic<uint64_t> bridged_plan_nodes_{0};
 };
 
 }  // namespace qmap

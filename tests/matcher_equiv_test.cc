@@ -1,9 +1,10 @@
-// Equivalence suite for the index-accelerated matcher: MatchSpec (the
-// indexed default) must emit byte-identical matchings — same rules, same
-// constraint sets, same bindings, same ORDER — as MatchSpecNaive, for every
-// shipped context spec and for randomized synthetic specs and queries. The
-// whole acceleration layer (rule index, conjunction buckets, bindings undo
-// log, hashed dedup) rests on this invariant.
+// Equivalence suite for the accelerated matchers: MatchSpecIndexed and
+// MatchSpecCompiled (the default engine) must emit byte-identical matchings
+// — same rules, same constraint sets, same bindings, same ORDER — as
+// MatchSpecNaive, for every shipped context spec and for randomized
+// synthetic specs and queries. The whole acceleration layer (rule index,
+// conjunction buckets, compiled discrimination DAG, bindings undo log,
+// hashed dedup) rests on this invariant.
 
 #include "qmap/rules/matcher.h"
 
@@ -22,6 +23,7 @@
 #include "qmap/contexts/synthetic.h"
 #include "qmap/core/translator.h"
 #include "qmap/expr/dnf.h"
+#include "qmap/rules/compiled_matcher.h"
 #include "test_util.h"
 
 namespace qmap {
@@ -39,18 +41,28 @@ std::string Render(const std::vector<Matching>& matchings) {
   return out;
 }
 
-// Asserts indexed == naive byte-for-byte, and that the index never does
-// more pattern trials than the naive matcher while accounting for every
-// trial it skipped.
+// Asserts indexed == naive == compiled byte-for-byte, and that the index
+// never does more pattern trials than the naive matcher while accounting
+// for every trial it skipped.
 void ExpectEquivalent(const MappingSpec& spec,
                       const std::vector<Constraint>& conjunction) {
   MatchCounters naive_counters;
   std::vector<Matching> naive = MatchSpecNaive(spec, conjunction, &naive_counters);
   MatchCounters indexed_counters;
-  std::vector<Matching> indexed = MatchSpec(spec, conjunction, &indexed_counters);
+  std::vector<Matching> indexed =
+      MatchSpecIndexed(spec, conjunction, &indexed_counters);
+  MatchCounters compiled_counters;
+  std::vector<Matching> compiled =
+      MatchSpecCompiled(spec, conjunction, &compiled_counters);
   EXPECT_EQ(Render(indexed), Render(naive));
+  EXPECT_EQ(Render(compiled), Render(naive));
   EXPECT_EQ(indexed_counters.matchings_found, naive_counters.matchings_found);
+  EXPECT_EQ(compiled_counters.matchings_found, naive_counters.matchings_found);
   EXPECT_LE(indexed_counters.pattern_attempts, naive_counters.pattern_attempts);
+  // The DAG shares prefixes across rules, so it can only do fewer trials
+  // than the per-rule indexed interpreter.
+  EXPECT_LE(compiled_counters.pattern_attempts,
+            naive_counters.pattern_attempts);
   // `saved` counts skipped trials conservatively (a wholly skipped rule is
   // credited one slot-0 sweep, a lower bound on its naive recursion).
   EXPECT_LE(indexed_counters.pattern_attempts +
@@ -168,26 +180,31 @@ TEST(MatcherEquivalence, RandomizedDuplicateHeavyConjunctions) {
 }
 
 TEST(MatcherEquivalence, DisableToggleFallsBackToNaive) {
+  const MatchEngine saved_engine = CurrentMatchEngine();
   MappingSpec spec = AmazonSpec();
   std::vector<Constraint> conjunction = {C("[ln = \"Smith\"]"),
                                          C("[pyear = 1997]"), C("[pmonth = 5]")};
   ASSERT_TRUE(MatchIndexEnabled());
-  std::vector<Matching> indexed = MatchSpec(spec, conjunction);
+  std::vector<Matching> accelerated = MatchSpec(spec, conjunction);
   SetMatchIndexEnabled(false);
   EXPECT_FALSE(MatchIndexEnabled());
+  EXPECT_EQ(CurrentMatchEngine(), MatchEngine::kNaive);
   MatchCounters counters;
   std::vector<Matching> disabled = MatchSpec(spec, conjunction, &counters);
-  SetMatchIndexEnabled(true);
-  EXPECT_EQ(Render(disabled), Render(indexed));
+  SetMatchEngine(saved_engine);
+  EXPECT_EQ(Render(disabled), Render(accelerated));
   // The naive fallback has no index to hit or save with.
   EXPECT_EQ(counters.index_hits, 0u);
   EXPECT_EQ(counters.pattern_attempts_saved, 0u);
+  EXPECT_EQ(counters.compiled_hits, 0u);
 }
 
 // End-to-end A/B: full translations (mapped query AND residue filter) must
-// be identical with the index on or off, and with the match memo on or off,
-// in every combination — across all three algorithms.
+// be identical under every match engine (naive, indexed, compiled), with
+// the match memo on or off, in every combination — across all three
+// algorithms.
 TEST(MatcherEquivalence, TranslationsIdenticalAcrossAccelerationModes) {
+  const MatchEngine saved_engine = CurrentMatchEngine();
   const std::vector<Query> queries = {
       Q("[ln = \"Smith\"] and [pyear = 1997] and ([pmonth = 5] or "
         "[pmonth = 6])"),
@@ -200,9 +217,10 @@ TEST(MatcherEquivalence, TranslationsIdenticalAcrossAccelerationModes) {
        {MappingAlgorithm::kTdqm, MappingAlgorithm::kDnf,
         MappingAlgorithm::kNaive}) {
     std::vector<std::string> renderings;
-    for (bool index_on : {true, false}) {
+    for (MatchEngine engine :
+         {MatchEngine::kCompiled, MatchEngine::kIndexed, MatchEngine::kNaive}) {
       for (bool memo_on : {true, false}) {
-        SetMatchIndexEnabled(index_on);
+        SetMatchEngine(engine);
         TranslatorOptions options;
         options.algorithm = algorithm;
         options.use_match_memo = memo_on;
@@ -216,7 +234,7 @@ TEST(MatcherEquivalence, TranslationsIdenticalAcrossAccelerationModes) {
         renderings.push_back(std::move(rendering));
       }
     }
-    SetMatchIndexEnabled(true);
+    SetMatchEngine(saved_engine);
     for (size_t i = 1; i < renderings.size(); ++i) {
       EXPECT_EQ(renderings[i], renderings[0])
           << "acceleration mode " << i << " diverged";
