@@ -1,0 +1,169 @@
+// A federation front-end: discovers each worker's sources by fetching its
+// catalog over the wire protocol, registers them behind RemoteTransports,
+// and scatter/gathers a seeded random workload across the shards. With
+// resilience enabled, a worker dying mid-run degrades to partial results —
+// the same composition a tripped breaker produces — instead of failing.
+//
+//   ./federation_frontend --workers=127.0.0.1:7101,127.0.0.1:7102
+//       --queries=40 --interval-ms=100
+//
+// Prints one line per query ("q7: complete sources=4" / "q12: partial
+// failed=S1,S3") plus a final summary; exits 0 when every query was
+// answered (complete or partial). The CI federation-smoke job kills one
+// worker mid-run and asserts both kinds of line appear.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <chrono>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qmap/contexts/synthetic.h"
+#include "qmap/obs/metrics.h"
+#include "qmap/service/translation_service.h"
+#include "qmap/wire/messages.h"
+#include "qmap/wire/remote_transport.h"
+#include "qmap/wire/wire_client.h"
+
+namespace {
+
+int ParseIntFlag(const char* arg, const char* name, int fallback) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return fallback;
+  return std::atoi(arg + len + 1);
+}
+
+std::string ParseStringFlag(const char* arg, const char* name,
+                            std::string fallback) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return fallback;
+  return std::string(arg + len + 1);
+}
+
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    if (comma > start) out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workers_flag;
+  int queries = 20;
+  int interval_ms = 50;
+  int admin_port = -1;  // -1 = no admin plane
+  for (int i = 1; i < argc; ++i) {
+    workers_flag = ParseStringFlag(argv[i], "--workers", workers_flag);
+    queries = ParseIntFlag(argv[i], "--queries", queries);
+    interval_ms = ParseIntFlag(argv[i], "--interval-ms", interval_ms);
+    admin_port = ParseIntFlag(argv[i], "--admin-port", admin_port);
+  }
+  const std::vector<std::string> workers = SplitCommas(workers_flag);
+  if (workers.empty()) {
+    std::fprintf(stderr,
+                 "usage: federation_frontend --workers=host:port[,host:port...]"
+                 " [--queries=N] [--interval-ms=MS] [--admin-port=P]\n");
+    return 2;
+  }
+
+  qmap::MetricsRegistry registry;
+  qmap::ServiceOptions options;
+  options.num_threads = 4;
+  options.obs.metrics = &registry;
+  options.resilience.enabled = true;  // dead worker => partial, not failure
+  options.resilience.retry.max_attempts = 2;
+  qmap::TranslationService frontend(options);
+
+  // Scatter plan: each worker's advertised catalog, behind one shared
+  // connection pool. The worker's rule-set fingerprints keep the
+  // front-end's cache keys aligned with the shard's.
+  auto client = std::make_shared<qmap::WireClient>();
+  qmap::RemoteTransportOptions transport_options;
+  transport_options.metrics = &registry;
+  for (const std::string& endpoint : workers) {
+    auto reply =
+        client->Call(endpoint, qmap::FrameType::kCatalogRequest, "");
+    if (!reply.ok()) {
+      std::fprintf(stderr, "catalog fetch from %s: %s\n", endpoint.c_str(),
+                   reply.status().ToString().c_str());
+      return 1;
+    }
+    auto catalog = qmap::DecodeCatalogResponse(reply->second);
+    if (!catalog.ok()) {
+      std::fprintf(stderr, "catalog decode from %s: %s\n", endpoint.c_str(),
+                   catalog.status().ToString().c_str());
+      return 1;
+    }
+    for (const qmap::CatalogEntry& entry : catalog->sources) {
+      frontend.AddRemoteSource(
+          entry.name, entry.rule_set_fp,
+          std::make_shared<qmap::RemoteTransport>(entry.name, endpoint, client,
+                                                  transport_options));
+      std::printf("source %s -> %s (rule set %016llx)\n", entry.name.c_str(),
+                  endpoint.c_str(),
+                  static_cast<unsigned long long>(entry.rule_set_fp));
+    }
+  }
+  if (frontend.num_sources() == 0) {
+    std::fprintf(stderr, "no sources advertised by any worker\n");
+    return 1;
+  }
+  if (admin_port >= 0) {
+    qmap::AdminOptions admin;
+    admin.http.port = static_cast<uint16_t>(admin_port);
+    qmap::Status started = frontend.StartAdmin(admin);
+    if (!started.ok()) {
+      std::fprintf(stderr, "StartAdmin: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("admin http://127.0.0.1:%u\n",
+                frontend.admin_server()->port());
+  }
+  std::printf("frontend serving %zu sources from %zu workers\n",
+              frontend.num_sources(), workers.size());
+  std::fflush(stdout);
+
+  std::mt19937 rng(20260808);
+  qmap::RandomQueryOptions query_options;
+  query_options.num_attrs = 8;
+  query_options.max_depth = 3;
+
+  int complete = 0, partial = 0, failed = 0;
+  for (int i = 0; i < queries; ++i) {
+    const qmap::Query query = qmap::RandomQuery(rng, query_options);
+    qmap::Result<qmap::MediatorTranslation> result = frontend.Translate(query);
+    if (!result.ok()) {
+      ++failed;
+      std::printf("q%d: failed (%s)\n", i, result.status().ToString().c_str());
+    } else if (result->partial.complete()) {
+      ++complete;
+      std::printf("q%d: complete sources=%zu\n", i,
+                  result->per_source.size());
+    } else {
+      ++partial;
+      std::string names;
+      for (const auto& failure : result->partial.failed) {
+        if (!names.empty()) names += ",";
+        names += failure.source;
+      }
+      std::printf("q%d: partial failed=%s\n", i, names.c_str());
+    }
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  std::printf("done: %d complete, %d partial, %d failed\n", complete, partial,
+              failed);
+  return failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,171 @@
+// A federation shard worker: serves its share of the synthetic catalog over
+// the qmap wire protocol, with the admin plane on a second port. The CI
+// federation-smoke job drives two of these behind a federation_frontend.
+//
+//   ./federation_worker --port=7101 --shard=0 --num-shards=2
+//
+// Signals mirror production habits: SIGHUP hot-reloads the service behind
+// the running server (in-flight requests finish on the old one), SIGTERM
+// drains — stop accepting, finish in-flight work, then exit cleanly. The
+// same drain runs when the admin /drainz endpoint is hit.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "qmap/contexts/synthetic.h"
+#include "qmap/obs/metrics.h"
+#include "qmap/service/translation_service.h"
+#include "qmap/wire/qmap_server.h"
+
+namespace {
+
+std::atomic<int> g_signal{0};
+void OnSignal(int sig) { g_signal.store(sig); }
+
+int ParseIntFlag(const char* arg, const char* name, int fallback) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return fallback;
+  return std::atoi(arg + len + 1);
+}
+
+/// The fixed four-source synthetic catalog every federation example shares;
+/// worker `shard` serves sources i with i % num_shards == shard.
+std::vector<std::pair<std::string, qmap::MappingSpec>> ShardCatalog(
+    int shard, int num_shards) {
+  std::vector<std::pair<std::string, qmap::MappingSpec>> out;
+  qmap::SyntheticOptions base;
+  base.num_attrs = 8;
+  const std::vector<std::vector<std::pair<int, int>>> pair_sets = {
+      {}, {{0, 1}}, {{2, 3}, {4, 5}}, {{0, 2}, {1, 3}, {4, 6}}};
+  for (size_t i = 0; i < pair_sets.size(); ++i) {
+    if (num_shards > 0 && static_cast<int>(i % num_shards) != shard) continue;
+    qmap::SyntheticOptions options = base;
+    options.dependent_pairs = pair_sets[i];
+    qmap::Result<qmap::MappingSpec> spec = qmap::MakeSyntheticSpec(options);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "spec S%zu: %s\n", i, spec.status().ToString().c_str());
+      std::exit(1);
+    }
+    out.emplace_back("S" + std::to_string(i), *spec);
+  }
+  return out;
+}
+
+std::shared_ptr<qmap::TranslationService> BuildService(
+    int shard, int num_shards, qmap::MetricsRegistry* registry) {
+  qmap::ServiceOptions options;
+  options.num_threads = 2;
+  options.obs.metrics = registry;
+  auto service = std::make_shared<qmap::TranslationService>(options);
+  for (auto& [name, spec] : ShardCatalog(shard, num_shards)) {
+    service->AddSource(name, std::move(spec));
+  }
+  return service;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  int admin_port = 0;
+  int shard = 0;
+  int num_shards = 1;
+  int duration_s = 600;
+  for (int i = 1; i < argc; ++i) {
+    port = ParseIntFlag(argv[i], "--port", port);
+    admin_port = ParseIntFlag(argv[i], "--admin-port", admin_port);
+    shard = ParseIntFlag(argv[i], "--shard", shard);
+    num_shards = ParseIntFlag(argv[i], "--num-shards", num_shards);
+    duration_s = ParseIntFlag(argv[i], "--duration-s", duration_s);
+  }
+
+  qmap::MetricsRegistry registry;
+  auto service = BuildService(shard, num_shards, &registry);
+
+  qmap::QmapServerOptions server_options;
+  server_options.port = port;
+  server_options.metrics = &registry;
+  qmap::QmapServer server(server_options);
+  server.SetService(service);
+  qmap::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "Start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  // Admin plane: /drainz triggers the same drain as SIGTERM, and /rpcz
+  // exposes the wire server's counters next to the service's /varz.
+  qmap::AdminOptions admin;
+  admin.http.port = static_cast<uint16_t>(admin_port);
+  admin.on_drain = [&server] { server.Drain(); };
+  admin.extra_handlers.emplace_back("/rpcz", [&server](std::string_view) {
+    qmap::QmapServerStats stats = server.stats();
+    qmap::AdminResponse response;
+    response.content_type = "application/json";
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"requests\": %llu, \"responses_ok\": %llu, "
+                  "\"responses_error\": %llu, \"rejected_overload\": %llu, "
+                  "\"rejected_quota\": %llu, \"malformed_frames\": %llu, "
+                  "\"reloads\": %llu, \"net_accepted\": %llu}\n",
+                  static_cast<unsigned long long>(stats.requests),
+                  static_cast<unsigned long long>(stats.responses_ok),
+                  static_cast<unsigned long long>(stats.responses_error),
+                  static_cast<unsigned long long>(stats.rejected_overload),
+                  static_cast<unsigned long long>(stats.rejected_quota),
+                  static_cast<unsigned long long>(stats.malformed_frames),
+                  static_cast<unsigned long long>(stats.reloads),
+                  static_cast<unsigned long long>(stats.net.accepted));
+    response.body = buf;
+    return response;
+  });
+  qmap::Status admin_started = service->StartAdmin(admin);
+  if (!admin_started.ok()) {
+    std::fprintf(stderr, "StartAdmin: %s\n", admin_started.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGHUP, OnSignal);
+
+  std::printf("worker shard %d/%d listening on 127.0.0.1:%d (admin http://127.0.0.1:%u)\n",
+              shard, num_shards, server.port(),
+              service->admin_server()->port());
+  std::fflush(stdout);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(duration_s);
+  while (std::chrono::steady_clock::now() < deadline && server.running()) {
+    int sig = g_signal.exchange(0);
+    if (sig == SIGTERM || sig == SIGINT) {
+      std::printf("draining on signal %d\n", sig);
+      std::fflush(stdout);
+      server.Drain();
+      break;
+    }
+    if (sig == SIGHUP) {
+      // Hot reload: rebuild the service and swap it under the running
+      // server; in-flight requests finish on the old instance. (The admin
+      // plane stays bound to the boot-time service instance.)
+      server.SetService(BuildService(shard, num_shards, &registry));
+      std::printf("reloaded\n");
+      std::fflush(stdout);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Drain();
+  service->StopAdmin();
+  std::printf("worker shard %d drained cleanly\n", shard);
+  return 0;
+}

@@ -26,12 +26,16 @@ Result<FederatedCatalog::FederatedResult> FederatedCatalog::Query(
   }
   for (const Member& member : members_) {
     ResilienceManager::CallReport report;
+    const auto attempt = [&] {
+      return member.transport->Translate(query, /*trace=*/nullptr,
+                                         /*parent_span=*/0, /*memo=*/nullptr,
+                                         cancel);
+    };
     Result<Translation> translation =
         resilience_ != nullptr
-            ? resilience_->GuardedTranslate(
-                  member.name, query, cancel,
-                  [&] { return member.translator.Translate(query); }, &report)
-            : member.translator.Translate(query);
+            ? resilience_->GuardedTranslate(member.name, query, cancel, attempt,
+                                            &report)
+            : attempt();
     Status member_status = translation.status();
     // The data-conversion direction is a source call too: a fault scripted
     // under "<member>.convert" drops the member even though its translation

@@ -9,6 +9,7 @@
 #include "qmap/core/translator.h"
 #include "qmap/relalg/ops.h"
 #include "qmap/service/resilience.h"
+#include "qmap/service/source_transport.h"
 
 namespace qmap {
 
@@ -26,6 +27,11 @@ class FederatedCatalog {
   struct Member {
     std::string name;
     Translator translator;
+    /// Where this member's translation runs. Left null (the common case),
+    /// AddMember wraps `translator` into an InProcessTransport; set
+    /// explicitly (e.g. a RemoteTransport) to translate on a shard worker —
+    /// `translator` is then ignored by Query().
+    std::shared_ptr<SourceTransport> transport;
     /// Converts a mediator tuple to the member's vocabulary.
     std::function<Tuple(const Tuple&)> convert;
     /// Optional member-specific constraint semantics (e.g. Amazon author
@@ -36,7 +42,12 @@ class FederatedCatalog {
     TupleSet data;
   };
 
-  void AddMember(Member member) { members_.push_back(std::move(member)); }
+  void AddMember(Member member) {
+    if (member.transport == nullptr) {
+      member.transport = std::make_shared<InProcessTransport>(member.translator);
+    }
+    members_.push_back(std::move(member));
+  }
   const std::vector<Member>& members() const { return members_; }
 
   /// Per-member result detail from one federated query.

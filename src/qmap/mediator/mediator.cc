@@ -16,6 +16,15 @@ const SourceContext* Mediator::FindSource(const std::string& name) const {
   return nullptr;
 }
 
+void Mediator::SetSourceTransport(const std::string& name,
+                                  std::shared_ptr<SourceTransport> transport) {
+  if (transport == nullptr) {
+    transports_.erase(name);
+  } else {
+    transports_[name] = std::move(transport);
+  }
+}
+
 void Mediator::AddConversion(ConversionFn conversion) {
   conversions_.push_back(std::move(conversion));
 }
@@ -49,17 +58,23 @@ Result<MediatorTranslation> Mediator::Translate(const Query& query, Trace* trace
   for (const SourceContext& source : sources_) {
     Span source_span(trace, "source.translate", root.id());
     if (source_span.enabled()) source_span.AddAttr("source", source.name());
-    Translator translator(source.spec(), options_);
+    auto transport_it = transports_.find(source.name());
+    std::shared_ptr<SourceTransport> transport =
+        transport_it != transports_.end()
+            ? transport_it->second
+            : std::make_shared<InProcessTransport>(
+                  Translator(source.spec(), options_));
     ResilienceManager::CallReport report;
+    const auto attempt = [&] {
+      return transport->Translate(full, trace, source_span.id(),
+                                  /*memo=*/nullptr, cancel);
+    };
     Result<Translation> translation =
         resilience_ != nullptr
-            ? resilience_->GuardedTranslate(
-                  source.name(), full, cancel,
-                  [&] {
-                    return translator.Translate(full, trace, source_span.id());
-                  },
-                  &report, trace, source_span.id())
-            : translator.Translate(full, trace, source_span.id());
+            ? resilience_->GuardedTranslate(source.name(), full, cancel,
+                                            attempt, &report, trace,
+                                            source_span.id())
+            : attempt();
     out.stats.retries += report.retries;
     out.stats.deadline_hits += report.deadline_hit ? 1 : 0;
     out.stats.breaker_rejections += report.breaker_rejected ? 1 : 0;

@@ -10,6 +10,7 @@
 #include "qmap/mediator/source.h"
 #include "qmap/relalg/conversion.h"
 #include "qmap/service/resilience.h"
+#include "qmap/service/source_transport.h"
 
 namespace qmap {
 
@@ -56,6 +57,15 @@ class Mediator {
   void AddSource(SourceContext source);
   const SourceContext* FindSource(const std::string& name) const;
   const std::vector<SourceContext>& sources() const { return sources_; }
+
+  /// Routes the named source's constraint mapping through `transport`
+  /// (e.g. a RemoteTransport to a shard worker) instead of translating
+  /// in-process from its spec. The source must still be AddSource'd — its
+  /// spec/capabilities stay the vocabulary of record for execution; only
+  /// where the *translation* runs changes. Pass nullptr to restore the
+  /// in-process default.
+  void SetSourceTransport(const std::string& name,
+                          std::shared_ptr<SourceTransport> transport);
 
   /// Registers a conversion function (applied in order, after crossing).
   void AddConversion(ConversionFn conversion);
@@ -116,6 +126,9 @@ class Mediator {
 
   TranslatorOptions options_;
   std::vector<SourceContext> sources_;
+  /// Per-source transport overrides (see SetSourceTransport); sources not
+  /// listed translate in-process from their spec.
+  std::map<std::string, std::shared_ptr<SourceTransport>> transports_;
   std::vector<ConversionFn> conversions_;
   Query view_constraints_ = Query::True();
   const ConstraintSemantics* semantics_ = nullptr;

@@ -1,0 +1,20 @@
+#include "qmap/net/net_util.h"
+
+#include <csignal>
+#include <fcntl.h>
+#include <mutex>
+
+namespace qmap {
+
+bool SetNonBlockingFd(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void IgnoreSigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+}  // namespace qmap

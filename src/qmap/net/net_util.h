@@ -1,0 +1,18 @@
+#ifndef QMAP_NET_NET_UTIL_H_
+#define QMAP_NET_NET_UTIL_H_
+
+namespace qmap {
+
+/// Puts `fd` into O_NONBLOCK mode. Returns false on fcntl failure.
+bool SetNonBlockingFd(int fd);
+
+/// Ignores SIGPIPE process-wide (idempotent, thread-safe). A peer that
+/// disconnects mid-response must surface as an EPIPE error on send(), not a
+/// process-killing signal. Every qmap component that writes to sockets —
+/// the event loop, the wire client — calls this on setup; sends additionally
+/// pass MSG_NOSIGNAL so even a component that forgot is safe on Linux.
+void IgnoreSigpipe();
+
+}  // namespace qmap
+
+#endif  // QMAP_NET_NET_UTIL_H_

@@ -1,0 +1,74 @@
+#include "qmap/net/tcp_listener.h"
+
+#include "qmap/net/net_util.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace qmap {
+
+TcpListener::~TcpListener() { Close(); }
+
+Status TcpListener::Listen(const std::string& bind_address, uint16_t port,
+                           int backlog) {
+  if (fd_ >= 0) return Status::InvalidArgument("net listener: already bound");
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("net listener: socket: ") +
+                            std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("net listener: bad bind address '" +
+                                   bind_address + "'");
+  }
+  if (bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Unavailable(
+        std::string("net listener: bind ") + bind_address + ":" +
+        std::to_string(port) + ": " + std::strerror(errno));
+    Close();
+    return status;
+  }
+  if (listen(fd_, backlog) != 0) {
+    Status status = Status::Internal(std::string("net listener: listen: ") +
+                                     std::strerror(errno));
+    Close();
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  if (!SetNonBlockingFd(fd_)) {
+    Close();
+    return Status::Internal("net listener: failed to set O_NONBLOCK");
+  }
+  return Status::Ok();
+}
+
+int TcpListener::Accept() {
+  if (fd_ < 0) return -1;
+  return accept(fd_, nullptr, nullptr);
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  port_ = 0;
+}
+
+}  // namespace qmap

@@ -1,0 +1,53 @@
+#ifndef QMAP_NET_TCP_LISTENER_H_
+#define QMAP_NET_TCP_LISTENER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "qmap/common/status.h"
+
+namespace qmap {
+
+/// A bound, non-blocking IPv4 listening socket — the accept half of the
+/// qmap/net layer. Extracted from the admin HTTP server so every server in
+/// the process (admin plane, wire-protocol service plane) shares one
+/// bind/listen/accept implementation and one set of error messages.
+///
+/// Not thread-safe: Listen/Close belong to the owning server's setup and
+/// teardown; Accept belongs to the event-loop thread.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on `bind_address:port` (port 0 picks an ephemeral
+  /// port; read it back via port()). The socket is SO_REUSEADDR and
+  /// non-blocking. Error statuses: InvalidArgument for an unparsable
+  /// address, Unavailable for a bind failure (port in use, permissions),
+  /// Internal for anything else.
+  Status Listen(const std::string& bind_address, uint16_t port,
+                int backlog = 16);
+
+  /// Accepts one pending connection; returns its fd, or -1 when none is
+  /// pending (EAGAIN) or the accept failed. The returned fd is *blocking*;
+  /// callers that want non-blocking I/O set it themselves (EventLoop does).
+  int Accept();
+
+  /// Closes the listening socket. Idempotent; also run by the destructor.
+  void Close();
+
+  bool listening() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// The bound TCP port (resolved after Listen, also for port 0). 0 before.
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_NET_TCP_LISTENER_H_

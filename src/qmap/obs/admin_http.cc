@@ -1,28 +1,9 @@
 #include "qmap/obs/admin_http.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <chrono>
-#include <cstring>
 #include <utility>
-#include <vector>
 
 namespace qmap {
 namespace {
-
-using SteadyClock = std::chrono::steady_clock;
-
-bool SetNonBlocking(int fd) {
-  int flags = fcntl(fd, F_GETFL, 0);
-  if (flags < 0) return false;
-  return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
-}
 
 const char* ReasonPhrase(int status) {
   switch (status) {
@@ -46,21 +27,12 @@ std::string RenderResponse(const AdminResponse& response, bool head_only) {
   return out;
 }
 
-/// One accepted connection: reading the request head, then writing the
-/// rendered response, then close. No keep-alive.
-struct Connection {
-  int fd = -1;
-  bool writing = false;
-  std::string in;
-  std::string out;
-  size_t out_offset = 0;
-  SteadyClock::time_point deadline;
-};
-
 }  // namespace
 
 AdminHttpServer::AdminHttpServer(AdminHttpOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      loop_(EventLoopOptions{options_.max_connections,
+                             options_.poll_interval_ms}) {}
 
 AdminHttpServer::~AdminHttpServer() { Stop(); }
 
@@ -69,266 +41,101 @@ void AdminHttpServer::Handle(std::string path, AdminHandler handler) {
 }
 
 Status AdminHttpServer::Start() {
-  if (running_.load(std::memory_order_acquire) || thread_.joinable()) {
+  if (loop_.running()) {
     return Status::InvalidArgument("admin server: already started");
   }
-  stop_.store(false, std::memory_order_release);
-
-  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::Internal(std::string("admin server: socket: ") +
-                            std::strerror(errno));
-  }
-  int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::InvalidArgument("admin server: bad bind address '" +
-                                   options_.bind_address + "'");
-  }
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status status = Status::Unavailable(std::string("admin server: bind ") +
-                                        options_.bind_address + ":" +
-                                        std::to_string(options_.port) + ": " +
-                                        std::strerror(errno));
-    close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  if (listen(listen_fd_, 16) != 0) {
-    Status status = Status::Internal(std::string("admin server: listen: ") +
-                                     std::strerror(errno));
-    close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                  &bound_len) == 0) {
-    port_ = ntohs(bound.sin_port);
-  }
-  if (!SetNonBlocking(listen_fd_) || pipe(wake_fd_) != 0) {
-    close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Internal("admin server: failed to set up event loop fds");
-  }
-  SetNonBlocking(wake_fd_[0]);
-  SetNonBlocking(wake_fd_[1]);
-
-  running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { Serve(); });
-  return Status::Ok();
+  Status listen =
+      listener_.Listen(options_.bind_address, options_.port, /*backlog=*/16);
+  if (!listen.ok()) return listen;
+  port_ = listener_.port();
+  Status started = loop_.Start(&listener_, this);
+  if (!started.ok()) listener_.Close();
+  return started;
 }
 
 void AdminHttpServer::Stop() {
-  stop_.store(true, std::memory_order_release);
-  if (wake_fd_[1] >= 0) {
-    char byte = 'x';
-    // Best-effort wake; the poll tick bounds the wait even if the pipe is full.
-    [[maybe_unused]] ssize_t n = write(wake_fd_[1], &byte, 1);
-  }
-  if (thread_.joinable()) thread_.join();
-  running_.store(false, std::memory_order_release);
-  for (int* fd : {&listen_fd_, &wake_fd_[0], &wake_fd_[1]}) {
-    if (*fd >= 0) {
-      close(*fd);
-      *fd = -1;
-    }
-  }
+  loop_.Stop();
+  listener_.Close();
 }
 
 AdminHttpStats AdminHttpServer::stats() const {
+  EventLoopStats loop = loop_.stats();
   AdminHttpStats out;
-  out.accepted = accepted_.load(std::memory_order_relaxed);
-  out.served = served_.load(std::memory_order_relaxed);
-  out.rejected_connections = rejected_.load(std::memory_order_relaxed);
+  out.accepted = loop.accepted;
+  // Every admin response closes after flushing, so the loop's flushed-close
+  // count is exactly "responses fully written" (including the give-up path
+  // where the peer vanished mid-write — matching the historical counter).
+  out.served = loop.flushed_closes;
+  out.rejected_connections = loop.rejected;
+  out.timeouts = loop.timeouts;
   out.bad_requests = bad_requests_.load(std::memory_order_relaxed);
   out.not_found = not_found_.load(std::memory_order_relaxed);
-  out.timeouts = timeouts_.load(std::memory_order_relaxed);
   return out;
 }
 
-void AdminHttpServer::Serve() {
-  std::vector<Connection> conns;
-  const auto close_conn = [&](size_t i) {
-    close(conns[i].fd);
-    conns.erase(conns.begin() + static_cast<ptrdiff_t>(i));
-  };
+void AdminHttpServer::OnAccept(Conn& conn) {
+  conn.SetDeadlineMs(options_.io_timeout_ms);
+}
 
-  // Builds the response for a complete request head and flips the
-  // connection into the writing state.
-  const auto respond = [&](Connection& conn) {
-    size_t line_end = conn.in.find("\r\n");
-    std::string_view line(conn.in.data(), line_end);
-    size_t method_end = line.find(' ');
-    size_t target_end =
-        method_end == std::string_view::npos ? std::string_view::npos
-                                             : line.find(' ', method_end + 1);
+void AdminHttpServer::OnClose(Conn& conn) { (void)conn; }
+
+void AdminHttpServer::OnData(Conn& conn) {
+  if (conn.in().size() > options_.max_request_bytes) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
     AdminResponse response;
-    bool head_only = false;
-    if (method_end == std::string_view::npos ||
-        target_end == std::string_view::npos) {
+    response.status = 431;
+    response.body = "request too large\n";
+    conn.in().clear();
+    conn.Write(RenderResponse(response, /*head_only=*/false));
+    conn.CloseAfterFlush();
+    return;
+  }
+  if (conn.in().find("\r\n\r\n") != std::string::npos) Respond(conn);
+}
+
+/// Builds the response for a complete request head and flips the connection
+/// into the write-then-close state. No keep-alive.
+void AdminHttpServer::Respond(Conn& conn) {
+  const std::string& in = conn.in();
+  size_t line_end = in.find("\r\n");
+  std::string_view line(in.data(), line_end);
+  size_t method_end = line.find(' ');
+  size_t target_end = method_end == std::string_view::npos
+                          ? std::string_view::npos
+                          : line.find(' ', method_end + 1);
+  AdminResponse response;
+  bool head_only = false;
+  if (method_end == std::string_view::npos ||
+      target_end == std::string_view::npos) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    response.status = 400;
+    response.body = "bad request\n";
+  } else {
+    std::string_view method = line.substr(0, method_end);
+    std::string_view target =
+        line.substr(method_end + 1, target_end - method_end - 1);
+    std::string_view path = target;
+    std::string_view query;
+    if (size_t q = target.find('?'); q != std::string_view::npos) {
+      path = target.substr(0, q);
+      query = target.substr(q + 1);
+    }
+    head_only = method == "HEAD";
+    if (method != "GET" && method != "HEAD") {
       bad_requests_.fetch_add(1, std::memory_order_relaxed);
-      response.status = 400;
-      response.body = "bad request\n";
+      response.status = 405;
+      response.body = "only GET and HEAD are supported\n";
+    } else if (auto it = handlers_.find(path); it == handlers_.end()) {
+      not_found_.fetch_add(1, std::memory_order_relaxed);
+      response.status = 404;
+      response.body = "no such endpoint: " + std::string(path) + "\n";
     } else {
-      std::string_view method = line.substr(0, method_end);
-      std::string_view target =
-          line.substr(method_end + 1, target_end - method_end - 1);
-      std::string_view path = target;
-      std::string_view query;
-      if (size_t q = target.find('?'); q != std::string_view::npos) {
-        path = target.substr(0, q);
-        query = target.substr(q + 1);
-      }
-      head_only = method == "HEAD";
-      if (method != "GET" && method != "HEAD") {
-        bad_requests_.fetch_add(1, std::memory_order_relaxed);
-        response.status = 405;
-        response.body = "only GET and HEAD are supported\n";
-      } else if (auto it = handlers_.find(path); it == handlers_.end()) {
-        not_found_.fetch_add(1, std::memory_order_relaxed);
-        response.status = 404;
-        response.body = "no such endpoint: " + std::string(path) + "\n";
-      } else {
-        response = it->second(query);
-      }
-    }
-    conn.out = RenderResponse(response, head_only);
-    conn.out_offset = 0;
-    conn.in.clear();
-    conn.writing = true;
-  };
-
-  while (!stop_.load(std::memory_order_acquire)) {
-    std::vector<pollfd> fds;
-    fds.push_back({wake_fd_[0], POLLIN, 0});
-    bool room = conns.size() <
-                static_cast<size_t>(options_.max_connections < 0
-                                        ? 0
-                                        : options_.max_connections);
-    // When full, stop polling the listener: the kernel queues (then we
-    // accept-and-close below once there is room or on the next tick).
-    fds.push_back({listen_fd_, static_cast<short>(room ? POLLIN : 0), 0});
-    for (const Connection& conn : conns) {
-      fds.push_back(
-          {conn.fd, static_cast<short>(conn.writing ? POLLOUT : POLLIN), 0});
-    }
-
-    int rc = poll(fds.data(), fds.size(), options_.poll_interval_ms);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      break;  // unrecoverable poll failure; shut the plane down
-    }
-    if (stop_.load(std::memory_order_acquire)) break;
-
-    if ((fds[0].revents & POLLIN) != 0) {
-      char buf[64];
-      while (read(wake_fd_[0], buf, sizeof(buf)) > 0) {
-      }
-    }
-
-    // Only the connections that were present at poll() time have pollfd
-    // entries; anything accepted below waits for the next tick.
-    const size_t num_polled = conns.size();
-
-    // Accept as many as there is room for; close the rest immediately so
-    // a misbehaving client can't starve the plane.
-    if ((fds[1].revents & POLLIN) != 0) {
-      while (true) {
-        int fd = accept(listen_fd_, nullptr, nullptr);
-        if (fd < 0) break;
-        if (conns.size() >=
-                static_cast<size_t>(options_.max_connections) ||
-            !SetNonBlocking(fd)) {
-          rejected_.fetch_add(1, std::memory_order_relaxed);
-          close(fd);
-          continue;
-        }
-        accepted_.fetch_add(1, std::memory_order_relaxed);
-        Connection conn;
-        conn.fd = fd;
-        conn.deadline = SteadyClock::now() +
-                        std::chrono::milliseconds(options_.io_timeout_ms);
-        conns.push_back(std::move(conn));
-      }
-    }
-
-    const auto now = SteadyClock::now();
-    for (size_t i = num_polled; i-- > 0;) {
-      Connection& conn = conns[i];
-      // fds layout: [wake, listener, conns[0] ...].
-      const pollfd& pfd = fds[i + 2];
-      if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
-          !conn.writing) {
-        close_conn(i);
-        continue;
-      }
-      if (now >= conn.deadline) {
-        timeouts_.fetch_add(1, std::memory_order_relaxed);
-        close_conn(i);
-        continue;
-      }
-      if (!conn.writing && (pfd.revents & POLLIN) != 0) {
-        char buf[2048];
-        while (true) {
-          ssize_t n = read(conn.fd, buf, sizeof(buf));
-          if (n > 0) {
-            conn.in.append(buf, static_cast<size_t>(n));
-            continue;
-          }
-          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-          if (n < 0 && errno == EINTR) continue;
-          // EOF or hard error before a complete request head.
-          conn.fd = -conn.fd;  // mark; closed just below
-          break;
-        }
-        if (conn.fd < 0) {
-          conn.fd = -conn.fd;
-          close_conn(i);
-          continue;
-        }
-        if (conn.in.size() > options_.max_request_bytes) {
-          bad_requests_.fetch_add(1, std::memory_order_relaxed);
-          AdminResponse response;
-          response.status = 431;
-          response.body = "request too large\n";
-          conn.out = RenderResponse(response, /*head_only=*/false);
-          conn.out_offset = 0;
-          conn.in.clear();
-          conn.writing = true;
-        } else if (conn.in.find("\r\n\r\n") != std::string::npos) {
-          respond(conn);
-        }
-      }
-      if (conn.writing) {
-        while (conn.out_offset < conn.out.size()) {
-          ssize_t n = send(conn.fd, conn.out.data() + conn.out_offset,
-                           conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
-          if (n > 0) {
-            conn.out_offset += static_cast<size_t>(n);
-            continue;
-          }
-          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-          if (n < 0 && errno == EINTR) continue;
-          conn.out_offset = conn.out.size();  // peer gone; give up
-          break;
-        }
-        if (conn.out_offset >= conn.out.size()) {
-          served_.fetch_add(1, std::memory_order_relaxed);
-          close_conn(i);
-        }
-      }
+      response = it->second(query);
     }
   }
-
-  for (const Connection& conn : conns) close(conn.fd);
+  conn.in().clear();
+  conn.Write(RenderResponse(response, head_only));
+  conn.CloseAfterFlush();
 }
 
 }  // namespace qmap

@@ -7,9 +7,10 @@
 #include <map>
 #include <string>
 #include <string_view>
-#include <thread>
 
 #include "qmap/common/status.h"
+#include "qmap/net/event_loop.h"
+#include "qmap/net/tcp_listener.h"
 
 namespace qmap {
 
@@ -55,25 +56,25 @@ struct AdminHttpStats {
 };
 
 /// A minimal, dependency-free HTTP/1.1 server for the admin/introspection
-/// plane: /healthz, /varz, /metrics, /tracez and friends. One background
-/// thread runs a non-blocking poll() loop over the listener plus at most
-/// max_connections sockets; there are no worker threads to size and no
-/// allocation beyond the per-connection buffers.
+/// plane: /healthz, /varz, /metrics, /tracez and friends. The socket
+/// plumbing — non-blocking poll() loop, self-pipe wakeup, connection table,
+/// deadlines — lives in the shared qmap/net EventLoop; this class is just
+/// the HTTP framing and routing layered on top of it.
 ///
 /// Scope is deliberately narrow — this is an *admin* server, not a web
 /// server: GET/HEAD only, "Connection: close" on every response, no TLS, no
 /// keep-alive, no chunked encoding, bounded request size. Handlers run on
-/// the server thread, so they must be fast and must not block; every
-/// built-in qmap handler only snapshots in-memory state.
+/// the loop thread, so they must be fast and must not block; every built-in
+/// qmap handler only snapshots in-memory state.
 ///
 /// Lifecycle: register handlers with Handle() (not thread-safe; before
 /// Start() only), then Start(), then Stop() (idempotent; also run by the
-/// destructor). Stop() wakes the poll loop via a self-pipe and joins the
-/// thread, so it is safe to destroy the handler targets afterwards.
-class AdminHttpServer {
+/// destructor). Stop() joins the loop thread, so it is safe to destroy the
+/// handler targets afterwards.
+class AdminHttpServer : private ConnHandler {
  public:
   explicit AdminHttpServer(AdminHttpOptions options = {});
-  ~AdminHttpServer();
+  ~AdminHttpServer() override;
 
   AdminHttpServer(const AdminHttpServer&) = delete;
   AdminHttpServer& operator=(const AdminHttpServer&) = delete;
@@ -89,7 +90,7 @@ class AdminHttpServer {
   /// Stops the serving thread and closes all sockets. Idempotent.
   void Stop();
 
-  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool running() const { return loop_.running(); }
 
   /// The bound TCP port (useful with options.port = 0). 0 until Start().
   uint16_t port() const { return port_; }
@@ -99,24 +100,20 @@ class AdminHttpServer {
   AdminHttpStats stats() const;
 
  private:
-  void Serve();
+  void OnAccept(Conn& conn) override;
+  void OnData(Conn& conn) override;
+  void OnClose(Conn& conn) override;
+  void Respond(Conn& conn);
 
   const AdminHttpOptions options_;
   std::map<std::string, AdminHandler, std::less<>> handlers_;
 
-  int listen_fd_ = -1;
-  int wake_fd_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written by Stop()
+  TcpListener listener_;
+  EventLoop loop_;
   uint16_t port_ = 0;
-  std::thread thread_;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stop_{false};
 
-  std::atomic<uint64_t> accepted_{0};
-  std::atomic<uint64_t> served_{0};
-  std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> bad_requests_{0};
   std::atomic<uint64_t> not_found_{0};
-  std::atomic<uint64_t> timeouts_{0};
 };
 
 }  // namespace qmap

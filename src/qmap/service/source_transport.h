@@ -1,0 +1,71 @@
+#ifndef QMAP_SERVICE_SOURCE_TRANSPORT_H_
+#define QMAP_SERVICE_SOURCE_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+
+#include "qmap/core/translator.h"
+#include "qmap/service/resilience.h"
+
+namespace qmap {
+
+class MatchMemo;
+class Trace;
+
+/// Where a source's per-query translation actually runs. Every source in a
+/// TranslationService / FederatedCatalog sits behind this interface, so the
+/// caller's fan-out, resilience guards, caching, and partial-result merge
+/// are identical whether the source's rule matching happens in this process
+/// (InProcessTransport wrapping a Translator) or on a remote shard worker
+/// (RemoteTransport speaking the wire protocol). A dead or slow remote
+/// surfaces as an Unavailable/DeadlineExceeded status — exactly the failure
+/// vocabulary the resilience layer already degrades around, which is what
+/// makes "worker died" behave like "breaker tripped".
+class SourceTransport {
+ public:
+  virtual ~SourceTransport() = default;
+
+  /// Translates the full query (view constraints already conjoined) for
+  /// this transport's source. `trace`/`parent_span` attach per-call spans;
+  /// `memo` is the caller's per-request match memo (null for transports
+  /// that cannot use one — remote matching memoizes on the worker);
+  /// `cancel` carries the remaining deadline budget for propagation.
+  /// Any of trace/memo/cancel may be null.
+  virtual Result<Translation> Translate(const Query& full, Trace* trace,
+                                        uint64_t parent_span, MatchMemo* memo,
+                                        const CancelToken* cancel) = 0;
+
+  /// The mapping spec when translation is local (used to build match
+  /// memos); null when the rules live elsewhere.
+  virtual const MappingSpec* spec() const { return nullptr; }
+
+  /// Human-readable location for scoreboards and traces, e.g. "local" or
+  /// "127.0.0.1:7001".
+  virtual std::string endpoint() const { return "local"; }
+};
+
+/// The classic single-process path: a Translator invoked inline on the
+/// calling (or pool) thread.
+class InProcessTransport : public SourceTransport {
+ public:
+  explicit InProcessTransport(Translator translator)
+      : translator_(std::move(translator)) {}
+
+  Result<Translation> Translate(const Query& full, Trace* trace,
+                                uint64_t parent_span, MatchMemo* memo,
+                                const CancelToken* cancel) override {
+    (void)cancel;  // deadline enforcement wraps the call (resilience guard)
+    return translator_.Translate(full, trace, parent_span, memo);
+  }
+
+  const MappingSpec* spec() const override { return &translator_.spec(); }
+
+  const Translator& translator() const { return translator_; }
+
+ private:
+  Translator translator_;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_SERVICE_SOURCE_TRANSPORT_H_

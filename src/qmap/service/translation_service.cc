@@ -154,12 +154,45 @@ void TranslationService::AddSource(std::string name, MappingSpec spec,
                           .AddU64(capabilities.Fingerprint())
                           .value();
   entry.name = std::move(name);
-  entry.translator = Translator(std::move(spec), options_.translator);
+  entry.transport = std::make_shared<InProcessTransport>(
+      Translator(std::move(spec), options_.translator));
   entry.runtime = std::make_unique<SourceRuntime>();
   auto pos = std::lower_bound(
       sources_.begin(), sources_.end(), entry,
       [](const SourceEntry& a, const SourceEntry& b) { return a.name < b.name; });
   sources_.insert(pos, std::move(entry));
+}
+
+void TranslationService::AddRemoteSource(
+    std::string name, uint64_t rule_set_fp,
+    std::shared_ptr<SourceTransport> transport) {
+  SourceEntry entry;
+  // Same context-third derivation as AddSource — the cache key is local to
+  // this process — but the rule-set-version third is the *worker's*
+  // advertised fingerprint: both tiers must go stale together when the
+  // worker's rules change.
+  entry.cache_key_prefix = Fnv64()
+                               .Add(name)
+                               .AddByte(kKeySep)
+                               .Add(OptionsTag(options_.translator))
+                               .value();
+  entry.rule_set_fp = rule_set_fp;
+  entry.name = std::move(name);
+  entry.transport = std::move(transport);
+  entry.runtime = std::make_unique<SourceRuntime>();
+  auto pos = std::lower_bound(
+      sources_.begin(), sources_.end(), entry,
+      [](const SourceEntry& a, const SourceEntry& b) { return a.name < b.name; });
+  sources_.insert(pos, std::move(entry));
+}
+
+std::vector<SourceCatalogEntry> TranslationService::SourceCatalog() const {
+  std::vector<SourceCatalogEntry> out;
+  out.reserve(sources_.size());
+  for (const SourceEntry& source : sources_) {
+    out.push_back(SourceCatalogEntry{source.name, source.rule_set_fp});
+  }
+  return out;
 }
 
 void TranslationService::AddSourcesFrom(const Mediator& mediator) {
@@ -180,8 +213,13 @@ std::vector<std::unique_ptr<MatchMemo>> TranslationService::MakeMemoScope()
   if (!options_.translator.use_match_memo) return memos;
   memos.reserve(sources_.size());
   for (const SourceEntry& source : sources_) {
-    memos.push_back(std::make_unique<MatchMemo>(&source.translator.spec(),
-                                                /*thread_safe=*/true));
+    // Index alignment with sources_ matters; remote sources (no local spec)
+    // contribute a null slot rather than being skipped.
+    const MappingSpec* spec = source.transport->spec();
+    memos.push_back(spec == nullptr
+                        ? nullptr
+                        : std::make_unique<MatchMemo>(spec,
+                                                      /*thread_safe=*/true));
   }
   return memos;
 }
@@ -191,7 +229,7 @@ Result<Translation> TranslationService::TranslateOne(
     uint64_t parent_span, MatchMemo* memo, const CancelToken* cancel,
     ResilienceManager::CallReport* report) const {
   const auto attempt = [&]() {
-    return source.translator.Translate(full, trace, parent_span, memo);
+    return source.transport->Translate(full, trace, parent_span, memo, cancel);
   };
   const auto guarded = [&]() -> Result<Translation> {
     // Scoreboard accounting: only real source work counts as a call (cache
@@ -533,6 +571,39 @@ Result<MediatorTranslation> TranslationService::Translate(const Query& query,
                            MakeRequestToken(&token));
 }
 
+Result<Translation> TranslationService::TranslateSource(
+    std::string_view name, const Query& full, uint32_t deadline_ms) const {
+  WarmUpFromStoreOnce();
+  const SourceEntry* entry = nullptr;
+  for (const SourceEntry& source : sources_) {
+    if (source.name == name) {
+      entry = &source;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    return Status::NotFound("unknown source: " + std::string(name));
+  }
+  // The caller's remaining budget narrows the service's own request
+  // deadline (if any) — budget propagation across the wire works exactly
+  // like propagation down the local call tree.
+  CancelToken token;
+  const CancelToken* cancel = MakeRequestToken(&token);
+  if (deadline_ms > 0) {
+    ResilienceClock* clock = options_.clock != nullptr
+                                 ? options_.clock
+                                 : &DefaultResilienceClock();
+    token.budget = token.budget.Narrowed(
+        clock->NowUs(), static_cast<uint64_t>(deadline_ms) * 1000);
+    cancel = &token;
+  }
+  ResilienceManager::CallReport report;
+  // No memo scope: a single-source call lets the Translator build its own
+  // per-call memo, which is exactly as effective for one query.
+  return TranslateOne(*entry, full, /*trace=*/nullptr, /*parent_span=*/0,
+                      /*memo=*/nullptr, cancel, &report);
+}
+
 Result<std::vector<MediatorTranslation>> TranslationService::TranslateBatch(
     std::span<const Query> queries) const {
   batch_calls_.fetch_add(1, std::memory_order_relaxed);
@@ -663,6 +734,8 @@ std::string StatusJson(const ServiceStatus& s) {
   out += kQmapVersion;
   out += "\",\"ready\":";
   out += b(s.ready);
+  out += ",\"draining\":";
+  out += b(s.draining);
   out += ",\"store\":{\"configured\":";
   out += b(s.store_configured);
   out += ",\"ok\":";
@@ -688,6 +761,7 @@ std::string StatusJson(const ServiceStatus& s) {
     const SourceStatus& source = s.sources[i];
     if (i > 0) out += ',';
     out += "{\"name\":\"" + JsonEscape(source.name) + "\"";
+    out += ",\"endpoint\":\"" + JsonEscape(source.endpoint) + "\"";
     out += std::string(",\"breaker\":\"") +
            CircuitBreaker::StateName(source.breaker) + "\"";
     out += ",\"in_flight\":" + std::to_string(source.in_flight);
@@ -730,8 +804,11 @@ ServiceStatus TranslationService::StatusSnapshot() const {
   out.store_configured = options_.enable_cache && !options_.store.path.empty();
   out.store_ok = !out.store_configured || store_open_status_.ok();
   out.warmed_up = warmed_up_.load(std::memory_order_acquire);
-  out.ready = out.store_ok && (store_ == nullptr ||
-                               !options_.store.replay_on_boot || out.warmed_up);
+  out.draining = draining();
+  out.ready = !out.draining &&
+              out.store_ok &&
+              (store_ == nullptr || !options_.store.replay_on_boot ||
+               out.warmed_up);
   out.match_engine = MatchEngineName(CurrentMatchEngine());
   out.stats = stats();
   out.cache_entries = options_.enable_cache ? cache_.size() : 0;
@@ -741,6 +818,7 @@ ServiceStatus TranslationService::StatusSnapshot() const {
   for (const SourceEntry& source : sources_) {
     SourceStatus status;
     status.name = source.name;
+    status.endpoint = source.transport->endpoint();
     if (resilience_ != nullptr) {
       status.breaker = resilience_->breaker_state(source.name);
     }
@@ -814,7 +892,7 @@ Status TranslationService::StartAdmin(const AdminOptions& options) {
   // opens, instead of flipping on the first Translate.
   WarmUpFromStoreOnce();
   auto server = std::make_unique<AdminHttpServer>(options.http);
-  RegisterAdminHandlers(server.get());
+  RegisterAdminHandlers(server.get(), options);
   Status status = server->Start();
   if (!status.ok()) return status;
   admin_ = std::move(server);
@@ -828,7 +906,8 @@ void TranslationService::StopAdmin() {
   }
 }
 
-void TranslationService::RegisterAdminHandlers(AdminHttpServer* server) {
+void TranslationService::RegisterAdminHandlers(AdminHttpServer* server,
+                                               const AdminOptions& options) {
   server->Handle("/healthz", [](std::string_view) {
     AdminResponse response;
     response.body = "ok\n";
@@ -843,14 +922,34 @@ void TranslationService::RegisterAdminHandlers(AdminHttpServer* server) {
     } else {
       response.status = 503;
       response.body = "not ready: ";
-      response.body += !status.store_ok
-                           ? "store failed to open (" +
-                                 store_open_status_.ToString() + ")"
-                           : "store warm-up has not run";
+      if (status.draining) {
+        response.body += "draining";
+      } else if (!status.store_ok) {
+        response.body +=
+            "store failed to open (" + store_open_status_.ToString() + ")";
+      } else {
+        response.body += "store warm-up has not run";
+      }
       response.body += "\n";
     }
     return response;
   });
+
+  // Graceful-drain trigger: flips readiness first (so a load balancer
+  // scraping /readyz between this response and the process exiting sees
+  // "draining"), then hands control to the embedding process's hook.
+  server->Handle("/drainz",
+                 [this, on_drain = options.on_drain](std::string_view) {
+                   BeginDrain();
+                   if (on_drain) on_drain();
+                   AdminResponse response;
+                   response.body = "draining\n";
+                   return response;
+                 });
+
+  for (const auto& [path, handler] : options.extra_handlers) {
+    server->Handle(path, handler);
+  }
 
   server->Handle("/varz", [this](std::string_view) {
     UpdateGauges();
@@ -914,15 +1013,15 @@ void TranslationService::RegisterAdminHandlers(AdminHttpServer* server) {
            " outliers=" + std::to_string(s.trace_ring.outliers) +
            " evicted=" + std::to_string(s.trace_ring.evicted) + "\n";
     out += "\nsource scoreboard:\n";
-    char line[256];
-    std::snprintf(line, sizeof(line), "  %-24s %-10s %9s %9s %9s %9s\n",
-                  "source", "breaker", "in_flight", "calls", "failures",
-                  "retries");
+    char line[320];
+    std::snprintf(line, sizeof(line), "  %-24s %-18s %-10s %9s %9s %9s %9s\n",
+                  "source", "endpoint", "breaker", "in_flight", "calls",
+                  "failures", "retries");
     out += line;
     for (const SourceStatus& source : s.sources) {
       std::snprintf(line, sizeof(line),
-                    "  %-24s %-10s %9llu %9llu %9llu %9llu\n",
-                    source.name.c_str(),
+                    "  %-24s %-18s %-10s %9llu %9llu %9llu %9llu\n",
+                    source.name.c_str(), source.endpoint.c_str(),
                     CircuitBreaker::StateName(source.breaker),
                     static_cast<unsigned long long>(source.in_flight),
                     static_cast<unsigned long long>(source.calls),

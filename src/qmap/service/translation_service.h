@@ -4,16 +4,19 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "qmap/mediator/mediator.h"
 #include "qmap/obs/admin_http.h"
 #include "qmap/obs/trace_ring.h"
 #include "qmap/service/resilience.h"
+#include "qmap/service/source_transport.h"
 #include "qmap/service/thread_pool.h"
 #include "qmap/service/translation_cache.h"
 #include "qmap/store/translation_store.h"
@@ -140,6 +143,9 @@ struct ServiceStats {
 /// Per-source operational state for the admin plane's /statusz scoreboard.
 struct SourceStatus {
   std::string name;
+  /// Where the source's translation runs: "local" or the remote worker's
+  /// "host:port" (SourceTransport::endpoint()).
+  std::string endpoint;
   CircuitBreaker::State breaker = CircuitBreaker::State::kClosed;
   uint64_t in_flight = 0;  // guarded calls currently running
   uint64_t calls = 0;      // per-source translations attempted (cache misses)
@@ -159,6 +165,9 @@ struct ServiceStatus {
   /// Active rule-matching engine (MatchEngineName of CurrentMatchEngine):
   /// "naive", "indexed", or "compiled".
   std::string match_engine;
+  /// BeginDrain() was called (also forces ready=false): the process is
+  /// shutting down and wants traffic steered away.
+  bool draining = false;
   ServiceStats stats;
   size_t cache_entries = 0;
   size_t pool_threads = 0;      // 0 = inline (serial) mode
@@ -173,6 +182,22 @@ struct ServiceStatus {
 /// Configuration for the service's admin/introspection HTTP server.
 struct AdminOptions {
   AdminHttpOptions http;
+  /// Invoked when /drainz is hit, after the service has marked itself
+  /// draining (readiness already reads "not ready"). The embedding process
+  /// hooks its own shutdown here — a wire front-end stops accepting, an
+  /// embedding binary arranges its exit.
+  std::function<void()> on_drain;
+  /// Additional handlers registered verbatim on the admin server, path →
+  /// handler. Lets embedding processes (the federation worker/front-end
+  /// binaries) expose their own endpoints on the service's admin port.
+  std::vector<std::pair<std::string, AdminHandler>> extra_handlers;
+};
+
+/// One row of SourceCatalog(): what a worker advertises so a front-end can
+/// mint cache keys whose rule-set-version third matches the worker's.
+struct SourceCatalogEntry {
+  std::string name;
+  uint64_t rule_set_fp = 0;
 };
 
 /// A reusable, thread-safe translation service over a fixed federation: the
@@ -205,10 +230,39 @@ class TranslationService {
   void AddSource(std::string name, MappingSpec spec,
                  const SourceCapabilities& capabilities);
 
+  /// Registers a source whose translation runs behind `transport` (e.g. a
+  /// RemoteTransport to a shard worker). `rule_set_fp` is the worker's
+  /// advertised fingerprint for this source (see SourceCatalog) — using the
+  /// worker's value keeps the front-end's cache/store keys aligned with the
+  /// worker's, so both tiers invalidate together when the rules change.
+  /// The transport must be thread-safe: the fan-out calls it concurrently.
+  void AddRemoteSource(std::string name, uint64_t rule_set_fp,
+                       std::shared_ptr<SourceTransport> transport);
+
   /// Copies every source spec, its declared capabilities, and the view
   /// constraints out of `mediator`, so the service translates exactly as
   /// the mediator does.
   void AddSourcesFrom(const Mediator& mediator);
+
+  /// What this service advertises to front-ends: every registered source
+  /// and its rule-set fingerprint, in sources_ (name) order.
+  std::vector<SourceCatalogEntry> SourceCatalog() const;
+
+  /// Worker-side single-source entry: translates `full` for the named
+  /// source through the normal cache → store → guarded-translate path.
+  /// `full` must already be the complete query — the wire contract is that
+  /// the front-end conjoins its view constraints before sending, so this
+  /// does NOT conjoin this service's own view constraints (a worker serving
+  /// a federation keeps them empty). `deadline_ms` bounds the call (0 = no
+  /// deadline beyond the service's own request deadline).
+  Result<Translation> TranslateSource(std::string_view name, const Query& full,
+                                      uint32_t deadline_ms = 0) const;
+
+  /// Marks the service draining: /readyz flips to 503 and StatusSnapshot()
+  /// reports draining, so load balancers steer new traffic away while
+  /// in-flight work completes. Idempotent; there is no un-drain.
+  void BeginDrain() { draining_.store(true, std::memory_order_relaxed); }
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
 
   /// See Mediator::SetViewConstraints. Invalidates cached entries (the
   /// constraints are conjoined into the query, hence into the cache key).
@@ -296,7 +350,10 @@ class TranslationService {
 
   struct SourceEntry {
     std::string name;
-    Translator translator;
+    /// Where this source's translation runs: InProcessTransport for
+    /// AddSource'd specs, RemoteTransport (or any custom impl) for
+    /// AddRemoteSource. Never null once registered.
+    std::shared_ptr<SourceTransport> transport;
     std::unique_ptr<SourceRuntime> runtime;
     /// Context third of the typed cache key: one FNV-64 over the source
     /// name and the translator options tag (see docs/ALGORITHMS.md for the
@@ -314,6 +371,8 @@ class TranslationService {
   /// queries), so memoized matchings never outlive the request that made
   /// them. Empty when options_.translator.use_match_memo is off — the
   /// per-source Translator then falls back to its own per-call memo.
+  /// Remote sources (transport->spec() == nullptr) get a null slot: their
+  /// rule matching memoizes on the worker, not here.
   std::vector<std::unique_ptr<MatchMemo>> MakeMemoScope() const;
 
   /// One per-source unit of work: cache lookup (typed fingerprint key),
@@ -363,8 +422,10 @@ class TranslationService {
   /// the bridged high-water marks. No-op without a registry.
   void BridgeCompileStats() const;
 
-  /// Registers the /healthz .. /slowlogz handlers on `server`.
-  void RegisterAdminHandlers(AdminHttpServer* server);
+  /// Registers the /healthz .. /drainz handlers on `server`, plus
+  /// `options.extra_handlers`.
+  void RegisterAdminHandlers(AdminHttpServer* server,
+                             const AdminOptions& options);
 
   /// One-time warm-up replay (options_.store.replay_on_boot): runs on the
   /// first Translate, after setup, so every registered source's
@@ -390,6 +451,7 @@ class TranslationService {
   std::unique_ptr<AdminHttpServer> admin_;
   mutable std::once_flag warmup_once_;
   mutable std::atomic<bool> warmed_up_{false};
+  std::atomic<bool> draining_{false};
   mutable std::atomic<uint64_t> translate_calls_{0};
   mutable std::atomic<uint64_t> batch_calls_{0};
   mutable std::atomic<uint64_t> batch_queries_{0};

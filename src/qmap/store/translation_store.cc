@@ -8,89 +8,28 @@
 #include <utility>
 #include <vector>
 
-#include "qmap/expr/parser.h"
-#include "qmap/expr/printer.h"
 #include "qmap/obs/metrics.h"
+#include "qmap/wire/codec.h"
 
 namespace qmap {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Payload codec. A record payload is self-describing enough to rebuild the
-// index on recovery (the key rides inside) and to restore a Translation
-// byte-identical to the cold-run original (queries round-trip through
-// ToParseableText/ParseQuery; coverage through its fingerprint entries).
+// Payload layout. The value encoding (translation and status bodies, the
+// str/u32/u64 primitives) is the shared wire codec (qmap/wire/codec.h) —
+// the store adds only the record framing around it, so a record payload is
+// self-describing enough to rebuild the index on recovery (the key rides
+// inside) and to restore a Translation byte-identical to the cold-run
+// original.
 //
 //   payload     := type(u8) key body
 //   key         := source(u64) rule_set(u64) query(u64)        -- all LE
-//   body(pos)   := str(mapped) str(filter) u32 n  n * (u64 fp, u8 exact)
-//   body(neg)   := u32 status_code  str(message)
-//   str         := u32 length | bytes
+//   body(pos)   := translation body (codec.h)
+//   body(neg)   := status body (codec.h)
 // ---------------------------------------------------------------------------
 
 constexpr uint8_t kPositiveRecord = 1;
 constexpr uint8_t kNegativeRecord = 2;
-
-void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
-
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
-}
-
-void PutStr(std::string* out, std::string_view s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out->append(s);
-}
-
-// Bounds-checked little-endian reader over a record payload.
-class PayloadReader {
- public:
-  explicit PayloadReader(std::string_view data) : data_(data) {}
-
-  bool ReadU8(uint8_t* out) {
-    if (pos_ + 1 > data_.size()) return false;
-    *out = static_cast<uint8_t>(data_[pos_++]);
-    return true;
-  }
-  bool ReadU32(uint32_t* out) {
-    if (pos_ + 4 > data_.size()) return false;
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 4;
-    *out = v;
-    return true;
-  }
-  bool ReadU64(uint64_t* out) {
-    if (pos_ + 8 > data_.size()) return false;
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    *out = v;
-    return true;
-  }
-  bool ReadStr(std::string_view* out) {
-    uint32_t len = 0;
-    if (!ReadU32(&len) || pos_ + len > data_.size()) return false;
-    *out = data_.substr(pos_, len);
-    pos_ += len;
-    return true;
-  }
-  bool AtEnd() const { return pos_ == data_.size(); }
-
- private:
-  std::string_view data_;
-  size_t pos_ = 0;
-};
 
 void EncodeKey(std::string* out, const TranslationCacheKey& key) {
   PutU64(out, key.source);
@@ -103,14 +42,7 @@ std::string EncodePositive(const TranslationCacheKey& key,
   std::string out;
   PutU8(&out, kPositiveRecord);
   EncodeKey(&out, key);
-  PutStr(&out, ToParseableText(value.mapped));
-  PutStr(&out, ToParseableText(value.filter));
-  const auto entries = value.coverage.Entries();
-  PutU32(&out, static_cast<uint32_t>(entries.size()));
-  for (const auto& [fp, exact] : entries) {
-    PutU64(&out, fp);
-    PutU8(&out, exact ? 1 : 0);
-  }
+  EncodeTranslationBody(&out, value);
   return out;
 }
 
@@ -119,8 +51,7 @@ std::string EncodeNegative(const TranslationCacheKey& key,
   std::string out;
   PutU8(&out, kNegativeRecord);
   EncodeKey(&out, key);
-  PutU32(&out, static_cast<uint32_t>(failure.code()));
-  PutStr(&out, failure.message());
+  EncodeStatusBody(&out, failure);
   return out;
 }
 
@@ -145,43 +76,21 @@ Result<Result<Translation>> DecodeBody(std::string_view payload) {
     return Status::Internal("store record: truncated prelude");
   }
   if (type == kNegativeRecord) {
-    uint32_t code = 0;
-    std::string_view message;
-    if (!r.ReadU32(&code) || !r.ReadStr(&message) || !r.AtEnd() ||
-        code > static_cast<uint32_t>(StatusCode::kCancelled)) {
+    Status failure;
+    if (!DecodeStatusBody(r, &failure) || !r.AtEnd()) {
       return Status::Internal("store record: malformed negative body");
     }
-    return Result<Translation>(
-        Status(static_cast<StatusCode>(code), std::string(message)));
+    return Result<Translation>(std::move(failure));
   }
   if (type != kPositiveRecord) {
     return Status::Internal("store record: unknown record type");
   }
-  std::string_view mapped_text;
-  std::string_view filter_text;
-  uint32_t n = 0;
-  if (!r.ReadStr(&mapped_text) || !r.ReadStr(&filter_text) || !r.ReadU32(&n)) {
-    return Status::Internal("store record: malformed positive body");
-  }
-  Translation value;
-  Result<Query> mapped = ParseQuery(mapped_text);
-  if (!mapped.ok()) return mapped.status();
-  Result<Query> filter = ParseQuery(filter_text);
-  if (!filter.ok()) return filter.status();
-  value.mapped = std::move(mapped).value();
-  value.filter = std::move(filter).value();
-  for (uint32_t i = 0; i < n; ++i) {
-    uint64_t fp = 0;
-    uint8_t exact = 0;
-    if (!r.ReadU64(&fp) || !r.ReadU8(&exact)) {
-      return Status::Internal("store record: malformed coverage entry");
-    }
-    value.coverage.RestoreEntry(fp, exact != 0);
-  }
+  Result<Translation> value = DecodeTranslationBody(r);
+  if (!value.ok()) return value.status();
   if (!r.AtEnd()) {
     return Status::Internal("store record: trailing bytes in positive body");
   }
-  return Result<Translation>(std::move(value));
+  return Result<Translation>(std::move(value).value());
 }
 
 std::string CompactingPath(const std::string& path) {
@@ -260,6 +169,8 @@ void TranslationStore::AttachMetrics(MetricsRegistry* registry) {
     replay_counter_ = nullptr;
     compactions_counter_ = nullptr;
     compaction_bytes_counter_ = nullptr;
+    evicted_counter_ = nullptr;
+    evicted_bytes_counter_ = nullptr;
     return;
   }
   hits_counter_ = &registry->counter("qmap_store_hits_total");
@@ -273,6 +184,9 @@ void TranslationStore::AttachMetrics(MetricsRegistry* registry) {
   compactions_counter_ = &registry->counter("qmap_store_compactions_total");
   compaction_bytes_counter_ =
       &registry->counter("qmap_store_compaction_bytes_reclaimed_total");
+  evicted_counter_ = &registry->counter("qmap_store_evicted_records_total");
+  evicted_bytes_counter_ =
+      &registry->counter("qmap_store_evicted_bytes_total");
   // Recovery happened inside Open(), before any registry existed to observe
   // it; backfill so a scrape right after boot sees the boot.
   std::lock_guard<std::mutex> lock(mu_);
@@ -315,6 +229,9 @@ std::optional<Result<Translation>> TranslationStore::Get(
       ++stats_.hits;
       if (hits_counter_ != nullptr) hits_counter_->Inc();
     }
+    // A hit is a promotion into the RAM tier: refresh the record's place in
+    // the eviction order so hot entries survive a max_live_bytes compaction.
+    it->second.seq = ++next_seq_;
     payload = std::move(read).value();
   }
   // Parse outside the lock: decoding re-builds Query trees, which is the
@@ -408,29 +325,71 @@ Status TranslationStore::CompactNow() {
 
   // Phase 1: snapshot the live set (key -> source offset), oldest first so
   // relative record order — and thus replay order — survives compaction.
-  std::vector<std::pair<uint64_t, TranslationCacheKey>> live;
+  struct LiveEntry {
+    uint64_t offset = 0;
+    TranslationCacheKey key;
+    uint64_t seq = 0;
+    uint32_t frame_bytes = 0;
+    bool evict = false;
+  };
+  std::vector<LiveEntry> live;
   uint64_t snapshot_end = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     live.reserve(index_.size());
-    for (const auto& [key, loc] : index_) live.emplace_back(loc.offset, key);
+    for (const auto& [key, loc] : index_) {
+      live.push_back({loc.offset, key, loc.seq, loc.frame_bytes, false});
+    }
     snapshot_end = log_->end_offset();
   }
   std::sort(live.begin(), live.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+            [](const LiveEntry& a, const LiveEntry& b) {
+              return a.offset < b.offset;
+            });
+
+  // Eviction plan: with a byte budget, mark least-recently-promoted entries
+  // until the survivors fit. A marked record that gets re-written before
+  // phase 2 reaches it escapes via the supersede/catch-up path below — the
+  // new write is a fresh promotion.
+  uint64_t evicted_records = 0;
+  uint64_t evicted_bytes = 0;
+  if (options_.max_live_bytes > 0) {
+    uint64_t live_bytes = 0;
+    for (const LiveEntry& entry : live) live_bytes += entry.frame_bytes;
+    if (live_bytes > options_.max_live_bytes) {
+      std::vector<LiveEntry*> by_seq;
+      by_seq.reserve(live.size());
+      for (LiveEntry& entry : live) by_seq.push_back(&entry);
+      std::sort(by_seq.begin(), by_seq.end(),
+                [](const LiveEntry* a, const LiveEntry* b) {
+                  return a->seq < b->seq;
+                });
+      for (LiveEntry* entry : by_seq) {
+        if (live_bytes <= options_.max_live_bytes) break;
+        entry->evict = true;
+        live_bytes -= entry->frame_bytes;
+      }
+    }
+  }
 
   // Phase 2: stream snapshot records into the temp log. Committed bytes are
   // immutable, so ReadAt needs mu_ only to re-resolve the location (the
   // record may have been superseded since the snapshot — skip it then; the
-  // catch-up scan in phase 3 picks up the newer version).
+  // catch-up scan in phase 3 picks up the newer version). Records planned
+  // for eviction are simply not copied; their seqs carry over for the rest.
   Index new_index;
-  for (const auto& [snap_offset, key] : live) {
+  for (const LiveEntry& entry : live) {
     std::string payload;
     bool negative = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      auto it = index_.find(key);
-      if (it == index_.end() || it->second.offset != snap_offset) continue;
+      auto it = index_.find(entry.key);
+      if (it == index_.end() || it->second.offset != entry.offset) continue;
+      if (entry.evict) {
+        ++evicted_records;
+        evicted_bytes += entry.frame_bytes;
+        continue;
+      }
       auto read = log_->ReadAt(it->second.offset);
       if (!read.ok()) continue;  // lost to latent corruption; drop it
       payload = std::move(read).value();
@@ -438,10 +397,10 @@ Status TranslationStore::CompactNow() {
     }
     auto appended = out->Append(payload);
     if (!appended.ok()) return appended.status();
-    new_index[key] =
+    new_index[entry.key] =
         Location{*appended,
                  static_cast<uint32_t>(RecordLog::kFrameOverhead + payload.size()),
-                 negative};
+                 negative, entry.seq};
   }
 
   // Phase 3: under the lock, copy over whatever was appended after the
@@ -465,7 +424,7 @@ Status TranslationStore::CompactNow() {
             key, Location{*appended,
                           static_cast<uint32_t>(RecordLog::kFrameOverhead +
                                                 payload.size()),
-                          type == kNegativeRecord});
+                          type == kNegativeRecord, ++next_seq_});
       });
   if (!tail.ok()) return tail.status();
   if (!tail_error.ok()) return tail_error;
@@ -486,9 +445,15 @@ Status TranslationStore::CompactNow() {
   ++stats_.compactions;
   const uint64_t reclaimed = old_bytes > new_bytes ? old_bytes - new_bytes : 0;
   stats_.compaction_bytes_reclaimed += reclaimed;
+  stats_.evicted_records += evicted_records;
+  stats_.evicted_bytes += evicted_bytes;
   if (compactions_counter_ != nullptr) compactions_counter_->Inc();
   if (compaction_bytes_counter_ != nullptr) {
     compaction_bytes_counter_->Inc(reclaimed);
+  }
+  if (evicted_counter_ != nullptr) evicted_counter_->Inc(evicted_records);
+  if (evicted_bytes_counter_ != nullptr) {
+    evicted_bytes_counter_->Inc(evicted_bytes);
   }
   return Status::Ok();
 }
@@ -515,14 +480,15 @@ size_t TranslationStore::num_entries() const {
 void TranslationStore::IndexRecordLocked(const TranslationCacheKey& key,
                                          bool negative, uint64_t offset,
                                          uint64_t frame_bytes) {
+  const Location loc{offset, static_cast<uint32_t>(frame_bytes), negative,
+                     ++next_seq_};
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Last record wins; the superseded version is dead weight in the log.
     dead_bytes_ += it->second.frame_bytes;
-    it->second = Location{offset, static_cast<uint32_t>(frame_bytes), negative};
+    it->second = loc;
   } else {
-    index_.emplace(key,
-                   Location{offset, static_cast<uint32_t>(frame_bytes), negative});
+    index_.emplace(key, loc);
   }
 }
 
@@ -535,7 +501,8 @@ Status TranslationStore::AppendLocked(const TranslationCacheKey& key,
   auto it = index_.find(key);
   const bool existed = it != index_.end();
   if (existed) dead_bytes_ += it->second.frame_bytes;
-  index_[key] = Location{*appended, static_cast<uint32_t>(frame_bytes), negative};
+  index_[key] = Location{*appended, static_cast<uint32_t>(frame_bytes), negative,
+                         ++next_seq_};
   if (negative) {
     ++stats_.negative_puts;
     if (negative_puts_counter_ != nullptr) negative_puts_counter_->Inc();
@@ -567,6 +534,17 @@ void TranslationStore::MaybeCompactInline() {
 bool TranslationStore::WantsCompactionLocked() const {
   if (log_ == nullptr) return false;
   const uint64_t total = log_->end_offset();
+  // An over-budget live set triggers compaction (which evicts) regardless of
+  // the waste ratio or the min-bytes gate: the budget is a hard ceiling, not
+  // a hygiene heuristic. Record bytes only — the fixed log header never
+  // compacts away, so counting it could wedge a tiny budget into a
+  // compact-forever loop.
+  if (options_.max_live_bytes > 0) {
+    const uint64_t records =
+        total > RecordLog::kHeaderBytes ? total - RecordLog::kHeaderBytes : 0;
+    const uint64_t live = records > dead_bytes_ ? records - dead_bytes_ : 0;
+    if (live > options_.max_live_bytes) return true;
+  }
   if (total < options_.compaction_min_bytes) return false;
   return static_cast<double>(dead_bytes_) >
          options_.compaction_waste * static_cast<double>(total);

@@ -48,6 +48,13 @@ struct StoreOptions {
   /// compact inline in the Put that crossed the threshold (deterministic,
   /// used by tests).
   bool background_compaction = true;
+  /// Disk budget for *live* records (0 = unbounded). When the live set
+  /// outgrows it, the next compaction evicts least-recently-promoted
+  /// entries — oldest promotion first, where a promotion is the Put that
+  /// wrote the record or a Get hit that lifted it into the RAM cache —
+  /// until the survivors fit. The store is a cache of recomputable
+  /// translations, so eviction costs only a future re-translation.
+  size_t max_live_bytes = 0;
 };
 
 /// Monotonic counters over the store's lifetime (mirrored into
@@ -66,6 +73,8 @@ struct StoreStats {
   uint64_t recovery_ns = 0;        // wall time of the Open scan
   uint64_t compactions = 0;
   uint64_t compaction_bytes_reclaimed = 0;
+  uint64_t evicted_records = 0;  // live records dropped by the byte budget
+  uint64_t evicted_bytes = 0;
   // Point-in-time gauges.
   uint64_t live_records = 0;
   uint64_t log_bytes = 0;
@@ -152,6 +161,12 @@ class TranslationStore {
     uint64_t offset = 0;
     uint32_t frame_bytes = 0;
     bool negative = false;
+    /// Promotion clock for the eviction policy: bumped when the record is
+    /// written and when a Get hit promotes it into the RAM tier, so
+    /// compaction under a max_live_bytes budget drops the entries whose
+    /// promotion is oldest. Recovery assigns seqs in log order (oldest
+    /// record = oldest promotion), which is exactly the write order.
+    uint64_t seq = 0;
   };
   using Index =
       std::unordered_map<TranslationCacheKey, Location, TranslationCacheKeyHash>;
@@ -175,6 +190,7 @@ class TranslationStore {
   std::unique_ptr<RecordLog> log_;  // guarded by mu_
   Index index_;                     // guarded by mu_
   uint64_t dead_bytes_ = 0;         // guarded by mu_
+  uint64_t next_seq_ = 0;           // guarded by mu_ (promotion clock)
   StoreStats stats_;                // guarded by mu_ (gauges filled on read)
 
   // One compaction at a time; ordered strictly before mu_.
@@ -198,6 +214,8 @@ class TranslationStore {
   Counter* replay_counter_ = nullptr;
   Counter* compactions_counter_ = nullptr;
   Counter* compaction_bytes_counter_ = nullptr;
+  Counter* evicted_counter_ = nullptr;
+  Counter* evicted_bytes_counter_ = nullptr;
 };
 
 }  // namespace qmap

@@ -1,0 +1,80 @@
+#include "qmap/wire/host_map.h"
+
+#include <utility>
+
+namespace qmap {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+void HostMap::Assign(std::string source, std::string endpoint) {
+  assignments_[std::move(source)] = std::move(endpoint);
+}
+
+const std::string* HostMap::EndpointFor(std::string_view source) const {
+  auto it = assignments_.find(source);
+  return it == assignments_.end() ? nullptr : &it->second;
+}
+
+HostMap HostMap::StaticShard(const std::vector<std::string>& sources,
+                             const std::vector<std::string>& workers) {
+  HostMap map;
+  if (workers.empty()) return map;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    map.Assign(sources[i], workers[i % workers.size()]);
+  }
+  return map;
+}
+
+Result<HostMap> HostMap::Parse(std::string_view text) {
+  HostMap map;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    line_no += 1;
+    line = Trim(line);
+    if (line.empty() || line.front() == '#') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::ParseError("host map line " + std::to_string(line_no) +
+                                ": expected source=host:port");
+    }
+    std::string_view source = Trim(line.substr(0, eq));
+    std::string_view endpoint = Trim(line.substr(eq + 1));
+    if (source.empty() || endpoint.empty()) {
+      return Status::ParseError("host map line " + std::to_string(line_no) +
+                                ": empty source or endpoint");
+    }
+    if (map.EndpointFor(source) != nullptr) {
+      return Status::ParseError("host map line " + std::to_string(line_no) +
+                                ": duplicate source '" + std::string(source) +
+                                "'");
+    }
+    map.Assign(std::string(source), std::string(endpoint));
+  }
+  return map;
+}
+
+std::vector<std::pair<std::string, std::string>> HostMap::entries() const {
+  return std::vector<std::pair<std::string, std::string>>(
+      assignments_.begin(), assignments_.end());
+}
+
+}  // namespace qmap

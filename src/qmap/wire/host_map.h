@@ -1,0 +1,49 @@
+#ifndef QMAP_WIRE_HOST_MAP_H_
+#define QMAP_WIRE_HOST_MAP_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qmap/common/status.h"
+
+namespace qmap {
+
+/// The static source → worker assignment a federation front-end runs with:
+/// every source name maps to exactly one worker endpoint ("host:port").
+/// Deliberately static — the paper's federation is a fixed set of sources,
+/// and a deterministic map keeps "which worker answers for source X"
+/// reproducible across front-end restarts (no rebalancing, no surprises in
+/// the partial-result composition when a worker dies).
+class HostMap {
+ public:
+  /// Assigns `source` to `endpoint`; the last assignment wins.
+  void Assign(std::string source, std::string endpoint);
+
+  /// The endpoint serving `source`, or null when unassigned (the front-end
+  /// then treats the source as local).
+  const std::string* EndpointFor(std::string_view source) const;
+
+  /// Deterministic round-robin sharding of `sources` (in the given order)
+  /// across `workers`: source i goes to worker i % N.
+  static HostMap StaticShard(const std::vector<std::string>& sources,
+                             const std::vector<std::string>& workers);
+
+  /// Parses "source=host:port" lines ('#' comments and blank lines
+  /// ignored). Rejects duplicate sources and malformed lines.
+  static Result<HostMap> Parse(std::string_view text);
+
+  /// All assignments, sorted by source name.
+  std::vector<std::pair<std::string, std::string>> entries() const;
+
+  size_t size() const { return assignments_.size(); }
+  bool empty() const { return assignments_.empty(); }
+
+ private:
+  std::map<std::string, std::string, std::less<>> assignments_;
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_WIRE_HOST_MAP_H_

@@ -1,0 +1,99 @@
+#include "qmap/wire/messages.h"
+
+#include <utility>
+
+#include "qmap/wire/codec.h"
+
+namespace qmap {
+
+std::string EncodeTranslateRequest(const TranslateRequest& request) {
+  std::string out;
+  PutU64(&out, request.request_id);
+  PutStr(&out, request.source);
+  PutStr(&out, request.query_text);
+  PutU32(&out, request.deadline_ms);
+  return out;
+}
+
+Result<TranslateRequest> DecodeTranslateRequest(std::string_view payload) {
+  PayloadReader r(payload);
+  TranslateRequest request;
+  std::string_view source;
+  std::string_view query_text;
+  if (!r.ReadU64(&request.request_id) || !r.ReadStr(&source) ||
+      !r.ReadStr(&query_text) || !r.ReadU32(&request.deadline_ms) ||
+      !r.AtEnd()) {
+    return Status::ParseError("wire: malformed TranslateRequest");
+  }
+  request.source = std::string(source);
+  request.query_text = std::string(query_text);
+  return request;
+}
+
+std::string EncodeTranslateResponse(const TranslateResponse& response) {
+  std::string out;
+  PutU64(&out, response.request_id);
+  PutU8(&out, response.ok ? 1 : 0);
+  if (response.ok) {
+    EncodeTranslationBody(&out, response.value);
+  } else {
+    EncodeStatusBody(&out, response.failure);
+  }
+  return out;
+}
+
+Result<TranslateResponse> DecodeTranslateResponse(std::string_view payload) {
+  PayloadReader r(payload);
+  TranslateResponse response;
+  uint8_t ok = 0;
+  if (!r.ReadU64(&response.request_id) || !r.ReadU8(&ok) || ok > 1) {
+    return Status::ParseError("wire: malformed TranslateResponse");
+  }
+  response.ok = ok == 1;
+  if (response.ok) {
+    Result<Translation> value = DecodeTranslationBody(r);
+    if (!value.ok() || !r.AtEnd()) {
+      return Status::ParseError("wire: malformed TranslateResponse body");
+    }
+    response.value = std::move(value).value();
+  } else {
+    if (!DecodeStatusBody(r, &response.failure) || !r.AtEnd()) {
+      return Status::ParseError("wire: malformed TranslateResponse status");
+    }
+  }
+  return response;
+}
+
+std::string EncodeCatalogResponse(const CatalogResponse& response) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(response.sources.size()));
+  for (const CatalogEntry& entry : response.sources) {
+    PutStr(&out, entry.name);
+    PutU64(&out, entry.rule_set_fp);
+  }
+  return out;
+}
+
+Result<CatalogResponse> DecodeCatalogResponse(std::string_view payload) {
+  PayloadReader r(payload);
+  uint32_t n = 0;
+  if (!r.ReadU32(&n)) {
+    return Status::ParseError("wire: malformed CatalogResponse");
+  }
+  CatalogResponse response;
+  response.sources.reserve(std::min<uint32_t>(n, 1024));
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string_view name;
+    uint64_t fp = 0;
+    if (!r.ReadStr(&name) || !r.ReadU64(&fp)) {
+      return Status::ParseError("wire: malformed CatalogResponse entry");
+    }
+    response.sources.push_back(CatalogEntry{std::string(name), fp});
+  }
+  if (!r.AtEnd()) {
+    return Status::ParseError("wire: trailing bytes in CatalogResponse");
+  }
+  return response;
+}
+
+}  // namespace qmap

@@ -1,0 +1,61 @@
+#ifndef QMAP_WIRE_MESSAGES_H_
+#define QMAP_WIRE_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qmap/common/status.h"
+#include "qmap/core/translator.h"
+
+namespace qmap {
+
+/// One per-source translate call, front-end → worker. The front-end sends
+/// the *full* query — view constraints already conjoined, exactly what the
+/// single-process service hands each source's translator — rendered through
+/// ToParseableText, so the worker parses back the identical normalized query
+/// and the translation is byte-identical to the in-process path.
+struct TranslateRequest {
+  uint64_t request_id = 0;   // echoes back in the response; connection-scoped
+  std::string source;        // registered source name on the worker
+  std::string query_text;    // ToParseableText of the full query
+  uint32_t deadline_ms = 0;  // remaining budget; 0 = no deadline
+};
+
+/// Worker → front-end. Exactly one of value/failure is meaningful, per `ok`.
+/// Failures travel as a Status so the front-end's resilience layer treats a
+/// remote breaker/deadline/unavailable exactly like a local one.
+struct TranslateResponse {
+  uint64_t request_id = 0;
+  bool ok = false;
+  Translation value;  // when ok
+  Status failure;     // when !ok
+};
+
+/// Worker catalog: which sources it serves and under which rule-set
+/// fingerprint — everything the front-end needs to mint the same 192-bit
+/// cache keys the worker uses, keeping the tiers' invalidation aligned.
+struct CatalogEntry {
+  std::string name;
+  uint64_t rule_set_fp = 0;
+};
+
+struct CatalogResponse {
+  std::vector<CatalogEntry> sources;
+};
+
+// Payload codecs (framing is qmap/wire/frame.h). Decoders are total: any
+// malformed payload yields an error status, never UB — pinned by the wire
+// fuzz tests. A CatalogRequest has an empty payload and no struct.
+std::string EncodeTranslateRequest(const TranslateRequest& request);
+Result<TranslateRequest> DecodeTranslateRequest(std::string_view payload);
+
+std::string EncodeTranslateResponse(const TranslateResponse& response);
+Result<TranslateResponse> DecodeTranslateResponse(std::string_view payload);
+
+std::string EncodeCatalogResponse(const CatalogResponse& response);
+Result<CatalogResponse> DecodeCatalogResponse(std::string_view payload);
+
+}  // namespace qmap
+
+#endif  // QMAP_WIRE_MESSAGES_H_

@@ -1,0 +1,92 @@
+#ifndef QMAP_WIRE_WIRE_CLIENT_H_
+#define QMAP_WIRE_WIRE_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "qmap/common/status.h"
+#include "qmap/wire/frame.h"
+
+namespace qmap {
+
+struct WireClientOptions {
+  /// Bound on establishing one TCP connection.
+  int connect_timeout_ms = 2000;
+  /// Default bound on one whole Call (send + response) when the caller
+  /// passes no per-call deadline.
+  int io_timeout_ms = 5000;
+  /// Idle connections kept per endpoint for reuse. 0 disables pooling
+  /// (every call dials fresh).
+  size_t max_idle_per_endpoint = 4;
+};
+
+struct WireClientStats {
+  uint64_t calls = 0;
+  uint64_t connects = 0;        // fresh TCP connections dialed
+  uint64_t reuses = 0;          // calls served over a pooled connection
+  uint64_t retries = 0;         // stale-pooled-connection retries
+  uint64_t failures = 0;        // calls that returned a non-ok status
+};
+
+/// A blocking, thread-safe client for the qmap wire protocol: one request
+/// frame out, one response frame back, over a pooled TCP connection per
+/// endpoint ("host:port"). Failure vocabulary is the resilience layer's:
+/// connect/send/receive errors surface as Unavailable, deadline expiry as
+/// DeadlineExceeded, protocol violations as Internal — so a RemoteTransport
+/// built on this degrades exactly like any other guarded source.
+///
+/// Pooled connections can go stale (the worker restarted, an idle timeout
+/// fired). A call that fails on a *pooled* connection before reading any
+/// response byte is retried once on a freshly dialed connection; a fresh
+/// connection failing, or any failure after response bytes arrived, is
+/// reported as-is (the request may have executed — retrying is the caller's
+/// policy, and translation is idempotent anyway).
+class WireClient {
+ public:
+  explicit WireClient(WireClientOptions options = {});
+  ~WireClient();
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Sends one `type` frame carrying `payload` to `endpoint` and reads one
+  /// response frame. `deadline_ms` bounds the whole call (0 = use
+  /// options.io_timeout_ms).
+  Result<std::pair<FrameType, std::string>> Call(const std::string& endpoint,
+                                                 FrameType type,
+                                                 std::string_view payload,
+                                                 uint32_t deadline_ms = 0);
+
+  /// Closes every pooled idle connection (e.g. after a known worker
+  /// restart). In-flight calls are unaffected.
+  void CloseIdle();
+
+  WireClientStats stats() const;
+
+ private:
+  /// One call attempt over `fd`. Sets *got_bytes when any response byte was
+  /// read (the attempt is then non-retryable).
+  Result<std::pair<FrameType, std::string>> CallOn(int fd, FrameType type,
+                                                   std::string_view payload,
+                                                   uint32_t deadline_ms,
+                                                   bool* got_bytes);
+  /// Dials `endpoint` ("host:port", numeric host) within connect_timeout_ms.
+  Result<int> Connect(const std::string& endpoint);
+  /// Pops a pooled idle fd for `endpoint`, or -1.
+  int PopIdle(const std::string& endpoint);
+  void PushIdle(const std::string& endpoint, int fd);
+
+  const WireClientOptions options_;
+  std::mutex mu_;
+  std::map<std::string, std::vector<int>> idle_;  // guarded by mu_
+  mutable std::mutex stats_mu_;
+  WireClientStats stats_;  // guarded by stats_mu_
+};
+
+}  // namespace qmap
+
+#endif  // QMAP_WIRE_WIRE_CLIENT_H_

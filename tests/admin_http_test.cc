@@ -277,6 +277,69 @@ TEST_F(ServiceAdminTest, HealthAndReadiness) {
   EXPECT_EQ(ready.body, "ready\n");
 }
 
+TEST_F(ServiceAdminTest, DrainzFlipsReadinessAndFiresTheHook) {
+  // A second service on its own port, so draining it cannot leak into the
+  // fixture's other expectations.
+  ServiceOptions options;
+  options.num_threads = 1;
+  auto service = std::make_unique<TranslationService>(options);
+  service->AddSourcesFrom(MakeFacultyMediator());
+  int drain_hooks = 0;
+  AdminOptions admin;
+  admin.on_drain = [&drain_hooks] { ++drain_hooks; };
+  ASSERT_TRUE(service->StartAdmin(admin).ok());
+  const uint16_t port = service->admin_server()->port();
+
+  EXPECT_EQ(Get(port, "/readyz").status, 200);
+  EXPECT_FALSE(service->draining());
+
+  HttpResponse drain = Get(port, "/drainz");
+  EXPECT_EQ(drain.status, 200);
+  EXPECT_EQ(drain.body, "draining\n");
+  EXPECT_TRUE(service->draining());
+  EXPECT_EQ(drain_hooks, 1);
+
+  // Readiness now steers load balancers away; health (liveness) stays ok,
+  // and the admin plane keeps serving throughout the drain.
+  HttpResponse ready = Get(port, "/readyz");
+  EXPECT_EQ(ready.status, 503);
+  EXPECT_NE(ready.body.find("draining"), std::string::npos);
+  EXPECT_EQ(Get(port, "/healthz").status, 200);
+  HttpResponse varz = Get(port, "/varz");
+  ASSERT_EQ(varz.status, 200);
+  Result<JsonValue> root = ParseJson(varz.body);
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root->Find("status")->Find("draining")->boolean);
+  EXPECT_FALSE(root->Find("status")->Find("ready")->boolean);
+
+  // Draining is idempotent; the hook fires on each request.
+  EXPECT_EQ(Get(port, "/drainz").status, 200);
+  EXPECT_TRUE(service->draining());
+
+  // In-flight work still completes while draining (the drain gate is the
+  // embedding server's accept loop, not the translation path).
+  EXPECT_TRUE(service->Translate(Q("[fac.dept = \"cs\"]")).ok());
+}
+
+TEST_F(ServiceAdminTest, ExtraHandlersAreServedFromTheAdminPort) {
+  ServiceOptions options;
+  options.num_threads = 1;
+  auto service = std::make_unique<TranslationService>(options);
+  service->AddSourcesFrom(MakeFacultyMediator());
+  AdminOptions admin;
+  admin.extra_handlers.emplace_back("/rpcz", [](std::string_view) {
+    AdminResponse response;
+    response.content_type = "application/json";
+    response.body = "{\"rpc\":true}\n";
+    return response;
+  });
+  ASSERT_TRUE(service->StartAdmin(admin).ok());
+  const uint16_t port = service->admin_server()->port();
+  HttpResponse rpcz = Get(port, "/rpcz");
+  EXPECT_EQ(rpcz.status, 200);
+  EXPECT_EQ(rpcz.body, "{\"rpc\":true}\n");
+}
+
 TEST_F(ServiceAdminTest, VarzIsParseableJsonWithStatusAndMetrics) {
   HttpResponse varz = Get(port_, "/varz");
   ASSERT_EQ(varz.status, 200);

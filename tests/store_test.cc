@@ -294,6 +294,78 @@ TEST(TranslationStore, CompactionReclaimsSupersededVersions) {
   EXPECT_EQ(ToParseableText((**hit2).mapped), "[v = 49]");
 }
 
+TEST(TranslationStore, ByteBudgetEvictsLeastRecentlyPromoted) {
+  StoreOptions unbounded;
+  unbounded.path = ScratchPath("store_evict");
+  unbounded.background_compaction = false;
+  uint64_t record_bytes = 0;
+  {
+    // Fill 10 equal-sized records with no budget, so nothing evicts yet.
+    auto store = TranslationStore::Open(unbounded);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*store)
+                      ->Put({1, 1, static_cast<uint64_t>(i)},
+                            SampleTranslation("[k = " + std::to_string(i) + "]"))
+                      .ok());
+    }
+    StoreStats stats = (*store)->stats();
+    EXPECT_EQ(stats.evicted_records, 0u);
+    record_bytes = (stats.log_bytes - RecordLog::kHeaderBytes) / 10;
+  }
+
+  // Reopen with room for four records. Recovery assigns promotion order by
+  // log position, then Gets promote the two oldest keys to newest.
+  StoreOptions bounded = unbounded;
+  bounded.max_live_bytes = record_bytes * 4 + record_bytes / 2;
+  auto store = TranslationStore::Open(bounded);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Get({1, 1, 0}).has_value());
+  ASSERT_TRUE((*store)->Get({1, 1, 1}).has_value());
+  ASSERT_TRUE((*store)->CompactNow().ok());
+
+  // Survivors: the two promoted keys plus the two most recently written.
+  StoreStats stats = (*store)->stats();
+  EXPECT_EQ(stats.evicted_records, 6u);
+  EXPECT_GT(stats.evicted_bytes, 0u);
+  EXPECT_EQ(stats.live_records, 4u);
+  for (uint64_t k : {0u, 1u, 8u, 9u}) {
+    EXPECT_TRUE((*store)->Get({1, 1, k}).has_value()) << "key " << k;
+  }
+  for (uint64_t k : {2u, 3u, 4u, 5u, 6u, 7u}) {
+    EXPECT_FALSE((*store)->Get({1, 1, k}).has_value()) << "key " << k;
+  }
+
+  // Eviction is durable: the dropped records are gone from disk too.
+  store->reset();
+  auto reopened = TranslationStore::Open(bounded);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->stats().recovered_records, 4u);
+  auto hit = (*reopened)->Get({1, 1, 0});
+  ASSERT_TRUE(hit.has_value() && hit->ok());
+  EXPECT_EQ(ToParseableText((**hit).mapped), "[k = 0]");
+}
+
+TEST(TranslationStore, OverBudgetPutTriggersEvictingCompaction) {
+  StoreOptions options;
+  options.path = ScratchPath("store_evict_inline");
+  options.background_compaction = false;
+  // A tight budget with the waste trigger effectively disabled: only the
+  // budget path may compact.
+  options.compaction_min_bytes = 1u << 30;
+  options.max_live_bytes = 1;
+  auto store = TranslationStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put({1, 1, 1}, SampleTranslation("[a = 1]")).ok());
+  ASSERT_TRUE((*store)->Put({1, 1, 2}, SampleTranslation("[a = 2]")).ok());
+  StoreStats stats = (*store)->stats();
+  EXPECT_GT(stats.compactions, 0u);
+  EXPECT_GT(stats.evicted_records, 0u);
+  // The budget is enforced after every over-budget Put, so at most the
+  // newest record (which the next compaction would evict) remains.
+  EXPECT_LE(stats.live_records, 1u);
+}
+
 TEST(TranslationStore, ReplayIntoHonorsFilterAndLruOrder) {
   StoreOptions options;
   options.path = ScratchPath("store_replay");
