@@ -1,0 +1,203 @@
+// B10 — multi-hop mediation: the offline composer versus sequential
+// per-hop translation, and the containment-pruning pass.
+//
+// Series:
+//   ComposeTwoHop / ComposeThreeHop — one offline composition of the
+//       synthetic chain; composed_rules / skipped_covers are deterministic
+//       and pinned by check_bench_regression.py like attempt counters.
+//   TranslateComposed / TranslateSequential — per-query cost of translating
+//       a hot workload through the pre-composed one-hop spec versus
+//       hop-by-hop chaining (translate, feed mapped query to the next hop).
+//       The composed spec amortizes the chain: perf-smoke pins
+//       TranslateComposed <= TranslateSequential via --max-ratio, which is
+//       run-internal and so immune to runner speed.
+//   ServicePruneContained — the containment analysis over a federation where
+//       half the sources are narrowed copies of the other half; the
+//       pruned / checks counters pin the prune rate.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qmap/contexts/synthetic.h"
+#include "qmap/core/translator.h"
+#include "qmap/rules/compose.h"
+#include "qmap/rules/containment.h"
+#include "qmap/rules/spec.h"
+
+namespace {
+
+constexpr int kNumAttrs = 6;
+constexpr int kDistinctQueries = 16;
+
+qmap::SyntheticOptions Hop1Options() {
+  qmap::SyntheticOptions options;
+  options.num_attrs = kNumAttrs;
+  options.dependent_pairs = {{0, 1}};
+  options.partial_single_for_pair_first = true;
+  return options;
+}
+
+qmap::SyntheticHop2Options Hop2Options() {
+  qmap::SyntheticHop2Options options;
+  options.hop1 = Hop1Options();
+  options.dependent_b_pairs = {{4, 5}};
+  options.partial_single_for_pair_first = true;
+  options.skip_b_attr = 2;
+  return options;
+}
+
+qmap::MappingSpec Hop1Spec() {
+  qmap::Result<qmap::MappingSpec> spec = qmap::MakeSyntheticSpec(Hop1Options());
+  if (!spec.ok()) std::abort();
+  return *spec;
+}
+
+qmap::MappingSpec Hop2Spec() {
+  qmap::Result<qmap::MappingSpec> spec =
+      qmap::MakeSyntheticHop2Spec(Hop2Options());
+  if (!spec.ok()) std::abort();
+  return *spec;
+}
+
+qmap::MappingSpec Hop3Spec() {
+  qmap::Result<qmap::MappingSpec> spec =
+      qmap::MakeSyntheticHop3Spec(Hop2Options());
+  if (!spec.ok()) std::abort();
+  return *spec;
+}
+
+std::vector<qmap::Query> Workload() {
+  std::mt19937 rng(911);
+  qmap::RandomQueryOptions options;
+  options.num_attrs = kNumAttrs;
+  options.max_depth = 3;
+  std::vector<qmap::Query> out;
+  for (int i = 0; i < kDistinctQueries; ++i) {
+    out.push_back(qmap::RandomQuery(rng, options));
+  }
+  return out;
+}
+
+void ComposeTwoHop(benchmark::State& state) {
+  qmap::MappingSpec hop1 = Hop1Spec();
+  qmap::MappingSpec hop2 = Hop2Spec();
+  qmap::ComposeStats last;
+  for (auto _ : state) {
+    qmap::Result<qmap::ComposedSpec> composed =
+        qmap::ComposeSpecs(hop1, hop2);
+    benchmark::DoNotOptimize(composed);
+    if (!composed.ok()) state.SkipWithError("compose failed");
+    last = composed->stats;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["composed_rules"] = static_cast<double>(last.composed_rules);
+  state.counters["skipped_covers"] = static_cast<double>(last.skipped_covers);
+  state.counters["approximate_marks"] =
+      static_cast<double>(last.approximate_marks);
+}
+BENCHMARK(ComposeTwoHop);
+
+void ComposeThreeHop(benchmark::State& state) {
+  qmap::MappingSpec hop1 = Hop1Spec();
+  qmap::MappingSpec hop2 = Hop2Spec();
+  qmap::MappingSpec hop3 = Hop3Spec();
+  int composed_rules = 0;
+  for (auto _ : state) {
+    qmap::Result<qmap::ComposedSpec> first =
+        qmap::ComposeSpecs(hop1, hop2);
+    if (!first.ok()) state.SkipWithError("first compose failed");
+    qmap::Result<qmap::ComposedSpec> second =
+        qmap::ComposeSpecs(first->spec, hop3);
+    benchmark::DoNotOptimize(second);
+    if (!second.ok()) state.SkipWithError("second compose failed");
+    composed_rules = second->stats.composed_rules;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["composed_rules"] = static_cast<double>(composed_rules);
+}
+BENCHMARK(ComposeThreeHop);
+
+void TranslateComposed(benchmark::State& state) {
+  qmap::Result<qmap::ComposedSpec> composed =
+      qmap::ComposeSpecs(Hop1Spec(), Hop2Spec());
+  if (!composed.ok()) std::abort();
+  qmap::Translator translator(composed->spec, qmap::TranslatorOptions{});
+  std::vector<qmap::Query> workload = Workload();
+  size_t next = 0;
+  for (auto _ : state) {
+    qmap::Result<qmap::Translation> t =
+        translator.Translate(workload[next++ % workload.size()]);
+    benchmark::DoNotOptimize(t);
+    if (!t.ok()) state.SkipWithError("translate failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["rules"] =
+      static_cast<double>(composed->spec.rules().size());
+}
+BENCHMARK(TranslateComposed);
+
+void TranslateSequential(benchmark::State& state) {
+  qmap::Translator hop1(Hop1Spec(), qmap::TranslatorOptions{});
+  qmap::Translator hop2(Hop2Spec(), qmap::TranslatorOptions{});
+  std::vector<qmap::Query> workload = Workload();
+  size_t next = 0;
+  for (auto _ : state) {
+    qmap::Result<qmap::Translation> first =
+        hop1.Translate(workload[next++ % workload.size()]);
+    if (!first.ok()) state.SkipWithError("hop-1 translate failed");
+    qmap::Result<qmap::Translation> second = hop2.Translate(first->mapped);
+    benchmark::DoNotOptimize(second);
+    if (!second.ok()) state.SkipWithError("hop-2 translate failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(TranslateSequential);
+
+// Containment analysis over 2N specs: N identical wide specs and N narrowed
+// copies (a rule coverage gap each). Every narrow is contained in a wide and
+// every wide after the first is equivalent to the first, so exactly 2N-1
+// sources prune and the scan performs a deterministic number of Contains()
+// calls; both counters are pinned as attempt counts.
+void ServicePruneContained(benchmark::State& state) {
+  const int pairs = static_cast<int>(state.range(0));
+  std::vector<std::string> names;
+  std::vector<qmap::MappingSpec> specs;
+  for (int i = 0; i < pairs; ++i) {
+    qmap::SyntheticHop2Options wide = Hop2Options();
+    wide.skip_b_attr = -1;
+    qmap::SyntheticHop2Options narrow = wide;
+    narrow.skip_b_attr = 2 + (i % 2);
+    qmap::Result<qmap::MappingSpec> wide_spec =
+        qmap::MakeSyntheticHop2Spec(wide);
+    qmap::Result<qmap::MappingSpec> narrow_spec =
+        qmap::MakeSyntheticHop2Spec(narrow);
+    if (!wide_spec.ok() || !narrow_spec.ok()) std::abort();
+    names.push_back("wide" + std::to_string(i));
+    specs.push_back(*wide_spec);
+    names.push_back("narrow" + std::to_string(i));
+    specs.push_back(*narrow_spec);
+  }
+  std::vector<const qmap::MappingSpec*> ptrs;
+  for (const qmap::MappingSpec& spec : specs) ptrs.push_back(&spec);
+  qmap::ContainmentAnalysis last;
+  for (auto _ : state) {
+    last = qmap::AnalyzeContainment(names, ptrs);
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["pruned"] = static_cast<double>(last.pruned.size());
+  state.counters["checks"] = static_cast<double>(last.checks);
+}
+BENCHMARK(ServicePruneContained)->Arg(2)->Arg(6);
+
+}  // namespace
+
+#include "bench_util.h"
+
+QMAP_BENCH_MAIN(bench_composition)

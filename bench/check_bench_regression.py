@@ -18,11 +18,16 @@ how CI pins "the compiled matcher is >=10x the indexed one" as
 
     --max-ratio 'MatchWide_Compiled/64:MatchWide_Indexed/64:0.1'
 
+--pin SUBSTR (repeatable) pins additional counters by name substring, in
+BOTH directions: deterministic outputs such as composed-rule counts and
+containment prune rates, where a silent drop is as much an algorithmic
+change as growth.
+
 Improvements and new benchmarks never fail the check. Usage:
 
     check_bench_regression.py CURRENT.json BASELINE.json \
         [--tolerance 0.20] [--time-tolerance 0.20] \
-        [--max-ratio CUR:REF:FRAC]...
+        [--max-ratio CUR:REF:FRAC]... [--pin SUBSTR]...
 """
 
 import argparse
@@ -58,13 +63,26 @@ def load_benchmarks(path, role):
     return out
 
 
-def pinned_counters(bench):
-    return {
-        key: value
-        for key, value in bench.items()
-        if ("attempts" in key or "allocs" in key)
-        and isinstance(value, (int, float))
-    }
+def pinned_counters(bench, extra_pins=()):
+    """Counters checked against the baseline.
+
+    Returns {name: (value, two_sided)}. Counters whose name contains
+    "attempts" or "allocs" are one-sided (only growth is a regression: more
+    work attempted, or a zero-alloc promise broken). Counters matching an
+    --pin substring are two-sided: they are deterministic outputs (composed
+    rule counts, containment prune rates) where a drop is just as much an
+    algorithmic change as growth — e.g. the containment pass silently
+    pruning fewer redundant sources.
+    """
+    out = {}
+    for key, value in bench.items():
+        if not isinstance(value, (int, float)):
+            continue
+        if "attempts" in key or "allocs" in key:
+            out[key] = (value, False)
+        elif any(pin in key for pin in extra_pins):
+            out[key] = (value, True)
+    return out
 
 
 def main():
@@ -81,6 +99,11 @@ def main():
         "--max-ratio", action="append", default=[], metavar="CUR:REF:FRAC",
         help="assert current-run real_time(CUR) <= FRAC * real_time(REF); "
              "repeatable")
+    parser.add_argument(
+        "--pin", action="append", default=[], metavar="SUBSTR",
+        help="additionally pin counters whose name contains SUBSTR, in both "
+             "directions (deterministic outputs where shrinking is as much "
+             "a regression as growth); repeatable")
     args = parser.parse_args()
 
     current = load_benchmarks(args.current, "current-run")
@@ -103,21 +126,25 @@ def main():
         if cur is None:
             failures.append(f"{name}: missing from current run")
             continue
-        for counter, base_value in pinned_counters(base).items():
+        pins = pinned_counters(base, args.pin)
+        for counter, (base_value, two_sided) in pins.items():
             cur_value = cur.get(counter)
             if cur_value is None:
                 failures.append(f"{name}: counter {counter} disappeared")
                 continue
             # Sub-attempt noise can't occur (counters are deterministic), but
             # guard the ratio against a zero baseline.
-            limit = base_value * (1.0 + args.tolerance) + 0.5
-            status = "ok" if cur_value <= limit else "REGRESSED"
+            upper = base_value * (1.0 + args.tolerance) + 0.5
+            lower = base_value * (1.0 - args.tolerance) - 0.5
+            bad = cur_value > upper or (two_sided and cur_value < lower)
+            status = "REGRESSED" if bad else "ok"
             print(f"{name} {counter}: {base_value:g} -> {cur_value:g} "
                   f"[{status}]")
-            if cur_value > limit:
+            if bad:
                 failures.append(
                     f"{name}: {counter} {base_value:g} -> {cur_value:g} "
-                    f"(> +{args.tolerance:.0%})")
+                    f"(beyond {args.tolerance:.0%}"
+                    f"{' two-sided' if two_sided else ''})")
         base_time = base.get("real_time")
         cur_time = cur.get("real_time")
         # `is not None`, not truthiness: a 0.0 baseline (possible for

@@ -108,6 +108,152 @@ Tuple ConvertSyntheticTuple(const Tuple& source, const SyntheticOptions& options
   return out;
 }
 
+namespace {
+
+// The hop-1 pair membership set.
+std::set<int> PairMembers(const std::vector<std::pair<int, int>>& pairs) {
+  std::set<int> members;
+  for (const auto& [i, j] : pairs) {
+    members.insert(i);
+    members.insert(j);
+  }
+  return members;
+}
+
+}  // namespace
+
+Result<MappingSpec> MakeSyntheticHop2Spec(const SyntheticHop2Options& options) {
+  const std::set<int> hop1_pair = PairMembers(options.hop1.dependent_pairs);
+  const std::set<int> b_pair = PairMembers(options.dependent_b_pairs);
+  std::string dsl;
+  if (options.map_b) {
+    for (int i = 0; i < options.hop1.num_attrs; ++i) {
+      if (hop1_pair.count(i) != 0) continue;  // no bI at hop 1
+      if (b_pair.count(i) != 0) continue;     // pair members get no single
+      if (i == options.skip_b_attr) continue; // deliberate coverage gap
+      const std::string n = std::to_string(i);
+      dsl += "rule T" + n + ": [b" + n + " = V] where Value(V) => emit [xb" +
+             n + " = V];\n";
+    }
+  }
+  for (const auto& [i, j] : options.dependent_b_pairs) {
+    const std::string ni = std::to_string(i);
+    const std::string nj = std::to_string(j);
+    dsl += "rule TP" + ni + "_" + nj + ": [b" + ni + " = V]; [b" + nj +
+           " = W] where Value(V), Value(W) => let C = Concat(V, W); emit [y" +
+           ni + "_" + nj + " = C];\n";
+    if (options.partial_single_for_pair_first) {
+      dsl += "rule TQ" + ni + ": [b" + ni + " = V] where Value(V) => emit [yd" +
+             ni + " = V];\n";
+    }
+  }
+  if (options.map_c) {
+    for (const auto& [i, j] : options.hop1.dependent_pairs) {
+      const std::string n = std::to_string(i) + "_" + std::to_string(j);
+      // Conditionless: cI_J's upstream value is let-derived at hop 1, so a
+      // `where Value(V)` here would block exact composition.
+      dsl += "rule TC" + n + ": [c" + n + " = V] => emit [xc" + n + " = V];\n";
+    }
+  }
+  if (options.map_d && options.hop1.partial_single_for_pair_first) {
+    for (const auto& [i, j] : options.hop1.dependent_pairs) {
+      (void)j;
+      const std::string n = std::to_string(i);
+      dsl += "rule TX" + n + ": [d" + n + " = V] where Value(V) => emit [xd" +
+             n + " = V];\n";
+    }
+  }
+  return ParseMappingSpec(dsl, "synthetic2", SyntheticRegistry());
+}
+
+std::vector<std::string> SyntheticHop2TargetAttrs(
+    const SyntheticHop2Options& options) {
+  const std::set<int> hop1_pair = PairMembers(options.hop1.dependent_pairs);
+  const std::set<int> b_pair = PairMembers(options.dependent_b_pairs);
+  std::vector<std::string> attrs;
+  if (options.map_b) {
+    for (int i = 0; i < options.hop1.num_attrs; ++i) {
+      if (hop1_pair.count(i) != 0 || b_pair.count(i) != 0 ||
+          i == options.skip_b_attr) {
+        continue;
+      }
+      attrs.push_back("xb" + std::to_string(i));
+    }
+  }
+  for (const auto& [i, j] : options.dependent_b_pairs) {
+    attrs.push_back("y" + std::to_string(i) + "_" + std::to_string(j));
+    if (options.partial_single_for_pair_first) {
+      attrs.push_back("yd" + std::to_string(i));
+    }
+  }
+  if (options.map_c) {
+    for (const auto& [i, j] : options.hop1.dependent_pairs) {
+      attrs.push_back("xc" + std::to_string(i) + "_" + std::to_string(j));
+    }
+  }
+  if (options.map_d && options.hop1.partial_single_for_pair_first) {
+    for (const auto& [i, j] : options.hop1.dependent_pairs) {
+      (void)j;
+      attrs.push_back("xd" + std::to_string(i));
+    }
+  }
+  return attrs;
+}
+
+Tuple ConvertSyntheticHop2Tuple(const Tuple& converted1,
+                                const SyntheticHop2Options& options) {
+  const std::set<int> hop1_pair = PairMembers(options.hop1.dependent_pairs);
+  Tuple out = converted1;
+  // Renames are defined wherever the upstream attribute exists — including
+  // attributes the rule set deliberately leaves unmapped (the data-level
+  // correspondence holds regardless of rule coverage).
+  for (int i = 0; i < options.hop1.num_attrs; ++i) {
+    if (hop1_pair.count(i) != 0) continue;
+    const std::string n = std::to_string(i);
+    std::optional<Value> v = converted1.Get(Attr::Simple("b" + n));
+    if (v.has_value()) out.Set("xb" + n, *v);
+  }
+  for (const auto& [i, j] : options.dependent_b_pairs) {
+    const std::string ni = std::to_string(i);
+    const std::string nj = std::to_string(j);
+    std::optional<Value> vi = converted1.Get(Attr::Simple("b" + ni));
+    std::optional<Value> vj = converted1.Get(Attr::Simple("b" + nj));
+    if (vi.has_value() && vj.has_value()) {
+      out.Set("y" + ni + "_" + nj,
+              Value::Str(vi->ToString() + "|" + vj->ToString()));
+    }
+    if (vi.has_value()) out.Set("yd" + ni, *vi);
+  }
+  for (const auto& [i, j] : options.hop1.dependent_pairs) {
+    const std::string n = std::to_string(i) + "_" + std::to_string(j);
+    std::optional<Value> c = converted1.Get(Attr::Simple("c" + n));
+    if (c.has_value()) out.Set("xc" + n, *c);
+    std::optional<Value> d = converted1.Get(Attr::Simple("d" + std::to_string(i)));
+    if (d.has_value()) out.Set("xd" + std::to_string(i), *d);
+  }
+  return out;
+}
+
+Result<MappingSpec> MakeSyntheticHop3Spec(const SyntheticHop2Options& options) {
+  std::string dsl;
+  int k = 0;
+  for (const std::string& attr : SyntheticHop2TargetAttrs(options)) {
+    dsl += "rule Z" + std::to_string(k++) + ": [" + attr + " = V] => emit [z" +
+           attr + " = V];\n";
+  }
+  return ParseMappingSpec(dsl, "synthetic3", SyntheticRegistry());
+}
+
+Tuple ConvertSyntheticHop3Tuple(const Tuple& converted2,
+                                const SyntheticHop2Options& options) {
+  Tuple out = converted2;
+  for (const std::string& attr : SyntheticHop2TargetAttrs(options)) {
+    std::optional<Value> v = converted2.Get(Attr::Simple(attr));
+    if (v.has_value()) out.Set("z" + attr, *v);
+  }
+  return out;
+}
+
 SyntheticOptions SyntheticMemberOptions(const SyntheticFederationOptions& options,
                                         int member) {
   SyntheticOptions out;

@@ -56,6 +56,49 @@ Tuple RandomSourceTuple(std::mt19937& rng, int num_attrs, int num_values);
 /// attributes (bI, dI, cI_J) consistent with the mapping rules.
 Tuple ConvertSyntheticTuple(const Tuple& source, const SyntheticOptions& options);
 
+/// A second mapping hop over the first hop's target vocabulary, for
+/// composition tests: the hop-1 targets (bI, cI_J, dI) map onward to
+///   xbI  = bI        (independent renames, `where Value`)
+///   xcI_J = cI_J     (pair-concat renames; conditionless — the upstream
+///                     value is `let`-derived, and a condition over it
+///                     could not be composed exactly)
+///   xdI  = dI        (partial-single renames)
+///   yI_J = Concat(bI, bJ)   (second-level dependent pairs over independent
+///                            b attrs; members get no xb rule)
+///   ydI  = bI        (partial single for a y-pair's first member)
+/// All flags default to full coverage; `skip_b_attr` punches a coverage gap
+/// at one independent b attribute (safe for equivalence testing only when
+/// that attribute is in no pair at either hop).
+struct SyntheticHop2Options {
+  SyntheticOptions hop1;  // the hop whose targets this hop consumes
+  bool map_b = true;
+  bool map_c = true;
+  bool map_d = true;
+  std::vector<std::pair<int, int>> dependent_b_pairs;
+  bool partial_single_for_pair_first = false;
+  int skip_b_attr = -1;
+};
+
+/// Builds the hop-2 DSL rules for `options` and parses them into a spec.
+Result<MappingSpec> MakeSyntheticHop2Spec(const SyntheticHop2Options& options);
+
+/// The hop-2 target attributes `options` can emit (xb/xc/xd/y/yd names).
+std::vector<std::string> SyntheticHop2TargetAttrs(const SyntheticHop2Options& options);
+
+/// Extends a hop-1-converted tuple with the hop-2 target attributes.
+Tuple ConvertSyntheticHop2Tuple(const Tuple& converted1,
+                                const SyntheticHop2Options& options);
+
+/// A third hop that renames every hop-2 target attribute with a "z" prefix.
+/// All rules are conditionless: after one composition the upstream values of
+/// concat-valued attributes are `let`-derived, and conditionless renames
+/// keep the 3-hop chain inside the exactly-composable fragment.
+Result<MappingSpec> MakeSyntheticHop3Spec(const SyntheticHop2Options& options);
+
+/// Extends a hop-2-converted tuple with the z-prefixed hop-3 attributes.
+Tuple ConvertSyntheticHop3Tuple(const Tuple& converted2,
+                                const SyntheticHop2Options& options);
+
 /// Options for a synthetic *union* federation: `num_members` members, each
 /// with its own synthetic vocabulary (a different dependent pair per member,
 /// so members genuinely differ in what they can realize exactly), seeded

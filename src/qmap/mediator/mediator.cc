@@ -9,6 +9,18 @@ void Mediator::AddSource(SourceContext source) {
   sources_.push_back(std::move(source));
 }
 
+ContainmentAnalysis Mediator::AnalyzeSourceContainment() const {
+  std::vector<std::string> names;
+  std::vector<const MappingSpec*> specs;
+  names.reserve(sources_.size());
+  specs.reserve(sources_.size());
+  for (const SourceContext& source : sources_) {
+    names.push_back(source.name());
+    specs.push_back(&source.spec());
+  }
+  return AnalyzeContainment(names, specs);
+}
+
 const SourceContext* Mediator::FindSource(const std::string& name) const {
   for (const SourceContext& source : sources_) {
     if (source.name() == name) return &source;

@@ -8,6 +8,7 @@
 
 #include "qmap/core/translator.h"
 #include "qmap/mediator/source.h"
+#include "qmap/rules/containment.h"
 #include "qmap/relalg/conversion.h"
 #include "qmap/service/resilience.h"
 #include "qmap/service/source_transport.h"
@@ -91,6 +92,16 @@ class Mediator {
                      FaultInjector* injector = nullptr,
                      MetricsRegistry* metrics = nullptr);
   ResilienceManager* resilience() const { return resilience_.get(); }
+
+  /// Advisory containment analysis over the registered sources: which
+  /// sources' mappings are provably contained in another's (see
+  /// qmap/rules/containment.h). The mediator itself never prunes — its
+  /// integration is a *join* (Eq. 2 crosses every source), so removing a
+  /// source changes the result. The analysis tells operators which sources
+  /// are mapping-redundant; actual fan-out pruning lives in
+  /// TranslationService::PruneContainedSources, whose union/replica caching
+  /// semantics make it sound.
+  ContainmentAnalysis AnalyzeSourceContainment() const;
 
   /// Translates `query` for every source and builds the combined filter:
   /// a constraint is dropped from F only if some source realizes it exactly.

@@ -64,6 +64,11 @@ const FunctionRegistry::Transform* FunctionRegistry::FindTransform(
   return it == transforms_.end() ? nullptr : &it->second;
 }
 
+void FunctionRegistry::MergeFrom(const FunctionRegistry& other) {
+  for (const auto& [name, fn] : other.conditions_) conditions_.emplace(name, fn);
+  for (const auto& [name, fn] : other.transforms_) transforms_.emplace(name, fn);
+}
+
 FunctionRegistry FunctionRegistry::WithBuiltins() {
   FunctionRegistry r;
 

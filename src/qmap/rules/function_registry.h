@@ -32,6 +32,12 @@ class FunctionRegistry {
   const Condition* FindCondition(const std::string& name) const;
   const Transform* FindTransform(const std::string& name) const;
 
+  /// Copies every condition/transform of `other` into this registry,
+  /// keeping the existing entry on a name collision. Used by the offline
+  /// composer to build a registry a composed spec's rules (which mix
+  /// hop-1 and hop-2 function references) can resolve against.
+  void MergeFrom(const FunctionRegistry& other);
+
   /// A registry pre-loaded with the domain-independent built-ins:
   ///
   /// Conditions: `Value(T)` (term is a constant — restricts a pattern to

@@ -88,6 +88,7 @@ MappingSpec::MappingSpec(const MappingSpec& other)
   std::lock_guard<std::mutex> lock(other.fingerprint_mu_);
   fingerprint_ = other.fingerprint_;
   fingerprint_valid_ = other.fingerprint_valid_;
+  fingerprint_seed_ = other.fingerprint_seed_;
 }
 
 MappingSpec& MappingSpec::operator=(const MappingSpec& other) {
@@ -99,14 +100,17 @@ MappingSpec& MappingSpec::operator=(const MappingSpec& other) {
   compiled_plan_.Set(other.compiled_plan_.Peek());
   uint64_t fingerprint = 0;
   bool fingerprint_valid = false;
+  uint64_t fingerprint_seed = 0;
   {
     std::lock_guard<std::mutex> lock(other.fingerprint_mu_);
     fingerprint = other.fingerprint_;
     fingerprint_valid = other.fingerprint_valid_;
+    fingerprint_seed = other.fingerprint_seed_;
   }
   std::lock_guard<std::mutex> lock(fingerprint_mu_);
   fingerprint_ = fingerprint;
   fingerprint_valid_ = fingerprint_valid;
+  fingerprint_seed_ = fingerprint_seed;
   return *this;
 }
 
@@ -119,6 +123,7 @@ MappingSpec::MappingSpec(MappingSpec&& other) noexcept
   std::lock_guard<std::mutex> lock(other.fingerprint_mu_);
   fingerprint_ = other.fingerprint_;
   fingerprint_valid_ = other.fingerprint_valid_;
+  fingerprint_seed_ = other.fingerprint_seed_;
 }
 
 MappingSpec& MappingSpec::operator=(MappingSpec&& other) noexcept {
@@ -130,14 +135,17 @@ MappingSpec& MappingSpec::operator=(MappingSpec&& other) noexcept {
   compiled_plan_.Set(other.compiled_plan_.Peek());
   uint64_t fingerprint = 0;
   bool fingerprint_valid = false;
+  uint64_t fingerprint_seed = 0;
   {
     std::lock_guard<std::mutex> lock(other.fingerprint_mu_);
     fingerprint = other.fingerprint_;
     fingerprint_valid = other.fingerprint_valid_;
+    fingerprint_seed = other.fingerprint_seed_;
   }
   std::lock_guard<std::mutex> lock(fingerprint_mu_);
   fingerprint_ = fingerprint;
   fingerprint_valid_ = fingerprint_valid;
+  fingerprint_seed_ = fingerprint_seed;
   return *this;
 }
 
@@ -147,6 +155,7 @@ uint64_t MappingSpec::fingerprint() const {
     // Field-separated so "ab" + "c" and "a" + "bc" cannot collide; rule
     // renderings are canonical (the same text the spec parser accepts).
     Fnv64 fp;
+    if (fingerprint_seed_ != 0) fp.AddU64(fingerprint_seed_);
     fp.Add(target_name_).AddByte('\x1f');
     for (const Rule& rule : rules_) fp.Add(rule.ToString()).AddByte('\x1f');
     fingerprint_ = fp.value();

@@ -81,6 +81,23 @@ class MappingSpec {
   /// the shared_ptr.
   std::shared_ptr<const CompiledRulePlan> compiled_plan() const;
 
+  /// Extra entropy mixed into fingerprint() when nonzero. The offline
+  /// composer (qmap/rules/compose.h) stamps a composed spec with a seed
+  /// derived from both parent fingerprints, so the composed rule_set half of
+  /// the 192-bit translation-cache key rotates whenever *either* parent's
+  /// rule set changes — even if the composed rule text happens to come out
+  /// identical. Must be set before translation begins (same contract as
+  /// AddRule).
+  void set_fingerprint_seed(uint64_t seed) {
+    std::lock_guard<std::mutex> lock(fingerprint_mu_);
+    fingerprint_seed_ = seed;
+    fingerprint_valid_ = false;
+  }
+  uint64_t fingerprint_seed() const {
+    std::lock_guard<std::mutex> lock(fingerprint_mu_);
+    return fingerprint_seed_;
+  }
+
   /// Finds a rule by name; nullptr when absent.
   const Rule* FindRule(const std::string& name) const;
 
@@ -100,6 +117,7 @@ class MappingSpec {
   mutable std::mutex fingerprint_mu_;
   mutable uint64_t fingerprint_ = 0;
   mutable bool fingerprint_valid_ = false;
+  uint64_t fingerprint_seed_ = 0;  // guarded by fingerprint_mu_
 };
 
 }  // namespace qmap

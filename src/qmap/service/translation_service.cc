@@ -114,6 +114,22 @@ TranslationService::TranslationService(ServiceOptions options)
     match_plan_nodes_counter_ = &metrics->counter(
         "qmap_match_plan_nodes",
         "DAG nodes across all rule plans compiled so far, process-wide.");
+    compose_chains_counter_ = &metrics->counter(
+        "qmap_compose_chains_total",
+        "Multi-hop chains registered via AddChain (offline composition).");
+    compose_rules_counter_ = &metrics->counter(
+        "qmap_compose_rules_total",
+        "Rules in composed chain specs at registration (sum over chains).");
+    compose_skipped_counter_ = &metrics->counter(
+        "qmap_compose_skipped_covers_total",
+        "Rule covers the composer skipped conservatively while folding chains.");
+    containment_checks_counter_ = &metrics->counter(
+        "qmap_containment_checks_total",
+        "Pairwise spec containment checks run by the pruning pre-pass.");
+    containment_pruned_counter_ = &metrics->counter(
+        "qmap_containment_pruned_total",
+        "Sources dropped from the fan-out because another source's mapping "
+        "provably contains theirs.");
   }
 }
 
@@ -161,6 +177,7 @@ void TranslationService::AddSource(std::string name, MappingSpec spec,
       sources_.begin(), sources_.end(), entry,
       [](const SourceEntry& a, const SourceEntry& b) { return a.name < b.name; });
   sources_.insert(pos, std::move(entry));
+  if (options_.prune_contained_sources) PruneContainedSources();
 }
 
 void TranslationService::AddRemoteSource(
@@ -200,6 +217,112 @@ void TranslationService::AddSourcesFrom(const Mediator& mediator) {
     AddSource(source.name(), source.spec(), source.capabilities());
   }
   SetViewConstraints(mediator.view_constraints());
+}
+
+Status TranslationService::AddChain(std::string name,
+                                    const std::vector<MappingSpec>& hops) {
+  return AddChainImpl(std::move(name), hops, nullptr);
+}
+
+Status TranslationService::AddChain(std::string name,
+                                    const std::vector<MappingSpec>& hops,
+                                    const SourceCapabilities& capabilities) {
+  return AddChainImpl(std::move(name), hops, &capabilities);
+}
+
+Status TranslationService::AddChainImpl(std::string name,
+                                        const std::vector<MappingSpec>& hops,
+                                        const SourceCapabilities* capabilities) {
+  if (hops.empty()) {
+    return Status::InvalidArgument("AddChain('" + name +
+                                   "'): at least one hop required");
+  }
+  ChainStatus chain;
+  chain.name = name;
+  for (const MappingSpec& hop : hops) chain.hop_targets.push_back(hop.target_name());
+
+  // Fold left-to-right: after iteration i, `composed` maps the mediator
+  // vocabulary directly onto hops[i]'s target vocabulary. Registration is
+  // off the hot path, so the compose trace is always recorded; when the
+  // trace ring is on it is retained as an outlier for /tracez.
+  Trace trace("chain:" + name, /*capture_detail=*/true);
+  MappingSpec composed = hops.front();
+  ComposeStats total;
+  bool exact = true;
+  {
+    Span root(&trace, "chain.compose");
+    root.AddAttr("chain", name);
+    for (size_t i = 1; i < hops.size(); ++i) {
+      auto folded =
+          ComposeSpecs(composed, hops[i], options_.compose, &trace, root.id());
+      if (!folded.ok()) return folded.status();
+      composed = std::move(folded.value().spec);
+      exact = exact && folded.value().exact;
+      total.skipped_covers += folded.value().stats.skipped_covers;
+      total.approximate_marks += folded.value().stats.approximate_marks;
+    }
+    root.AddAttr("hops", std::to_string(hops.size()));
+    root.AddAttr("composed_rules", std::to_string(composed.rules().size()));
+    root.AddAttr("exact", exact ? "true" : "false");
+  }
+  if (trace_ring_ != nullptr) {
+    trace_ring_->Insert(trace.ToParsed(), /*outlier=*/true);
+  }
+
+  chain.composed_rules = static_cast<int>(composed.rules().size());
+  chain.approximate_marks = static_cast<int>(total.approximate_marks);
+  chain.exact = exact;
+  if (compose_chains_counter_ != nullptr) compose_chains_counter_->Inc();
+  if (compose_rules_counter_ != nullptr) {
+    compose_rules_counter_->Inc(static_cast<uint64_t>(chain.composed_rules));
+  }
+  if (compose_skipped_counter_ != nullptr) {
+    compose_skipped_counter_->Inc(
+        static_cast<uint64_t>(total.skipped_covers));
+  }
+
+  if (capabilities != nullptr) {
+    AddSource(std::move(name), std::move(composed), *capabilities);
+  } else {
+    // Default capabilities: exactly what the composed emissions can produce,
+    // so nothing the chain translates to is unrealizable downstream.
+    SourceCapabilities derived = RequiredCapabilities(composed);
+    AddSource(std::move(name), std::move(composed), derived);
+  }
+  chains_.push_back(std::move(chain));
+  return Status::Ok();
+}
+
+size_t TranslationService::PruneContainedSources() {
+  // Only sources with a local spec participate: a remote source's mapping
+  // lives on its worker, and pruning it here on a stale idea of that
+  // mapping would be unsound.
+  std::vector<std::string> names;
+  std::vector<const MappingSpec*> specs;
+  for (const SourceEntry& source : sources_) {
+    const MappingSpec* spec = source.transport->spec();
+    if (spec == nullptr) continue;
+    names.push_back(source.name);
+    specs.push_back(spec);
+  }
+  ContainmentAnalysis analysis = AnalyzeContainment(names, specs);
+  if (containment_checks_counter_ != nullptr) {
+    containment_checks_counter_->Inc(analysis.checks);
+  }
+  size_t removed = 0;
+  for (const PrunedSource& pruned : analysis.pruned) {
+    auto pos = std::find_if(
+        sources_.begin(), sources_.end(),
+        [&pruned](const SourceEntry& s) { return s.name == pruned.name; });
+    if (pos == sources_.end()) continue;
+    sources_.erase(pos);
+    pruned_.push_back(PrunedSourceStatus{pruned.name, pruned.subsumed_by});
+    ++removed;
+  }
+  if (containment_pruned_counter_ != nullptr && removed > 0) {
+    containment_pruned_counter_->Inc(static_cast<uint64_t>(removed));
+  }
+  return removed;
 }
 
 void TranslationService::SetViewConstraints(Query constraints) {
@@ -783,6 +906,30 @@ std::string StatusJson(const ServiceStatus& s) {
   out += ",\"sampled\":" + std::to_string(s.trace_ring.sampled);
   out += ",\"outliers\":" + std::to_string(s.trace_ring.outliers);
   out += ",\"evicted\":" + std::to_string(s.trace_ring.evicted) + "}";
+  out += ",\"chains\":[";
+  for (size_t i = 0; i < s.chains.size(); ++i) {
+    const ChainStatus& chain = s.chains[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":\"" + JsonEscape(chain.name) + "\",\"hops\":[";
+    for (size_t j = 0; j < chain.hop_targets.size(); ++j) {
+      if (j > 0) out += ',';
+      out += "\"" + JsonEscape(chain.hop_targets[j]) + "\"";
+    }
+    out += "],\"composed_rules\":" + std::to_string(chain.composed_rules);
+    out += ",\"approximate_marks\":" + std::to_string(chain.approximate_marks);
+    out += ",\"exact\":";
+    out += b(chain.exact);
+    out += "}";
+  }
+  out += "]";
+  out += ",\"pruned_sources\":[";
+  for (size_t i = 0; i < s.pruned_sources.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"name\":\"" + JsonEscape(s.pruned_sources[i].name) + "\"";
+    out += ",\"subsumed_by\":\"" +
+           JsonEscape(s.pruned_sources[i].subsumed_by) + "\"}";
+  }
+  out += "]";
   out += "}";
   return out;
 }
@@ -833,6 +980,8 @@ ServiceStatus TranslationService::StatusSnapshot() const {
   if (resilience_ != nullptr) out.resilience = resilience_->counters();
   out.trace_ring_enabled = trace_ring_ != nullptr;
   if (trace_ring_ != nullptr) out.trace_ring = trace_ring_->stats();
+  out.chains = chains_;
+  out.pruned_sources = pruned_;
   return out;
 }
 
@@ -1028,6 +1177,26 @@ void TranslationService::RegisterAdminHandlers(AdminHttpServer* server,
                     static_cast<unsigned long long>(source.failures),
                     static_cast<unsigned long long>(source.retries));
       out += line;
+    }
+    if (!s.chains.empty()) {
+      out += "\nmediation chains:\n";
+      for (const ChainStatus& chain : s.chains) {
+        out += "  " + chain.name + ": ";
+        for (size_t i = 0; i < chain.hop_targets.size(); ++i) {
+          if (i > 0) out += " -> ";
+          out += chain.hop_targets[i];
+        }
+        out += " (rules=" + std::to_string(chain.composed_rules) +
+               " approximate_marks=" +
+               std::to_string(chain.approximate_marks) +
+               " exact=" + (chain.exact ? "yes" : "no") + ")\n";
+      }
+    }
+    if (!s.pruned_sources.empty()) {
+      out += "\ncontainment-pruned sources:\n";
+      for (const PrunedSourceStatus& pruned : s.pruned_sources) {
+        out += "  " + pruned.name + " subsumed by " + pruned.subsumed_by + "\n";
+      }
     }
     return response;
   });

